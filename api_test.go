@@ -1,0 +1,155 @@
+package glescompute_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"glescompute"
+)
+
+// TestPublicAPIQuickstart exercises the complete documented workflow
+// through the public package only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	dev, err := glescompute.Open(glescompute.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	const n = 256
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i)
+		ys[i] = 1000 - float32(i)
+	}
+	a, err := dev.NewBuffer(glescompute.Float32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dev.NewBuffer(glescompute.Float32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dev.NewBuffer(glescompute.Float32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteFloat32(xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteFloat32(ys); err != nil {
+		t.Fatal(err)
+	}
+	k, err := dev.BuildKernel(glescompute.KernelSpec{
+		Name: "sum",
+		Inputs: []glescompute.Param{
+			{Name: "a", Type: glescompute.Float32},
+			{Name: "b", Type: glescompute.Float32},
+		},
+		Source: "float gc_kernel(float idx) { return gc_a(idx) + gc_b(idx); }",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run1(out, []*glescompute.Buffer{a, b}, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.ReadFloat32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if glescompute.MantissaBitsAgreement(1000, got[i]) < 13 {
+			t.Fatalf("element %d: got %g, want 1000", i, got[i])
+		}
+	}
+}
+
+func TestPublicAPIIntKernel(t *testing.T) {
+	dev, err := glescompute.Open(glescompute.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	const n = 512
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]int32, n)
+	for i := range vals {
+		vals[i] = int32(rng.Intn(1 << 20))
+	}
+	in, err := dev.NewBuffer(glescompute.Int32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dev.NewBuffer(glescompute.Int32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.WriteInt32(vals); err != nil {
+		t.Fatal(err)
+	}
+	k, err := dev.BuildKernel(glescompute.KernelSpec{
+		Name:    "triple",
+		Inputs:  []glescompute.Param{{Name: "x", Type: glescompute.Int32}},
+		Outputs: []glescompute.OutputSpec{{Name: "out", Type: glescompute.Int32}},
+		Source:  "float gc_kernel(float idx) { return 3.0 * gc_x(idx); }",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run1(out, []*glescompute.Buffer{in}, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.ReadInt32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != 3*vals[i] {
+			t.Fatalf("element %d: got %d, want %d", i, got[i], 3*vals[i])
+		}
+	}
+}
+
+func TestPublicAPIDeviceInfo(t *testing.T) {
+	dev, err := glescompute.Open(glescompute.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if dev.Caps().MaxTextureSize <= 0 {
+		t.Error("caps not populated")
+	}
+	flt, _ := dev.PrecisionInfo()
+	if flt.Precision != 23 {
+		t.Errorf("float precision %d, want 23", flt.Precision)
+	}
+	if dev.GPUModel().PeakGFLOPS() != 24 {
+		t.Errorf("peak GFLOPS %g, want 24", dev.GPUModel().PeakGFLOPS())
+	}
+}
+
+func TestPublicAPIStrictMode(t *testing.T) {
+	dev, err := glescompute.Open(glescompute.Config{StrictAppendixA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	// A uniform-bounded loop violates Appendix A; strict mode must reject
+	// it at kernel build time.
+	_, err = dev.BuildKernel(glescompute.KernelSpec{
+		Name:     "loopy",
+		Inputs:   []glescompute.Param{{Name: "x", Type: glescompute.Float32}},
+		Uniforms: []string{"u_n"},
+		Source: `
+float gc_kernel(float idx) {
+	float acc = 0.0;
+	for (float i = 0.0; i < u_n; i += 1.0) { acc += gc_x(i); }
+	return acc;
+}`,
+	})
+	if err == nil {
+		t.Fatal("strict Appendix A mode must reject uniform loop bounds")
+	}
+}

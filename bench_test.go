@@ -1,0 +1,174 @@
+// Paper benchmark suite: one testing.B benchmark per evaluation artifact
+// of Trompouki & Kosmidis, DATE 2016 (DESIGN.md §4). Each benchmark runs
+// the corresponding experiment and reports the paper's metric as custom
+// benchmark outputs (speedup-x, accuracy bits), so `go test -bench=.`
+// regenerates the whole evaluation. Wall-clock ns/op measures the
+// *simulator*, not the modeled device — the modeled device times are the
+// reported metrics.
+package glescompute_test
+
+import (
+	"testing"
+
+	"glescompute/internal/codec"
+	"glescompute/internal/paper"
+)
+
+// benchSpeedup runs a speedup experiment once per iteration and reports
+// the modeled numbers.
+func benchSpeedup(b *testing.B, run func() (paper.Speedup, error)) {
+	b.Helper()
+	var last paper.Speedup
+	for i := 0; i < b.N; i++ {
+		s, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !s.Validated {
+			b.Fatal("results failed validation against the CPU reference")
+		}
+		last = s
+	}
+	b.ReportMetric(last.ModelSpeedup(), "speedup-x")
+	b.ReportMetric(last.ExecOnlySpeedup(), "execspeedup-x")
+	b.ReportMetric(last.PaperSpeedup, "paper-x")
+	b.ReportMetric(float64(last.GPU.Total().Microseconds()), "gpu-µs")
+	b.ReportMetric(float64(last.CPUTime.Microseconds()), "cpu-µs")
+}
+
+// BenchmarkPaperSumInt regenerates T1.1: the paper's `sum` benchmark,
+// integer configuration (paper: 7.2×).
+func BenchmarkPaperSumInt(b *testing.B) {
+	benchSpeedup(b, func() (paper.Speedup, error) {
+		return paper.RunSum(codec.Int32, 1<<20, 1<<13)
+	})
+}
+
+// BenchmarkPaperSumFloat regenerates T1.2 (paper: 6.5×).
+func BenchmarkPaperSumFloat(b *testing.B) {
+	benchSpeedup(b, func() (paper.Speedup, error) {
+		return paper.RunSum(codec.Float32, 1<<20, 1<<13)
+	})
+}
+
+// BenchmarkPaperSgemmInt regenerates T1.3: `sgemm`, integer configuration
+// (paper: 6.5×).
+func BenchmarkPaperSgemmInt(b *testing.B) {
+	benchSpeedup(b, func() (paper.Speedup, error) {
+		return paper.RunSgemm(codec.Int32, 1024, 8, 16)
+	})
+}
+
+// BenchmarkPaperSgemmFloat regenerates T1.4 (paper: 6.3×).
+func BenchmarkPaperSgemmFloat(b *testing.B) {
+	benchSpeedup(b, func() (paper.Speedup, error) {
+		return paper.RunSgemm(codec.Float32, 1024, 8, 16)
+	})
+}
+
+// BenchmarkPaperPrecision regenerates P1: float accuracy through the GPU
+// (paper: 15 most significant mantissa bits).
+func BenchmarkPaperPrecision(b *testing.B) {
+	var last paper.PrecisionResult
+	for i := 0; i < b.N; i++ {
+		res, err := paper.RunPrecision(200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.MinBitsGPU), "worst-bits")
+	b.ReportMetric(last.MeanBitsGPU, "mean-bits")
+	b.ReportMetric(float64(last.PaperBits), "paper-bits")
+}
+
+// BenchmarkAblationCodecOverhead regenerates A1: the share of kernel time
+// spent packing and unpacking.
+func BenchmarkAblationCodecOverhead(b *testing.B) {
+	var last paper.CodecOverhead
+	for i := 0; i < b.N; i++ {
+		res, err := paper.RunCodecOverhead(1 << 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.FullSumCycles, "cycles/elem")
+	b.ReportMetric(last.OverheadFraction*100, "codec-%")
+}
+
+// BenchmarkAblationSFUSweep regenerates A2: achieved float-codec accuracy
+// as a function of the modeled SFU precision (reports the default-SFU
+// point; the full sweep is `paperbench -exp sfu-sweep`).
+func BenchmarkAblationSFUSweep(b *testing.B) {
+	var points []paper.SFUSweepPoint
+	for i := 0; i < b.N; i++ {
+		p, err := paper.RunSFUSweep(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = p
+	}
+	for _, p := range points {
+		if p.SFUMantissaBits == 16 {
+			b.ReportMetric(float64(p.MinBits), "bits@sfu16")
+		}
+		if p.SFUMantissaBits == 0 {
+			b.ReportMetric(float64(p.MinBits), "bits@exact")
+		}
+	}
+}
+
+// BenchmarkAblationHalfFloat regenerates A4: fidelity of a vendor fp16
+// extension vs the paper's RGBA8 codec.
+func BenchmarkAblationHalfFloat(b *testing.B) {
+	var last paper.HalfFloatResult
+	for i := 0; i < b.N; i++ {
+		res, err := paper.RunHalfFloatComparison(300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.MinBitsFP16), "fp16-bits")
+	b.ReportMetric(float64(last.MinBitsCodec), "codec-bits")
+	b.ReportMetric(float64(last.FP16RangeLoss)/float64(last.Samples)*100, "fp16-rangeloss-%")
+}
+
+// BenchmarkPaperInt24 regenerates P2 as a benchmark target.
+func BenchmarkPaperInt24(b *testing.B) {
+	var last paper.Int24Result
+	for i := 0; i < b.N; i++ {
+		res, err := paper.RunInt24()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	ok := float64(0)
+	if last.ExactThrough24 && last.InexactPast24 {
+		ok = 1
+	}
+	b.ReportMetric(ok, "boundary-ok")
+}
+
+// BenchmarkSimulatorFragmentThroughput measures the raw simulator itself
+// (fragments shaded per second on the host), useful when hacking on the
+// interpreter. Not a paper artifact.
+func BenchmarkSimulatorFragmentThroughput(b *testing.B) {
+	s, err := paper.RunSum(codec.Int32, 1<<14, 1<<14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = s
+	b.ResetTimer()
+	var frags uint64
+	for i := 0; i < b.N; i++ {
+		s, err := paper.RunSum(codec.Int32, 1<<14, 1<<14)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frags += uint64(s.ExecN)
+	}
+	b.ReportMetric(float64(frags)/b.Elapsed().Seconds(), "frags/s")
+}

@@ -1,0 +1,61 @@
+// Command esinfo prints the capabilities of the simulated OpenGL ES 2.0
+// device, including the shader precision formats the paper queries with
+// glGetShaderPrecisionFormat (§IV-E) to establish that the GPU float
+// format matches IEEE 754 bit counts.
+package main
+
+import (
+	"fmt"
+
+	"glescompute/internal/gles"
+	"glescompute/internal/shader"
+	"glescompute/internal/vc4"
+)
+
+func main() {
+	ctx := gles.NewContext(gles.Config{Width: 64, Height: 64, SFU: shader.DefaultSFU})
+	fmt.Println("GL_VENDOR:                  ", ctx.GetString(gles.VENDOR))
+	fmt.Println("GL_RENDERER:                ", ctx.GetString(gles.RENDERER))
+	fmt.Println("GL_VERSION:                 ", ctx.GetString(gles.VERSION))
+	fmt.Println("GL_SHADING_LANGUAGE_VERSION:", ctx.GetString(gles.SHADING_LANGUAGE_VERSION))
+	ext := ctx.GetString(gles.EXTENSIONS)
+	if ext == "" {
+		ext = "(none — no float texture/framebuffer extensions, as the paper assumes)"
+	}
+	fmt.Println("GL_EXTENSIONS:              ", ext)
+	fmt.Println()
+
+	caps := ctx.Caps()
+	fmt.Println("Implementation limits:")
+	fmt.Printf("  MAX_TEXTURE_SIZE                 %d\n", caps.MaxTextureSize)
+	fmt.Printf("  MAX_VERTEX_ATTRIBS               %d\n", caps.MaxVertexAttribs)
+	fmt.Printf("  MAX_VARYING_VECTORS              %d\n", caps.MaxVaryingVectors)
+	fmt.Printf("  MAX_VERTEX_UNIFORM_VECTORS       %d\n", caps.MaxVertexUniformVectors)
+	fmt.Printf("  MAX_FRAGMENT_UNIFORM_VECTORS     %d\n", caps.MaxFragmentUniformVectors)
+	fmt.Printf("  MAX_TEXTURE_IMAGE_UNITS          %d\n", caps.MaxTextureImageUnits)
+	fmt.Printf("  MAX_VERTEX_TEXTURE_IMAGE_UNITS   %d (no vertex texture fetch on the VideoCore IV)\n", caps.MaxVertexTextureImageUnits)
+	fmt.Println()
+
+	fmt.Println("Shader precision formats (glGetShaderPrecisionFormat, paper §IV-E):")
+	for _, p := range []struct {
+		name string
+		enum uint32
+	}{
+		{"LOW_FLOAT", gles.LOW_FLOAT},
+		{"MEDIUM_FLOAT", gles.MEDIUM_FLOAT},
+		{"HIGH_FLOAT", gles.HIGH_FLOAT},
+		{"LOW_INT", gles.LOW_INT},
+		{"MEDIUM_INT", gles.MEDIUM_INT},
+		{"HIGH_INT", gles.HIGH_INT},
+	} {
+		pf := ctx.GetShaderPrecisionFormat(gles.FRAGMENT_SHADER, p.enum)
+		fmt.Printf("  fragment %-13s range [-2^%d, 2^%d], precision 2^-%d\n",
+			p.name, pf.RangeMin, pf.RangeMax, pf.Precision)
+	}
+	fmt.Println()
+
+	m := vc4.DefaultModel()
+	fmt.Println("Timing model (VideoCore IV class):")
+	fmt.Printf("  QPUs: %d, lanes/QPU: %d, clock: %.0f MHz, peak: %.0f GFLOPS (paper §I: 24 GFlops)\n",
+		m.QPUs, m.LanesPerQPU, m.ClockHz/1e6, m.PeakGFLOPS())
+}

@@ -1,0 +1,103 @@
+// Command glslc compiles GLSL ES 1.00 shaders with the library's
+// front-end, reporting diagnostics the way a driver's info log would.
+//
+// Usage:
+//
+//	glslc [-stage vertex|fragment] [-strict] [-E] [-tokens] [-dump] file.glsl
+//
+// The stage defaults from the file extension (.vert / .vs → vertex,
+// .frag / .fs → fragment, else fragment).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"glescompute/internal/glsl"
+)
+
+func main() {
+	stage := flag.String("stage", "", "shader stage: vertex or fragment (default from extension)")
+	strict := flag.Bool("strict", false, "enforce GLSL ES Appendix A restrictions as errors")
+	preprocessOnly := flag.Bool("E", false, "print the preprocessed source and exit")
+	tokens := flag.Bool("tokens", false, "print the token stream and exit")
+	dump := flag.Bool("dump", false, "print a summary of the checked program")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: glslc [flags] file.glsl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "glslc: %v\n", err)
+		os.Exit(1)
+	}
+	src := string(data)
+
+	st := glsl.StageFragment
+	switch *stage {
+	case "vertex":
+		st = glsl.StageVertex
+	case "fragment", "":
+		if *stage == "" {
+			if strings.HasSuffix(path, ".vert") || strings.HasSuffix(path, ".vs") {
+				st = glsl.StageVertex
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "glslc: unknown stage %q\n", *stage)
+		os.Exit(2)
+	}
+
+	if *preprocessOnly {
+		res, errs := glsl.Preprocess(src)
+		if errs.Err() != nil {
+			fmt.Fprintln(os.Stderr, errs.Error())
+			os.Exit(1)
+		}
+		fmt.Print(res.Source)
+		return
+	}
+
+	if *tokens {
+		toks, errs := glsl.LexAll(src)
+		for _, tok := range toks {
+			fmt.Printf("%s\t%s\n", tok.Pos, tok)
+		}
+		if errs.Err() != nil {
+			fmt.Fprintln(os.Stderr, errs.Error())
+			os.Exit(1)
+		}
+		return
+	}
+
+	prog, errs := glsl.CompileSource(src, st, glsl.CheckOptions{StrictAppendixA: *strict})
+	if errs.Err() != nil {
+		fmt.Fprintf(os.Stderr, "%s: compilation failed (%s stage):\n%s\n", path, st, errs.Error())
+		os.Exit(1)
+	}
+	for _, w := range prog.Warnings {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+	}
+	fmt.Printf("%s: OK (%s shader)\n", path, st)
+	if *dump {
+		fmt.Printf("  uniforms:   %d\n", len(prog.Uniforms))
+		for _, u := range prog.Uniforms {
+			fmt.Printf("    %-20s %s\n", u.Name, u.DeclType)
+		}
+		fmt.Printf("  attributes: %d\n", len(prog.Attributes))
+		for _, a := range prog.Attributes {
+			fmt.Printf("    %-20s %s\n", a.Name, a.DeclType)
+		}
+		fmt.Printf("  varyings:   %d\n", len(prog.Varyings))
+		for _, v := range prog.Varyings {
+			fmt.Printf("    %-20s %s\n", v.Name, v.DeclType)
+		}
+		fmt.Printf("  functions:  %d\n", len(prog.Functions))
+	}
+}

@@ -1,0 +1,177 @@
+// Command paperbench regenerates the evaluation of Trompouki & Kosmidis,
+// DATE 2016, printing paper-reported values next to the values this
+// reproduction measures/models. See DESIGN.md §4 for the experiment index
+// and EXPERIMENTS.md for recorded results and discussion.
+//
+// Usage:
+//
+//	paperbench [-exp all|sum-int|sum-float|sgemm-int|sgemm-float|
+//	            precision|int24|fig1|fig2|sfu-sweep|codec-overhead]
+//	           [-sum-n N] [-sum-exec N] [-sgemm-n N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"glescompute/internal/codec"
+	"glescompute/internal/paper"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	sumN := flag.Int("sum-n", 1<<20, "sum: full problem size (elements)")
+	sumExec := flag.Int("sum-exec", 1<<14, "sum: executed size (extrapolated to -sum-n)")
+	sgemmN := flag.Int("sgemm-n", 1024, "sgemm: full matrix dimension")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	header := false
+	speedupHeader := func() {
+		if header {
+			return
+		}
+		header = true
+		fmt.Println("Speedups over the CPU (paper §V; modeled wall time incl. transfers and compilation):")
+		fmt.Printf("  %-5s %-16s %9s | %7s | %9s %9s | %10s %10s %s\n",
+			"ID", "benchmark", "size", "paper", "model", "exec-only", "GPU", "CPU", "valid")
+	}
+	printSpeedup := func(s paper.Speedup) {
+		speedupHeader()
+		fmt.Printf("  %-5s %-16s %9d | %6.1fx | %8.2fx %8.2fx | %10v %10v %v\n",
+			s.ID, fmt.Sprintf("%s (%s)", s.Kernel, s.Elem), s.TargetN,
+			s.PaperSpeedup, s.ModelSpeedup(), s.ExecOnlySpeedup(),
+			s.GPU.Total().Round(100000), s.CPUTime.Round(100000), s.Validated)
+	}
+
+	run("sum-int", func() error {
+		s, err := paper.RunSum(codec.Int32, *sumN, *sumExec)
+		if err != nil {
+			return err
+		}
+		printSpeedup(s)
+		return nil
+	})
+	run("sum-float", func() error {
+		s, err := paper.RunSum(codec.Float32, *sumN, *sumExec)
+		if err != nil {
+			return err
+		}
+		printSpeedup(s)
+		return nil
+	})
+	run("sgemm-int", func() error {
+		s, err := paper.RunSgemm(codec.Int32, *sgemmN, 16, 32)
+		if err != nil {
+			return err
+		}
+		printSpeedup(s)
+		return nil
+	})
+	run("sgemm-float", func() error {
+		s, err := paper.RunSgemm(codec.Float32, *sgemmN, 16, 32)
+		if err != nil {
+			return err
+		}
+		printSpeedup(s)
+		return nil
+	})
+
+	run("precision", func() error {
+		res, err := paper.RunPrecision(500)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Println("P1 — float accuracy (paper §V: within the 15 most significant mantissa bits):")
+		fmt.Printf("  GPU round trip over %d samples: worst %d bits, mean %.1f bits (paper: 15)\n",
+			res.Samples, res.MinBitsGPU, res.MeanBitsGPU)
+		fmt.Printf("  same transformation on the CPU: exact = %v (paper: precise)\n", res.CPUExact)
+		return nil
+	})
+
+	run("int24", func() error {
+		res, err := paper.RunInt24()
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Println("P2 — integer precision (paper §IV-C: equivalent to a 24-bit integer):")
+		fmt.Printf("  values ≤ 2^24 round-trip exactly: %v\n", res.ExactThrough24)
+		fmt.Printf("  2^24+1 loses precision:           %v\n", res.InexactPast24)
+		return nil
+	})
+
+	run("fig1", func() error {
+		out, err := paper.Fig1Trace()
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(out)
+		return nil
+	})
+
+	run("fig2", func() error {
+		fmt.Println()
+		fmt.Print(paper.Fig2Dump(nil))
+		return nil
+	})
+
+	run("sfu-sweep", func() error {
+		points, err := paper.RunSFUSweep(200)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Println("A2 — SFU precision sweep (where the paper's 15 bits comes from):")
+		fmt.Println("  SFU mantissa bits | achieved codec accuracy (worst case)")
+		for _, p := range points {
+			label := fmt.Sprintf("%d", p.SFUMantissaBits)
+			if p.SFUMantissaBits == 0 {
+				label = "exact"
+			}
+			fmt.Printf("  %17s | %d bits\n", label, p.MinBits)
+		}
+		return nil
+	})
+
+	run("halffloat", func() error {
+		res, err := paper.RunHalfFloatComparison(1000)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Println("A4 — half-float extension vs the paper's codec (paper §II: fp16 is 'neither enough nor portable'):")
+		fmt.Printf("  corpus: %d fp32 values spanning 1e-6..1e6\n", res.Samples)
+		fmt.Printf("  fp16 extension:  %4d/%d values lost to range (overflow/underflow), worst %d bits, mean %.1f bits\n",
+			res.FP16RangeLoss, res.Samples, res.MinBitsFP16, res.MeanBitsFP16)
+		fmt.Printf("  paper's codec:   %4d/%d values lost,                              worst %d bits, mean %.1f bits\n",
+			res.CodecRangeLoss, res.Samples, res.MinBitsCodec, res.MeanBitsCodec)
+		return nil
+	})
+
+	run("codec-overhead", func() error {
+		res, err := paper.RunCodecOverhead(1 << 12)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Println("A1 — codec overhead on the integer sum kernel:")
+		fmt.Printf("  encode-only kernel: %6.1f modeled cycles/element\n", res.EncodeOnlyCycles)
+		fmt.Printf("  full sum kernel:    %6.1f modeled cycles/element\n", res.FullSumCycles)
+		fmt.Printf("  pack/unpack share:  %6.0f%% (paper: 'the extra burden of packing and unpacking')\n",
+			res.OverheadFraction*100)
+		return nil
+	})
+}

@@ -1,0 +1,104 @@
+// Command nn implements the Rodinia-style nearest-neighbor benchmark the
+// paper invokes when arguing its model covers real GPGPU workloads ("all
+// benchmarks of Rodinia suite fit in these two cases", §III-8): compute
+// the Euclidean distance from every record to a query point on the GPU,
+// then select the k smallest on the CPU.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+
+	"glescompute"
+)
+
+const distSrc = `
+float gc_kernel(float idx) {
+	float dx = gc_lat(idx) - u_lat;
+	float dy = gc_lng(idx) - u_lng;
+	return sqrt(dx * dx + dy * dy);
+}
+`
+
+func main() {
+	const n = 8192
+	const k = 5
+	dev, err := glescompute.Open(glescompute.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dev.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	lat := make([]float32, n)
+	lng := make([]float32, n)
+	for i := range lat {
+		lat[i] = rng.Float32()*180 - 90
+		lng[i] = rng.Float32()*360 - 180
+	}
+	queryLat, queryLng := float32(41.39), float32(2.17) // Barcelona (UPC)
+
+	bLat, err := dev.NewBuffer(glescompute.Float32, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bLng, _ := dev.NewBuffer(glescompute.Float32, n)
+	bOut, _ := dev.NewBuffer(glescompute.Float32, n)
+	if err := bLat.WriteFloat32(lat); err != nil {
+		log.Fatal(err)
+	}
+	if err := bLng.WriteFloat32(lng); err != nil {
+		log.Fatal(err)
+	}
+
+	kern, err := dev.BuildKernel(glescompute.KernelSpec{
+		Name: "nn-distance",
+		Inputs: []glescompute.Param{
+			{Name: "lat", Type: glescompute.Float32},
+			{Name: "lng", Type: glescompute.Float32},
+		},
+		Uniforms: []string{"u_lat", "u_lng"},
+		Source:   distSrc,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := kern.Run1(bOut, []*glescompute.Buffer{bLat, bLng},
+		map[string]float32{"u_lat": queryLat, "u_lng": queryLng}); err != nil {
+		log.Fatal(err)
+	}
+	dists, err := bOut.ReadFloat32()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// k-selection on the CPU (as Rodinia's nn does).
+	type rec struct {
+		idx  int
+		dist float32
+	}
+	recs := make([]rec, n)
+	for i, d := range dists {
+		recs[i] = rec{i, d}
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].dist < recs[b].dist })
+
+	// Validate the winners against CPU-computed distances.
+	fmt.Printf("%d records; %d nearest to (%.2f, %.2f):\n", n, k, queryLat, queryLng)
+	for i := 0; i < k; i++ {
+		r := recs[i]
+		dx := float64(lat[r.idx] - queryLat)
+		dy := float64(lng[r.idx] - queryLng)
+		want := math.Sqrt(dx*dx + dy*dy)
+		rel := math.Abs(float64(r.dist)-want) / math.Max(want, 1e-9)
+		fmt.Printf("  #%d record %5d at (%8.3f, %8.3f)  gpu %.4f  cpu %.4f  rel.err %.2g\n",
+			i+1, r.idx, lat[r.idx], lng[r.idx], r.dist, want, rel)
+		if rel > 1.0/(1<<11) {
+			log.Fatal("validation failed")
+		}
+	}
+	fmt.Println("OK")
+}

@@ -1,0 +1,91 @@
+// Package glescompute is a general-purpose compute library for OpenGL ES
+// 2.0 class GPUs, reproducing "Towards General Purpose Computations on
+// Low-End Mobile GPUs" (Trompouki & Kosmidis, DATE 2016).
+//
+// Low-end mobile GPUs expose only the ES 2.0 graphics API: no OpenCL, no
+// compute shaders, no float textures, no float framebuffers, and no
+// texture readback. This library packages the paper's workarounds behind a
+// Device/Buffer/Kernel API:
+//
+//	dev, _ := glescompute.Open(glescompute.Config{})
+//	defer dev.Close()
+//
+//	a, _ := dev.NewBuffer(glescompute.Float32, 1024)
+//	b, _ := dev.NewBuffer(glescompute.Float32, 1024)
+//	out, _ := dev.NewBuffer(glescompute.Float32, 1024)
+//	a.WriteFloat32(xs)
+//	b.WriteFloat32(ys)
+//
+//	k, _ := dev.BuildKernel(glescompute.KernelSpec{
+//		Name:   "sum",
+//		Inputs: []glescompute.Param{{Name: "a", Type: glescompute.Float32}, {Name: "b", Type: glescompute.Float32}},
+//		Source: `float gc_kernel(float idx) { return gc_a(idx) + gc_b(idx); }`,
+//	})
+//	k.Run1(out, []*glescompute.Buffer{a, b}, nil)
+//	result, _ := out.ReadFloat32()
+//
+// Kernels are GLSL ES 1.00 fragment-shader functions; the library
+// generates the surrounding machinery: the pass-through vertex shader, the
+// two-triangle full-screen quad, 2D texture layouts with normalized
+// addressing for linear arrays, and — the core of the paper — the numeric
+// transformations that move uint8/int8/uint32/int32/float32 data through
+// RGBA8 textures and framebuffers.
+//
+// The backing "GPU" is a complete software simulation of an OpenGL ES 2.0
+// device of the VideoCore IV class (GLSL ES compiler, rasterizer, ES 2.0
+// state machine), including its restrictions and its float precision
+// behaviour. Timing models for the VideoCore IV and its companion ARM1176
+// CPU reproduce the performance relationships the paper reports; see
+// EXPERIMENTS.md.
+package glescompute
+
+import (
+	"glescompute/internal/codec"
+	"glescompute/internal/core"
+)
+
+// Re-exported core types. The implementation lives in internal/core; these
+// aliases are the supported public surface.
+type (
+	// Device is a simulated low-end mobile GPU opened for compute.
+	Device = core.Device
+	// Buffer is a typed device array backed by an RGBA8 texture.
+	Buffer = core.Buffer
+	// Kernel is a compiled compute kernel.
+	Kernel = core.Kernel
+	// KernelSpec declares a kernel; see its field documentation.
+	KernelSpec = core.KernelSpec
+	// Param declares one kernel input buffer.
+	Param = core.Param
+	// OutputSpec declares one kernel output.
+	OutputSpec = core.OutputSpec
+	// Config configures a device.
+	Config = core.Config
+	// RunStats reports one kernel execution.
+	RunStats = core.RunStats
+	// Timeline is the modeled wall-clock breakdown of device work.
+	Timeline = core.Timeline
+	// ElemType enumerates supported element types.
+	ElemType = codec.ElemType
+)
+
+// Element types supported by buffers and kernels (paper §IV).
+const (
+	Uint8   = codec.Uint8
+	Int8    = codec.Int8
+	Uint32  = codec.Uint32
+	Int32   = codec.Int32
+	Float32 = codec.Float32
+)
+
+// Open creates a compute device over a fresh simulated OpenGL ES 2.0
+// context.
+func Open(cfg Config) (*Device, error) { return core.Open(cfg) }
+
+// MantissaBitsAgreement reports how many of the most significant mantissa
+// bits of got are accurate with respect to want — the paper's float
+// accuracy metric (§V). Exposed for applications that need to validate
+// float kernel output.
+func MantissaBitsAgreement(want, got float32) int {
+	return codec.MantissaBitsAgreement(want, got)
+}

@@ -1,0 +1,160 @@
+package glescompute_test
+
+import (
+	"math"
+	"testing"
+
+	"glescompute"
+)
+
+// TestIntegrationSaxpyThenDot chains two kernels — y' = αx + y followed by
+// a multi-pass dot-product reduction — entirely on the device, exercising
+// kernel chaining (challenge #7), uniform parameters, and the float codec
+// across multiple dependent passes.
+func TestIntegrationSaxpyThenDot(t *testing.T) {
+	dev, err := glescompute.Open(glescompute.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	const n = 1 << 10
+	const alpha = float32(1.5)
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i%31) * 0.5
+		ys[i] = float32(i%17) * 0.25
+	}
+
+	bx, err := dev.NewBuffer(glescompute.Float32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by, _ := dev.NewBuffer(glescompute.Float32, n)
+	bSaxpy, _ := dev.NewBuffer(glescompute.Float32, n)
+	bProd, _ := dev.NewBuffer(glescompute.Float32, n)
+	if err := bx.WriteFloat32(xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := by.WriteFloat32(ys); err != nil {
+		t.Fatal(err)
+	}
+
+	saxpy, err := dev.BuildKernel(glescompute.KernelSpec{
+		Name: "saxpy",
+		Inputs: []glescompute.Param{
+			{Name: "x", Type: glescompute.Float32},
+			{Name: "y", Type: glescompute.Float32},
+		},
+		Uniforms: []string{"u_alpha"},
+		Source:   "float gc_kernel(float idx) { return u_alpha * gc_x(idx) + gc_y(idx); }",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := saxpy.Run1(bSaxpy, []*glescompute.Buffer{bx, by},
+		map[string]float32{"u_alpha": alpha}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Element-wise product of the saxpy result with x.
+	mul, err := dev.BuildKernel(glescompute.KernelSpec{
+		Name: "mul",
+		Inputs: []glescompute.Param{
+			{Name: "a", Type: glescompute.Float32},
+			{Name: "b", Type: glescompute.Float32},
+		},
+		Source: "float gc_kernel(float idx) { return gc_a(idx) * gc_b(idx); }",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mul.Run1(bProd, []*glescompute.Buffer{bSaxpy, bx}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tree reduction to a single value.
+	pair, err := dev.BuildKernel(glescompute.KernelSpec{
+		Name:   "pairsum",
+		Inputs: []glescompute.Param{{Name: "v", Type: glescompute.Float32}},
+		Source: "float gc_kernel(float idx) { return gc_v(2.0 * idx) + gc_v(2.0 * idx + 1.0); }",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := bProd
+	for size := n; size > 1; size /= 2 {
+		next, err := dev.NewBuffer(glescompute.Float32, size/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pair.Run1(next, []*glescompute.Buffer{cur}, nil); err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	res, err := cur.ReadFloat32()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// CPU reference.
+	var want float64
+	for i := range xs {
+		want += float64((alpha*xs[i] + ys[i]) * xs[i])
+	}
+	rel := math.Abs(float64(res[0])-want) / want
+	if rel > 1.0/(1<<9) {
+		t.Fatalf("dot = %g, want %g (rel %g)", res[0], want, rel)
+	}
+	t.Logf("device dot = %g, CPU = %g, rel err %.2g over %d chained passes",
+		res[0], want, rel, 2+10)
+}
+
+// TestIntegrationByteImagePipeline runs a threshold-then-count pipeline on
+// byte data (uint8 codec end to end).
+func TestIntegrationByteImagePipeline(t *testing.T) {
+	dev, err := glescompute.Open(glescompute.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	const n = 512
+	img := make([]uint8, n)
+	wantOver := 0
+	for i := range img {
+		img[i] = uint8(i % 256)
+		if img[i] > 128 {
+			wantOver++
+		}
+	}
+	in, _ := dev.NewBuffer(glescompute.Uint8, n)
+	outB, _ := dev.NewBuffer(glescompute.Uint8, n)
+	if err := in.WriteUint8(img); err != nil {
+		t.Fatal(err)
+	}
+	k, err := dev.BuildKernel(glescompute.KernelSpec{
+		Name:    "threshold",
+		Inputs:  []glescompute.Param{{Name: "img", Type: glescompute.Uint8}},
+		Outputs: []glescompute.OutputSpec{{Name: "out", Type: glescompute.Uint8}},
+		Source:  "float gc_kernel(float idx) { return gc_img(idx) > 128.0 ? 1.0 : 0.0; }",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run1(outB, []*glescompute.Buffer{in}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mask, err := outB.ReadUint8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for _, m := range mask {
+		got += int(m)
+	}
+	if got != wantOver {
+		t.Fatalf("threshold count = %d, want %d", got, wantOver)
+	}
+}

@@ -1,0 +1,104 @@
+// Package armtime models the execution time of the CPU baselines on an
+// ARM1176JZF-S at 700 MHz — the Raspberry Pi CPU the paper compares
+// against. The reference kernels in internal/refcpu report exact operation
+// counts; this package converts them into modeled wall-clock time.
+//
+// The machine model: a single-issue in-order integer pipeline (1-cycle
+// ALU, 2-cycle multiply) paired with the VFP11 floating point unit, whose
+// scalar adds and multiplies cost ~8 cycles each in the non-vectorized
+// code a C compiler emits (this asymmetry is why the paper's fp speedups
+// are lower than its integer speedups: the CPU baseline is slower at fp,
+// but the GPU fp kernels also pay for a much more expensive codec).
+// Streaming workloads are additionally capped by memory bandwidth.
+package armtime
+
+import "time"
+
+// OpCounts are the exact operation counts of a reference kernel.
+type OpCounts struct {
+	IntAdd uint64
+	IntMul uint64
+	FpAdd  uint64
+	FpMul  uint64
+	FpDiv  uint64
+	Load   uint64
+	Store  uint64
+	Branch uint64
+	// BytesTouched is the total memory footprint streamed (for the
+	// bandwidth cap).
+	BytesTouched uint64
+}
+
+// Add accumulates o into c.
+func (c *OpCounts) Add(o OpCounts) {
+	c.IntAdd += o.IntAdd
+	c.IntMul += o.IntMul
+	c.FpAdd += o.FpAdd
+	c.FpMul += o.FpMul
+	c.FpDiv += o.FpDiv
+	c.Load += o.Load
+	c.Store += o.Store
+	c.Branch += o.Branch
+	c.BytesTouched += o.BytesTouched
+}
+
+// Model holds CPU timing parameters.
+type Model struct {
+	ClockHz float64
+
+	CycIntAdd float64
+	CycIntMul float64
+	CycFpAdd  float64
+	CycFpMul  float64
+	CycFpDiv  float64
+	CycLoad   float64 // L1-hit average including AGU
+	CycStore  float64
+	CycBranch float64
+
+	// MemBytesPerSec caps streaming throughput (SDRAM on the Pi).
+	MemBytesPerSec float64
+}
+
+// DefaultModel returns the ARM1176JZF-S @ 700 MHz parameters (Raspberry
+// Pi 1, the paper's platform).
+func DefaultModel() *Model {
+	return &Model{
+		ClockHz:   700e6,
+		CycIntAdd: 1,
+		CycIntMul: 2,
+		CycFpAdd:  4, // VFP11: 8-cycle latency, partially hidden at -O2
+		CycFpMul:  4,
+		CycFpDiv:  19, // VFP11 divide
+		CycLoad:   6,  // L1 hit + fully exposed load-use latency, in-order core
+		CycStore:  1.5,
+		CycBranch: 2.5, // static predictor, short loops mispredict often
+		// Naive C streaming on the ARM1176: no hardware prefetch and the
+		// BCM2835's L2 is allocated to the GPU, so effective bandwidth is
+		// far below the SDRAM peak.
+		MemBytesPerSec: 110e6,
+	}
+}
+
+// Cycles converts op counts into CPU cycles.
+func (m *Model) Cycles(c OpCounts) float64 {
+	return float64(c.IntAdd)*m.CycIntAdd +
+		float64(c.IntMul)*m.CycIntMul +
+		float64(c.FpAdd)*m.CycFpAdd +
+		float64(c.FpMul)*m.CycFpMul +
+		float64(c.FpDiv)*m.CycFpDiv +
+		float64(c.Load)*m.CycLoad +
+		float64(c.Store)*m.CycStore +
+		float64(c.Branch)*m.CycBranch
+}
+
+// Time models the wall time of a kernel: compute time, floored by the
+// memory-bandwidth cap for streaming workloads.
+func (m *Model) Time(c OpCounts) time.Duration {
+	compute := m.Cycles(c) / m.ClockHz
+	mem := float64(c.BytesTouched) / m.MemBytesPerSec
+	sec := compute
+	if mem > sec {
+		sec = mem
+	}
+	return time.Duration(sec * float64(time.Second))
+}

@@ -1,0 +1,54 @@
+package armtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCyclesWeighting(t *testing.T) {
+	m := DefaultModel()
+	intWork := OpCounts{IntAdd: 1000}
+	fpWork := OpCounts{FpAdd: 1000}
+	if m.Cycles(fpWork) <= m.Cycles(intWork) {
+		t.Error("fp adds must cost more than int adds on the ARM1176 (paper §V: 'in the CPU the integer operations are faster than the fp ones')")
+	}
+	div := OpCounts{FpDiv: 100}
+	mul := OpCounts{FpMul: 100}
+	if m.Cycles(div) <= m.Cycles(mul) {
+		t.Error("fp divide must dominate fp multiply")
+	}
+}
+
+func TestMemoryBandwidthCap(t *testing.T) {
+	m := DefaultModel()
+	// Tiny compute, huge memory footprint: the bandwidth term must win.
+	c := OpCounts{IntAdd: 10, BytesTouched: uint64(m.MemBytesPerSec)}
+	got := m.Time(c)
+	if got < time.Second {
+		t.Errorf("memory-bound workload should take ≥1s, got %v", got)
+	}
+	// Huge compute, no memory: compute term must win.
+	c2 := OpCounts{FpDiv: uint64(m.ClockHz)} // ~19 seconds of divides
+	if m.Time(c2) < 10*time.Second {
+		t.Errorf("compute-bound workload mis-modeled: %v", m.Time(c2))
+	}
+}
+
+func TestOpCountsAdd(t *testing.T) {
+	a := OpCounts{IntAdd: 1, FpMul: 2, Load: 3, BytesTouched: 4}
+	b := OpCounts{IntAdd: 10, FpMul: 20, Load: 30, BytesTouched: 40}
+	a.Add(b)
+	if a.IntAdd != 11 || a.FpMul != 22 || a.Load != 33 || a.BytesTouched != 44 {
+		t.Errorf("Add broken: %+v", a)
+	}
+}
+
+func TestTimePositive(t *testing.T) {
+	m := DefaultModel()
+	if m.Time(OpCounts{}) != 0 {
+		t.Error("empty counts must cost zero")
+	}
+	if m.Time(OpCounts{IntAdd: 700e6}) < 900*time.Millisecond {
+		t.Error("7e8 adds at 700MHz must take ~1s")
+	}
+}

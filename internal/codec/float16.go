@@ -1,0 +1,82 @@
+package codec
+
+import "math"
+
+// IEEE 754 half-precision conversion. The paper (§II item 5/6) notes that
+// some ES 2.0 vendors expose half-float texture/framebuffer extensions
+// (OES_texture_half_float) and argues they are "neither enough nor
+// portable". These helpers model what data fidelity such an extension
+// would deliver, so the evaluation can compare it against the paper's
+// RGBA8 codec (experiment A4 in EXPERIMENTS.md).
+
+// Float32ToHalfBits converts an fp32 value to fp16 bits with
+// round-to-nearest-even, flushing fp16 denormals to zero (the behaviour of
+// the era's mobile GPUs).
+func Float32ToHalfBits(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xFF) - 127
+	mant := bits & 0x7FFFFF
+
+	switch {
+	case exp == 128: // Inf or NaN
+		if mant != 0 {
+			return sign | 0x7E00 // NaN
+		}
+		return sign | 0x7C00 // Inf
+	case exp > 15: // overflow → Inf
+		return sign | 0x7C00
+	case exp < -14: // underflow → zero (denormals flushed)
+		return sign
+	}
+	// Normalized half: 5-bit exponent (bias 15), 10-bit mantissa with
+	// round-to-nearest-even on the dropped 13 bits.
+	halfExp := uint16(exp+15) << 10
+	halfMant := uint16(mant >> 13)
+	rem := mant & 0x1FFF
+	if rem > 0x1000 || (rem == 0x1000 && halfMant&1 == 1) {
+		halfMant++
+		if halfMant == 0x400 { // mantissa carry into exponent
+			halfMant = 0
+			halfExp += 1 << 10
+			if halfExp >= 0x7C00 {
+				return sign | 0x7C00
+			}
+		}
+	}
+	return sign | halfExp | halfMant
+}
+
+// HalfBitsToFloat32 converts fp16 bits back to fp32.
+func HalfBitsToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1F)
+	mant := uint32(h & 0x3FF)
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// fp16 denormal: value = mant * 2^-24.
+		return math.Float32frombits(sign) + float32(mant)*float32(math.Pow(2, -24))*signOf(sign)
+	case 31:
+		if mant != 0 {
+			return float32(math.NaN())
+		}
+		return math.Float32frombits(sign | 0x7F800000)
+	}
+	return math.Float32frombits(sign | (exp+112)<<23 | mant<<13)
+}
+
+func signOf(signBits uint32) float32 {
+	if signBits != 0 {
+		return -1
+	}
+	return 1
+}
+
+// QuantizeFloat16 pushes an fp32 value through fp16 and back: the fidelity
+// a half-float texture extension would deliver.
+func QuantizeFloat16(f float32) float32 {
+	return HalfBitsToFloat32(Float32ToHalfBits(f))
+}

@@ -1,0 +1,109 @@
+package codec
+
+import (
+	"math"
+	"testing"
+
+	"glescompute/internal/glsl"
+	"glescompute/internal/shader"
+)
+
+// specialsShader builds the special-value-preserving round trip shader.
+func specialsShader() string {
+	return "precision highp float;\n" +
+		"uniform vec4 u_texel;\n" +
+		GLSLDecoderSpecials("gc_decode") +
+		GLSLEncoderSpecials("gc_encode", EncodeRobust) +
+		"void main() {\n\tfloat v = gc_decode(u_texel);\n\tgl_FragColor = gc_encode(v);\n}\n"
+}
+
+func runSpecials(t *testing.T, texel [4]byte) [4]byte {
+	t.Helper()
+	return runCodecShader(t, specialsShader(), texel, shader.DefaultSFU, "round")
+}
+
+func TestSpecialsPreserveInfinities(t *testing.T) {
+	// Paper §IV-E: "These transformations can optionally preserve special
+	// values such as infinities and not-numbers (NaNs)".
+	for _, v := range []float32{float32(math.Inf(1)), float32(math.Inf(-1))} {
+		var texel [4]byte
+		if err := PackFloat32(texel[:], []float32{v}); err != nil {
+			t.Fatal(err)
+		}
+		out := runSpecials(t, texel)
+		var got [1]float32
+		if err := UnpackFloat32(got[:], out[:]); err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsInf(float64(got[0]), int(sign64(float64(v)))) {
+			t.Errorf("%g round-tripped to %g", v, got[0])
+		}
+	}
+}
+
+func TestSpecialsPreserveNaN(t *testing.T) {
+	nan := float32(math.NaN())
+	var texel [4]byte
+	if err := PackFloat32(texel[:], []float32{nan}); err != nil {
+		t.Fatal(err)
+	}
+	out := runSpecials(t, texel)
+	var got [1]float32
+	if err := UnpackFloat32(got[:], out[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(got[0])) {
+		t.Errorf("NaN round-tripped to %g (bits %08x)", got[0], math.Float32bits(got[0]))
+	}
+}
+
+func TestSpecialsFiniteValuesUnaffected(t *testing.T) {
+	// The specials-preserving codec must behave like the standard codec on
+	// finite values.
+	for _, v := range []float32{0, 1, -1, 3.25, -1000.5, 1e-6} {
+		var texel [4]byte
+		if err := PackFloat32(texel[:], []float32{v}); err != nil {
+			t.Fatal(err)
+		}
+		out := runSpecials(t, texel)
+		var got [1]float32
+		if err := UnpackFloat32(got[:], out[:]); err != nil {
+			t.Fatal(err)
+		}
+		if MantissaBitsAgreement(v, got[0]) < 14 && v != got[0] {
+			t.Errorf("finite %g degraded to %g", v, got[0])
+		}
+	}
+}
+
+func TestSpecialsEncoderClampsFiniteExponents(t *testing.T) {
+	// Finite values must never produce the reserved exponent byte 255,
+	// even at the top of the float range.
+	prog, errs := glsl.CompileSource(
+		"precision highp float;\nuniform float u_v;\n"+
+			GLSLEncoderSpecials("gc_encode", EncodeRobust)+
+			"void main() { gl_FragColor = gc_encode(u_v); }",
+		glsl.StageFragment, glsl.CheckOptions{})
+	if errs.Err() != nil {
+		t.Fatal(errs)
+	}
+	ex := shader.NewExec(prog, nil, shader.ExactSFU)
+	ex.SetGlobal(prog.LookupUniform("u_v"), shader.FloatVal(math.MaxFloat32))
+	if err := ex.InitGlobals(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a := ex.Builtins[glsl.BVSlotFragColor].F[3]
+	if b := int(a*255 + 0.5); b == 255 {
+		t.Errorf("MaxFloat32 encoded with the reserved exponent byte 255")
+	}
+}
+
+func sign64(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

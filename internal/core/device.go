@@ -1,0 +1,165 @@
+// Package core implements the paper's contribution: a general-purpose
+// compute runtime on top of a bare OpenGL ES 2.0 context. It packages the
+// eight workarounds of the paper's Section III —
+//
+//	#1 pass-through vertex shader (no fixed-function fallback)
+//	#2 full-screen quad built from two triangles (no quad primitive)
+//	#3 linear arrays laid out in 2D textures (no 1D textures)
+//	#4 half-texel-centred normalized addressing (no texel coordinates)
+//	#5 input numeric transformations (no float textures)       — §IV
+//	#6 output numeric transformations (no float framebuffers)  — §IV
+//	#7 kernel chaining through FBO render-to-texture + ReadPixels
+//	#8 multi-output kernels split into one shader pass per output
+//
+// — behind a Device/Buffer/Kernel API a CUDA/OpenCL programmer would
+// recognize.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"glescompute/internal/gles"
+	"glescompute/internal/shader"
+	"glescompute/internal/vc4"
+)
+
+// Config configures a compute device.
+type Config struct {
+	// MaxGridWidth bounds texture width used for buffer layout; 0 means
+	// the device maximum.
+	MaxGridWidth int
+	// SFUMantissaBits models the GPU special-function-unit precision;
+	// 0 selects the VideoCore IV default (16 bits), negative selects
+	// exact IEEE behaviour.
+	SFUMantissaBits int
+	// FloorConversion selects the paper's eq. (2) floor rule for
+	// framebuffer conversion instead of the GL round-to-nearest rule.
+	FloorConversion bool
+	// Workers bounds fragment-stage parallelism (0 = GOMAXPROCS).
+	Workers int
+	// StrictAppendixA enforces GLSL ES Appendix A loop restrictions.
+	StrictAppendixA bool
+}
+
+// Timeline is the modeled wall-clock breakdown of everything executed
+// since the last ResetTimeline, mirroring the paper's measurement
+// methodology ("application wall times, including time spent in data
+// transfers and kernel compilations").
+type Timeline struct {
+	Compile  time.Duration
+	Upload   time.Duration
+	Execute  time.Duration
+	Readback time.Duration
+}
+
+// Total returns the modeled wall time.
+func (t Timeline) Total() time.Duration {
+	return t.Compile + t.Upload + t.Execute + t.Readback
+}
+
+// Device is a simulated low-end mobile GPU opened for compute.
+type Device struct {
+	ctx *gles.Context
+	gpu *vc4.Model
+	cfg Config
+
+	quadPos []byte // interleaved fullscreen-quad vertices (challenge #2)
+	quadUV  []byte
+
+	copyProg uint32 // lazily built pass-through copy program (challenge #7)
+}
+
+// Open creates a compute device over a fresh simulated ES 2.0 context.
+func Open(cfg Config) (*Device, error) {
+	sfu := shader.DefaultSFU
+	if cfg.SFUMantissaBits > 0 {
+		sfu = shader.SFUConfig{MantissaBits: cfg.SFUMantissaBits}
+	} else if cfg.SFUMantissaBits < 0 {
+		sfu = shader.ExactSFU
+	}
+	conv := gles.ConvertRound
+	if cfg.FloorConversion {
+		conv = gles.ConvertFloor
+	}
+	ctx := gles.NewContext(gles.Config{
+		Width:           4,
+		Height:          4,
+		SFU:             sfu,
+		Conv:            conv,
+		Workers:         cfg.Workers,
+		StrictAppendixA: cfg.StrictAppendixA,
+	})
+	d := &Device{ctx: ctx, gpu: vc4.DefaultModel(), cfg: cfg}
+	if d.cfg.MaxGridWidth <= 0 || d.cfg.MaxGridWidth > ctx.Caps().MaxTextureSize {
+		d.cfg.MaxGridWidth = ctx.Caps().MaxTextureSize
+	}
+	d.quadPos, d.quadUV = fullscreenQuad()
+	return d, nil
+}
+
+// fullscreenQuad builds the two-triangle screen-covering geometry
+// (challenge #2) as interleaved float32 client arrays.
+func fullscreenQuad() (pos, uv []byte) {
+	verts := []float32{
+		// x, y, u, v
+		-1, -1, 0, 0,
+		1, -1, 1, 0,
+		1, 1, 1, 1,
+		-1, -1, 0, 0,
+		1, 1, 1, 1,
+		-1, 1, 0, 1,
+	}
+	raw := f32bytes(verts)
+	return raw, raw[8:]
+}
+
+// Close releases the device. (The simulated context has no external
+// resources; Close exists for API symmetry and future backends.)
+func (d *Device) Close() error { return nil }
+
+// GL exposes the underlying ES 2.0 context for advanced use and testing.
+func (d *Device) GL() *gles.Context { return d.ctx }
+
+// GPUModel exposes the timing model.
+func (d *Device) GPUModel() *vc4.Model { return d.gpu }
+
+// Caps returns the device limits relevant to compute.
+func (d *Device) Caps() gles.Caps { return d.ctx.Caps() }
+
+// PrecisionInfo reports the shader precision formats, the query the paper
+// uses (§IV-E) to establish that GPU floats match IEEE 754 bit counts.
+func (d *Device) PrecisionInfo() (flt, intp gles.PrecisionFormat) {
+	flt = d.ctx.GetShaderPrecisionFormat(gles.FRAGMENT_SHADER, gles.HIGH_FLOAT)
+	intp = d.ctx.GetShaderPrecisionFormat(gles.FRAGMENT_SHADER, gles.HIGH_INT)
+	return
+}
+
+// ResetTimeline clears the accumulated modeled-time statistics.
+func (d *Device) ResetTimeline() {
+	d.ctx.ResetStats()
+}
+
+// Timeline returns the modeled wall-clock breakdown since the last reset.
+func (d *Device) Timeline() Timeline {
+	tr := d.ctx.Transfers()
+	draws := d.ctx.Draws()
+	upload := time.Duration(float64(tr.TexUploadBytes) / d.gpu.UploadBytesPerSec * float64(time.Second))
+	upload += time.Duration(tr.TexUploadCalls) * d.gpu.UploadCallOverhead
+	readback := time.Duration(float64(tr.ReadPixelsBytes) / d.gpu.ReadbackBytesPerSec * float64(time.Second))
+	readback += time.Duration(tr.ReadPixelsCalls) * d.gpu.ReadbackOverhead
+	return Timeline{
+		Compile:  d.gpu.CompileTime(&tr),
+		Upload:   upload,
+		Execute:  d.gpu.DrawTime(&draws),
+		Readback: readback,
+	}
+}
+
+// checkGL converts a pending GL error into a Go error.
+func (d *Device) checkGL(op string) error {
+	if e := d.ctx.GetError(); e != gles.NO_ERROR {
+		return fmt.Errorf("core: %s: GL error 0x%04x: %s", op, e, d.ctx.LastErrorDetail())
+	}
+	return nil
+}

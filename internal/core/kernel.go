@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+
+	"glescompute/internal/codec"
+	"glescompute/internal/gles"
+)
+
+// Param describes one kernel input buffer.
+type Param struct {
+	Name string
+	Type codec.ElemType
+}
+
+// OutputSpec describes one kernel output. A kernel with multiple outputs
+// is compiled into one fragment-shader pass per output (challenge #8: a
+// fragment shader has a single color output in ES 2.0).
+type OutputSpec struct {
+	Name string
+	Type codec.ElemType
+}
+
+// KernelSpec declares a compute kernel. Source is GLSL ES 1.00 code that
+// must define, for every output O, a function
+//
+//	float gc_kernel_<O>(float idx)
+//
+// (or a single `float gc_kernel(float idx)` when there is exactly one
+// output named "out"). Inside the source, each input buffer I provides:
+//
+//	float gc_<I>(float idx)          — linear-indexed element fetch
+//	float gc_<I>_at(float col, float row) — 2D element fetch
+//	uniform vec2 gc_<I>_dims         — its texture dimensions
+//
+// plus `uniform float gc_out_n` (output element count), the varying
+// `v_uv` (normalized position over the output grid) and any uniforms
+// declared in Uniforms.
+type KernelSpec struct {
+	Name     string
+	Inputs   []Param
+	Outputs  []OutputSpec
+	Uniforms []string // names of user float uniforms
+	Source   string
+}
+
+// normalized returns the spec with defaults applied.
+func (s KernelSpec) normalized() KernelSpec {
+	if len(s.Outputs) == 0 {
+		s.Outputs = []OutputSpec{{Name: "out", Type: codec.Float32}}
+	}
+	if s.Name == "" {
+		s.Name = "kernel"
+	}
+	return s
+}
+
+// kernelPass is one compiled shader pass producing one output.
+type kernelPass struct {
+	out     OutputSpec
+	prog    uint32
+	posLoc  int
+	uvLoc   int
+	samLocs []int // sampler uniform per input
+	dimLocs []int // dims uniform per input
+	outDims int
+	outN    int
+	userLoc map[string]int
+}
+
+// Kernel is a compiled compute kernel (one GL program per output pass).
+type Kernel struct {
+	dev    *Device
+	spec   KernelSpec
+	passes []kernelPass
+}
+
+// BuildKernel compiles a kernel specification into executable passes.
+func (d *Device) BuildKernel(spec KernelSpec) (*Kernel, error) {
+	spec = spec.normalized()
+	k := &Kernel{dev: d, spec: spec}
+	for _, out := range spec.Outputs {
+		fsSrc := generateFragmentShader(spec, out)
+		prog, err := d.buildProgram(passVertexShader, fsSrc)
+		if err != nil {
+			return nil, fmt.Errorf("core: kernel %q output %q: %w", spec.Name, out.Name, err)
+		}
+		ctx := d.ctx
+		pass := kernelPass{
+			out:     out,
+			prog:    prog,
+			posLoc:  ctx.GetAttribLocation(prog, "a_position"),
+			uvLoc:   ctx.GetAttribLocation(prog, "a_texcoord"),
+			outDims: ctx.GetUniformLocation(prog, "gc_out_dims"),
+			outN:    ctx.GetUniformLocation(prog, "gc_out_n"),
+			userLoc: map[string]int{},
+		}
+		for _, in := range spec.Inputs {
+			pass.samLocs = append(pass.samLocs, ctx.GetUniformLocation(prog, "gc_"+in.Name+"_tex"))
+			pass.dimLocs = append(pass.dimLocs, ctx.GetUniformLocation(prog, "gc_"+in.Name+"_dims"))
+		}
+		for _, u := range spec.Uniforms {
+			pass.userLoc[u] = ctx.GetUniformLocation(prog, u)
+		}
+		k.passes = append(k.passes, pass)
+	}
+	return k, nil
+}
+
+// passVertexShader is the pass-through vertex shader of challenge #1: the
+// mobile API forces the vertex stage to be programmed even though compute
+// needs no transformation — it only forwards the varying.
+const passVertexShader = `
+attribute vec2 a_position;
+attribute vec2 a_texcoord;
+varying vec2 v_uv;
+void main() {
+	v_uv = a_texcoord;
+	gl_Position = vec4(a_position, 0.0, 1.0);
+}
+`
+
+// buildProgram compiles and links a VS/FS pair into a GL program.
+func (d *Device) buildProgram(vsSrc, fsSrc string) (uint32, error) {
+	ctx := d.ctx
+	vs := ctx.CreateShader(gles.VERTEX_SHADER)
+	ctx.ShaderSource(vs, vsSrc)
+	ctx.CompileShader(vs)
+	if ctx.GetShaderiv(vs, gles.COMPILE_STATUS) != 1 {
+		return 0, fmt.Errorf("vertex shader: %s", ctx.GetShaderInfoLog(vs))
+	}
+	fs := ctx.CreateShader(gles.FRAGMENT_SHADER)
+	ctx.ShaderSource(fs, fsSrc)
+	ctx.CompileShader(fs)
+	if ctx.GetShaderiv(fs, gles.COMPILE_STATUS) != 1 {
+		return 0, fmt.Errorf("fragment shader: %s\n--- generated source ---\n%s", ctx.GetShaderInfoLog(fs), fsSrc)
+	}
+	prog := ctx.CreateProgram()
+	ctx.AttachShader(prog, vs)
+	ctx.AttachShader(prog, fs)
+	ctx.LinkProgram(prog)
+	if ctx.GetProgramiv(prog, gles.LINK_STATUS) != 1 {
+		return 0, fmt.Errorf("link: %s", ctx.GetProgramInfoLog(prog))
+	}
+	return prog, nil
+}
+
+// RunStats reports one kernel execution.
+type RunStats struct {
+	Draw gles.DrawStats
+}
+
+// Run executes the kernel: one draw pass per output. outs[i] receives
+// output i of the spec; ins[i] feeds input i. uniforms supplies the user
+// uniforms by name.
+func (k *Kernel) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float32) (RunStats, error) {
+	var stats RunStats
+	if len(outs) != len(k.passes) {
+		return stats, fmt.Errorf("core: kernel %q has %d outputs, got %d buffers", k.spec.Name, len(k.passes), len(outs))
+	}
+	if len(ins) != len(k.spec.Inputs) {
+		return stats, fmt.Errorf("core: kernel %q has %d inputs, got %d buffers", k.spec.Name, len(k.spec.Inputs), len(ins))
+	}
+	for i, in := range k.spec.Inputs {
+		if ins[i].elem != in.Type {
+			return stats, fmt.Errorf("core: input %q expects %s, buffer holds %s", in.Name, in.Type, ins[i].elem)
+		}
+	}
+	ctx := k.dev.ctx
+	for pi := range k.passes {
+		pass := &k.passes[pi]
+		out := outs[pi]
+		if out.elem != pass.out.Type {
+			return stats, fmt.Errorf("core: output %q expects %s, buffer holds %s", pass.out.Name, pass.out.Type, out.elem)
+		}
+		fbo, err := out.ensureFBO()
+		if err != nil {
+			return stats, err
+		}
+		ctx.BindFramebuffer(gles.FRAMEBUFFER, fbo)
+		ctx.Viewport(0, 0, out.grid.Width, out.grid.Height)
+		ctx.UseProgram(pass.prog)
+
+		// Bind inputs to texture units 0..n-1.
+		for i := range ins {
+			ctx.ActiveTexture(uint32(gles.TEXTURE0 + i))
+			ctx.BindTexture(gles.TEXTURE_2D, ins[i].tex)
+			ctx.Uniform1i(pass.samLocs[i], int32(i))
+			ctx.Uniform2f(pass.dimLocs[i], float32(ins[i].grid.Width), float32(ins[i].grid.Height))
+		}
+		ctx.Uniform2f(pass.outDims, float32(out.grid.Width), float32(out.grid.Height))
+		if pass.outN >= 0 {
+			ctx.Uniform1f(pass.outN, float32(out.n))
+		}
+		for name, loc := range pass.userLoc {
+			if loc < 0 {
+				continue
+			}
+			v, ok := uniforms[name]
+			if !ok {
+				return stats, fmt.Errorf("core: kernel %q: uniform %q not supplied", k.spec.Name, name)
+			}
+			ctx.Uniform1f(loc, v)
+		}
+
+		// Fullscreen quad from two triangles (challenge #2).
+		ctx.EnableVertexAttribArray(pass.posLoc)
+		ctx.VertexAttribPointerClient(pass.posLoc, 2, gles.FLOAT, false, 16, k.dev.quadPos)
+		if pass.uvLoc >= 0 {
+			ctx.EnableVertexAttribArray(pass.uvLoc)
+			ctx.VertexAttribPointerClient(pass.uvLoc, 2, gles.FLOAT, false, 16, k.dev.quadUV)
+		}
+		ctx.DrawArrays(gles.TRIANGLES, 0, 6)
+		if err := k.dev.checkGL("Run draw"); err != nil {
+			return stats, err
+		}
+		d := ctx.LastDraw()
+		stats.Draw.Add(&d)
+	}
+	return stats, nil
+}
+
+// Run1 is a convenience for single-output kernels.
+func (k *Kernel) Run1(out *Buffer, ins []*Buffer, uniforms map[string]float32) (RunStats, error) {
+	return k.Run([]*Buffer{out}, ins, uniforms)
+}
+
+// Copy byte-copies src into dst through a pass-through fragment shader —
+// the paper's challenge #7 "first way": when the texture to read is not
+// already the framebuffer attachment, a trivial copy pass moves it there.
+// Both buffers must have identical grids and element types.
+func (d *Device) Copy(dst, src *Buffer) error {
+	if dst.grid != src.grid {
+		return fmt.Errorf("core: Copy: grid mismatch %v vs %v", dst.grid, src.grid)
+	}
+	if dst.elem != src.elem {
+		return fmt.Errorf("core: Copy: element type mismatch %s vs %s", dst.elem, src.elem)
+	}
+	prog, err := d.copyProgram()
+	if err != nil {
+		return err
+	}
+	ctx := d.ctx
+	fbo, err := dst.ensureFBO()
+	if err != nil {
+		return err
+	}
+	ctx.BindFramebuffer(gles.FRAMEBUFFER, fbo)
+	ctx.Viewport(0, 0, dst.grid.Width, dst.grid.Height)
+	ctx.UseProgram(prog)
+	ctx.ActiveTexture(gles.TEXTURE0)
+	ctx.BindTexture(gles.TEXTURE_2D, src.tex)
+	ctx.Uniform1i(ctx.GetUniformLocation(prog, "gc_src"), 0)
+	pos := ctx.GetAttribLocation(prog, "a_position")
+	uv := ctx.GetAttribLocation(prog, "a_texcoord")
+	ctx.EnableVertexAttribArray(pos)
+	ctx.VertexAttribPointerClient(pos, 2, gles.FLOAT, false, 16, d.quadPos)
+	ctx.EnableVertexAttribArray(uv)
+	ctx.VertexAttribPointerClient(uv, 2, gles.FLOAT, false, 16, d.quadUV)
+	ctx.DrawArrays(gles.TRIANGLES, 0, 6)
+	return d.checkGL("Copy")
+}
+
+var copyFS = `
+precision highp float;
+uniform sampler2D gc_src;
+varying vec2 v_uv;
+void main() { gl_FragColor = texture2D(gc_src, v_uv); }
+`
+
+// copyProgram lazily builds the pass-through copy program.
+func (d *Device) copyProgram() (uint32, error) {
+	if d.copyProg != 0 {
+		return d.copyProg, nil
+	}
+	prog, err := d.buildProgram(passVertexShader, copyFS)
+	if err != nil {
+		return 0, err
+	}
+	d.copyProg = prog
+	return prog, nil
+}

@@ -1,0 +1,113 @@
+package gles
+
+// Buffer is a buffer object (vertex or index data).
+type Buffer struct {
+	id    uint32
+	data  []byte
+	usage uint32
+}
+
+// GenBuffers mirrors glGenBuffers.
+func (c *Context) GenBuffers(n int) []uint32 {
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = c.nextBufferID
+		c.nextBufferID++
+		c.buffers[ids[i]] = &Buffer{id: ids[i]}
+	}
+	return ids
+}
+
+// CreateBuffer is a convenience for GenBuffers(1)[0].
+func (c *Context) CreateBuffer() uint32 { return c.GenBuffers(1)[0] }
+
+// DeleteBuffer mirrors glDeleteBuffers for one name.
+func (c *Context) DeleteBuffer(id uint32) {
+	if id == 0 {
+		return
+	}
+	delete(c.buffers, id)
+	if c.arrayBuffer == id {
+		c.arrayBuffer = 0
+	}
+	if c.elementBuf == id {
+		c.elementBuf = 0
+	}
+}
+
+// IsBuffer mirrors glIsBuffer.
+func (c *Context) IsBuffer(id uint32) bool {
+	_, ok := c.buffers[id]
+	return ok
+}
+
+// BindBuffer mirrors glBindBuffer.
+func (c *Context) BindBuffer(target, id uint32) {
+	if id != 0 {
+		if _, ok := c.buffers[id]; !ok {
+			c.buffers[id] = &Buffer{id: id}
+		}
+	}
+	switch target {
+	case ARRAY_BUFFER:
+		c.arrayBuffer = id
+	case ELEMENT_ARRAY_BUFFER:
+		c.elementBuf = id
+	default:
+		c.setErr(INVALID_ENUM, "BindBuffer: bad target 0x%04x", target)
+	}
+}
+
+func (c *Context) boundBuffer(target uint32) *Buffer {
+	switch target {
+	case ARRAY_BUFFER:
+		return c.buffers[c.arrayBuffer]
+	case ELEMENT_ARRAY_BUFFER:
+		return c.buffers[c.elementBuf]
+	}
+	return nil
+}
+
+// BufferData mirrors glBufferData. data may be nil to allocate size bytes.
+func (c *Context) BufferData(target uint32, size int, data []byte, usage uint32) {
+	b := c.boundBuffer(target)
+	if b == nil {
+		c.setErr(INVALID_OPERATION, "BufferData: no buffer bound to target 0x%04x", target)
+		return
+	}
+	switch usage {
+	case STREAM_DRAW, STATIC_DRAW, DYNAMIC_DRAW:
+	default:
+		c.setErr(INVALID_ENUM, "BufferData: bad usage 0x%04x", usage)
+		return
+	}
+	if size < 0 {
+		c.setErr(INVALID_VALUE, "BufferData: negative size")
+		return
+	}
+	if data != nil && len(data) < size {
+		c.setErr(INVALID_OPERATION, "BufferData: data shorter than size")
+		return
+	}
+	b.data = make([]byte, size)
+	b.usage = usage
+	if data != nil {
+		copy(b.data, data[:size])
+		c.transfers.BufferDataBytes += uint64(size)
+	}
+}
+
+// BufferSubData mirrors glBufferSubData.
+func (c *Context) BufferSubData(target uint32, offset int, data []byte) {
+	b := c.boundBuffer(target)
+	if b == nil {
+		c.setErr(INVALID_OPERATION, "BufferSubData: no buffer bound")
+		return
+	}
+	if offset < 0 || offset+len(data) > len(b.data) {
+		c.setErr(INVALID_VALUE, "BufferSubData: range out of bounds")
+		return
+	}
+	copy(b.data[offset:], data)
+	c.transfers.BufferDataBytes += uint64(len(data))
+}

@@ -1,0 +1,496 @@
+package gles
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"glescompute/internal/glsl"
+	"glescompute/internal/raster"
+	"glescompute/internal/shader"
+)
+
+// DrawArrays mirrors glDrawArrays. Supported modes: TRIANGLES,
+// TRIANGLE_STRIP, TRIANGLE_FAN, POINTS. ES 2.0 has no quads — the paper's
+// challenge #2 — so GPGPU full-screen geometry arrives as two triangles.
+func (c *Context) DrawArrays(mode uint32, first, count int) {
+	if first < 0 || count < 0 {
+		c.setErr(INVALID_VALUE, "DrawArrays: negative first/count")
+		return
+	}
+	indices := make([]int, count)
+	for i := range indices {
+		indices[i] = first + i
+	}
+	c.draw(mode, indices)
+}
+
+// DrawElements mirrors glDrawElements reading indices from the bound
+// ELEMENT_ARRAY_BUFFER at the given byte offset.
+func (c *Context) DrawElements(mode uint32, count int, typ uint32, offset int) {
+	buf := c.boundBuffer(ELEMENT_ARRAY_BUFFER)
+	if buf == nil {
+		c.setErr(INVALID_OPERATION, "DrawElements: no ELEMENT_ARRAY_BUFFER bound")
+		return
+	}
+	indices, ok := decodeIndices(buf.data, offset, count, typ)
+	if !ok {
+		c.setErr(INVALID_OPERATION, "DrawElements: index range out of bounds")
+		return
+	}
+	c.draw(mode, indices)
+}
+
+// DrawElementsClient is the client-memory variant of glDrawElements.
+func (c *Context) DrawElementsClient(mode uint32, typ uint32, data []byte) {
+	count := 0
+	switch typ {
+	case UNSIGNED_BYTE:
+		count = len(data)
+	case UNSIGNED_SHORT:
+		count = len(data) / 2
+	default:
+		c.setErr(INVALID_ENUM, "DrawElements: bad index type 0x%04x", typ)
+		return
+	}
+	indices, _ := decodeIndices(data, 0, count, typ)
+	c.draw(mode, indices)
+}
+
+func decodeIndices(data []byte, offset, count int, typ uint32) ([]int, bool) {
+	out := make([]int, count)
+	switch typ {
+	case UNSIGNED_BYTE:
+		if offset+count > len(data) {
+			return nil, false
+		}
+		for i := 0; i < count; i++ {
+			out[i] = int(data[offset+i])
+		}
+	case UNSIGNED_SHORT:
+		if offset+count*2 > len(data) {
+			return nil, false
+		}
+		for i := 0; i < count; i++ {
+			out[i] = int(binary.LittleEndian.Uint16(data[offset+i*2:]))
+		}
+	default:
+		return nil, false
+	}
+	return out, true
+}
+
+// draw runs the full pipeline for the given vertex indices.
+func (c *Context) draw(mode uint32, indices []int) {
+	switch mode {
+	case TRIANGLES, TRIANGLE_STRIP, TRIANGLE_FAN, POINTS:
+	case LINES, LINE_STRIP, LINE_LOOP:
+		c.setErr(INVALID_OPERATION, "draw: line primitives are not implemented by this simulator (GPGPU never uses them); use triangles")
+		return
+	default:
+		c.setErr(INVALID_ENUM, "draw: bad mode 0x%04x", mode)
+		return
+	}
+	p := c.programs[c.current]
+	if p == nil || !p.linked {
+		c.setErr(INVALID_OPERATION, "draw: no linked program in use")
+		return
+	}
+	fb := c.currentFB()
+	if !fb.isDefault {
+		if status := c.CheckFramebufferStatus(FRAMEBUFFER); status != FRAMEBUFFER_COMPLETE {
+			c.setErr(INVALID_FRAMEBUFFER_OPERATION, "draw: framebuffer incomplete (0x%04x)", status)
+			return
+		}
+	}
+	colorData, fbW, fbH, ok := c.colorTarget(fb)
+	if !ok {
+		c.setErr(INVALID_FRAMEBUFFER_OPERATION, "draw: no color target")
+		return
+	}
+	// Rendering into a texture that is simultaneously sampled is undefined
+	// in GL; it is allowed here (and produces coherent-but-unspecified
+	// ordering on real hardware). The paper's runtime never does it.
+
+	stats := DrawStats{DrawCalls: 1}
+
+	// ---- Vertex stage ----
+	vex := shader.NewExec(p.vsProg, c, c.cfg.SFU)
+	c.pushUniforms(p, vex, p.vsProg)
+	if err := vex.InitGlobals(); err != nil {
+		c.setErr(INVALID_OPERATION, "draw: vertex shader init failed: %v", err)
+		return
+	}
+	shaded := make([]raster.ShadedVertex, len(indices))
+	pointSizes := make([]float32, len(indices))
+	for i, vi := range indices {
+		for _, a := range p.vsProg.Attributes {
+			loc := p.attribLocs[a.Name]
+			span := attribSpan(a.DeclType)
+			val := shader.Zero(a.DeclType)
+			if span == 1 {
+				v4, _ := c.fetchAttrib(loc, vi)
+				writeAttrib(&val, a.DeclType, v4)
+			} else {
+				dim := a.DeclType.MatrixDim()
+				for col := 0; col < dim; col++ {
+					v4, _ := c.fetchAttrib(loc+col, vi)
+					for row := 0; row < dim; row++ {
+						val.F[col*dim+row] = v4[row]
+					}
+				}
+			}
+			vex.SetGlobal(a, val)
+		}
+		if _, err := vex.Run(); err != nil {
+			c.setErr(INVALID_OPERATION, "draw: vertex shader failed: %v", err)
+			return
+		}
+		pos := vex.Builtins[glsl.BVSlotPosition]
+		sv := raster.ShadedVertex{
+			Pos:      [4]float32{pos.F[0], pos.F[1], pos.F[2], pos.F[3]},
+			Varyings: make([]float32, p.varyComps),
+		}
+		for _, link := range p.varyings {
+			flattenValue(sv.Varyings[link.offset:link.offset+link.comps], vex.Globals[link.vsDecl.Slot])
+		}
+		shaded[i] = sv
+		pointSizes[i] = vex.Builtins[glsl.BVSlotPointSize].F[0]
+	}
+	stats.VertexInvocations = uint64(len(indices))
+	stats.VertexStats = vex.Stats
+
+	// ---- Primitive assembly ----
+	var tris [][3]raster.ShadedVertex
+	var pts []raster.ShadedVertex
+	switch mode {
+	case TRIANGLES:
+		for i := 0; i+2 < len(shaded); i += 3 {
+			tris = append(tris, [3]raster.ShadedVertex{shaded[i], shaded[i+1], shaded[i+2]})
+		}
+	case TRIANGLE_STRIP:
+		for i := 0; i+2 < len(shaded); i++ {
+			if i%2 == 0 {
+				tris = append(tris, [3]raster.ShadedVertex{shaded[i], shaded[i+1], shaded[i+2]})
+			} else {
+				tris = append(tris, [3]raster.ShadedVertex{shaded[i+1], shaded[i], shaded[i+2]})
+			}
+		}
+	case TRIANGLE_FAN:
+		for i := 1; i+1 < len(shaded); i++ {
+			tris = append(tris, [3]raster.ShadedVertex{shaded[0], shaded[i], shaded[i+1]})
+		}
+	case POINTS:
+		pts = shaded
+	}
+
+	frontCCW := c.frontFace == CCW
+
+	// ---- Fragment stage, parallel over row bands ----
+	vp := raster.Viewport{X: c.viewport[0], Y: c.viewport[1], W: c.viewport[2], H: c.viewport[3]}
+	depthData := c.depthTarget(fb)
+
+	bandRows := (fbH + c.workers - 1) / c.workers
+	if bandRows < 1 {
+		bandRows = 1
+	}
+	nBands := (fbH + bandRows - 1) / bandRows
+
+	var wg sync.WaitGroup
+	workerStats := make([]DrawStats, nBands)
+	workerErrs := make([]error, nBands)
+
+	for band := 0; band < nBands; band++ {
+		wg.Add(1)
+		go func(band int) {
+			defer wg.Done()
+			y0 := band * bandRows
+			y1 := minInt(y0+bandRows, fbH)
+			fex := shader.NewExec(p.fsProg, c, c.cfg.SFU)
+			c.pushUniforms(p, fex, p.fsProg)
+			if err := fex.InitGlobals(); err != nil {
+				workerErrs[band] = err
+				return
+			}
+			ws := &workerStats[band]
+			rz := raster.NewRasterizer(vp, p.varyComps)
+			rz.SetDepthRange(c.depthRange[0], c.depthRange[1])
+			rz.SetRowBand(y0, y1)
+
+			emit := func(fr *raster.Fragment) {
+				if workerErrs[band] != nil {
+					return
+				}
+				c.shadeFragment(p, fex, fr, fb, colorData, depthData, fbW, fbH, ws, &workerErrs[band])
+			}
+			for _, t := range tris {
+				if c.cullOn {
+					if skip := c.cullTriangle(t, frontCCW); skip {
+						continue
+					}
+				}
+				rz.Triangle(t[0], t[1], t[2], frontCCW, emit)
+			}
+			for pi, pt := range pts {
+				rz.Point(pt, pointSizes[pi], func(fr *raster.Fragment, pcx, pcy float32) {
+					fex.Builtins[glsl.BVSlotPointCoord] = shader.Vec2Val(pcx, pcy)
+					emit(fr)
+				})
+			}
+			ws.FragmentStats.AddStats(&fex.Stats)
+		}(band)
+	}
+	wg.Wait()
+
+	for band := 0; band < nBands; band++ {
+		if workerErrs[band] != nil {
+			c.setErr(INVALID_OPERATION, "draw: fragment shader failed: %v", workerErrs[band])
+			return
+		}
+		stats.Add(&workerStats[band])
+	}
+	stats.FragmentStats.Invocations = stats.FragmentsShaded
+	c.lastDraw = stats
+	c.draws.Add(&stats)
+}
+
+// cullTriangle decides whether face culling rejects the triangle.
+func (c *Context) cullTriangle(t [3]raster.ShadedVertex, frontCCW bool) bool {
+	if c.cullMode == FRONT_AND_BACK {
+		return true
+	}
+	// Signed area in NDC (w>0 assumed; matches rasterizer orientation).
+	sgn := func(v raster.ShadedVertex) (x, y float64) {
+		w := float64(v.Pos[3])
+		if w == 0 {
+			w = 1
+		}
+		return float64(v.Pos[0]) / w, float64(v.Pos[1]) / w
+	}
+	x0, y0 := sgn(t[0])
+	x1, y1 := sgn(t[1])
+	x2, y2 := sgn(t[2])
+	area := (x1-x0)*(y2-y0) - (y1-y0)*(x2-x0)
+	if area == 0 {
+		return true
+	}
+	front := (area > 0) == frontCCW
+	if front && c.cullMode == FRONT {
+		return true
+	}
+	if !front && c.cullMode == BACK {
+		return true
+	}
+	return false
+}
+
+// shadeFragment runs the fragment shader and the per-fragment pipeline
+// (scissor → shader → depth → blend → mask → write).
+func (c *Context) shadeFragment(p *Program, fex *shader.Exec, fr *raster.Fragment,
+	fb *Framebuffer, colorData []byte, depthData []float32, fbW, fbH int,
+	ws *DrawStats, werr *error) {
+
+	if fr.X < 0 || fr.X >= fbW || fr.Y < 0 || fr.Y >= fbH {
+		return
+	}
+	if c.scissorOn {
+		if fr.X < c.scissor[0] || fr.X >= c.scissor[0]+c.scissor[2] ||
+			fr.Y < c.scissor[1] || fr.Y >= c.scissor[1]+c.scissor[3] {
+			return
+		}
+	}
+	// Early depth is illegal when shaders can discard; run shader first.
+	fex.Builtins[glsl.BVSlotFragCoord] = shader.Vec4Val(
+		fr.FragCoord[0], fr.FragCoord[1], fr.FragCoord[2], fr.FragCoord[3])
+	fex.Builtins[glsl.BVSlotFrontFacing] = shader.BoolVal(fr.FrontFacing)
+	for _, link := range p.varyings {
+		v := shader.Zero(link.fsDecl.DeclType)
+		unflattenValue(&v, fr.Varyings[link.offset:link.offset+link.comps])
+		fex.Globals[link.fsDecl.Slot] = v
+	}
+	// Reset the color output (GL leaves it undefined; zero is deterministic).
+	fex.Builtins[glsl.BVSlotFragColor] = shader.Zero(glsl.TypeVec4)
+	fex.Builtins[glsl.BVSlotFragData] = shader.Zero(glsl.ArrayOf(glsl.TypeVec4, glsl.MaxDrawBuffers))
+
+	discarded, err := fex.Run()
+	if err != nil {
+		*werr = err
+		return
+	}
+	ws.FragmentsShaded++
+	if discarded {
+		ws.FragmentsDiscarded++
+		return
+	}
+
+	// Depth test.
+	if c.depthTestOn && depthData != nil {
+		di := fr.Y*fbW + fr.X
+		if !depthPass(c.depthFunc, fr.FragCoord[2], depthData[di]) {
+			return
+		}
+		if c.depthMask {
+			depthData[di] = fr.FragCoord[2]
+		}
+	}
+
+	// Output color: gl_FragColor, or gl_FragData[0] if written.
+	out := fex.Builtins[glsl.BVSlotFragColor]
+	fd := fex.Builtins[glsl.BVSlotFragData]
+	if len(fd.Agg) > 0 && anyNonZero(fd.Agg[0]) {
+		out = fd.Agg[0]
+	}
+	r, g, b, a := out.F[0], out.F[1], out.F[2], out.F[3]
+
+	o := (fr.Y*fbW + fr.X) * 4
+	if c.blendOn {
+		dr := float32(colorData[o+0]) / 255
+		dg := float32(colorData[o+1]) / 255
+		db := float32(colorData[o+2]) / 255
+		da := float32(colorData[o+3]) / 255
+		r, g, b, a = c.blend(r, g, b, a, dr, dg, db, da)
+	}
+	px := [4]byte{
+		c.convertChannel(r), c.convertChannel(g),
+		c.convertChannel(b), c.convertChannel(a),
+	}
+	for ch := 0; ch < 4; ch++ {
+		if c.colorMask[ch] {
+			colorData[o+ch] = px[ch]
+		}
+	}
+	ws.PixelsWritten++
+}
+
+func anyNonZero(v shader.Value) bool {
+	for i := 0; i < 4; i++ {
+		if v.F[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func depthPass(fn uint32, frag, stored float32) bool {
+	switch fn {
+	case NEVER:
+		return false
+	case LESS:
+		return frag < stored
+	case EQUAL:
+		return frag == stored
+	case LEQUAL:
+		return frag <= stored
+	case GREATER:
+		return frag > stored
+	case NOTEQUAL:
+		return frag != stored
+	case GEQUAL:
+		return frag >= stored
+	default:
+		return true
+	}
+}
+
+// blend applies the configured blend function/equation in fp32 and returns
+// the blended source color.
+func (c *Context) blend(sr, sg, sb, sa, dr, dg, db, da float32) (r, g, b, a float32) {
+	factor := func(f uint32, isSrc bool) [4]float32 {
+		switch f {
+		case ZERO:
+			return [4]float32{0, 0, 0, 0}
+		case ONE:
+			return [4]float32{1, 1, 1, 1}
+		case SRC_COLOR:
+			return [4]float32{sr, sg, sb, sa}
+		case ONE_MINUS_SRC_COLOR:
+			return [4]float32{1 - sr, 1 - sg, 1 - sb, 1 - sa}
+		case SRC_ALPHA:
+			return [4]float32{sa, sa, sa, sa}
+		case ONE_MINUS_SRC_ALPHA:
+			return [4]float32{1 - sa, 1 - sa, 1 - sa, 1 - sa}
+		case DST_ALPHA:
+			return [4]float32{da, da, da, da}
+		case ONE_MINUS_DST_ALPHA:
+			return [4]float32{1 - da, 1 - da, 1 - da, 1 - da}
+		case DST_COLOR:
+			return [4]float32{dr, dg, db, da}
+		case ONE_MINUS_DST_COLOR:
+			return [4]float32{1 - dr, 1 - dg, 1 - db, 1 - da}
+		}
+		return [4]float32{1, 1, 1, 1}
+	}
+	fs := factor(c.blendSrc, true)
+	fd := factor(c.blendDst, false)
+	src := [4]float32{sr, sg, sb, sa}
+	dst := [4]float32{dr, dg, db, da}
+	var out [4]float32
+	for i := 0; i < 4; i++ {
+		switch c.blendEq {
+		case FUNC_SUBTRACT:
+			out[i] = src[i]*fs[i] - dst[i]*fd[i]
+		case FUNC_REVERSE_SUBTRACT:
+			out[i] = dst[i]*fd[i] - src[i]*fs[i]
+		default:
+			out[i] = src[i]*fs[i] + dst[i]*fd[i]
+		}
+	}
+	return out[0], out[1], out[2], out[3]
+}
+
+// pushUniforms copies program uniform values into an executor.
+func (c *Context) pushUniforms(p *Program, ex *shader.Exec, prog *glsl.Program) {
+	for _, u := range prog.Uniforms {
+		if v, ok := p.uniformVals[u.Name]; ok {
+			ex.SetGlobal(u, v.Copy())
+		}
+	}
+}
+
+// writeAttrib stores a fetched vec4 into an attribute value of the declared
+// type (float/vec2..4).
+func writeAttrib(dst *shader.Value, t *glsl.Type, v4 [4]float32) {
+	n := t.ComponentCount()
+	for i := 0; i < n && i < 4; i++ {
+		dst.F[i] = v4[i]
+	}
+}
+
+// flattenValue writes a value's components into out in declaration order.
+func flattenValue(out []float32, v shader.Value) {
+	if len(v.Agg) > 0 {
+		off := 0
+		for _, el := range v.Agg {
+			n := flatLen(el)
+			flattenValue(out[off:off+n], el)
+			off += n
+		}
+		return
+	}
+	n := v.NumComps()
+	copy(out, v.F[:n])
+}
+
+func flatLen(v shader.Value) int {
+	if len(v.Agg) > 0 {
+		n := 0
+		for _, el := range v.Agg {
+			n += flatLen(el)
+		}
+		return n
+	}
+	return v.NumComps()
+}
+
+// unflattenValue fills a zeroed value from flattened components.
+func unflattenValue(v *shader.Value, in []float32) {
+	if len(v.Agg) > 0 {
+		off := 0
+		for i := range v.Agg {
+			n := flatLen(v.Agg[i])
+			unflattenValue(&v.Agg[i], in[off:off+n])
+			off += n
+		}
+		return
+	}
+	copy(v.F[:v.NumComps()], in)
+}

@@ -1,0 +1,206 @@
+// Package gles implements a software OpenGL ES 2.0 context: the complete
+// client-visible state machine (shaders, programs, textures, buffers,
+// framebuffer objects, vertex attributes, draw calls, pixel readback) with
+// the ES-2.0-specific restrictions the paper is about enforced faithfully —
+// RGBA8-only texture data, no floating point framebuffers, triangles-only
+// complex geometry, a single fragment output, normalized texture
+// coordinates, and no direct texture readback.
+package gles
+
+// GL enum values follow the Khronos gl2.h numbering so that traces and
+// tests read like real GL code.
+const (
+	// Error codes.
+	NO_ERROR                      = 0
+	INVALID_ENUM                  = 0x0500
+	INVALID_VALUE                 = 0x0501
+	INVALID_OPERATION             = 0x0502
+	OUT_OF_MEMORY                 = 0x0505
+	INVALID_FRAMEBUFFER_OPERATION = 0x0506
+
+	// Primitive types.
+	POINTS         = 0x0000
+	LINES          = 0x0001
+	LINE_LOOP      = 0x0002
+	LINE_STRIP     = 0x0003
+	TRIANGLES      = 0x0004
+	TRIANGLE_STRIP = 0x0005
+	TRIANGLE_FAN   = 0x0006
+
+	// Buffer targets and usage.
+	ARRAY_BUFFER         = 0x8892
+	ELEMENT_ARRAY_BUFFER = 0x8893
+	STREAM_DRAW          = 0x88E0
+	STATIC_DRAW          = 0x88E4
+	DYNAMIC_DRAW         = 0x88E8
+
+	// Data types.
+	BYTE           = 0x1400
+	UNSIGNED_BYTE  = 0x1401
+	SHORT          = 0x1402
+	UNSIGNED_SHORT = 0x1403
+	INT            = 0x1404
+	UNSIGNED_INT   = 0x1405
+	FLOAT          = 0x1406
+	FIXED          = 0x140C
+
+	// Pixel formats. ES 2.0 core: no float formats whatsoever (the
+	// paper's challenges #5/#6).
+	ALPHA           = 0x1906
+	RGB             = 0x1907
+	RGBA            = 0x1908
+	LUMINANCE       = 0x1909
+	LUMINANCE_ALPHA = 0x190A
+
+	UNSIGNED_SHORT_4_4_4_4 = 0x8033
+	UNSIGNED_SHORT_5_5_5_1 = 0x8034
+	UNSIGNED_SHORT_5_6_5   = 0x8363
+
+	// Shader types and parameters.
+	FRAGMENT_SHADER                  = 0x8B30
+	VERTEX_SHADER                    = 0x8B31
+	COMPILE_STATUS                   = 0x8B81
+	LINK_STATUS                      = 0x8B82
+	VALIDATE_STATUS                  = 0x8B83
+	INFO_LOG_LENGTH                  = 0x8B84
+	SHADER_SOURCE_LENGTH             = 0x8B88
+	SHADER_TYPE                      = 0x8B4F
+	DELETE_STATUS                    = 0x8B80
+	ACTIVE_UNIFORMS                  = 0x8B86
+	ACTIVE_ATTRIBUTES                = 0x8B89
+	ATTACHED_SHADERS                 = 0x8B85
+	CURRENT_PROGRAM                  = 0x8B8D
+	MAX_VERTEX_ATTRIBS               = 0x8869
+	MAX_VERTEX_UNIFORM_VECTORS       = 0x8DFB
+	MAX_VARYING_VECTORS              = 0x8DFC
+	MAX_FRAGMENT_UNIFORM_VECTORS     = 0x8DFD
+	MAX_VERTEX_TEXTURE_IMAGE_UNITS   = 0x8B4C
+	MAX_COMBINED_TEXTURE_IMAGE_UNITS = 0x8B4D
+	MAX_TEXTURE_IMAGE_UNITS          = 0x8872
+	MAX_TEXTURE_SIZE                 = 0x0D33
+	MAX_RENDERBUFFER_SIZE            = 0x84E8
+	MAX_VIEWPORT_DIMS                = 0x0D3A
+
+	// Shader precision formats (paper §IV-E).
+	LOW_FLOAT    = 0x8DF0
+	MEDIUM_FLOAT = 0x8DF1
+	HIGH_FLOAT   = 0x8DF2
+	LOW_INT      = 0x8DF3
+	MEDIUM_INT   = 0x8DF4
+	HIGH_INT     = 0x8DF5
+
+	// Textures.
+	TEXTURE_2D                  = 0x0DE1
+	TEXTURE_CUBE_MAP            = 0x8513
+	TEXTURE_CUBE_MAP_POSITIVE_X = 0x8515
+	TEXTURE0                    = 0x84C0
+	TEXTURE_MAG_FILTER          = 0x2800
+	TEXTURE_MIN_FILTER          = 0x2801
+	TEXTURE_WRAP_S              = 0x2802
+	TEXTURE_WRAP_T              = 0x2803
+	NEAREST                     = 0x2600
+	LINEAR                      = 0x2601
+	NEAREST_MIPMAP_NEAREST      = 0x2700
+	LINEAR_MIPMAP_NEAREST       = 0x2701
+	NEAREST_MIPMAP_LINEAR       = 0x2702
+	LINEAR_MIPMAP_LINEAR        = 0x2703
+	REPEAT                      = 0x2901
+	CLAMP_TO_EDGE               = 0x812F
+	MIRRORED_REPEAT             = 0x8370
+
+	// Framebuffers and renderbuffers.
+	FRAMEBUFFER                               = 0x8D40
+	RENDERBUFFER                              = 0x8D41
+	COLOR_ATTACHMENT0                         = 0x8CE0
+	DEPTH_ATTACHMENT                          = 0x8D00
+	STENCIL_ATTACHMENT                        = 0x8D20
+	FRAMEBUFFER_COMPLETE                      = 0x8CD5
+	FRAMEBUFFER_INCOMPLETE_ATTACHMENT         = 0x8CD6
+	FRAMEBUFFER_INCOMPLETE_MISSING_ATTACHMENT = 0x8CD7
+	FRAMEBUFFER_INCOMPLETE_DIMENSIONS         = 0x8CD9
+	FRAMEBUFFER_UNSUPPORTED                   = 0x8CDD
+	FRAMEBUFFER_ATTACHMENT_OBJECT_TYPE        = 0x8CD0
+	DEPTH_COMPONENT16                         = 0x81A5
+	RGBA4                                     = 0x8056
+	RGB5_A1                                   = 0x8057
+	RGB565                                    = 0x8D62
+	STENCIL_INDEX8                            = 0x8D48
+	IMPLEMENTATION_COLOR_READ_TYPE            = 0x8B9A
+	IMPLEMENTATION_COLOR_READ_FORMAT          = 0x8B9B
+
+	// Clear masks.
+	DEPTH_BUFFER_BIT   = 0x00000100
+	STENCIL_BUFFER_BIT = 0x00000400
+	COLOR_BUFFER_BIT   = 0x00004000
+
+	// Capabilities.
+	CULL_FACE                = 0x0B44
+	BLEND                    = 0x0BE2
+	DITHER                   = 0x0BD0
+	STENCIL_TEST             = 0x0B90
+	DEPTH_TEST               = 0x0B71
+	SCISSOR_TEST             = 0x0C11
+	POLYGON_OFFSET_FILL      = 0x8037
+	SAMPLE_ALPHA_TO_COVERAGE = 0x809E
+	SAMPLE_COVERAGE          = 0x80A0
+
+	// Face culling and winding.
+	FRONT          = 0x0404
+	BACK           = 0x0405
+	FRONT_AND_BACK = 0x0408
+	CW             = 0x0900
+	CCW            = 0x0901
+
+	// Depth functions.
+	NEVER    = 0x0200
+	LESS     = 0x0201
+	EQUAL    = 0x0202
+	LEQUAL   = 0x0203
+	GREATER  = 0x0204
+	NOTEQUAL = 0x0205
+	GEQUAL   = 0x0206
+	ALWAYS   = 0x0207
+
+	// Blend factors and equations.
+	ZERO                  = 0
+	ONE                   = 1
+	SRC_COLOR             = 0x0300
+	ONE_MINUS_SRC_COLOR   = 0x0301
+	SRC_ALPHA             = 0x0302
+	ONE_MINUS_SRC_ALPHA   = 0x0303
+	DST_ALPHA             = 0x0304
+	ONE_MINUS_DST_ALPHA   = 0x0305
+	DST_COLOR             = 0x0306
+	ONE_MINUS_DST_COLOR   = 0x0307
+	FUNC_ADD              = 0x8006
+	FUNC_SUBTRACT         = 0x800A
+	FUNC_REVERSE_SUBTRACT = 0x800B
+
+	// Strings.
+	VENDOR                   = 0x1F00
+	RENDERER                 = 0x1F01
+	VERSION                  = 0x1F02
+	EXTENSIONS               = 0x1F03
+	SHADING_LANGUAGE_VERSION = 0x8B8C
+
+	// Pixel store.
+	UNPACK_ALIGNMENT = 0x0CF5
+	PACK_ALIGNMENT   = 0x0D05
+
+	// Uniform/attribute types reported by GetActiveUniform/Attrib.
+	FLOAT_VEC2   = 0x8B50
+	FLOAT_VEC3   = 0x8B51
+	FLOAT_VEC4   = 0x8B52
+	INT_VEC2     = 0x8B53
+	INT_VEC3     = 0x8B54
+	INT_VEC4     = 0x8B55
+	BOOL         = 0x8B56
+	BOOL_VEC2    = 0x8B57
+	BOOL_VEC3    = 0x8B58
+	BOOL_VEC4    = 0x8B59
+	FLOAT_MAT2   = 0x8B5A
+	FLOAT_MAT3   = 0x8B5B
+	FLOAT_MAT4   = 0x8B5C
+	SAMPLER_2D   = 0x8B5E
+	SAMPLER_CUBE = 0x8B60
+)

@@ -1,0 +1,403 @@
+package gles
+
+// Renderbuffer is a renderbuffer object (depth storage; color renderbuffers
+// are accepted but behave like RGBA8 textures without sampling).
+type Renderbuffer struct {
+	id             uint32
+	internalFormat uint32
+	width, height  int
+	depth          []float32
+	color          []byte
+}
+
+// Framebuffer is a framebuffer object, or the default window surface.
+type Framebuffer struct {
+	id        uint32
+	isDefault bool
+
+	// Color attachment: texture (with level) or renderbuffer.
+	colorTex   uint32
+	colorLevel int
+	colorRB    uint32
+	// Depth attachment.
+	depthRB uint32
+
+	// Default-framebuffer storage.
+	width, height int
+	color         []byte
+	depth         []float32
+}
+
+// GenFramebuffers mirrors glGenFramebuffers.
+func (c *Context) GenFramebuffers(n int) []uint32 {
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = c.nextFBID
+		c.nextFBID++
+		c.framebuffers[ids[i]] = &Framebuffer{id: ids[i]}
+	}
+	return ids
+}
+
+// CreateFramebuffer is a convenience for GenFramebuffers(1)[0].
+func (c *Context) CreateFramebuffer() uint32 { return c.GenFramebuffers(1)[0] }
+
+// DeleteFramebuffer mirrors glDeleteFramebuffers for one name.
+func (c *Context) DeleteFramebuffer(id uint32) {
+	if id == 0 {
+		return
+	}
+	delete(c.framebuffers, id)
+	if c.boundFB == id {
+		c.boundFB = 0
+	}
+}
+
+// BindFramebuffer mirrors glBindFramebuffer; 0 binds the default surface.
+func (c *Context) BindFramebuffer(target, id uint32) {
+	if target != FRAMEBUFFER {
+		c.setErr(INVALID_ENUM, "BindFramebuffer: bad target 0x%04x", target)
+		return
+	}
+	if id != 0 {
+		if _, ok := c.framebuffers[id]; !ok {
+			c.framebuffers[id] = &Framebuffer{id: id}
+		}
+	}
+	c.boundFB = id
+}
+
+// currentFB returns the draw/read framebuffer.
+func (c *Context) currentFB() *Framebuffer {
+	if c.boundFB == 0 {
+		return c.defaultFB
+	}
+	return c.framebuffers[c.boundFB]
+}
+
+// FramebufferTexture2D mirrors glFramebufferTexture2D: this is the "render
+// to texture" mechanism the paper relies on for kernel chaining
+// (challenge #7).
+func (c *Context) FramebufferTexture2D(target, attachment, textarget, texture uint32, level int) {
+	if target != FRAMEBUFFER {
+		c.setErr(INVALID_ENUM, "FramebufferTexture2D: bad target")
+		return
+	}
+	fb := c.currentFB()
+	if fb.isDefault {
+		c.setErr(INVALID_OPERATION, "FramebufferTexture2D: cannot attach to the default framebuffer")
+		return
+	}
+	if texture != 0 {
+		t := c.textures[texture]
+		if t == nil {
+			c.setErr(INVALID_OPERATION, "FramebufferTexture2D: no texture %d", texture)
+			return
+		}
+		if textarget != TEXTURE_2D {
+			c.setErr(INVALID_ENUM, "FramebufferTexture2D: only TEXTURE_2D attachments supported")
+			return
+		}
+		if level != 0 {
+			c.setErr(INVALID_VALUE, "FramebufferTexture2D: level must be 0 in ES 2.0")
+			return
+		}
+	}
+	switch attachment {
+	case COLOR_ATTACHMENT0:
+		fb.colorTex = texture
+		fb.colorLevel = level
+		fb.colorRB = 0
+	case DEPTH_ATTACHMENT, STENCIL_ATTACHMENT:
+		c.setErr(INVALID_OPERATION, "FramebufferTexture2D: depth/stencil texture attachments are not supported in core ES 2.0")
+	default:
+		c.setErr(INVALID_ENUM, "FramebufferTexture2D: bad attachment 0x%04x", attachment)
+	}
+}
+
+// GenRenderbuffers mirrors glGenRenderbuffers.
+func (c *Context) GenRenderbuffers(n int) []uint32 {
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = c.nextRBID
+		c.nextRBID++
+		c.renderbuffers[ids[i]] = &Renderbuffer{id: ids[i]}
+	}
+	return ids
+}
+
+// BindRenderbuffer mirrors glBindRenderbuffer.
+func (c *Context) BindRenderbuffer(target, id uint32) {
+	if target != RENDERBUFFER {
+		c.setErr(INVALID_ENUM, "BindRenderbuffer: bad target")
+		return
+	}
+	if id != 0 {
+		if _, ok := c.renderbuffers[id]; !ok {
+			c.renderbuffers[id] = &Renderbuffer{id: id}
+		}
+	}
+	c.boundRB = id
+}
+
+// RenderbufferStorage mirrors glRenderbufferStorage.
+func (c *Context) RenderbufferStorage(target, internalFormat uint32, width, height int) {
+	if target != RENDERBUFFER {
+		c.setErr(INVALID_ENUM, "RenderbufferStorage: bad target")
+		return
+	}
+	rb := c.renderbuffers[c.boundRB]
+	if rb == nil {
+		c.setErr(INVALID_OPERATION, "RenderbufferStorage: no renderbuffer bound")
+		return
+	}
+	if width < 0 || height < 0 || width > c.caps.MaxRenderbufferSize || height > c.caps.MaxRenderbufferSize {
+		c.setErr(INVALID_VALUE, "RenderbufferStorage: bad size")
+		return
+	}
+	rb.internalFormat = internalFormat
+	rb.width, rb.height = width, height
+	switch internalFormat {
+	case DEPTH_COMPONENT16:
+		rb.depth = make([]float32, width*height)
+		for i := range rb.depth {
+			rb.depth[i] = 1
+		}
+	case RGBA4, RGB5_A1, RGB565:
+		rb.color = make([]byte, width*height*4)
+	case STENCIL_INDEX8:
+		// Accepted; stencil operations are not implemented.
+	default:
+		c.setErr(INVALID_ENUM, "RenderbufferStorage: bad internal format 0x%04x", internalFormat)
+	}
+}
+
+// FramebufferRenderbuffer mirrors glFramebufferRenderbuffer.
+func (c *Context) FramebufferRenderbuffer(target, attachment, rbTarget, rb uint32) {
+	if target != FRAMEBUFFER || rbTarget != RENDERBUFFER {
+		c.setErr(INVALID_ENUM, "FramebufferRenderbuffer: bad target")
+		return
+	}
+	fb := c.currentFB()
+	if fb.isDefault {
+		c.setErr(INVALID_OPERATION, "FramebufferRenderbuffer: cannot attach to the default framebuffer")
+		return
+	}
+	if rb != 0 && c.renderbuffers[rb] == nil {
+		c.setErr(INVALID_OPERATION, "FramebufferRenderbuffer: no renderbuffer %d", rb)
+		return
+	}
+	switch attachment {
+	case COLOR_ATTACHMENT0:
+		fb.colorRB = rb
+		fb.colorTex = 0
+	case DEPTH_ATTACHMENT:
+		fb.depthRB = rb
+	case STENCIL_ATTACHMENT:
+		// Accepted and ignored (stencil not implemented).
+	default:
+		c.setErr(INVALID_ENUM, "FramebufferRenderbuffer: bad attachment 0x%04x", attachment)
+	}
+}
+
+// CheckFramebufferStatus mirrors glCheckFramebufferStatus.
+func (c *Context) CheckFramebufferStatus(target uint32) uint32 {
+	if target != FRAMEBUFFER {
+		c.setErr(INVALID_ENUM, "CheckFramebufferStatus: bad target")
+		return 0
+	}
+	fb := c.currentFB()
+	if fb.isDefault {
+		return FRAMEBUFFER_COMPLETE
+	}
+	w, h, ok := c.fbDimensions(fb)
+	if !ok {
+		return FRAMEBUFFER_INCOMPLETE_MISSING_ATTACHMENT
+	}
+	if w == 0 || h == 0 {
+		return FRAMEBUFFER_INCOMPLETE_ATTACHMENT
+	}
+	// Depth attachment must match color dimensions.
+	if fb.depthRB != 0 {
+		rb := c.renderbuffers[fb.depthRB]
+		if rb == nil || rb.depth == nil {
+			return FRAMEBUFFER_INCOMPLETE_ATTACHMENT
+		}
+		if rb.width != w || rb.height != h {
+			return FRAMEBUFFER_INCOMPLETE_DIMENSIONS
+		}
+	}
+	return FRAMEBUFFER_COMPLETE
+}
+
+// fbDimensions resolves the size of the color attachment.
+func (c *Context) fbDimensions(fb *Framebuffer) (w, h int, ok bool) {
+	if fb.isDefault {
+		return fb.width, fb.height, true
+	}
+	if fb.colorTex != 0 {
+		t := c.textures[fb.colorTex]
+		if t == nil || len(t.levels) <= fb.colorLevel || t.levels[fb.colorLevel].data == nil {
+			return 0, 0, false
+		}
+		lv := t.levels[fb.colorLevel]
+		return lv.width, lv.height, true
+	}
+	if fb.colorRB != 0 {
+		rb := c.renderbuffers[fb.colorRB]
+		if rb == nil || rb.color == nil {
+			return 0, 0, false
+		}
+		return rb.width, rb.height, true
+	}
+	return 0, 0, false
+}
+
+// colorTarget returns the byte slice and row width backing the current
+// color attachment.
+func (c *Context) colorTarget(fb *Framebuffer) (data []byte, w, h int, ok bool) {
+	if fb.isDefault {
+		return fb.color, fb.width, fb.height, true
+	}
+	if fb.colorTex != 0 {
+		t := c.textures[fb.colorTex]
+		if t == nil || len(t.levels) <= fb.colorLevel || t.levels[fb.colorLevel].data == nil {
+			return nil, 0, 0, false
+		}
+		lv := &t.levels[fb.colorLevel]
+		return lv.data, lv.width, lv.height, true
+	}
+	if fb.colorRB != 0 {
+		rb := c.renderbuffers[fb.colorRB]
+		if rb == nil || rb.color == nil {
+			return nil, 0, 0, false
+		}
+		return rb.color, rb.width, rb.height, true
+	}
+	return nil, 0, 0, false
+}
+
+// depthTarget returns the depth plane for the framebuffer, or nil.
+func (c *Context) depthTarget(fb *Framebuffer) []float32 {
+	if fb.isDefault {
+		return fb.depth
+	}
+	if fb.depthRB != 0 {
+		rb := c.renderbuffers[fb.depthRB]
+		if rb != nil {
+			return rb.depth
+		}
+	}
+	return nil
+}
+
+// Clear mirrors glClear, honoring scissor and masks.
+func (c *Context) Clear(mask uint32) {
+	fb := c.currentFB()
+	if mask&^(COLOR_BUFFER_BIT|DEPTH_BUFFER_BIT|STENCIL_BUFFER_BIT) != 0 {
+		c.setErr(INVALID_VALUE, "Clear: bad mask 0x%x", mask)
+		return
+	}
+	data, w, h, ok := c.colorTarget(fb)
+	if !ok {
+		c.setErr(INVALID_FRAMEBUFFER_OPERATION, "Clear: framebuffer incomplete")
+		return
+	}
+	x0, y0, x1, y1 := 0, 0, w, h
+	if c.scissorOn {
+		x0 = maxInt(x0, c.scissor[0])
+		y0 = maxInt(y0, c.scissor[1])
+		x1 = minInt(x1, c.scissor[0]+c.scissor[2])
+		y1 = minInt(y1, c.scissor[1]+c.scissor[3])
+	}
+	if mask&COLOR_BUFFER_BIT != 0 {
+		px := [4]byte{
+			c.convertChannel(c.clearColor[0]),
+			c.convertChannel(c.clearColor[1]),
+			c.convertChannel(c.clearColor[2]),
+			c.convertChannel(c.clearColor[3]),
+		}
+		for y := y0; y < y1; y++ {
+			row := y * w * 4
+			for x := x0; x < x1; x++ {
+				o := row + x*4
+				for ch := 0; ch < 4; ch++ {
+					if c.colorMask[ch] {
+						data[o+ch] = px[ch]
+					}
+				}
+			}
+		}
+	}
+	if mask&DEPTH_BUFFER_BIT != 0 && c.depthMask {
+		if depth := c.depthTarget(fb); depth != nil {
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					depth[y*w+x] = c.clearDepth
+				}
+			}
+		}
+	}
+}
+
+// convertChannel applies the configured float→byte conversion: the GL spec
+// rounds to nearest; the paper's eq. (2) floors.
+func (c *Context) convertChannel(f float32) byte {
+	f = clamp01(f)
+	switch c.cfg.Conv {
+	case ConvertFloor:
+		v := int(f * 255)
+		if v > 255 {
+			v = 255
+		}
+		return byte(v)
+	default:
+		v := int(f*255 + 0.5)
+		if v > 255 {
+			v = 255
+		}
+		return byte(v)
+	}
+}
+
+// ReadPixels mirrors glReadPixels. ES 2.0 guarantees only RGBA +
+// UNSIGNED_BYTE — the single channel back to the CPU, which is why the
+// paper's output transformations target byte-quantized color (challenge #7:
+// there is no texture readback API at all).
+func (c *Context) ReadPixels(x, y, width, height int, format, typ uint32, dst []byte) {
+	if format != RGBA || typ != UNSIGNED_BYTE {
+		c.setErr(INVALID_ENUM, "ReadPixels: ES 2.0 guarantees only RGBA/UNSIGNED_BYTE readback")
+		return
+	}
+	fb := c.currentFB()
+	data, w, h, ok := c.colorTarget(fb)
+	if !ok {
+		c.setErr(INVALID_FRAMEBUFFER_OPERATION, "ReadPixels: framebuffer incomplete")
+		return
+	}
+	if width < 0 || height < 0 {
+		c.setErr(INVALID_VALUE, "ReadPixels: negative size")
+		return
+	}
+	if len(dst) < width*height*4 {
+		c.setErr(INVALID_OPERATION, "ReadPixels: destination too small")
+		return
+	}
+	for row := 0; row < height; row++ {
+		sy := y + row
+		if sy < 0 || sy >= h {
+			continue
+		}
+		for col := 0; col < width; col++ {
+			sx := x + col
+			if sx < 0 || sx >= w {
+				continue
+			}
+			src := (sy*w + sx) * 4
+			d := (row*width + col) * 4
+			copy(dst[d:d+4], data[src:src+4])
+		}
+	}
+	c.transfers.ReadPixelsBytes += uint64(width * height * 4)
+	c.transfers.ReadPixelsCalls++
+}

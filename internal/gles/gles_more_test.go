@@ -1,0 +1,612 @@
+package gles
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func TestTextureFormats(t *testing.T) {
+	const W, H = 2, 2
+	c := newTestContext(W, H)
+	prog := buildProgram(t, c, passVS, `
+precision mediump float;
+uniform sampler2D u_tex;
+varying vec2 v_texcoord;
+void main() { gl_FragColor = texture2D(u_tex, v_texcoord); }
+`)
+	c.UseProgram(prog)
+	fullscreenQuad(t, c, prog)
+
+	setupTex := func(format uint32, data []byte) {
+		tex := c.CreateTexture()
+		c.ActiveTexture(TEXTURE0)
+		c.BindTexture(TEXTURE_2D, tex)
+		c.TexImage2D(TEXTURE_2D, 0, format, W, H, 0, format, UNSIGNED_BYTE, data)
+		c.TexParameteri(TEXTURE_2D, TEXTURE_MIN_FILTER, NEAREST)
+		c.TexParameteri(TEXTURE_2D, TEXTURE_MAG_FILTER, NEAREST)
+		c.TexParameteri(TEXTURE_2D, TEXTURE_WRAP_S, CLAMP_TO_EDGE)
+		c.TexParameteri(TEXTURE_2D, TEXTURE_WRAP_T, CLAMP_TO_EDGE)
+		c.Uniform1i(c.GetUniformLocation(prog, "u_tex"), 0)
+	}
+
+	t.Run("LUMINANCE", func(t *testing.T) {
+		setupTex(LUMINANCE, []byte{10, 20, 30, 40})
+		c.DrawArrays(TRIANGLES, 0, 6)
+		px := readAll(t, c, W, H)
+		// Luminance replicates into RGB with alpha 255.
+		if px[0] != 10 || px[1] != 10 || px[2] != 10 || px[3] != 255 {
+			t.Errorf("LUMINANCE texel wrong: %v", px[:4])
+		}
+	})
+	t.Run("ALPHA", func(t *testing.T) {
+		setupTex(ALPHA, []byte{11, 22, 33, 44})
+		c.DrawArrays(TRIANGLES, 0, 6)
+		px := readAll(t, c, W, H)
+		// Alpha textures are (0,0,0,a).
+		if px[0] != 0 || px[3] != 11 {
+			t.Errorf("ALPHA texel wrong: %v", px[:4])
+		}
+	})
+	t.Run("LUMINANCE_ALPHA", func(t *testing.T) {
+		setupTex(LUMINANCE_ALPHA, []byte{100, 200, 1, 2, 3, 4, 5, 6})
+		c.DrawArrays(TRIANGLES, 0, 6)
+		px := readAll(t, c, W, H)
+		if px[0] != 100 || px[3] != 200 {
+			t.Errorf("LUMINANCE_ALPHA texel wrong: %v", px[:4])
+		}
+	})
+	t.Run("RGB", func(t *testing.T) {
+		setupTex(RGB, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+		c.DrawArrays(TRIANGLES, 0, 6)
+		px := readAll(t, c, W, H)
+		if px[0] != 1 || px[1] != 2 || px[2] != 3 || px[3] != 255 {
+			t.Errorf("RGB texel wrong: %v", px[:4])
+		}
+	})
+}
+
+func TestTexture565Upload(t *testing.T) {
+	c := newTestContext(2, 2)
+	tex := c.CreateTexture()
+	c.BindTexture(TEXTURE_2D, tex)
+	// One 565 texel: r=31, g=0, b=0 -> 0xF800 little-endian.
+	data := []byte{0x00, 0xF8}
+	c.TexImage2D(TEXTURE_2D, 0, RGB, 1, 1, 0, RGB, UNSIGNED_SHORT_5_6_5, data)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("565 upload failed: %s", c.LastErrorDetail())
+	}
+	if got := c.textures[tex].levels[0].data[0]; got != 255 {
+		t.Errorf("565 red expanded to %d, want 255", got)
+	}
+}
+
+func TestTexSubImage2D(t *testing.T) {
+	const W, H = 4, 4
+	c := newTestContext(W, H)
+	tex := c.CreateTexture()
+	c.BindTexture(TEXTURE_2D, tex)
+	c.TexImage2D(TEXTURE_2D, 0, RGBA, W, H, 0, RGBA, UNSIGNED_BYTE, make([]byte, W*H*4))
+	sub := make([]byte, 2*2*4)
+	for i := range sub {
+		sub[i] = 200
+	}
+	c.TexSubImage2D(TEXTURE_2D, 0, 1, 1, 2, 2, RGBA, UNSIGNED_BYTE, sub)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("TexSubImage2D failed: %s", c.LastErrorDetail())
+	}
+	lv := c.textures[tex].levels[0]
+	if lv.data[(1*W+1)*4] != 200 {
+		t.Error("subimage not written")
+	}
+	if lv.data[0] != 0 {
+		t.Error("subimage overwrote outside the region")
+	}
+	// Out of bounds must fail.
+	c.TexSubImage2D(TEXTURE_2D, 0, 3, 3, 2, 2, RGBA, UNSIGNED_BYTE, sub)
+	if e := c.GetError(); e != INVALID_VALUE {
+		t.Fatalf("OOB subimage: got 0x%04x", e)
+	}
+}
+
+func TestGenerateMipmap(t *testing.T) {
+	c := newTestContext(2, 2)
+	tex := c.CreateTexture()
+	c.BindTexture(TEXTURE_2D, tex)
+	data := make([]byte, 4*4*4)
+	for i := 0; i < 4*4; i++ {
+		data[i*4] = byte(i * 16)
+		data[i*4+3] = 255
+	}
+	c.TexImage2D(TEXTURE_2D, 0, RGBA, 4, 4, 0, RGBA, UNSIGNED_BYTE, data)
+	c.GenerateMipmap(TEXTURE_2D)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("GenerateMipmap failed: %s", c.LastErrorDetail())
+	}
+	tx := c.textures[tex]
+	if len(tx.levels) != 3 { // 4x4, 2x2, 1x1
+		t.Fatalf("expected 3 mip levels, got %d", len(tx.levels))
+	}
+	if tx.levels[2].width != 1 || tx.levels[2].height != 1 {
+		t.Errorf("last level is %dx%d", tx.levels[2].width, tx.levels[2].height)
+	}
+	// Mipmapped min filter must now be complete.
+	c.TexParameteri(TEXTURE_2D, TEXTURE_MIN_FILTER, LINEAR_MIPMAP_LINEAR)
+	if !tx.complete() {
+		t.Error("texture with full chain must be complete")
+	}
+	// NPOT mipmap generation must fail.
+	tex2 := c.CreateTexture()
+	c.BindTexture(TEXTURE_2D, tex2)
+	c.TexImage2D(TEXTURE_2D, 0, RGBA, 3, 3, 0, RGBA, UNSIGNED_BYTE, make([]byte, 36))
+	c.GenerateMipmap(TEXTURE_2D)
+	if e := c.GetError(); e != INVALID_OPERATION {
+		t.Errorf("NPOT GenerateMipmap: got 0x%04x", e)
+	}
+}
+
+func TestLinearFiltering(t *testing.T) {
+	const W, H = 2, 2
+	c := newTestContext(W, H)
+	prog := buildProgram(t, c, passVS, `
+precision mediump float;
+uniform sampler2D u_tex;
+void main() { gl_FragColor = texture2D(u_tex, vec2(0.5, 0.5)); }
+`)
+	c.UseProgram(prog)
+	tex := c.CreateTexture()
+	c.BindTexture(TEXTURE_2D, tex)
+	// 2x2 texture: values 0, 100, 200, 44 — the exact centre of the
+	// texture under LINEAR averages all four texels.
+	c.TexImage2D(TEXTURE_2D, 0, RGBA, 2, 2, 0, RGBA, UNSIGNED_BYTE, []byte{
+		0, 0, 0, 255, 100, 0, 0, 255,
+		200, 0, 0, 255, 44, 0, 0, 255,
+	})
+	c.TexParameteri(TEXTURE_2D, TEXTURE_MIN_FILTER, LINEAR)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_MAG_FILTER, LINEAR)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_WRAP_S, CLAMP_TO_EDGE)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_WRAP_T, CLAMP_TO_EDGE)
+	c.Uniform1i(c.GetUniformLocation(prog, "u_tex"), 0)
+	fullscreenQuad(t, c, prog)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	px := readAll(t, c, W, H)
+	want := (0 + 100 + 200 + 44) / 4
+	if absInt(int(px[0])-want) > 1 {
+		t.Errorf("bilinear centre = %d, want ~%d", px[0], want)
+	}
+}
+
+func TestWrapModes(t *testing.T) {
+	cases := []struct {
+		wrap uint32
+		// sampling at s=-0.25 on a 4-texel-wide row of values 0,1,2,3
+		// (scaled by 80): CLAMP→texel 0, REPEAT→texel 3, MIRROR→texel 0.
+		want byte
+	}{
+		{CLAMP_TO_EDGE, 0},
+		{REPEAT, 240},
+		{MIRRORED_REPEAT, 0},
+	}
+	for _, cse := range cases {
+		c := newTestContext(1, 1)
+		prog := buildProgram(t, c, passVS, `
+precision mediump float;
+uniform sampler2D u_tex;
+void main() { gl_FragColor = texture2D(u_tex, vec2(-0.125, 0.5)); }
+`)
+		c.UseProgram(prog)
+		tex := c.CreateTexture()
+		c.BindTexture(TEXTURE_2D, tex)
+		c.TexImage2D(TEXTURE_2D, 0, RGBA, 4, 1, 0, RGBA, UNSIGNED_BYTE, []byte{
+			0, 0, 0, 255, 80, 0, 0, 255, 160, 0, 0, 255, 240, 0, 0, 255,
+		})
+		c.TexParameteri(TEXTURE_2D, TEXTURE_MIN_FILTER, NEAREST)
+		c.TexParameteri(TEXTURE_2D, TEXTURE_MAG_FILTER, NEAREST)
+		c.TexParameteri(TEXTURE_2D, TEXTURE_WRAP_S, cse.wrap)
+		c.TexParameteri(TEXTURE_2D, TEXTURE_WRAP_T, cse.wrap)
+		c.Uniform1i(c.GetUniformLocation(prog, "u_tex"), 0)
+		fullscreenQuad(t, c, prog)
+		c.DrawArrays(TRIANGLES, 0, 6)
+		px := readAll(t, c, 1, 1)
+		if px[0] != cse.want {
+			t.Errorf("wrap 0x%04x: sampled %d, want %d", cse.wrap, px[0], cse.want)
+		}
+	}
+}
+
+func TestBlendEquations(t *testing.T) {
+	run := func(eq uint32) byte {
+		c := newTestContext(1, 1)
+		c.ClearColor(0.25, 0, 0, 1)
+		c.Clear(COLOR_BUFFER_BIT)
+		prog := buildProgram(t, c, passVS, solidFS)
+		c.UseProgram(prog)
+		c.Uniform4f(c.GetUniformLocation(prog, "u_color"), 0.5, 0, 0, 1)
+		fullscreenQuad(t, c, prog)
+		c.Enable(BLEND)
+		c.BlendFunc(ONE, ONE)
+		c.BlendEquation(eq)
+		c.DrawArrays(TRIANGLES, 0, 6)
+		px := readAll(t, c, 1, 1)
+		return px[0]
+	}
+	if got := run(FUNC_ADD); absInt(int(got)-191) > 2 { // 0.75*255
+		t.Errorf("FUNC_ADD = %d, want ~191", got)
+	}
+	if got := run(FUNC_SUBTRACT); absInt(int(got)-64) > 2 { // 0.25*255
+		t.Errorf("FUNC_SUBTRACT = %d, want ~64", got)
+	}
+	if got := run(FUNC_REVERSE_SUBTRACT); got != 0 { // clamped negative
+		t.Errorf("FUNC_REVERSE_SUBTRACT = %d, want 0", got)
+	}
+}
+
+func TestColorRenderbufferTarget(t *testing.T) {
+	const W, H = 4, 4
+	c := newTestContext(8, 8)
+	rbs := c.GenRenderbuffers(1)
+	c.BindRenderbuffer(RENDERBUFFER, rbs[0])
+	c.RenderbufferStorage(RENDERBUFFER, RGB565, W, H)
+	fbo := c.CreateFramebuffer()
+	c.BindFramebuffer(FRAMEBUFFER, fbo)
+	c.FramebufferRenderbuffer(FRAMEBUFFER, COLOR_ATTACHMENT0, RENDERBUFFER, rbs[0])
+	if st := c.CheckFramebufferStatus(FRAMEBUFFER); st != FRAMEBUFFER_COMPLETE {
+		t.Fatalf("renderbuffer FBO incomplete: 0x%04x", st)
+	}
+	prog := buildProgram(t, c, passVS, solidFS)
+	c.UseProgram(prog)
+	c.Uniform4f(c.GetUniformLocation(prog, "u_color"), 1, 1, 1, 1)
+	fullscreenQuad(t, c, prog)
+	c.Viewport(0, 0, W, H)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	px := readAll(t, c, W, H)
+	if px[0] != 255 {
+		t.Errorf("renderbuffer target not written: %v", px[:4])
+	}
+}
+
+func TestDepthRenderbufferOnFBO(t *testing.T) {
+	const W, H = 2, 2
+	c := newTestContext(8, 8)
+	// Color texture + depth renderbuffer FBO.
+	tex := c.CreateTexture()
+	c.BindTexture(TEXTURE_2D, tex)
+	c.TexImage2D(TEXTURE_2D, 0, RGBA, W, H, 0, RGBA, UNSIGNED_BYTE, nil)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_MIN_FILTER, NEAREST)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_MAG_FILTER, NEAREST)
+	rb := c.GenRenderbuffers(1)[0]
+	c.BindRenderbuffer(RENDERBUFFER, rb)
+	c.RenderbufferStorage(RENDERBUFFER, DEPTH_COMPONENT16, W, H)
+	fbo := c.CreateFramebuffer()
+	c.BindFramebuffer(FRAMEBUFFER, fbo)
+	c.FramebufferTexture2D(FRAMEBUFFER, COLOR_ATTACHMENT0, TEXTURE_2D, tex, 0)
+	c.FramebufferRenderbuffer(FRAMEBUFFER, DEPTH_ATTACHMENT, RENDERBUFFER, rb)
+	if st := c.CheckFramebufferStatus(FRAMEBUFFER); st != FRAMEBUFFER_COMPLETE {
+		t.Fatalf("FBO with depth incomplete: 0x%04x", st)
+	}
+	c.Enable(DEPTH_TEST)
+	c.Viewport(0, 0, W, H)
+	c.Clear(COLOR_BUFFER_BIT | DEPTH_BUFFER_BIT)
+
+	vsZ := `
+attribute vec2 a_position;
+attribute vec2 a_texcoord;
+uniform float u_z;
+varying vec2 v_texcoord;
+void main() { v_texcoord = a_texcoord; gl_Position = vec4(a_position, u_z, 1.0); }
+`
+	prog := buildProgram(t, c, vsZ, solidFS)
+	c.UseProgram(prog)
+	fullscreenQuad(t, c, prog)
+	c.Uniform1f(c.GetUniformLocation(prog, "u_z"), -0.5)
+	c.Uniform4f(c.GetUniformLocation(prog, "u_color"), 1, 0, 0, 1)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	c.Uniform1f(c.GetUniformLocation(prog, "u_z"), 0.5) // behind
+	c.Uniform4f(c.GetUniformLocation(prog, "u_color"), 0, 1, 0, 1)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	px := readAll(t, c, W, H)
+	if px[0] != 255 || px[1] != 0 {
+		t.Errorf("depth test on FBO failed: %v", px[:4])
+	}
+	// Mismatched depth dimensions must make the FBO incomplete.
+	c.BindRenderbuffer(RENDERBUFFER, rb)
+	c.RenderbufferStorage(RENDERBUFFER, DEPTH_COMPONENT16, W*2, H*2)
+	if st := c.CheckFramebufferStatus(FRAMEBUFFER); st != FRAMEBUFFER_INCOMPLETE_DIMENSIONS {
+		t.Errorf("dimension mismatch: got 0x%04x", st)
+	}
+}
+
+func TestDepthFunctions(t *testing.T) {
+	for _, cse := range []struct {
+		fn     uint32
+		expect bool // red survives when drawn at equal depth after first draw
+	}{
+		{LESS, false}, {LEQUAL, true}, {EQUAL, true}, {GREATER, false},
+		{GEQUAL, true}, {NOTEQUAL, false}, {ALWAYS, true}, {NEVER, false},
+	} {
+		c := newTestContext(1, 1)
+		c.Enable(DEPTH_TEST)
+		c.DepthFunc(cse.fn)
+		c.Clear(COLOR_BUFFER_BIT | DEPTH_BUFFER_BIT)
+		prog := buildProgram(t, c, passVS, solidFS)
+		c.UseProgram(prog)
+		fullscreenQuad(t, c, prog)
+		locC := c.GetUniformLocation(prog, "u_color")
+		// First draw at z=0 (depth 0.5) with ALWAYS to establish depth.
+		c.DepthFunc(ALWAYS)
+		c.Uniform4f(locC, 0, 0, 1, 1)
+		c.DrawArrays(TRIANGLES, 0, 6)
+		// Second draw at the same depth with the function under test.
+		c.DepthFunc(cse.fn)
+		c.Uniform4f(locC, 1, 0, 0, 1)
+		c.DrawArrays(TRIANGLES, 0, 6)
+		px := readAll(t, c, 1, 1)
+		gotRed := px[0] == 255
+		if gotRed != cse.expect {
+			t.Errorf("depth func 0x%04x: red=%v, want %v", cse.fn, gotRed, cse.expect)
+		}
+	}
+}
+
+func TestGetActiveUniformAndAttrib(t *testing.T) {
+	c := newTestContext(2, 2)
+	prog := buildProgram(t, c, passVS, `
+precision mediump float;
+uniform vec3 u_v;
+uniform sampler2D u_s;
+varying vec2 v_texcoord;
+void main() { gl_FragColor = texture2D(u_s, v_texcoord) + vec4(u_v, 1.0); }
+`)
+	n := c.GetProgramiv(prog, ACTIVE_UNIFORMS)
+	if n != 2 {
+		t.Fatalf("active uniforms = %d, want 2", n)
+	}
+	seen := map[string]uint32{}
+	for i := 0; i < n; i++ {
+		info := c.GetActiveUniform(prog, i)
+		seen[info.Name] = info.Type
+	}
+	if seen["u_v"] != FLOAT_VEC3 || seen["u_s"] != SAMPLER_2D {
+		t.Errorf("uniform types wrong: %v", seen)
+	}
+	na := c.GetProgramiv(prog, ACTIVE_ATTRIBUTES)
+	if na != 2 {
+		t.Fatalf("active attributes = %d, want 2", na)
+	}
+	ai := c.GetActiveAttrib(prog, 0)
+	if ai.Type != FLOAT_VEC2 {
+		t.Errorf("attrib type 0x%04x, want FLOAT_VEC2", ai.Type)
+	}
+}
+
+func TestVertexAttribIntegerTypes(t *testing.T) {
+	const W, H = 2, 2
+	c := newTestContext(W, H)
+	prog := buildProgram(t, c, `
+attribute vec2 a_position;
+attribute float a_val;
+varying float v_val;
+void main() { v_val = a_val; gl_Position = vec4(a_position, 0.0, 1.0); }
+`, `
+precision mediump float;
+varying float v_val;
+void main() { gl_FragColor = vec4(v_val, 0.0, 0.0, 1.0); }
+`)
+	c.UseProgram(prog)
+	pos := []float32{-1, -1, 1, -1, 1, 1, -1, -1, 1, 1, -1, 1}
+	raw := make([]byte, len(pos)*4)
+	for i, v := range pos {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	posLoc := c.GetAttribLocation(prog, "a_position")
+	valLoc := c.GetAttribLocation(prog, "a_val")
+	c.EnableVertexAttribArray(posLoc)
+	c.VertexAttribPointerClient(posLoc, 2, FLOAT, false, 8, raw)
+
+	// Normalized unsigned bytes: value 127 → ~0.498.
+	vals := []byte{127, 127, 127, 127, 127, 127}
+	c.EnableVertexAttribArray(valLoc)
+	c.VertexAttribPointerClient(valLoc, 1, UNSIGNED_BYTE, true, 1, vals)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	px := readAll(t, c, W, H)
+	if absInt(int(px[0])-127) > 1 {
+		t.Errorf("normalized ubyte attrib: got %d, want ~127", px[0])
+	}
+
+	// Non-normalized shorts: value 2 → raw 2.0 (then .5 scaled via shader? no: direct)
+	shorts := []byte{2, 0, 2, 0, 2, 0, 2, 0, 2, 0, 2, 0}
+	c.VertexAttribPointerClient(valLoc, 1, SHORT, false, 2, shorts)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	px = readAll(t, c, W, H)
+	if px[0] != 255 { // 2.0 clamps to 1.0 in the framebuffer
+		t.Errorf("short attrib: got %d, want 255 (clamped)", px[0])
+	}
+}
+
+func TestBindAttribLocation(t *testing.T) {
+	c := newTestContext(2, 2)
+	vs := c.CreateShader(VERTEX_SHADER)
+	c.ShaderSource(vs, passVS)
+	c.CompileShader(vs)
+	fs := c.CreateShader(FRAGMENT_SHADER)
+	c.ShaderSource(fs, solidFS)
+	c.CompileShader(fs)
+	p := c.CreateProgram()
+	c.AttachShader(p, vs)
+	c.AttachShader(p, fs)
+	c.BindAttribLocation(p, 5, "a_position")
+	c.LinkProgram(p)
+	if c.GetProgramiv(p, LINK_STATUS) != 1 {
+		t.Fatalf("link failed: %s", c.GetProgramInfoLog(p))
+	}
+	if loc := c.GetAttribLocation(p, "a_position"); loc != 5 {
+		t.Errorf("bound attrib location = %d, want 5", loc)
+	}
+	// gl_* names cannot be bound.
+	c.BindAttribLocation(p, 0, "gl_Vertex")
+	if e := c.GetError(); e != INVALID_OPERATION {
+		t.Errorf("binding gl_* name: got 0x%04x", e)
+	}
+}
+
+func TestUniformArrayTailSetting(t *testing.T) {
+	c := newTestContext(2, 2)
+	prog := buildProgram(t, c, passVS, `
+precision mediump float;
+uniform float u_w[4];
+void main() { gl_FragColor = vec4(u_w[0], u_w[1], u_w[2], u_w[3]); }
+`)
+	c.UseProgram(prog)
+	// Set elements 2..3 through the "u_w[2]" location.
+	loc2 := c.GetUniformLocation(prog, "u_w[2]")
+	c.Uniform1fv(loc2, []float32{0.5, 0.75})
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("tail set failed: %s", c.LastErrorDetail())
+	}
+	// Overflow past the end must fail.
+	c.Uniform1fv(loc2, []float32{1, 2, 3})
+	if e := c.GetError(); e != INVALID_OPERATION {
+		t.Errorf("array overflow: got 0x%04x", e)
+	}
+	if got := c.GetUniformfv(prog, c.GetUniformLocation(prog, "u_w[3]")); got[0] != 0.75 {
+		t.Errorf("u_w[3] = %v, want 0.75", got)
+	}
+}
+
+func TestPointsPipeline(t *testing.T) {
+	const W, H = 8, 8
+	c := newTestContext(W, H)
+	prog := buildProgram(t, c, `
+attribute vec2 a_position;
+attribute vec2 a_texcoord;
+varying vec2 v_texcoord;
+void main() {
+	v_texcoord = a_texcoord;
+	gl_Position = vec4(a_position, 0.0, 1.0);
+	gl_PointSize = 4.0;
+}
+`, solidFS)
+	c.UseProgram(prog)
+	c.Uniform4f(c.GetUniformLocation(prog, "u_color"), 1, 1, 1, 1)
+	// One point at the centre.
+	verts := []float32{0, 0, 0, 0}
+	raw := make([]byte, len(verts)*4)
+	for i, v := range verts {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	posLoc := c.GetAttribLocation(prog, "a_position")
+	c.EnableVertexAttribArray(posLoc)
+	c.VertexAttribPointerClient(posLoc, 2, FLOAT, false, 16, raw)
+	c.DrawArrays(POINTS, 0, 1)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("point draw failed: %s", c.LastErrorDetail())
+	}
+	px := readAll(t, c, W, H)
+	covered := 0
+	for i := 0; i < W*H; i++ {
+		if px[i*4] == 255 {
+			covered++
+		}
+	}
+	if covered != 16 {
+		t.Errorf("size-4 point covered %d pixels, want 16", covered)
+	}
+}
+
+func TestLinesRejected(t *testing.T) {
+	c := newTestContext(2, 2)
+	prog := buildProgram(t, c, passVS, solidFS)
+	c.UseProgram(prog)
+	fullscreenQuad(t, c, prog)
+	c.DrawArrays(LINES, 0, 2)
+	if e := c.GetError(); e != INVALID_OPERATION {
+		t.Errorf("line draw must fail loudly, got 0x%04x", e)
+	}
+}
+
+func TestDrawElementsClientByteIndices(t *testing.T) {
+	const W, H = 2, 2
+	c := newTestContext(W, H)
+	prog := buildProgram(t, c, passVS, solidFS)
+	c.UseProgram(prog)
+	c.Uniform4f(c.GetUniformLocation(prog, "u_color"), 1, 1, 1, 1)
+	verts := []float32{-1, -1, 0, 0, 1, -1, 0, 0, 1, 1, 0, 0, -1, 1, 0, 0}
+	raw := make([]byte, len(verts)*4)
+	for i, v := range verts {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	posLoc := c.GetAttribLocation(prog, "a_position")
+	c.EnableVertexAttribArray(posLoc)
+	c.VertexAttribPointerClient(posLoc, 2, FLOAT, false, 16, raw)
+	tcLoc := c.GetAttribLocation(prog, "a_texcoord")
+	if tcLoc >= 0 {
+		c.EnableVertexAttribArray(tcLoc)
+		c.VertexAttribPointerClient(tcLoc, 2, FLOAT, false, 16, raw[8:])
+	}
+	c.DrawElementsClient(TRIANGLES, UNSIGNED_BYTE, []byte{0, 1, 2, 0, 2, 3})
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("client indices draw failed: %s", c.LastErrorDetail())
+	}
+	px := readAll(t, c, W, H)
+	if px[0] != 255 {
+		t.Error("indexed quad not drawn")
+	}
+}
+
+func TestIsObjectQueries(t *testing.T) {
+	c := newTestContext(2, 2)
+	s := c.CreateShader(VERTEX_SHADER)
+	if !c.IsShader(s) || c.IsShader(999) {
+		t.Error("IsShader wrong")
+	}
+	p := c.CreateProgram()
+	if !c.IsProgram(p) || c.IsProgram(999) {
+		t.Error("IsProgram wrong")
+	}
+	c.DeleteShader(s)
+	if c.IsShader(s) {
+		t.Error("deleted shader still reported")
+	}
+	c.DeleteProgram(p)
+	if c.IsProgram(p) {
+		t.Error("deleted program still reported")
+	}
+}
+
+func TestDetachShaderSemantics(t *testing.T) {
+	c := newTestContext(2, 2)
+	vs := c.CreateShader(VERTEX_SHADER)
+	p := c.CreateProgram()
+	c.AttachShader(p, vs)
+	if n := c.GetProgramiv(p, ATTACHED_SHADERS); n != 1 {
+		t.Errorf("attached = %d", n)
+	}
+	c.DetachShader(p, vs)
+	if n := c.GetProgramiv(p, ATTACHED_SHADERS); n != 0 {
+		t.Errorf("after detach = %d", n)
+	}
+	c.DetachShader(p, vs)
+	if e := c.GetError(); e != INVALID_OPERATION {
+		t.Errorf("double detach: got 0x%04x", e)
+	}
+}
+
+func TestStatsAcrossDraws(t *testing.T) {
+	c := newTestContext(4, 4)
+	prog := buildProgram(t, c, passVS, solidFS)
+	c.UseProgram(prog)
+	c.Uniform4f(c.GetUniformLocation(prog, "u_color"), 1, 1, 1, 1)
+	fullscreenQuad(t, c, prog)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	if got := c.Draws().DrawCalls; got != 2 {
+		t.Errorf("draw calls = %d, want 2", got)
+	}
+	if got := c.Draws().FragmentsShaded; got != 32 {
+		t.Errorf("fragments = %d, want 32", got)
+	}
+	c.ResetStats()
+	if c.Draws().DrawCalls != 0 || c.Transfers().TexUploadCalls != 0 {
+		t.Error("ResetStats incomplete")
+	}
+}

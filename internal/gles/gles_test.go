@@ -1,0 +1,802 @@
+package gles
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"glescompute/internal/shader"
+)
+
+const passVS = `
+attribute vec2 a_position;
+attribute vec2 a_texcoord;
+varying vec2 v_texcoord;
+void main() {
+	v_texcoord = a_texcoord;
+	gl_Position = vec4(a_position, 0.0, 1.0);
+}
+`
+
+const solidFS = `
+precision mediump float;
+uniform vec4 u_color;
+void main() { gl_FragColor = u_color; }
+`
+
+// newTestContext builds a small context with exact SFU for determinism.
+func newTestContext(w, h int) *Context {
+	return NewContext(Config{Width: w, Height: h, SFU: shader.ExactSFU, Workers: 2})
+}
+
+// buildProgram compiles and links a VS/FS pair, failing the test on errors.
+func buildProgram(t *testing.T, c *Context, vsSrc, fsSrc string) uint32 {
+	t.Helper()
+	vs := c.CreateShader(VERTEX_SHADER)
+	c.ShaderSource(vs, vsSrc)
+	c.CompileShader(vs)
+	if c.GetShaderiv(vs, COMPILE_STATUS) != 1 {
+		t.Fatalf("vertex shader compile failed:\n%s", c.GetShaderInfoLog(vs))
+	}
+	fs := c.CreateShader(FRAGMENT_SHADER)
+	c.ShaderSource(fs, fsSrc)
+	c.CompileShader(fs)
+	if c.GetShaderiv(fs, COMPILE_STATUS) != 1 {
+		t.Fatalf("fragment shader compile failed:\n%s", c.GetShaderInfoLog(fs))
+	}
+	p := c.CreateProgram()
+	c.AttachShader(p, vs)
+	c.AttachShader(p, fs)
+	c.LinkProgram(p)
+	if c.GetProgramiv(p, LINK_STATUS) != 1 {
+		t.Fatalf("link failed:\n%s", c.GetProgramInfoLog(p))
+	}
+	return p
+}
+
+// fullscreenQuad uploads a client-memory fullscreen quad (two triangles,
+// the paper's challenge #2) with positions and texcoords.
+func fullscreenQuad(t *testing.T, c *Context, prog uint32) {
+	t.Helper()
+	// x,y,u,v per vertex; two CCW triangles covering the viewport.
+	verts := []float32{
+		-1, -1, 0, 0,
+		1, -1, 1, 0,
+		1, 1, 1, 1,
+		-1, -1, 0, 0,
+		1, 1, 1, 1,
+		-1, 1, 0, 1,
+	}
+	raw := make([]byte, len(verts)*4)
+	for i, v := range verts {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	posLoc := c.GetAttribLocation(prog, "a_position")
+	tcLoc := c.GetAttribLocation(prog, "a_texcoord")
+	if posLoc < 0 {
+		t.Fatal("a_position not found")
+	}
+	c.EnableVertexAttribArray(posLoc)
+	c.VertexAttribPointerClient(posLoc, 2, FLOAT, false, 16, raw)
+	if tcLoc >= 0 {
+		c.EnableVertexAttribArray(tcLoc)
+		c.VertexAttribPointerClient(tcLoc, 2, FLOAT, false, 16, raw[8:])
+	}
+}
+
+func readAll(t *testing.T, c *Context, w, h int) []byte {
+	t.Helper()
+	out := make([]byte, w*h*4)
+	c.ReadPixels(0, 0, w, h, RGBA, UNSIGNED_BYTE, out)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("ReadPixels error 0x%04x: %s", e, c.LastErrorDetail())
+	}
+	return out
+}
+
+func TestSolidColorDraw(t *testing.T) {
+	const W, H = 8, 8
+	c := newTestContext(W, H)
+	prog := buildProgram(t, c, passVS, solidFS)
+	c.UseProgram(prog)
+	c.Uniform4f(c.GetUniformLocation(prog, "u_color"), 1, 0.5, 0.25, 1)
+	fullscreenQuad(t, c, prog)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("draw error 0x%04x: %s", e, c.LastErrorDetail())
+	}
+	px := readAll(t, c, W, H)
+	for i := 0; i < W*H; i++ {
+		r, g, b, a := px[i*4], px[i*4+1], px[i*4+2], px[i*4+3]
+		if r != 255 || g != 128 || b != 64 || a != 255 {
+			t.Fatalf("pixel %d = (%d,%d,%d,%d), want (255,128,64,255)", i, r, g, b, a)
+		}
+	}
+	stats := c.LastDraw()
+	if stats.FragmentsShaded != W*H {
+		t.Errorf("fragments shaded = %d, want %d", stats.FragmentsShaded, W*H)
+	}
+	if stats.VertexInvocations != 6 {
+		t.Errorf("vertex invocations = %d, want 6", stats.VertexInvocations)
+	}
+}
+
+func TestVaryingGradient(t *testing.T) {
+	const W, H = 16, 16
+	c := newTestContext(W, H)
+	prog := buildProgram(t, c, passVS, `
+precision mediump float;
+varying vec2 v_texcoord;
+void main() { gl_FragColor = vec4(v_texcoord, 0.0, 1.0); }
+`)
+	c.UseProgram(prog)
+	fullscreenQuad(t, c, prog)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	px := readAll(t, c, W, H)
+	for y := 0; y < H; y++ {
+		for x := 0; x < W; x++ {
+			wantU := byte(math.Round(float64(float32(x)+0.5) / W * 255))
+			wantV := byte(math.Round(float64(float32(y)+0.5) / H * 255))
+			got := px[(y*W+x)*4]
+			gotV := px[(y*W+x)*4+1]
+			if absInt(int(got)-int(wantU)) > 1 || absInt(int(gotV)-int(wantV)) > 1 {
+				t.Fatalf("pixel (%d,%d): got (%d,%d), want about (%d,%d)", x, y, got, gotV, wantU, wantV)
+			}
+		}
+	}
+}
+
+func TestTextureSampling(t *testing.T) {
+	const W, H = 4, 4
+	c := newTestContext(W, H)
+	prog := buildProgram(t, c, passVS, `
+precision mediump float;
+uniform sampler2D u_tex;
+varying vec2 v_texcoord;
+void main() { gl_FragColor = texture2D(u_tex, v_texcoord); }
+`)
+	c.UseProgram(prog)
+
+	// A 4x4 texture with distinct texel values.
+	tex := c.CreateTexture()
+	c.ActiveTexture(TEXTURE0)
+	c.BindTexture(TEXTURE_2D, tex)
+	data := make([]byte, W*H*4)
+	for i := 0; i < W*H; i++ {
+		data[i*4+0] = byte(i * 16)
+		data[i*4+1] = byte(255 - i*16)
+		data[i*4+2] = 7
+		data[i*4+3] = 255
+	}
+	c.TexImage2D(TEXTURE_2D, 0, RGBA, W, H, 0, RGBA, UNSIGNED_BYTE, data)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_MIN_FILTER, NEAREST)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_MAG_FILTER, NEAREST)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_WRAP_S, CLAMP_TO_EDGE)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_WRAP_T, CLAMP_TO_EDGE)
+	c.Uniform1i(c.GetUniformLocation(prog, "u_tex"), 0)
+
+	fullscreenQuad(t, c, prog)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("draw error: %s", c.LastErrorDetail())
+	}
+	px := readAll(t, c, W, H)
+	// With a 4x4 texture on a 4x4 viewport and nearest sampling, the
+	// framebuffer must reproduce the texture exactly (eq. 1 round trip).
+	for i := 0; i < W*H*4; i++ {
+		if px[i] != data[i] {
+			t.Fatalf("byte %d: got %d, want %d (identity texture round trip)", i, px[i], data[i])
+		}
+	}
+}
+
+func TestRenderToTextureAndChain(t *testing.T) {
+	// Challenge #7: render into a texture via FBO, then use that texture as
+	// input to a second pass, and read the final output via ReadPixels.
+	const W, H = 4, 4
+	c := newTestContext(W, H)
+
+	target := c.CreateTexture()
+	c.BindTexture(TEXTURE_2D, target)
+	c.TexImage2D(TEXTURE_2D, 0, RGBA, W, H, 0, RGBA, UNSIGNED_BYTE, nil)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_MIN_FILTER, NEAREST)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_MAG_FILTER, NEAREST)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_WRAP_S, CLAMP_TO_EDGE)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_WRAP_T, CLAMP_TO_EDGE)
+
+	fbo := c.CreateFramebuffer()
+	c.BindFramebuffer(FRAMEBUFFER, fbo)
+	c.FramebufferTexture2D(FRAMEBUFFER, COLOR_ATTACHMENT0, TEXTURE_2D, target, 0)
+	if st := c.CheckFramebufferStatus(FRAMEBUFFER); st != FRAMEBUFFER_COMPLETE {
+		t.Fatalf("FBO incomplete: 0x%04x", st)
+	}
+
+	// Pass 1: fill the texture with 0.5 gray.
+	prog1 := buildProgram(t, c, passVS, solidFS)
+	c.UseProgram(prog1)
+	c.Uniform4f(c.GetUniformLocation(prog1, "u_color"), 0.5, 0.5, 0.5, 1)
+	fullscreenQuad(t, c, prog1)
+	c.Viewport(0, 0, W, H)
+	c.DrawArrays(TRIANGLES, 0, 6)
+
+	// Pass 2: into the default framebuffer, doubling the texture value.
+	c.BindFramebuffer(FRAMEBUFFER, 0)
+	prog2 := buildProgram(t, c, passVS, `
+precision mediump float;
+uniform sampler2D u_tex;
+varying vec2 v_texcoord;
+void main() { gl_FragColor = texture2D(u_tex, v_texcoord) * 2.0; }
+`)
+	c.UseProgram(prog2)
+	c.ActiveTexture(TEXTURE0)
+	c.BindTexture(TEXTURE_2D, target)
+	c.Uniform1i(c.GetUniformLocation(prog2, "u_tex"), 0)
+	fullscreenQuad(t, c, prog2)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("chained draw error: %s", c.LastErrorDetail())
+	}
+	px := readAll(t, c, W, H)
+	// 0.5 stored as 128/255, doubled = 256/255, clamped to 255.
+	for i := 0; i < W*H; i++ {
+		if px[i*4] != 255 {
+			t.Fatalf("pixel %d: got %d, want 255", i, px[i*4])
+		}
+	}
+}
+
+func TestFloatTexturesRejected(t *testing.T) {
+	// The core restriction the whole paper exists to work around.
+	c := newTestContext(4, 4)
+	tex := c.CreateTexture()
+	c.BindTexture(TEXTURE_2D, tex)
+	c.TexImage2D(TEXTURE_2D, 0, RGBA, 2, 2, 0, RGBA, FLOAT, make([]byte, 64))
+	if e := c.GetError(); e != INVALID_ENUM {
+		t.Fatalf("float TexImage2D must fail with INVALID_ENUM, got 0x%04x", e)
+	}
+}
+
+func TestReadPixelsOnlyRGBA8(t *testing.T) {
+	c := newTestContext(4, 4)
+	dst := make([]byte, 4*4*4)
+	c.ReadPixels(0, 0, 4, 4, RGBA, FLOAT, dst)
+	if e := c.GetError(); e != INVALID_ENUM {
+		t.Fatalf("float ReadPixels must fail, got 0x%04x", e)
+	}
+}
+
+func TestQuadPrimitiveUnavailable(t *testing.T) {
+	// Challenge #2: there is no GL_QUADS enum in ES 2.0. Drawing with an
+	// unknown mode must set INVALID_ENUM.
+	c := newTestContext(4, 4)
+	prog := buildProgram(t, c, passVS, solidFS)
+	c.UseProgram(prog)
+	fullscreenQuad(t, c, prog)
+	const GL_QUADS = 0x0007 // desktop-only constant
+	c.DrawArrays(GL_QUADS, 0, 4)
+	if e := c.GetError(); e != INVALID_ENUM {
+		t.Fatalf("GL_QUADS must be rejected, got 0x%04x", e)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	c := newTestContext(4, 4)
+
+	// Missing fragment shader.
+	vs := c.CreateShader(VERTEX_SHADER)
+	c.ShaderSource(vs, passVS)
+	c.CompileShader(vs)
+	p := c.CreateProgram()
+	c.AttachShader(p, vs)
+	c.LinkProgram(p)
+	if c.GetProgramiv(p, LINK_STATUS) != 0 {
+		t.Fatal("link must fail without a fragment shader (no fixed function fallback in ES 2.0)")
+	}
+
+	// Varying type mismatch.
+	fsBad := c.CreateShader(FRAGMENT_SHADER)
+	c.ShaderSource(fsBad, `
+precision mediump float;
+varying vec3 v_texcoord;
+void main() { gl_FragColor = vec4(v_texcoord, 1.0); }
+`)
+	c.CompileShader(fsBad)
+	p2 := c.CreateProgram()
+	c.AttachShader(p2, vs)
+	c.AttachShader(p2, fsBad)
+	c.LinkProgram(p2)
+	if c.GetProgramiv(p2, LINK_STATUS) != 0 {
+		t.Fatal("link must fail on varying type mismatch")
+	}
+}
+
+func TestCompileErrorReporting(t *testing.T) {
+	c := newTestContext(4, 4)
+	s := c.CreateShader(FRAGMENT_SHADER)
+	c.ShaderSource(s, "void main() { gl_FragColor = 1.0; }") // type error
+	c.CompileShader(s)
+	if c.GetShaderiv(s, COMPILE_STATUS) != 0 {
+		t.Fatal("compile must fail")
+	}
+	if c.GetShaderInfoLog(s) == "" {
+		t.Fatal("info log must not be empty")
+	}
+}
+
+func TestUniformLocationsAndTypes(t *testing.T) {
+	c := newTestContext(4, 4)
+	prog := buildProgram(t, c, passVS, `
+precision mediump float;
+uniform float u_f;
+uniform vec3 u_v3;
+uniform mat2 u_m;
+uniform int u_i;
+uniform float u_arr[3];
+struct Params { float scale; vec2 shift; };
+uniform Params u_p;
+varying vec2 v_texcoord;
+void main() {
+	vec2 t = v_texcoord * u_m * u_p.scale + u_p.shift;
+	gl_FragColor = vec4(u_f + u_arr[0] + u_arr[2] + float(u_i), u_v3.x, t);
+}
+`)
+	c.UseProgram(prog)
+
+	locF := c.GetUniformLocation(prog, "u_f")
+	locV3 := c.GetUniformLocation(prog, "u_v3")
+	locM := c.GetUniformLocation(prog, "u_m")
+	locI := c.GetUniformLocation(prog, "u_i")
+	locArr := c.GetUniformLocation(prog, "u_arr")
+	locArr0 := c.GetUniformLocation(prog, "u_arr[0]")
+	locArr2 := c.GetUniformLocation(prog, "u_arr[2]")
+	locPS := c.GetUniformLocation(prog, "u_p.scale")
+	locPSh := c.GetUniformLocation(prog, "u_p.shift")
+	for name, loc := range map[string]int{
+		"u_f": locF, "u_v3": locV3, "u_m": locM, "u_i": locI,
+		"u_arr": locArr, "u_arr[2]": locArr2, "u_p.scale": locPS, "u_p.shift": locPSh,
+	} {
+		if loc < 0 {
+			t.Fatalf("uniform %q not found", name)
+		}
+	}
+	if locArr != locArr0 {
+		t.Errorf("u_arr and u_arr[0] must share a location")
+	}
+	if c.GetUniformLocation(prog, "nonexistent") != -1 {
+		t.Error("missing uniform must return -1")
+	}
+
+	c.Uniform1f(locF, 1.5)
+	c.Uniform3f(locV3, 1, 2, 3)
+	c.UniformMatrix2fv(locM, []float32{1, 0, 0, 1})
+	c.Uniform1i(locI, 7)
+	c.Uniform1fv(locArr, []float32{10, 20, 30})
+	c.Uniform1f(locPS, 2)
+	c.Uniform2f(locPSh, 0.5, 0.5)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("uniform setting failed: %s", c.LastErrorDetail())
+	}
+
+	if got := c.GetUniformfv(prog, locArr2); len(got) != 1 || got[0] != 30 {
+		t.Errorf("u_arr[2] = %v, want [30]", got)
+	}
+
+	// Type mismatches must set INVALID_OPERATION.
+	c.Uniform1i(locF, 3)
+	if e := c.GetError(); e != INVALID_OPERATION {
+		t.Errorf("Uniform1i on float: got 0x%04x", e)
+	}
+	c.Uniform2f(locF, 1, 2)
+	if e := c.GetError(); e != INVALID_OPERATION {
+		t.Errorf("Uniform2f on float: got 0x%04x", e)
+	}
+	// Location -1 is silently ignored.
+	c.Uniform1f(-1, 5)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Errorf("Uniform on -1 must be ignored, got 0x%04x", e)
+	}
+}
+
+func TestScissorTest(t *testing.T) {
+	const W, H = 8, 8
+	c := newTestContext(W, H)
+	prog := buildProgram(t, c, passVS, solidFS)
+	c.UseProgram(prog)
+	c.Uniform4f(c.GetUniformLocation(prog, "u_color"), 1, 1, 1, 1)
+	fullscreenQuad(t, c, prog)
+	c.Enable(SCISSOR_TEST)
+	c.Scissor(2, 2, 4, 4)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	px := readAll(t, c, W, H)
+	for y := 0; y < H; y++ {
+		for x := 0; x < W; x++ {
+			inside := x >= 2 && x < 6 && y >= 2 && y < 6
+			got := px[(y*W+x)*4]
+			if inside && got != 255 {
+				t.Fatalf("pixel (%d,%d) inside scissor not written", x, y)
+			}
+			if !inside && got != 0 {
+				t.Fatalf("pixel (%d,%d) outside scissor was written", x, y)
+			}
+		}
+	}
+}
+
+func TestClearWithScissorAndMask(t *testing.T) {
+	const W, H = 4, 4
+	c := newTestContext(W, H)
+	c.ClearColor(1, 1, 1, 1)
+	c.ColorMask(true, false, true, true)
+	c.Clear(COLOR_BUFFER_BIT)
+	px := readAll(t, c, W, H)
+	if px[0] != 255 || px[1] != 0 || px[2] != 255 {
+		t.Fatalf("color mask ignored: %v", px[:4])
+	}
+}
+
+func TestDiscardLeavesFramebuffer(t *testing.T) {
+	const W, H = 4, 4
+	c := newTestContext(W, H)
+	c.ClearColor(0, 0, 1, 1)
+	c.Clear(COLOR_BUFFER_BIT)
+	prog := buildProgram(t, c, passVS, `
+precision mediump float;
+varying vec2 v_texcoord;
+void main() {
+	if (v_texcoord.x < 0.5) discard;
+	gl_FragColor = vec4(1.0, 0.0, 0.0, 1.0);
+}
+`)
+	c.UseProgram(prog)
+	fullscreenQuad(t, c, prog)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	px := readAll(t, c, W, H)
+	// Left half keeps the blue clear color; right half is red.
+	if px[0] != 0 || px[2] != 255 {
+		t.Fatalf("discarded pixel was written: %v", px[:4])
+	}
+	right := (0*W + 3) * 4
+	if px[right] != 255 || px[right+2] != 0 {
+		t.Fatalf("kept pixel wrong: %v", px[right:right+4])
+	}
+	if c.LastDraw().FragmentsDiscarded == 0 {
+		t.Error("discard not counted")
+	}
+}
+
+func TestBlending(t *testing.T) {
+	const W, H = 2, 2
+	c := newTestContext(W, H)
+	c.ClearColor(0, 0, 0, 1)
+	c.Clear(COLOR_BUFFER_BIT)
+	prog := buildProgram(t, c, passVS, solidFS)
+	c.UseProgram(prog)
+	c.Uniform4f(c.GetUniformLocation(prog, "u_color"), 1, 1, 1, 0.5)
+	fullscreenQuad(t, c, prog)
+	c.Enable(BLEND)
+	c.BlendFunc(SRC_ALPHA, ONE_MINUS_SRC_ALPHA)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	px := readAll(t, c, W, H)
+	// result = 1*0.5 + 0*0.5 = 0.5 -> 128
+	if absInt(int(px[0])-128) > 1 {
+		t.Fatalf("blend result %d, want ~128", px[0])
+	}
+}
+
+func TestDepthTest(t *testing.T) {
+	const W, H = 2, 2
+	c := newTestContext(W, H)
+	c.Enable(DEPTH_TEST)
+	c.Clear(COLOR_BUFFER_BIT | DEPTH_BUFFER_BIT)
+
+	vsZ := `
+attribute vec2 a_position;
+attribute vec2 a_texcoord;
+uniform float u_z;
+varying vec2 v_texcoord;
+void main() { v_texcoord = a_texcoord; gl_Position = vec4(a_position, u_z, 1.0); }
+`
+	prog := buildProgram(t, c, vsZ, solidFS)
+	c.UseProgram(prog)
+	fullscreenQuad(t, c, prog)
+	locZ := c.GetUniformLocation(prog, "u_z")
+	locC := c.GetUniformLocation(prog, "u_color")
+
+	// Near red quad (z=-0.5).
+	c.Uniform1f(locZ, -0.5)
+	c.Uniform4f(locC, 1, 0, 0, 1)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	// Far green quad (z=0.5) must lose the depth test.
+	c.Uniform1f(locZ, 0.5)
+	c.Uniform4f(locC, 0, 1, 0, 1)
+	c.DrawArrays(TRIANGLES, 0, 6)
+
+	px := readAll(t, c, W, H)
+	if px[0] != 255 || px[1] != 0 {
+		t.Fatalf("depth test failed: %v", px[:4])
+	}
+}
+
+func TestCulling(t *testing.T) {
+	const W, H = 4, 4
+	c := newTestContext(W, H)
+	prog := buildProgram(t, c, passVS, solidFS)
+	c.UseProgram(prog)
+	c.Uniform4f(c.GetUniformLocation(prog, "u_color"), 1, 1, 1, 1)
+	fullscreenQuad(t, c, prog) // CCW quad
+	c.Enable(CULL_FACE)
+	c.CullFace(BACK)
+	c.FrontFace(CW) // our quad is CCW -> now back-facing -> culled
+	c.DrawArrays(TRIANGLES, 0, 6)
+	px := readAll(t, c, W, H)
+	if px[0] != 0 {
+		t.Fatal("culled geometry was drawn")
+	}
+	c.FrontFace(CCW)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	px = readAll(t, c, W, H)
+	if px[0] != 255 {
+		t.Fatal("front-facing geometry was culled")
+	}
+}
+
+func TestNPOTTextureRestrictions(t *testing.T) {
+	// ES 2.0: NPOT textures sample as black unless CLAMP_TO_EDGE +
+	// non-mipmap filters. A real mobile GPGPU pitfall.
+	const W, H = 2, 2
+	c := newTestContext(W, H)
+	prog := buildProgram(t, c, passVS, `
+precision mediump float;
+uniform sampler2D u_tex;
+varying vec2 v_texcoord;
+void main() { gl_FragColor = texture2D(u_tex, v_texcoord); }
+`)
+	c.UseProgram(prog)
+	tex := c.CreateTexture()
+	c.BindTexture(TEXTURE_2D, tex)
+	data := make([]byte, 3*3*4)
+	for i := range data {
+		data[i] = 200
+	}
+	c.TexImage2D(TEXTURE_2D, 0, RGBA, 3, 3, 0, RGBA, UNSIGNED_BYTE, data) // NPOT
+	c.TexParameteri(TEXTURE_2D, TEXTURE_MIN_FILTER, NEAREST)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_MAG_FILTER, NEAREST)
+	// Default wrap is REPEAT -> incomplete -> black.
+	c.Uniform1i(c.GetUniformLocation(prog, "u_tex"), 0)
+	fullscreenQuad(t, c, prog)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	px := readAll(t, c, W, H)
+	if px[0] != 0 {
+		t.Fatalf("NPOT+REPEAT texture must sample black, got %d", px[0])
+	}
+	// Fix the wrap mode: now complete.
+	c.TexParameteri(TEXTURE_2D, TEXTURE_WRAP_S, CLAMP_TO_EDGE)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_WRAP_T, CLAMP_TO_EDGE)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	px = readAll(t, c, W, H)
+	if px[0] != 200 {
+		t.Fatalf("complete NPOT texture must sample its data, got %d", px[0])
+	}
+}
+
+func TestGetShaderPrecisionFormat(t *testing.T) {
+	c := newTestContext(2, 2)
+	pf := c.GetShaderPrecisionFormat(FRAGMENT_SHADER, HIGH_FLOAT)
+	if pf.Precision != 23 {
+		t.Errorf("float mantissa bits = %d, want 23 (IEEE 754, paper §IV-E)", pf.Precision)
+	}
+	pi := c.GetShaderPrecisionFormat(FRAGMENT_SHADER, HIGH_INT)
+	if pi.RangeMax != 24 {
+		t.Errorf("int range = %d, want 24 bits (paper §IV-C)", pi.RangeMax)
+	}
+}
+
+func TestGetStringAndCaps(t *testing.T) {
+	c := newTestContext(2, 2)
+	if v := c.GetString(VERSION); v == "" {
+		t.Error("VERSION must be non-empty")
+	}
+	if ext := c.GetString(EXTENSIONS); ext != "" {
+		t.Errorf("extension string must be empty (no float extensions), got %q", ext)
+	}
+	if got := c.GetIntegerv(MAX_VERTEX_TEXTURE_IMAGE_UNITS); got[0] != 0 {
+		t.Errorf("vertex texture units = %d, want 0 (VideoCore IV)", got[0])
+	}
+	if got := c.GetIntegerv(MAX_DRAW_BUFFERS_QUERY); got != nil {
+		t.Log("MAX_DRAW_BUFFERS query unexpectedly supported")
+	}
+	c.GetError() // clear the INVALID_ENUM from the unknown query
+}
+
+// MAX_DRAW_BUFFERS_QUERY is a desktop-GL constant ES 2.0 does not define.
+const MAX_DRAW_BUFFERS_QUERY = 0x8824
+
+func TestErrorStickiness(t *testing.T) {
+	c := newTestContext(2, 2)
+	c.BindBuffer(0x9999, 1)  // INVALID_ENUM
+	c.Viewport(0, 0, -1, -1) // INVALID_VALUE, must not overwrite
+	if e := c.GetError(); e != INVALID_ENUM {
+		t.Fatalf("first error must be preserved, got 0x%04x", e)
+	}
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("error must clear after read, got 0x%04x", e)
+	}
+}
+
+func TestBufferObjects(t *testing.T) {
+	c := newTestContext(2, 2)
+	b := c.CreateBuffer()
+	c.BindBuffer(ARRAY_BUFFER, b)
+	c.BufferData(ARRAY_BUFFER, 16, nil, STATIC_DRAW)
+	c.BufferSubData(ARRAY_BUFFER, 4, []byte{1, 2, 3, 4})
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("buffer ops failed: %s", c.LastErrorDetail())
+	}
+	c.BufferSubData(ARRAY_BUFFER, 14, []byte{1, 2, 3, 4}) // overflow
+	if e := c.GetError(); e != INVALID_VALUE {
+		t.Fatalf("overflow must fail, got 0x%04x", e)
+	}
+	if !c.IsBuffer(b) {
+		t.Error("IsBuffer must be true")
+	}
+	c.DeleteBuffer(b)
+	if c.IsBuffer(b) {
+		t.Error("deleted buffer must not exist")
+	}
+}
+
+func TestDrawElements(t *testing.T) {
+	const W, H = 4, 4
+	c := newTestContext(W, H)
+	prog := buildProgram(t, c, passVS, solidFS)
+	c.UseProgram(prog)
+	c.Uniform4f(c.GetUniformLocation(prog, "u_color"), 1, 1, 1, 1)
+
+	verts := []float32{
+		-1, -1, 0, 0,
+		1, -1, 1, 0,
+		1, 1, 1, 1,
+		-1, 1, 0, 1,
+	}
+	raw := make([]byte, len(verts)*4)
+	for i, v := range verts {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	posLoc := c.GetAttribLocation(prog, "a_position")
+	c.EnableVertexAttribArray(posLoc)
+	c.VertexAttribPointerClient(posLoc, 2, FLOAT, false, 16, raw)
+	tcLoc := c.GetAttribLocation(prog, "a_texcoord")
+	if tcLoc >= 0 {
+		c.EnableVertexAttribArray(tcLoc)
+		c.VertexAttribPointerClient(tcLoc, 2, FLOAT, false, 16, raw[8:])
+	}
+
+	// Indexed quad: 0,1,2, 0,2,3 via an element buffer.
+	eb := c.CreateBuffer()
+	c.BindBuffer(ELEMENT_ARRAY_BUFFER, eb)
+	idx := []byte{0, 0, 1, 0, 2, 0, 0, 0, 2, 0, 3, 0} // uint16 LE
+	c.BufferData(ELEMENT_ARRAY_BUFFER, len(idx), idx, STATIC_DRAW)
+	c.DrawElements(TRIANGLES, 6, UNSIGNED_SHORT, 0)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("DrawElements failed: %s", c.LastErrorDetail())
+	}
+	px := readAll(t, c, W, H)
+	for i := 0; i < W*H; i++ {
+		if px[i*4] != 255 {
+			t.Fatalf("pixel %d not covered by indexed quad", i)
+		}
+	}
+}
+
+func TestTriangleStripAndFan(t *testing.T) {
+	const W, H = 8, 8
+	for _, mode := range []uint32{TRIANGLE_STRIP, TRIANGLE_FAN} {
+		c := newTestContext(W, H)
+		prog := buildProgram(t, c, passVS, solidFS)
+		c.UseProgram(prog)
+		c.Uniform4f(c.GetUniformLocation(prog, "u_color"), 1, 1, 1, 1)
+		var verts []float32
+		if mode == TRIANGLE_STRIP {
+			verts = []float32{-1, -1, 0, 0 /**/, 1, -1, 0, 0 /**/, -1, 1, 0, 0 /**/, 1, 1, 0, 0}
+		} else {
+			verts = []float32{-1, -1, 0, 0 /**/, 1, -1, 0, 0 /**/, 1, 1, 0, 0 /**/, -1, 1, 0, 0}
+		}
+		raw := make([]byte, len(verts)*4)
+		for i, v := range verts {
+			binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+		}
+		posLoc := c.GetAttribLocation(prog, "a_position")
+		c.EnableVertexAttribArray(posLoc)
+		c.VertexAttribPointerClient(posLoc, 2, FLOAT, false, 16, raw)
+		tcLoc := c.GetAttribLocation(prog, "a_texcoord")
+		if tcLoc >= 0 {
+			c.EnableVertexAttribArray(tcLoc)
+			c.VertexAttribPointerClient(tcLoc, 2, FLOAT, false, 16, raw[8:])
+		}
+		c.DrawArrays(mode, 0, 4)
+		px := readAll(t, c, W, H)
+		covered := 0
+		for i := 0; i < W*H; i++ {
+			if px[i*4] == 255 {
+				covered++
+			}
+		}
+		if covered != W*H {
+			t.Errorf("mode 0x%04x: covered %d of %d pixels", mode, covered, W*H)
+		}
+	}
+}
+
+func TestVertexAttribConstant(t *testing.T) {
+	// Disabled attribute arrays use the current constant value.
+	const W, H = 2, 2
+	c := newTestContext(W, H)
+	prog := buildProgram(t, c, `
+attribute vec2 a_position;
+attribute vec4 a_color;
+varying vec4 v_color;
+void main() { v_color = a_color; gl_Position = vec4(a_position, 0.0, 1.0); }
+`, `
+precision mediump float;
+varying vec4 v_color;
+void main() { gl_FragColor = v_color; }
+`)
+	c.UseProgram(prog)
+	verts := []float32{-1, -1, 1, -1, 1, 1, -1, -1, 1, 1, -1, 1}
+	raw := make([]byte, len(verts)*4)
+	for i, v := range verts {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	posLoc := c.GetAttribLocation(prog, "a_position")
+	colLoc := c.GetAttribLocation(prog, "a_color")
+	c.EnableVertexAttribArray(posLoc)
+	c.VertexAttribPointerClient(posLoc, 2, FLOAT, false, 8, raw)
+	c.VertexAttrib4f(colLoc, 0, 1, 0, 1) // constant green
+	c.DrawArrays(TRIANGLES, 0, 6)
+	px := readAll(t, c, W, H)
+	if px[0] != 0 || px[1] != 255 {
+		t.Fatalf("constant attribute not used: %v", px[:4])
+	}
+}
+
+func TestFramebufferIncomplete(t *testing.T) {
+	c := newTestContext(2, 2)
+	fbo := c.CreateFramebuffer()
+	c.BindFramebuffer(FRAMEBUFFER, fbo)
+	if st := c.CheckFramebufferStatus(FRAMEBUFFER); st != FRAMEBUFFER_INCOMPLETE_MISSING_ATTACHMENT {
+		t.Fatalf("empty FBO status = 0x%04x", st)
+	}
+	prog := buildProgram(t, c, passVS, solidFS)
+	c.UseProgram(prog)
+	fullscreenQuad(t, c, prog)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	if e := c.GetError(); e != INVALID_FRAMEBUFFER_OPERATION {
+		t.Fatalf("draw to incomplete FBO: got 0x%04x", e)
+	}
+}
+
+func TestTransferStatsAccounting(t *testing.T) {
+	c := newTestContext(4, 4)
+	tex := c.CreateTexture()
+	c.BindTexture(TEXTURE_2D, tex)
+	c.TexImage2D(TEXTURE_2D, 0, RGBA, 4, 4, 0, RGBA, UNSIGNED_BYTE, make([]byte, 64))
+	dst := make([]byte, 64)
+	c.ReadPixels(0, 0, 4, 4, RGBA, UNSIGNED_BYTE, dst)
+	tr := c.Transfers()
+	if tr.TexUploadBytes != 64 {
+		t.Errorf("upload bytes = %d, want 64", tr.TexUploadBytes)
+	}
+	if tr.ReadPixelsBytes != 64 {
+		t.Errorf("readback bytes = %d, want 64", tr.ReadPixelsBytes)
+	}
+	if tr.TexUploadCalls != 1 || tr.ReadPixelsCalls != 1 {
+		t.Errorf("call counts wrong: %+v", tr)
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,182 @@
+package gles
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// vertexAttrib is the state of one generic vertex attribute.
+type vertexAttrib struct {
+	enabled    bool
+	size       int    // components 1..4
+	typ        uint32 // FLOAT, BYTE, UNSIGNED_BYTE, SHORT, UNSIGNED_SHORT
+	normalized bool
+	stride     int
+	offset     int    // offset into the bound buffer
+	buffer     uint32 // ARRAY_BUFFER binding captured at pointer time
+	clientData []byte // client-memory variant (no buffer bound)
+	current    [4]float32
+}
+
+// EnableVertexAttribArray mirrors glEnableVertexAttribArray.
+func (c *Context) EnableVertexAttribArray(index int) {
+	if index < 0 || index >= len(c.attribs) {
+		c.setErr(INVALID_VALUE, "EnableVertexAttribArray: index %d out of range", index)
+		return
+	}
+	c.attribs[index].enabled = true
+}
+
+// DisableVertexAttribArray mirrors glDisableVertexAttribArray.
+func (c *Context) DisableVertexAttribArray(index int) {
+	if index < 0 || index >= len(c.attribs) {
+		c.setErr(INVALID_VALUE, "DisableVertexAttribArray: index %d out of range", index)
+		return
+	}
+	c.attribs[index].enabled = false
+}
+
+// VertexAttribPointer mirrors glVertexAttribPointer with a buffer object
+// bound to ARRAY_BUFFER (offset indexes into it).
+func (c *Context) VertexAttribPointer(index int, size int, typ uint32, normalized bool, stride, offset int) {
+	if c.arrayBuffer == 0 {
+		c.setErr(INVALID_OPERATION, "VertexAttribPointer: no ARRAY_BUFFER bound (use VertexAttribPointerClient for client arrays)")
+		return
+	}
+	c.vertexAttribPointer(index, size, typ, normalized, stride, offset, c.arrayBuffer, nil)
+}
+
+// VertexAttribPointerClient is the client-memory variant of
+// glVertexAttribPointer (legal in ES 2.0; Go slices replace raw pointers).
+func (c *Context) VertexAttribPointerClient(index int, size int, typ uint32, normalized bool, stride int, data []byte) {
+	c.vertexAttribPointer(index, size, typ, normalized, stride, 0, 0, data)
+}
+
+func (c *Context) vertexAttribPointer(index, size int, typ uint32, normalized bool, stride, offset int, buffer uint32, client []byte) {
+	if index < 0 || index >= len(c.attribs) {
+		c.setErr(INVALID_VALUE, "VertexAttribPointer: index %d out of range", index)
+		return
+	}
+	if size < 1 || size > 4 {
+		c.setErr(INVALID_VALUE, "VertexAttribPointer: size %d out of range", size)
+		return
+	}
+	switch typ {
+	case FLOAT, BYTE, UNSIGNED_BYTE, SHORT, UNSIGNED_SHORT:
+	default:
+		c.setErr(INVALID_ENUM, "VertexAttribPointer: bad type 0x%04x", typ)
+		return
+	}
+	if stride < 0 {
+		c.setErr(INVALID_VALUE, "VertexAttribPointer: negative stride")
+		return
+	}
+	a := &c.attribs[index]
+	a.size = size
+	a.typ = typ
+	a.normalized = normalized
+	a.stride = stride
+	a.offset = offset
+	a.buffer = buffer
+	a.clientData = client
+}
+
+// VertexAttrib1f .. VertexAttrib4f set the current (constant) attribute
+// value used when the array is disabled.
+func (c *Context) VertexAttrib1f(index int, x float32) { c.vertexAttribf(index, x, 0, 0, 1) }
+
+// VertexAttrib2f mirrors glVertexAttrib2f.
+func (c *Context) VertexAttrib2f(index int, x, y float32) { c.vertexAttribf(index, x, y, 0, 1) }
+
+// VertexAttrib3f mirrors glVertexAttrib3f.
+func (c *Context) VertexAttrib3f(index int, x, y, z float32) { c.vertexAttribf(index, x, y, z, 1) }
+
+// VertexAttrib4f mirrors glVertexAttrib4f.
+func (c *Context) VertexAttrib4f(index int, x, y, z, w float32) { c.vertexAttribf(index, x, y, z, w) }
+
+func (c *Context) vertexAttribf(index int, x, y, z, w float32) {
+	if index < 0 || index >= len(c.attribs) {
+		c.setErr(INVALID_VALUE, "VertexAttrib*f: index %d out of range", index)
+		return
+	}
+	c.attribs[index].current = [4]float32{x, y, z, w}
+}
+
+// typeSize returns the byte size of an attribute component type.
+func typeSize(typ uint32) int {
+	switch typ {
+	case BYTE, UNSIGNED_BYTE:
+		return 1
+	case SHORT, UNSIGNED_SHORT:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// fetchAttrib reads attribute `index` for vertex `vi` into a vec4, applying
+// the GL expansion rules (missing y/z default 0, w defaults 1).
+func (c *Context) fetchAttrib(index, vi int) ([4]float32, bool) {
+	a := &c.attribs[index]
+	if !a.enabled {
+		return a.current, true
+	}
+	var src []byte
+	if a.clientData != nil {
+		src = a.clientData
+	} else if buf := c.buffers[a.buffer]; buf != nil {
+		src = buf.data[minInt(a.offset, len(buf.data)):]
+	}
+	if src == nil {
+		return [4]float32{0, 0, 0, 1}, false
+	}
+	compSize := typeSize(a.typ)
+	stride := a.stride
+	if stride == 0 {
+		stride = compSize * a.size
+	}
+	base := vi * stride
+	if base+compSize*a.size > len(src) {
+		return [4]float32{0, 0, 0, 1}, false
+	}
+	out := [4]float32{0, 0, 0, 1}
+	for i := 0; i < a.size; i++ {
+		off := base + i*compSize
+		switch a.typ {
+		case FLOAT:
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[off:]))
+		case UNSIGNED_BYTE:
+			v := float32(src[off])
+			if a.normalized {
+				v /= 255
+			}
+			out[i] = v
+		case BYTE:
+			v := float32(int8(src[off]))
+			if a.normalized {
+				v = maxf32(v/127, -1)
+			}
+			out[i] = v
+		case UNSIGNED_SHORT:
+			v := float32(binary.LittleEndian.Uint16(src[off:]))
+			if a.normalized {
+				v /= 65535
+			}
+			out[i] = v
+		case SHORT:
+			v := float32(int16(binary.LittleEndian.Uint16(src[off:])))
+			if a.normalized {
+				v = maxf32(v/32767, -1)
+			}
+			out[i] = v
+		}
+	}
+	return out, true
+}
+
+func maxf32(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}

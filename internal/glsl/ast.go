@@ -1,0 +1,358 @@
+package glsl
+
+// This file defines the abstract syntax tree produced by the parser and
+// annotated by the type checker. Expression nodes carry their resolved type
+// (T) and, where relevant, resolution results (variable references, builtin
+// signatures, swizzle index lists) so that the executor in internal/shader
+// never needs to redo name or overload resolution.
+
+// Node is implemented by every AST node.
+type Node interface {
+	NodePos() Pos
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	// Type returns the checked type (TypeInvalid before checking).
+	Type() *Type
+	exprNode()
+}
+
+type exprBase struct {
+	Pos Pos
+	T   *Type
+}
+
+func (e *exprBase) NodePos() Pos { return e.Pos }
+func (e *exprBase) Type() *Type {
+	if e.T == nil {
+		return TypeInvalid
+	}
+	return e.T
+}
+func (*exprBase) exprNode() {}
+
+// StorageClass says where a variable's value lives at run time.
+type StorageClass int
+
+// Storage classes assigned by the type checker.
+const (
+	StorageLocal   StorageClass = iota // function locals and parameters
+	StorageGlobal                      // file-scope variables incl. uniforms/attributes/varyings
+	StorageBuiltin                     // gl_* variables
+)
+
+// Qualifier is a GLSL storage qualifier for global declarations.
+type Qualifier int
+
+// Qualifiers.
+const (
+	QualNone Qualifier = iota
+	QualConst
+	QualAttribute
+	QualUniform
+	QualVarying
+)
+
+func (q Qualifier) String() string {
+	switch q {
+	case QualConst:
+		return "const"
+	case QualAttribute:
+		return "attribute"
+	case QualUniform:
+		return "uniform"
+	case QualVarying:
+		return "varying"
+	default:
+		return ""
+	}
+}
+
+// ParamDirection is the in/out/inout qualifier of a function parameter.
+type ParamDirection int
+
+// Parameter directions.
+const (
+	DirIn ParamDirection = iota
+	DirOut
+	DirInOut
+)
+
+func (d ParamDirection) String() string {
+	switch d {
+	case DirOut:
+		return "out"
+	case DirInOut:
+		return "inout"
+	default:
+		return "in"
+	}
+}
+
+// VarDecl is a declared variable: global, local, or parameter. The checker
+// fills Storage/Slot; the executor uses them for direct indexing.
+type VarDecl struct {
+	Pos       Pos
+	Name      string
+	DeclType  *Type
+	Qual      Qualifier
+	Prec      Precision
+	Invariant bool
+	Init      Expr // may be nil
+
+	Storage StorageClass
+	Slot    int  // index into global or frame storage
+	IsParam bool // declared as a function parameter
+	Dir     ParamDirection
+
+	// ConstVal holds the folded value for const-qualified variables.
+	ConstVal *ConstValue
+}
+
+func (d *VarDecl) NodePos() Pos { return d.Pos }
+
+// FuncDecl is a function prototype or definition.
+type FuncDecl struct {
+	Pos       Pos
+	Name      string
+	Ret       *Type
+	RetPrec   Precision
+	Params    []*VarDecl
+	Body      *BlockStmt // nil for a prototype
+	LocalSize int        // number of local slots, filled by the checker
+}
+
+func (d *FuncDecl) NodePos() Pos { return d.Pos }
+
+// signatureKey builds the overload key "name(t1,t2,...)".
+func (d *FuncDecl) signatureKey() string {
+	key := d.Name + "("
+	for i, p := range d.Params {
+		if i > 0 {
+			key += ","
+		}
+		key += p.DeclType.String()
+	}
+	return key + ")"
+}
+
+// StructDecl introduces a named struct type at file or block scope.
+type StructDecl struct {
+	Pos  Pos
+	Info *StructInfo
+}
+
+func (d *StructDecl) NodePos() Pos { return d.Pos }
+
+// PrecisionDecl is a "precision highp float;" style default declaration.
+type PrecisionDecl struct {
+	Pos  Pos
+	Prec Precision
+	Of   *Type
+}
+
+func (d *PrecisionDecl) NodePos() Pos { return d.Pos }
+
+// InvariantDecl re-declares an output variable as invariant.
+type InvariantDecl struct {
+	Pos   Pos
+	Names []string
+}
+
+func (d *InvariantDecl) NodePos() Pos { return d.Pos }
+
+// TranslationUnit is a whole shader.
+type TranslationUnit struct {
+	Version int
+	Decls   []Node // *VarDecl (possibly grouped), *FuncDecl, *StructDecl, *PrecisionDecl, *InvariantDecl
+}
+
+// ---- Expressions ----
+
+// Ident is a name use, resolved by the checker to a variable or builtin.
+type Ident struct {
+	exprBase
+	Name string
+	Ref  *VarDecl    // non-nil for user variables
+	BRef *BuiltinVar // non-nil for gl_* builtin variables
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Val int32
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	exprBase
+	Val float32
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	exprBase
+	Val bool
+}
+
+// BinaryExpr is a binary operation. Op is the operator token kind.
+type BinaryExpr struct {
+	exprBase
+	Op   TokenKind
+	X, Y Expr
+}
+
+// UnaryExpr is prefix +x, -x, !x, ++x, --x; Postfix marks x++ / x--.
+type UnaryExpr struct {
+	exprBase
+	Op      TokenKind
+	X       Expr
+	Postfix bool
+}
+
+// CondExpr is the ?: ternary operator.
+type CondExpr struct {
+	exprBase
+	Cond, Then, Else Expr
+}
+
+// AssignExpr is an assignment, possibly compound (+=, -=, *=, /=).
+type AssignExpr struct {
+	exprBase
+	Op  TokenKind // TokAssign or compound
+	LHS Expr
+	RHS Expr
+}
+
+// SequenceExpr is the comma operator.
+type SequenceExpr struct {
+	exprBase
+	X, Y Expr
+}
+
+// CallKind says how a call expression resolved.
+type CallKind int
+
+// Call kinds.
+const (
+	CallUnresolved CallKind = iota
+	CallUser                // user-defined function
+	CallBuiltin             // builtin function (sin, texture2D, ...)
+	CallTypeConstructor
+	CallStructConstructor
+)
+
+// CallExpr is a function call or constructor.
+type CallExpr struct {
+	exprBase
+	Callee string
+	Args   []Expr
+
+	Kind     CallKind
+	Func     *FuncDecl   // for CallUser
+	Builtin  *BuiltinSig // for CallBuiltin
+	CtorType *Type       // for constructors
+}
+
+// FieldExpr is x.name — a struct field access or a vector swizzle.
+type FieldExpr struct {
+	exprBase
+	X    Expr
+	Name string
+
+	// Resolution: exactly one of the following is meaningful.
+	Swizzle    []int // component indices for vector swizzles
+	FieldIndex int   // struct field index, -1 when swizzle
+}
+
+// IndexExpr is x[i] for arrays, vectors and matrices.
+type IndexExpr struct {
+	exprBase
+	X     Expr
+	Index Expr
+}
+
+// ---- Statements ----
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+type stmtBase struct{ Pos Pos }
+
+func (s *stmtBase) NodePos() Pos { return s.Pos }
+func (*stmtBase) stmtNode()      {}
+
+// BlockStmt is { ... } with its own scope.
+type BlockStmt struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// DeclStmt declares one or more local variables (or a local struct type).
+type DeclStmt struct {
+	stmtBase
+	Vars   []*VarDecl
+	Struct *StructDecl // non-nil when the statement (also) declares a struct
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// EmptyStmt is a stray ';'.
+type EmptyStmt struct {
+	stmtBase
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// ForStmt is a for loop. InitStmt may be a DeclStmt or ExprStmt.
+type ForStmt struct {
+	stmtBase
+	InitStmt Stmt // may be nil
+	Cond     Expr // may be nil
+	Post     Expr // may be nil
+	Body     Stmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhileStmt is do { } while (cond);
+type DoWhileStmt struct {
+	stmtBase
+	Body Stmt
+	Cond Expr
+}
+
+// ReturnStmt returns from a function; X may be nil.
+type ReturnStmt struct {
+	stmtBase
+	X Expr
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ stmtBase }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ stmtBase }
+
+// DiscardStmt discards the fragment (fragment shaders only).
+type DiscardStmt struct{ stmtBase }

@@ -1,0 +1,336 @@
+package glsl
+
+// ShaderStage distinguishes vertex from fragment shaders. OpenGL ES 2.0
+// requires *both* stages to be programmed (the paper's challenge #1: there is
+// no fixed-function fallback), so every pipeline carries one of each.
+type ShaderStage int
+
+// Shader stages.
+const (
+	StageVertex ShaderStage = iota
+	StageFragment
+)
+
+func (s ShaderStage) String() string {
+	if s == StageVertex {
+		return "vertex"
+	}
+	return "fragment"
+}
+
+// BuiltinVar describes a gl_* special variable. Slot indexes the executor's
+// per-invocation builtin register file.
+type BuiltinVar struct {
+	Name     string
+	Type     *Type
+	Writable bool
+	ReadOK   bool
+	Slot     int
+}
+
+// Builtin variable slots, shared between sema and the shader executor.
+const (
+	// Vertex stage.
+	BVSlotPosition  = 0 // gl_Position : vec4 (output)
+	BVSlotPointSize = 1 // gl_PointSize : float (output)
+	// Fragment stage.
+	BVSlotFragCoord   = 0 // gl_FragCoord : vec4 (input)
+	BVSlotFrontFacing = 1 // gl_FrontFacing : bool (input)
+	BVSlotPointCoord  = 2 // gl_PointCoord : vec2 (input)
+	BVSlotFragColor   = 3 // gl_FragColor : vec4 (output)
+	BVSlotFragData    = 4 // gl_FragData[1] : vec4[] (output)
+
+	// NumBuiltinSlots is the size of the builtin register file.
+	NumBuiltinSlots = 5
+)
+
+// MaxDrawBuffers is gl_MaxDrawBuffers for this implementation: ES 2.0
+// guarantees exactly 1, which is the paper's challenge #8 (single output per
+// fragment).
+const MaxDrawBuffers = 1
+
+func vertexBuiltinVars() map[string]*BuiltinVar {
+	return map[string]*BuiltinVar{
+		"gl_Position":  {Name: "gl_Position", Type: TypeVec4, Writable: true, ReadOK: true, Slot: BVSlotPosition},
+		"gl_PointSize": {Name: "gl_PointSize", Type: TypeFloat, Writable: true, ReadOK: true, Slot: BVSlotPointSize},
+	}
+}
+
+func fragmentBuiltinVars() map[string]*BuiltinVar {
+	return map[string]*BuiltinVar{
+		"gl_FragCoord":   {Name: "gl_FragCoord", Type: TypeVec4, Writable: false, ReadOK: true, Slot: BVSlotFragCoord},
+		"gl_FrontFacing": {Name: "gl_FrontFacing", Type: TypeBool, Writable: false, ReadOK: true, Slot: BVSlotFrontFacing},
+		"gl_PointCoord":  {Name: "gl_PointCoord", Type: TypeVec2, Writable: false, ReadOK: true, Slot: BVSlotPointCoord},
+		"gl_FragColor":   {Name: "gl_FragColor", Type: TypeVec4, Writable: true, ReadOK: true, Slot: BVSlotFragColor},
+		"gl_FragData":    {Name: "gl_FragData", Type: ArrayOf(TypeVec4, MaxDrawBuffers), Writable: true, ReadOK: true, Slot: BVSlotFragData},
+	}
+}
+
+// BuiltinConstants are the gl_Max* implementation constants, set to the
+// values the simulated VideoCore-IV-class device reports (ES 2.0 minima).
+var BuiltinConstants = map[string]int32{
+	"gl_MaxVertexAttribs":             8,
+	"gl_MaxVertexUniformVectors":      128,
+	"gl_MaxVaryingVectors":            8,
+	"gl_MaxVertexTextureImageUnits":   0,
+	"gl_MaxCombinedTextureImageUnits": 8,
+	"gl_MaxTextureImageUnits":         8,
+	"gl_MaxFragmentUniformVectors":    16,
+	"gl_MaxDrawBuffers":               MaxDrawBuffers,
+}
+
+// BuiltinID identifies a builtin function family; the executor dispatches
+// on it.
+type BuiltinID int
+
+// Builtin function IDs (GLSL ES 1.00 §8).
+const (
+	BInvalid BuiltinID = iota
+	BRadians
+	BDegrees
+	BSin
+	BCos
+	BTan
+	BAsin
+	BAcos
+	BAtan  // atan(y_over_x)
+	BAtan2 // atan(y, x)
+	BPow
+	BExp
+	BLog
+	BExp2
+	BLog2
+	BSqrt
+	BInverseSqrt
+	BAbs
+	BSign
+	BFloor
+	BCeil
+	BFract
+	BMod
+	BMin
+	BMax
+	BClamp
+	BMix
+	BStep
+	BSmoothstep
+	BLength
+	BDistance
+	BDot
+	BCross
+	BNormalize
+	BFaceforward
+	BReflect
+	BRefract
+	BMatrixCompMult
+	BLessThan
+	BLessThanEqual
+	BGreaterThan
+	BGreaterThanEqual
+	BEqual
+	BNotEqual
+	BAny
+	BAll
+	BNot
+	BTexture2D
+	BTexture2DBias
+	BTexture2DProj3
+	BTexture2DProj4
+	BTexture2DLod
+	BTexture2DProjLod3
+	BTexture2DProjLod4
+	BTextureCube
+	BTextureCubeBias
+	BTextureCubeLod
+)
+
+// BuiltinSig is one concrete overload of a builtin function.
+type BuiltinSig struct {
+	ID     BuiltinID
+	Name   string
+	Ret    *Type
+	Params []*Type
+	// VertexOnly/FragmentOnly restrict availability per stage.
+	VertexOnly   bool
+	FragmentOnly bool
+}
+
+var builtinFuncs map[string][]*BuiltinSig
+
+var genTypes = []*Type{TypeFloat, TypeVec2, TypeVec3, TypeVec4}
+var vecTypes = []*Type{TypeVec2, TypeVec3, TypeVec4}
+var ivecTypes = []*Type{TypeIVec2, TypeIVec3, TypeIVec4}
+var bvecTypes = []*Type{TypeBVec2, TypeBVec3, TypeBVec4}
+var matTypes = []*Type{TypeMat2, TypeMat3, TypeMat4}
+
+func reg(sig *BuiltinSig) {
+	builtinFuncs[sig.Name] = append(builtinFuncs[sig.Name], sig)
+}
+
+// regGen registers name(genType,...)->genType for all four gen sizes.
+// paramPattern: for each parameter, true means "genType", false means
+// "float scalar".
+func regGen(id BuiltinID, name string, nParams int, scalarParams map[int]bool, retScalar bool) {
+	for _, g := range genTypes {
+		params := make([]*Type, nParams)
+		for i := 0; i < nParams; i++ {
+			if scalarParams != nil && scalarParams[i] {
+				params[i] = TypeFloat
+			} else {
+				params[i] = g
+			}
+		}
+		ret := g
+		if retScalar {
+			ret = TypeFloat
+		}
+		reg(&BuiltinSig{ID: id, Name: name, Ret: ret, Params: params})
+	}
+}
+
+func init() {
+	builtinFuncs = map[string][]*BuiltinSig{}
+
+	// §8.1 Angle & trigonometry.
+	regGen(BRadians, "radians", 1, nil, false)
+	regGen(BDegrees, "degrees", 1, nil, false)
+	regGen(BSin, "sin", 1, nil, false)
+	regGen(BCos, "cos", 1, nil, false)
+	regGen(BTan, "tan", 1, nil, false)
+	regGen(BAsin, "asin", 1, nil, false)
+	regGen(BAcos, "acos", 1, nil, false)
+	regGen(BAtan, "atan", 1, nil, false)
+	regGen(BAtan2, "atan", 2, nil, false)
+
+	// §8.2 Exponential.
+	regGen(BPow, "pow", 2, nil, false)
+	regGen(BExp, "exp", 1, nil, false)
+	regGen(BLog, "log", 1, nil, false)
+	regGen(BExp2, "exp2", 1, nil, false)
+	regGen(BLog2, "log2", 1, nil, false)
+	regGen(BSqrt, "sqrt", 1, nil, false)
+	regGen(BInverseSqrt, "inversesqrt", 1, nil, false)
+
+	// §8.3 Common.
+	regGen(BAbs, "abs", 1, nil, false)
+	regGen(BSign, "sign", 1, nil, false)
+	regGen(BFloor, "floor", 1, nil, false)
+	regGen(BCeil, "ceil", 1, nil, false)
+	regGen(BFract, "fract", 1, nil, false)
+	regGen(BMod, "mod", 2, nil, false)
+	regGen(BMod, "mod", 2, map[int]bool{1: true}, false)
+	regGen(BMin, "min", 2, nil, false)
+	regGen(BMin, "min", 2, map[int]bool{1: true}, false)
+	regGen(BMax, "max", 2, nil, false)
+	regGen(BMax, "max", 2, map[int]bool{1: true}, false)
+	regGen(BClamp, "clamp", 3, nil, false)
+	regGen(BClamp, "clamp", 3, map[int]bool{1: true, 2: true}, false)
+	regGen(BMix, "mix", 3, nil, false)
+	regGen(BMix, "mix", 3, map[int]bool{2: true}, false)
+	regGen(BStep, "step", 2, nil, false)
+	for _, g := range vecTypes { // step(float, vec)
+		reg(&BuiltinSig{ID: BStep, Name: "step", Ret: g, Params: []*Type{TypeFloat, g}})
+	}
+	regGen(BSmoothstep, "smoothstep", 3, nil, false)
+	for _, g := range vecTypes { // smoothstep(float, float, vec)
+		reg(&BuiltinSig{ID: BSmoothstep, Name: "smoothstep", Ret: g, Params: []*Type{TypeFloat, TypeFloat, g}})
+	}
+
+	// §8.4 Geometric.
+	regGen(BLength, "length", 1, nil, true)
+	regGen(BDistance, "distance", 2, nil, true)
+	regGen(BDot, "dot", 2, nil, true)
+	reg(&BuiltinSig{ID: BCross, Name: "cross", Ret: TypeVec3, Params: []*Type{TypeVec3, TypeVec3}})
+	regGen(BNormalize, "normalize", 1, nil, false)
+	regGen(BFaceforward, "faceforward", 3, nil, false)
+	regGen(BReflect, "reflect", 2, nil, false)
+	regGen(BRefract, "refract", 3, map[int]bool{2: true}, false)
+
+	// §8.5 Matrix.
+	for _, m := range matTypes {
+		reg(&BuiltinSig{ID: BMatrixCompMult, Name: "matrixCompMult", Ret: m, Params: []*Type{m, m}})
+	}
+
+	// §8.6 Vector relational.
+	cmpIDs := []struct {
+		id   BuiltinID
+		name string
+	}{
+		{BLessThan, "lessThan"},
+		{BLessThanEqual, "lessThanEqual"},
+		{BGreaterThan, "greaterThan"},
+		{BGreaterThanEqual, "greaterThanEqual"},
+	}
+	for _, c := range cmpIDs {
+		for i, v := range vecTypes {
+			reg(&BuiltinSig{ID: c.id, Name: c.name, Ret: bvecTypes[i], Params: []*Type{v, v}})
+		}
+		for i, v := range ivecTypes {
+			reg(&BuiltinSig{ID: c.id, Name: c.name, Ret: bvecTypes[i], Params: []*Type{v, v}})
+		}
+	}
+	for _, c := range []struct {
+		id   BuiltinID
+		name string
+	}{{BEqual, "equal"}, {BNotEqual, "notEqual"}} {
+		for i, v := range vecTypes {
+			reg(&BuiltinSig{ID: c.id, Name: c.name, Ret: bvecTypes[i], Params: []*Type{v, v}})
+		}
+		for i, v := range ivecTypes {
+			reg(&BuiltinSig{ID: c.id, Name: c.name, Ret: bvecTypes[i], Params: []*Type{v, v}})
+		}
+		for i, v := range bvecTypes {
+			reg(&BuiltinSig{ID: c.id, Name: c.name, Ret: bvecTypes[i], Params: []*Type{v, v}})
+		}
+	}
+	for _, b := range bvecTypes {
+		reg(&BuiltinSig{ID: BAny, Name: "any", Ret: TypeBool, Params: []*Type{b}})
+		reg(&BuiltinSig{ID: BAll, Name: "all", Ret: TypeBool, Params: []*Type{b}})
+		reg(&BuiltinSig{ID: BNot, Name: "not", Ret: b, Params: []*Type{b}})
+	}
+
+	// §8.7 Texture lookup.
+	reg(&BuiltinSig{ID: BTexture2D, Name: "texture2D", Ret: TypeVec4, Params: []*Type{TypeSampler2D, TypeVec2}})
+	reg(&BuiltinSig{ID: BTexture2DBias, Name: "texture2D", Ret: TypeVec4, Params: []*Type{TypeSampler2D, TypeVec2, TypeFloat}, FragmentOnly: true})
+	reg(&BuiltinSig{ID: BTexture2DProj3, Name: "texture2DProj", Ret: TypeVec4, Params: []*Type{TypeSampler2D, TypeVec3}})
+	reg(&BuiltinSig{ID: BTexture2DProj4, Name: "texture2DProj", Ret: TypeVec4, Params: []*Type{TypeSampler2D, TypeVec4}})
+	reg(&BuiltinSig{ID: BTexture2DLod, Name: "texture2DLod", Ret: TypeVec4, Params: []*Type{TypeSampler2D, TypeVec2, TypeFloat}, VertexOnly: true})
+	reg(&BuiltinSig{ID: BTexture2DProjLod3, Name: "texture2DProjLod", Ret: TypeVec4, Params: []*Type{TypeSampler2D, TypeVec3, TypeFloat}, VertexOnly: true})
+	reg(&BuiltinSig{ID: BTexture2DProjLod4, Name: "texture2DProjLod", Ret: TypeVec4, Params: []*Type{TypeSampler2D, TypeVec4, TypeFloat}, VertexOnly: true})
+	reg(&BuiltinSig{ID: BTextureCube, Name: "textureCube", Ret: TypeVec4, Params: []*Type{TypeSamplerCube, TypeVec3}})
+	reg(&BuiltinSig{ID: BTextureCubeBias, Name: "textureCube", Ret: TypeVec4, Params: []*Type{TypeSamplerCube, TypeVec3, TypeFloat}, FragmentOnly: true})
+	reg(&BuiltinSig{ID: BTextureCubeLod, Name: "textureCubeLod", Ret: TypeVec4, Params: []*Type{TypeSamplerCube, TypeVec3, TypeFloat}, VertexOnly: true})
+}
+
+// LookupBuiltin resolves a builtin call by name and argument types for the
+// given stage. It returns nil when no overload matches.
+func LookupBuiltin(stage ShaderStage, name string, args []*Type) *BuiltinSig {
+	for _, sig := range builtinFuncs[name] {
+		if sig.VertexOnly && stage != StageVertex {
+			continue
+		}
+		if sig.FragmentOnly && stage != StageFragment {
+			continue
+		}
+		if len(sig.Params) != len(args) {
+			continue
+		}
+		ok := true
+		for i, pt := range sig.Params {
+			if !pt.Equal(args[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// IsBuiltinFunction reports whether name names any builtin overload.
+func IsBuiltinFunction(name string) bool {
+	_, ok := builtinFuncs[name]
+	return ok
+}

@@ -1,0 +1,59 @@
+package glsl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShaderCorpus compiles every shader under testdata/ — realistic
+// graphics and GPGPU sources written by hand, not by the code generator.
+func TestShaderCorpus(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty shader corpus")
+	}
+	for _, e := range entries {
+		name := e.Name()
+		stage := StageFragment
+		if strings.HasSuffix(name, ".vert") {
+			stage = StageVertex
+		}
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, errs := CompileSource(string(src), stage, CheckOptions{})
+			if errs.Err() != nil {
+				t.Fatalf("corpus shader failed to compile:\n%v", errs)
+			}
+			if prog.Entry == nil {
+				t.Fatal("missing entry point")
+			}
+		})
+	}
+}
+
+// TestShaderCorpusStageMismatch verifies corpus shaders fail when compiled
+// for the wrong stage (attribute/gl_FragColor usage is stage-specific).
+func TestShaderCorpusStageMismatch(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "fullscreen.vert"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, errs := CompileSource(string(src), StageFragment, CheckOptions{}); errs.Err() == nil {
+		t.Error("vertex shader must not compile as a fragment shader")
+	}
+	src2, err := os.ReadFile(filepath.Join("testdata", "phong.frag"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, errs := CompileSource(string(src2), StageVertex, CheckOptions{}); errs.Err() == nil {
+		t.Error("fragment shader must not compile as a vertex shader")
+	}
+}

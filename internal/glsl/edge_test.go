@@ -1,0 +1,230 @@
+package glsl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckCommaOperator(t *testing.T) {
+	prog := compileOK(t, `
+const float A = (1.0, 2.0, 3.0);
+void main(){ gl_Position = vec4(A); }
+`, StageVertex)
+	for _, g := range prog.Globals {
+		if g.Name == "A" {
+			if g.ConstVal == nil || g.ConstVal.F[0] != 3 {
+				t.Errorf("comma fold: %v, want 3", g.ConstVal)
+			}
+		}
+	}
+}
+
+func TestCheckArrayOfStructs(t *testing.T) {
+	compileOK(t, `
+struct P { vec2 pos; float w; };
+uniform P u_ps[3];
+void main(){
+	vec2 acc = vec2(0.0);
+	for (int i = 0; i < 3; ++i) { acc += u_ps[i].pos * u_ps[i].w; }
+	gl_Position = vec4(acc, 0.0, 1.0);
+}
+`, StageVertex)
+}
+
+func TestCheckNestedStructs(t *testing.T) {
+	compileOK(t, `
+struct Inner { float v; };
+struct Outer { Inner i; vec2 p; };
+uniform Outer u_o;
+void main(){ gl_Position = vec4(u_o.p, u_o.i.v, 1.0); }
+`, StageVertex)
+}
+
+func TestCheckStructAssignmentAndComparison(t *testing.T) {
+	compileOK(t, `
+struct S { float a; vec2 b; };
+void main(){
+	S x = S(1.0, vec2(2.0));
+	S y = x;
+	bool eq = x == y;
+	gl_Position = vec4(eq ? 1.0 : 0.0);
+}
+`, StageVertex)
+}
+
+func TestCheckFunctionArrayParam(t *testing.T) {
+	compileOK(t, `
+float sum4(float a[4]) {
+	float s = 0.0;
+	for (int i = 0; i < 4; ++i) { s += a[i]; }
+	return s;
+}
+void main(){
+	float xs[4];
+	xs[0] = 1.0; xs[1] = 2.0; xs[2] = 3.0; xs[3] = 4.0;
+	gl_Position = vec4(sum4(xs));
+}
+`, StageVertex)
+}
+
+func TestCheckChainedAssignments(t *testing.T) {
+	compileOK(t, "void main(){ float a; float b; a = b = 2.0; gl_Position = vec4(a + b); }", StageVertex)
+}
+
+func TestCheckVectorCompoundAssign(t *testing.T) {
+	compileOK(t, `
+void main(){
+	vec3 v = vec3(1.0);
+	v += vec3(1.0);
+	v *= 2.0;
+	v -= 0.5;  // scalar op on vector
+	v /= vec3(2.0);
+	gl_Position = vec4(v, 1.0);
+}
+`, StageVertex)
+	compileFail(t, "void main(){ vec3 v; v += vec4(1.0); }", StageVertex, "invalid operands")
+}
+
+func TestCheckMatrixCompoundAssign(t *testing.T) {
+	compileOK(t, `
+void main(){
+	mat2 m = mat2(1.0);
+	m *= mat2(2.0);      // matrix multiply
+	m += mat2(1.0);      // componentwise
+	gl_Position = vec4(m[0], m[1]);
+}
+`, StageVertex)
+}
+
+func TestCheckDeeplyNestedExpressions(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("void main(){ float x = 1.0")
+	for i := 0; i < 50; i++ {
+		b.WriteString(" + (2.0 * (1.0 - 0.5))")
+	}
+	b.WriteString("; gl_Position = vec4(x); }")
+	compileOK(t, b.String(), StageVertex)
+}
+
+func TestCheckVaryingArrays(t *testing.T) {
+	compileOK(t, `
+varying float v_ws[4];
+void main(){
+	for (int i = 0; i < 4; ++i) { v_ws[i] = float(i); }
+	gl_Position = vec4(0.0);
+}
+`, StageVertex)
+}
+
+func TestCheckPrototypeOnlyCallFails(t *testing.T) {
+	// Calling a function that has a prototype but no definition should
+	// compile (resolution succeeds) — a link-level concern in real GL; our
+	// executor errors at run time. But calling an undefined name fails.
+	compileOK(t, `
+float helper(float x);
+float helper(float x) { return x; }
+void main(){ gl_Position = vec4(helper(1.0)); }
+`, StageVertex)
+}
+
+func TestCheckVoidMisuse(t *testing.T) {
+	compileFail(t, "void f() {}\nvoid main(){ float x = f(); }", StageVertex, "implicit")
+}
+
+func TestCheckConstIndexIntoConstArrayFold(t *testing.T) {
+	prog := compileOK(t, `
+const vec4 C = vec4(10.0, 20.0, 30.0, 40.0);
+const float X = C[2];
+void main(){ gl_Position = vec4(X); }
+`, StageVertex)
+	for _, g := range prog.Globals {
+		if g.Name == "X" {
+			if g.ConstVal == nil || g.ConstVal.F[0] != 30 {
+				t.Errorf("const index fold: %v, want 30", g.ConstVal)
+			}
+		}
+	}
+}
+
+func TestCheckTernaryFold(t *testing.T) {
+	prog := compileOK(t, `
+const float A = 3.0 > 2.0 ? 7.0 : 9.0;
+void main(){ gl_Position = vec4(A); }
+`, StageVertex)
+	for _, g := range prog.Globals {
+		if g.Name == "A" && (g.ConstVal == nil || g.ConstVal.F[0] != 7) {
+			t.Errorf("ternary fold: %v", g.ConstVal)
+		}
+	}
+}
+
+func TestCheckHexAndOctalLiterals(t *testing.T) {
+	prog := compileOK(t, `
+const int H = 0xFF;
+const int O = 010;
+void main(){ gl_Position = vec4(float(H + O)); }
+`, StageVertex)
+	find := func(name string) float32 {
+		for _, g := range prog.Globals {
+			if g.Name == name && g.ConstVal != nil {
+				return g.ConstVal.F[0]
+			}
+		}
+		return -1
+	}
+	if find("H") != 255 || find("O") != 8 {
+		t.Errorf("literal decode wrong: H=%g O=%g", find("H"), find("O"))
+	}
+}
+
+func TestCheckSwizzleOfCallResult(t *testing.T) {
+	compileOK(t, `
+precision mediump float;
+uniform sampler2D s;
+void main(){ gl_FragColor = vec4(texture2D(s, vec2(0.5)).rgb, 1.0); }
+`, StageFragment)
+}
+
+func TestCheckWriteThroughSwizzleOfIndex(t *testing.T) {
+	compileOK(t, `
+void main(){
+	mat3 m = mat3(0.0);
+	m[1].xy = vec2(3.0);
+	gl_Position = vec4(m[1], 1.0);
+}
+`, StageVertex)
+}
+
+func TestParsePrecisionInsideFunction(t *testing.T) {
+	compileOK(t, "void main(){ precision highp float; gl_Position = vec4(0.0); }", StageVertex)
+}
+
+func TestCheckLargeConstantArraySize(t *testing.T) {
+	compileOK(t, `
+uniform float u_big[128];
+void main(){ gl_Position = vec4(u_big[127]); }
+`, StageVertex)
+}
+
+func TestCheckUniformLimitEnforcedAtLink(t *testing.T) {
+	// The checker itself doesn't enforce uniform vector limits (the linker
+	// does); it must still compile a large-but-declarable shader.
+	compileOK(t, `
+uniform vec4 u_many[32];
+void main(){ gl_Position = u_many[0]; }
+`, StageVertex)
+}
+
+func TestWarningsExposedOnProgram(t *testing.T) {
+	prog := compileOK(t, `
+uniform float u_n;
+void main(){
+	float s = 0.0;
+	for (float i = 0.0; i < u_n; i += 1.0) { s += 1.0; }
+	gl_Position = vec4(s);
+}
+`, StageVertex)
+	if len(prog.Warnings) == 0 {
+		t.Error("Appendix A deviation must produce a warning")
+	}
+}

@@ -1,0 +1,521 @@
+package glsl
+
+import "math"
+
+// ConstValue is a folded constant: the type plus a flattened component list.
+// Integers and booleans are stored in float32 lanes (exact for the ranges
+// GLSL ES 1.00 guarantees; this mirrors the float-register execution model
+// of the VideoCore IV QPUs the paper targets).
+type ConstValue struct {
+	T *Type
+	F []float32
+}
+
+// Float returns the first component as float64, convenient for scalar use.
+func (v *ConstValue) Float() float64 { return float64(v.F[0]) }
+
+// Int returns the first component truncated to int32.
+func (v *ConstValue) Int() int32 { return int32(v.F[0]) }
+
+// Bool returns the first component as a boolean.
+func (v *ConstValue) Bool() bool { return v.F[0] != 0 }
+
+// FoldConst attempts to evaluate e as a GLSL constant expression: literals,
+// const-qualified variables with constant initializers, operators,
+// constructors, swizzles and side-effect-free builtin calls over constants.
+// It must run after (or during) type checking: it relies on resolved
+// references and types.
+func FoldConst(e Expr) (*ConstValue, bool) {
+	switch n := e.(type) {
+	case *IntLit:
+		return &ConstValue{T: TypeInt, F: []float32{float32(n.Val)}}, true
+	case *FloatLit:
+		return &ConstValue{T: TypeFloat, F: []float32{n.Val}}, true
+	case *BoolLit:
+		v := float32(0)
+		if n.Val {
+			v = 1
+		}
+		return &ConstValue{T: TypeBool, F: []float32{v}}, true
+	case *Ident:
+		if n.Ref != nil && n.Ref.Qual == QualConst && n.Ref.ConstVal != nil {
+			return n.Ref.ConstVal, true
+		}
+		return nil, false
+	case *UnaryExpr:
+		return foldUnary(n)
+	case *BinaryExpr:
+		return foldBinary(n)
+	case *CondExpr:
+		c, ok := FoldConst(n.Cond)
+		if !ok {
+			return nil, false
+		}
+		if c.Bool() {
+			return FoldConst(n.Then)
+		}
+		return FoldConst(n.Else)
+	case *SequenceExpr:
+		return FoldConst(n.Y)
+	case *FieldExpr:
+		if n.Swizzle == nil {
+			return nil, false
+		}
+		x, ok := FoldConst(n.X)
+		if !ok {
+			return nil, false
+		}
+		out := make([]float32, len(n.Swizzle))
+		for i, s := range n.Swizzle {
+			if s >= len(x.F) {
+				return nil, false
+			}
+			out[i] = x.F[s]
+		}
+		return &ConstValue{T: n.Type(), F: out}, true
+	case *IndexExpr:
+		x, ok := FoldConst(n.X)
+		if !ok {
+			return nil, false
+		}
+		i, ok := FoldConst(n.Index)
+		if !ok {
+			return nil, false
+		}
+		t := n.Type()
+		idx := int(i.F[0])
+		sz := t.FlatSize()
+		if idx < 0 || (idx+1)*sz > len(x.F) {
+			return nil, false
+		}
+		return &ConstValue{T: t, F: x.F[idx*sz : (idx+1)*sz]}, true
+	case *CallExpr:
+		return foldCall(n)
+	}
+	return nil, false
+}
+
+func foldUnary(n *UnaryExpr) (*ConstValue, bool) {
+	if n.Op == TokInc || n.Op == TokDec {
+		return nil, false // side effects
+	}
+	x, ok := FoldConst(n.X)
+	if !ok {
+		return nil, false
+	}
+	out := make([]float32, len(x.F))
+	switch n.Op {
+	case TokPlus:
+		copy(out, x.F)
+	case TokMinus:
+		for i, v := range x.F {
+			out[i] = -v
+		}
+	case TokBang:
+		if x.F[0] == 0 {
+			out[0] = 1
+		} else {
+			out[0] = 0
+		}
+	default:
+		return nil, false
+	}
+	t := n.Type()
+	if t.Kind == KInvalid {
+		t = x.T
+	}
+	return &ConstValue{T: t, F: out}, true
+}
+
+func foldBinary(n *BinaryExpr) (*ConstValue, bool) {
+	x, ok := FoldConst(n.X)
+	if !ok {
+		return nil, false
+	}
+	y, ok := FoldConst(n.Y)
+	if !ok {
+		return nil, false
+	}
+	resT := n.Type()
+	if resT.Kind == KInvalid {
+		// Pre-sema folding (array sizes): infer from operands.
+		resT = x.T
+		if len(y.F) > len(x.F) {
+			resT = y.T
+		}
+	}
+	isInt := resT.ComponentType().Kind == KInt
+
+	broadcast := func(v *ConstValue, size int) []float32 {
+		if len(v.F) == size {
+			return v.F
+		}
+		out := make([]float32, size)
+		for i := range out {
+			out[i] = v.F[0]
+		}
+		return out
+	}
+
+	switch n.Op {
+	case TokPlus, TokMinus, TokSlash:
+		size := maxInt(len(x.F), len(y.F))
+		xf, yf := broadcast(x, size), broadcast(y, size)
+		out := make([]float32, size)
+		for i := 0; i < size; i++ {
+			switch n.Op {
+			case TokPlus:
+				out[i] = xf[i] + yf[i]
+			case TokMinus:
+				out[i] = xf[i] - yf[i]
+			case TokSlash:
+				if isInt {
+					if int32(yf[i]) == 0 {
+						return nil, false
+					}
+					out[i] = float32(int32(xf[i]) / int32(yf[i]))
+				} else {
+					if yf[i] == 0 {
+						return nil, false
+					}
+					out[i] = xf[i] / yf[i]
+				}
+			}
+		}
+		if isInt && n.Op != TokSlash {
+			for i := range out {
+				out[i] = float32(int32(out[i]))
+			}
+		}
+		return &ConstValue{T: resT, F: out}, true
+	case TokStar:
+		if x.T.IsMatrix() || y.T.IsMatrix() {
+			return foldMatMul(x, y, resT)
+		}
+		size := maxInt(len(x.F), len(y.F))
+		xf, yf := broadcast(x, size), broadcast(y, size)
+		out := make([]float32, size)
+		for i := 0; i < size; i++ {
+			if isInt {
+				out[i] = float32(int32(xf[i]) * int32(yf[i]))
+			} else {
+				out[i] = xf[i] * yf[i]
+			}
+		}
+		return &ConstValue{T: resT, F: out}, true
+	case TokLess, TokGreater, TokLessEq, TokGreaterEq:
+		a, b := x.F[0], y.F[0]
+		var r bool
+		switch n.Op {
+		case TokLess:
+			r = a < b
+		case TokGreater:
+			r = a > b
+		case TokLessEq:
+			r = a <= b
+		case TokGreaterEq:
+			r = a >= b
+		}
+		return boolConst(r), true
+	case TokEqEq, TokNotEq:
+		if len(x.F) != len(y.F) {
+			return nil, false
+		}
+		eq := true
+		for i := range x.F {
+			if x.F[i] != y.F[i] {
+				eq = false
+				break
+			}
+		}
+		if n.Op == TokNotEq {
+			eq = !eq
+		}
+		return boolConst(eq), true
+	case TokAndAnd:
+		return boolConst(x.Bool() && y.Bool()), true
+	case TokOrOr:
+		return boolConst(x.Bool() || y.Bool()), true
+	case TokXorXor:
+		return boolConst(x.Bool() != y.Bool()), true
+	}
+	return nil, false
+}
+
+func foldMatMul(x, y *ConstValue, resT *Type) (*ConstValue, bool) {
+	// Column-major storage throughout.
+	switch {
+	case x.T.IsMatrix() && y.T.IsMatrix():
+		n := x.T.MatrixDim()
+		out := make([]float32, n*n)
+		for col := 0; col < n; col++ {
+			for row := 0; row < n; row++ {
+				var s float32
+				for k := 0; k < n; k++ {
+					s += x.F[k*n+row] * y.F[col*n+k]
+				}
+				out[col*n+row] = s
+			}
+		}
+		return &ConstValue{T: x.T, F: out}, true
+	case x.T.IsMatrix() && y.T.IsVector():
+		n := x.T.MatrixDim()
+		out := make([]float32, n)
+		for row := 0; row < n; row++ {
+			var s float32
+			for k := 0; k < n; k++ {
+				s += x.F[k*n+row] * y.F[k]
+			}
+			out[row] = s
+		}
+		return &ConstValue{T: y.T, F: out}, true
+	case x.T.IsVector() && y.T.IsMatrix():
+		n := y.T.MatrixDim()
+		out := make([]float32, n)
+		for col := 0; col < n; col++ {
+			var s float32
+			for k := 0; k < n; k++ {
+				s += x.F[k] * y.F[col*n+k]
+			}
+			out[col] = s
+		}
+		return &ConstValue{T: x.T, F: out}, true
+	case x.T.IsMatrix() && y.T.IsScalar():
+		out := make([]float32, len(x.F))
+		for i := range out {
+			out[i] = x.F[i] * y.F[0]
+		}
+		return &ConstValue{T: x.T, F: out}, true
+	case x.T.IsScalar() && y.T.IsMatrix():
+		out := make([]float32, len(y.F))
+		for i := range out {
+			out[i] = x.F[0] * y.F[i]
+		}
+		return &ConstValue{T: y.T, F: out}, true
+	}
+	return nil, false
+}
+
+func boolConst(b bool) *ConstValue {
+	v := float32(0)
+	if b {
+		v = 1
+	}
+	return &ConstValue{T: TypeBool, F: []float32{v}}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func foldCall(n *CallExpr) (*ConstValue, bool) {
+	args := make([]*ConstValue, len(n.Args))
+	for i, a := range n.Args {
+		v, ok := FoldConst(a)
+		if !ok {
+			return nil, false
+		}
+		args[i] = v
+	}
+	switch n.Kind {
+	case CallTypeConstructor:
+		return foldConstructor(n.CtorType, args)
+	case CallBuiltin:
+		return foldBuiltin(n.Builtin, n.Type(), args)
+	}
+	return nil, false
+}
+
+func foldConstructor(t *Type, args []*ConstValue) (*ConstValue, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if t.IsScalar() {
+		v := args[0].F[0]
+		switch t.Kind {
+		case KInt:
+			v = float32(int32(v))
+		case KBool:
+			if v != 0 {
+				v = 1
+			} else {
+				v = 0
+			}
+		}
+		return &ConstValue{T: t, F: []float32{v}}, true
+	}
+	if t.IsVector() {
+		size := t.VectorSize()
+		out := make([]float32, 0, size)
+		if len(args) == 1 && args[0].T.IsScalar() {
+			for i := 0; i < size; i++ {
+				out = append(out, args[0].F[0])
+			}
+		} else {
+			for _, a := range args {
+				out = append(out, a.F...)
+			}
+			if len(out) < size {
+				return nil, false
+			}
+			out = out[:size]
+		}
+		if t.ComponentType().Kind == KInt {
+			for i := range out {
+				out[i] = float32(int32(out[i]))
+			}
+		}
+		if t.ComponentType().Kind == KBool {
+			for i := range out {
+				if out[i] != 0 {
+					out[i] = 1
+				}
+			}
+		}
+		return &ConstValue{T: t, F: out}, true
+	}
+	if t.IsMatrix() {
+		dim := t.MatrixDim()
+		out := make([]float32, dim*dim)
+		if len(args) == 1 && args[0].T.IsScalar() {
+			for i := 0; i < dim; i++ {
+				out[i*dim+i] = args[0].F[0]
+			}
+		} else {
+			flat := make([]float32, 0, dim*dim)
+			for _, a := range args {
+				flat = append(flat, a.F...)
+			}
+			if len(flat) != dim*dim {
+				return nil, false
+			}
+			copy(out, flat)
+		}
+		return &ConstValue{T: t, F: out}, true
+	}
+	return nil, false
+}
+
+// foldBuiltin evaluates pure builtins over constants (used for const
+// initializers and array bounds; the executor has its own — SFU-aware —
+// implementations for run time).
+func foldBuiltin(sig *BuiltinSig, resT *Type, args []*ConstValue) (*ConstValue, bool) {
+	if sig == nil {
+		return nil, false
+	}
+	un := func(f func(float64) float64) (*ConstValue, bool) {
+		out := make([]float32, len(args[0].F))
+		for i, v := range args[0].F {
+			out[i] = float32(f(float64(v)))
+		}
+		return &ConstValue{T: args[0].T, F: out}, true
+	}
+	bin := func(f func(a, b float64) float64) (*ConstValue, bool) {
+		n := maxInt(len(args[0].F), len(args[1].F))
+		out := make([]float32, n)
+		get := func(v *ConstValue, i int) float64 {
+			if len(v.F) == 1 {
+				return float64(v.F[0])
+			}
+			return float64(v.F[i])
+		}
+		for i := 0; i < n; i++ {
+			out[i] = float32(f(get(args[0], i), get(args[1], i)))
+		}
+		t := args[0].T
+		if len(args[1].F) > len(args[0].F) {
+			t = args[1].T
+		}
+		return &ConstValue{T: t, F: out}, true
+	}
+	switch sig.ID {
+	case BRadians:
+		return un(func(x float64) float64 { return x * math.Pi / 180 })
+	case BDegrees:
+		return un(func(x float64) float64 { return x * 180 / math.Pi })
+	case BSin:
+		return un(math.Sin)
+	case BCos:
+		return un(math.Cos)
+	case BTan:
+		return un(math.Tan)
+	case BAsin:
+		return un(math.Asin)
+	case BAcos:
+		return un(math.Acos)
+	case BAtan:
+		return un(math.Atan)
+	case BAtan2:
+		return bin(math.Atan2)
+	case BPow:
+		return bin(math.Pow)
+	case BExp:
+		return un(math.Exp)
+	case BLog:
+		return un(math.Log)
+	case BExp2:
+		return un(math.Exp2)
+	case BLog2:
+		return un(math.Log2)
+	case BSqrt:
+		return un(math.Sqrt)
+	case BInverseSqrt:
+		return un(func(x float64) float64 { return 1 / math.Sqrt(x) })
+	case BAbs:
+		return un(math.Abs)
+	case BSign:
+		return un(func(x float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			if x < 0 {
+				return -1
+			}
+			return 0
+		})
+	case BFloor:
+		return un(math.Floor)
+	case BCeil:
+		return un(math.Ceil)
+	case BFract:
+		return un(func(x float64) float64 { return x - math.Floor(x) })
+	case BMod:
+		return bin(func(a, b float64) float64 { return a - b*math.Floor(a/b) })
+	case BMin:
+		return bin(math.Min)
+	case BMax:
+		return bin(math.Max)
+	case BClamp:
+		if len(args) != 3 {
+			return nil, false
+		}
+		n := len(args[0].F)
+		out := make([]float32, n)
+		get := func(v *ConstValue, i int) float64 {
+			if len(v.F) == 1 {
+				return float64(v.F[0])
+			}
+			return float64(v.F[i])
+		}
+		for i := 0; i < n; i++ {
+			out[i] = float32(math.Min(math.Max(float64(args[0].F[i]), get(args[1], i)), get(args[2], i)))
+		}
+		return &ConstValue{T: args[0].T, F: out}, true
+	case BLength:
+		var s float64
+		for _, v := range args[0].F {
+			s += float64(v) * float64(v)
+		}
+		return &ConstValue{T: TypeFloat, F: []float32{float32(math.Sqrt(s))}}, true
+	case BDot:
+		var s float64
+		for i := range args[0].F {
+			s += float64(args[0].F[i]) * float64(args[1].F[i])
+		}
+		return &ConstValue{T: TypeFloat, F: []float32{float32(s)}}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,366 @@
+package glsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CompileError is a diagnostic attached to a source position. The Stage field
+// allows GL-style info logs to distinguish preprocessor, lexer, parser and
+// type-check errors.
+type CompileError struct {
+	Pos   Pos
+	Stage string
+	Msg   string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("%s: %s: %s", e.Pos, e.Stage, e.Msg)
+}
+
+// ErrorList accumulates diagnostics in source order.
+type ErrorList []*CompileError
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	var b strings.Builder
+	for i, e := range l {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Err returns the list as an error, or nil when empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// Lexer turns GLSL ES source text into tokens. It expects preprocessed input
+// (see Preprocess); preprocessor directives reaching the lexer are an error.
+type Lexer struct {
+	src    string
+	off    int
+	line   int
+	col    int
+	errs   ErrorList
+	peeked *Token
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the diagnostics produced so far.
+func (lx *Lexer) Errors() ErrorList { return lx.errs }
+
+func (lx *Lexer) errorf(pos Pos, format string, args ...interface{}) {
+	lx.errs = append(lx.errs, &CompileError{Pos: pos, Stage: "lex", Msg: fmt.Sprintf(format, args...)})
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekByteAt(n int) byte {
+	if lx.off+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+n]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peekByteAt(1) == '/':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekByteAt(1) == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekByteAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				lx.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// Next returns the next token, consuming it.
+func (lx *Lexer) Next() Token {
+	if lx.peeked != nil {
+		t := *lx.peeked
+		lx.peeked = nil
+		return t
+	}
+	return lx.scan()
+}
+
+// Peek returns the next token without consuming it.
+func (lx *Lexer) Peek() Token {
+	if lx.peeked == nil {
+		t := lx.scan()
+		lx.peeked = &t
+	}
+	return *lx.peeked
+}
+
+func (lx *Lexer) scan() Token {
+	lx.skipSpaceAndComments()
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}
+	}
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		return lx.scanIdent(pos)
+	case isDigit(c) || (c == '.' && isDigit(lx.peekByteAt(1))):
+		return lx.scanNumber(pos)
+	}
+	lx.advance()
+	two := func(next byte, k2, k1 TokenKind) Token {
+		if lx.peekByte() == next {
+			lx.advance()
+			return Token{Kind: k2, Pos: pos}
+		}
+		return Token{Kind: k1, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}
+	case '.':
+		return Token{Kind: TokDot, Pos: pos}
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}
+	case ':':
+		return Token{Kind: TokColon, Pos: pos}
+	case ';':
+		return Token{Kind: TokSemicolon, Pos: pos}
+	case '?':
+		return Token{Kind: TokQuestion, Pos: pos}
+	case '+':
+		if lx.peekByte() == '+' {
+			lx.advance()
+			return Token{Kind: TokInc, Pos: pos}
+		}
+		return two('=', TokPlusAssign, TokPlus)
+	case '-':
+		if lx.peekByte() == '-' {
+			lx.advance()
+			return Token{Kind: TokDec, Pos: pos}
+		}
+		return two('=', TokMinusAssign, TokMinus)
+	case '*':
+		return two('=', TokStarAssign, TokStar)
+	case '/':
+		return two('=', TokSlashAssign, TokSlash)
+	case '!':
+		return two('=', TokNotEq, TokBang)
+	case '=':
+		return two('=', TokEqEq, TokAssign)
+	case '<':
+		if lx.peekByte() == '<' {
+			lx.advance()
+			return Token{Kind: TokShl, Pos: pos}
+		}
+		return two('=', TokLessEq, TokLess)
+	case '>':
+		if lx.peekByte() == '>' {
+			lx.advance()
+			return Token{Kind: TokShr, Pos: pos}
+		}
+		return two('=', TokGreaterEq, TokGreater)
+	case '&':
+		return two('&', TokAndAnd, TokAmp)
+	case '|':
+		return two('|', TokOrOr, TokPipe)
+	case '^':
+		return two('^', TokXorXor, TokCaret)
+	case '~':
+		return Token{Kind: TokTilde, Pos: pos}
+	case '%':
+		return two('=', TokPercentAssign, TokPercent)
+	case '#':
+		lx.errorf(pos, "preprocessor directive not at start of line (or input not preprocessed)")
+		return lx.scan()
+	}
+	lx.errorf(pos, "illegal character %q", string(rune(c)))
+	return lx.scan()
+}
+
+func (lx *Lexer) scanIdent(pos Pos) Token {
+	start := lx.off
+	for lx.off < len(lx.src) && isIdentCont(lx.peekByte()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	if k, ok := keywords[text]; ok {
+		if k == TokBoolLit {
+			return Token{Kind: TokBoolLit, Pos: pos, Text: text}
+		}
+		return Token{Kind: k, Pos: pos, Text: text}
+	}
+	if reservedWords[text] {
+		lx.errorf(pos, "%q is a reserved word in GLSL ES 1.00", text)
+		return Token{Kind: TokReservedWord, Pos: pos, Text: text}
+	}
+	if strings.HasPrefix(text, "gl_") || strings.Contains(text, "__") {
+		// gl_* names are only legal when predeclared; the parser resolves
+		// them like ordinary identifiers and sema validates against the
+		// builtin tables. Double underscores are reserved; keep lexing but
+		// flag them, matching strict driver behaviour.
+		if strings.Contains(text, "__") {
+			lx.errorf(pos, "identifiers containing consecutive underscores are reserved (%q)", text)
+		}
+	}
+	return Token{Kind: TokIdent, Pos: pos, Text: text}
+}
+
+func (lx *Lexer) scanNumber(pos Pos) Token {
+	start := lx.off
+	isFloat := false
+
+	if lx.peekByte() == '0' && (lx.peekByteAt(1) == 'x' || lx.peekByteAt(1) == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.off < len(lx.src) && isHexDigit(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		v, err := strconv.ParseUint(text[2:], 16, 32)
+		if err != nil {
+			lx.errorf(pos, "invalid hexadecimal literal %q", text)
+		}
+		return Token{Kind: TokIntLit, Pos: pos, Text: text, IntVal: int32(uint32(v))}
+	}
+
+	for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
+		lx.advance()
+	}
+	// Octal integer literals (leading 0) exist in GLSL ES; decode below.
+	if lx.peekByte() == '.' {
+		isFloat = true
+		lx.advance()
+		for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	}
+	if c := lx.peekByte(); c == 'e' || c == 'E' {
+		save := lx.off
+		lx.advance()
+		if c := lx.peekByte(); c == '+' || c == '-' {
+			lx.advance()
+		}
+		if isDigit(lx.peekByte()) {
+			isFloat = true
+			for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
+				lx.advance()
+			}
+		} else {
+			// Not an exponent after all; rewind is safe because 'e' and
+			// the sign cannot contain newlines.
+			lx.col -= lx.off - save
+			lx.off = save
+		}
+	}
+	text := lx.src[start:lx.off]
+	if isFloat {
+		v, err := strconv.ParseFloat(text, 32)
+		if err != nil {
+			lx.errorf(pos, "invalid float literal %q", text)
+		}
+		return Token{Kind: TokFloatLit, Pos: pos, Text: text, FloatVal: float32(v)}
+	}
+	var v uint64
+	var err error
+	if len(text) > 1 && text[0] == '0' {
+		v, err = strconv.ParseUint(text[1:], 8, 32)
+	} else {
+		v, err = strconv.ParseUint(text, 10, 32)
+	}
+	if err != nil {
+		lx.errorf(pos, "invalid integer literal %q", text)
+	}
+	return Token{Kind: TokIntLit, Pos: pos, Text: text, IntVal: int32(uint32(v))}
+}
+
+// LexAll tokenizes src completely; useful for tests and tooling.
+func LexAll(src string) ([]Token, ErrorList) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			break
+		}
+	}
+	return toks, lx.Errors()
+}

@@ -1,0 +1,184 @@
+package glsl
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, errs := LexAll("void main() { gl_FragColor = vec4(1.0); }")
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []TokenKind{
+		TokVoid, TokIdent, TokLParen, TokRParen, TokLBrace,
+		TokIdent, TokAssign, TokVec4, TokLParen, TokFloatLit, TokRParen,
+		TokSemicolon, TokRBrace, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src      string
+		kind     TokenKind
+		intVal   int32
+		floatVal float32
+	}{
+		{"0", TokIntLit, 0, 0},
+		{"42", TokIntLit, 42, 0},
+		{"0x1F", TokIntLit, 31, 0},
+		{"017", TokIntLit, 15, 0},
+		{"1.5", TokFloatLit, 0, 1.5},
+		{".5", TokFloatLit, 0, 0.5},
+		{"3.", TokFloatLit, 0, 3},
+		{"1e3", TokFloatLit, 0, 1000},
+		{"2.5e-2", TokFloatLit, 0, 0.025},
+		{"1E+2", TokFloatLit, 0, 100},
+	}
+	for _, c := range cases {
+		toks, errs := LexAll(c.src)
+		if errs.Err() != nil {
+			t.Errorf("%q: unexpected errors: %v", c.src, errs)
+			continue
+		}
+		if toks[0].Kind != c.kind {
+			t.Errorf("%q: got kind %s, want %s", c.src, toks[0].Kind, c.kind)
+			continue
+		}
+		if c.kind == TokIntLit && toks[0].IntVal != c.intVal {
+			t.Errorf("%q: got %d, want %d", c.src, toks[0].IntVal, c.intVal)
+		}
+		if c.kind == TokFloatLit && toks[0].FloatVal != c.floatVal {
+			t.Errorf("%q: got %g, want %g", c.src, toks[0].FloatVal, c.floatVal)
+		}
+	}
+}
+
+func TestLexIdentifierFollowedByE(t *testing.T) {
+	// "2e" is not a valid exponent; should lex as int 2 then ident "e".
+	toks, _ := LexAll("2e")
+	if toks[0].Kind != TokIntLit || toks[0].IntVal != 2 {
+		t.Fatalf("expected int 2, got %v", toks[0])
+	}
+	if toks[1].Kind != TokIdent || toks[1].Text != "e" {
+		t.Fatalf("expected ident e, got %v", toks[1])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, errs := LexAll("a // line comment\n/* block\ncomment */ b")
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(toks) != 3 {
+		t.Fatalf("expected [a b EOF], got %v", toks)
+	}
+	if toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("wrong tokens: %v", toks)
+	}
+	if toks[1].Pos.Line != 3 {
+		t.Errorf("b should be on line 3, got %d", toks[1].Pos.Line)
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	_, errs := LexAll("a /* never closed")
+	if errs.Err() == nil {
+		t.Fatal("expected an error for unterminated comment")
+	}
+}
+
+func TestLexReservedWordsRejected(t *testing.T) {
+	for _, word := range []string{"double", "unsigned", "goto", "switch", "half", "sampler3D"} {
+		_, errs := LexAll(word)
+		if errs.Err() == nil {
+			t.Errorf("reserved word %q must be rejected", word)
+		}
+	}
+}
+
+func TestLexReservedOperators(t *testing.T) {
+	// Reserved operators lex fine (parser rejects their use).
+	toks, _ := LexAll("a % b & c | d ^ e << f >> g")
+	var sawPercent, sawAmp, sawShl bool
+	for _, tok := range toks {
+		switch tok.Kind {
+		case TokPercent:
+			sawPercent = true
+		case TokAmp:
+			sawAmp = true
+		case TokShl:
+			sawShl = true
+		}
+	}
+	if !sawPercent || !sawAmp || !sawShl {
+		t.Fatalf("reserved operators not lexed: %v", kinds(toks))
+	}
+}
+
+func TestLexDoubleUnderscoreReserved(t *testing.T) {
+	_, errs := LexAll("float a__b;")
+	if errs.Err() == nil {
+		t.Fatal("identifiers with __ must be flagged")
+	}
+}
+
+func TestLexOperatorPositions(t *testing.T) {
+	toks, _ := LexAll("a+=b")
+	if toks[1].Kind != TokPlusAssign {
+		t.Fatalf("expected +=, got %s", toks[1].Kind)
+	}
+	toks, _ = LexAll("a++ + ++b")
+	want := []TokenKind{TokIdent, TokInc, TokPlus, TokInc, TokIdent, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %s want %s (%v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestLexAllKeywords(t *testing.T) {
+	for word, kind := range keywords {
+		toks, errs := LexAll(word)
+		if errs.Err() != nil {
+			t.Errorf("keyword %q: %v", word, errs)
+			continue
+		}
+		if toks[0].Kind != kind {
+			t.Errorf("keyword %q: got %s, want %s", word, toks[0].Kind, kind)
+		}
+	}
+}
+
+func TestErrorListFormatting(t *testing.T) {
+	_, errs := LexAll("$ @")
+	if errs.Err() == nil {
+		t.Fatal("expected errors for illegal characters")
+	}
+	msg := errs.Error()
+	if !strings.Contains(msg, "illegal character") {
+		t.Errorf("unexpected message: %s", msg)
+	}
+	var empty ErrorList
+	if empty.Err() != nil {
+		t.Error("empty list must return nil error")
+	}
+}

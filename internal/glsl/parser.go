@@ -1,0 +1,937 @@
+package glsl
+
+import (
+	"fmt"
+)
+
+// Parser builds a TranslationUnit from tokens. It is a conventional
+// recursive-descent parser following the GLSL ES 1.00 grammar, with the
+// ES-specific restrictions enforced either here (reserved operators, brace
+// initializers) or in the checker (everything type-related).
+type Parser struct {
+	lx   *Lexer
+	tok  Token
+	errs ErrorList
+
+	// structNames tracks struct type names per lexical scope so that the
+	// parser can distinguish declarations from expressions.
+	structNames []map[string]*StructInfo
+}
+
+// NewParser returns a parser over preprocessed source text.
+func NewParser(src string) *Parser {
+	p := &Parser{lx: NewLexer(src)}
+	p.structNames = []map[string]*StructInfo{{}}
+	p.next()
+	return p
+}
+
+// Parse parses a whole shader (after preprocessing).
+func Parse(src string) (*TranslationUnit, ErrorList) {
+	pp, perrs := Preprocess(src)
+	p := NewParser(pp.Source)
+	tu := p.parseTranslationUnit()
+	tu.Version = pp.Version
+	errs := append(ErrorList{}, perrs...)
+	errs = append(errs, p.lx.Errors()...)
+	errs = append(errs, p.errs...)
+	return tu, errs
+}
+
+func (p *Parser) next() {
+	p.tok = p.lx.Next()
+	// Reserved words have already been diagnosed by the lexer; skip them so
+	// parsing can continue.
+	for p.tok.Kind == TokReservedWord {
+		p.tok = p.lx.Next()
+	}
+}
+
+func (p *Parser) errorf(pos Pos, format string, args ...interface{}) {
+	if len(p.errs) < 100 {
+		p.errs = append(p.errs, &CompileError{Pos: pos, Stage: "parse", Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (p *Parser) expect(k TokenKind) Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+		// Do not consume: the caller's recovery logic decides.
+		return Token{Kind: k, Pos: t.Pos}
+	}
+	p.next()
+	return t
+}
+
+func (p *Parser) accept(k TokenKind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// skipTo advances until one of the kinds (or EOF) is current; used for error
+// recovery.
+func (p *Parser) skipTo(kinds ...TokenKind) {
+	for p.tok.Kind != TokEOF {
+		for _, k := range kinds {
+			if p.tok.Kind == k {
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+func (p *Parser) pushScope() {
+	p.structNames = append(p.structNames, map[string]*StructInfo{})
+}
+
+func (p *Parser) popScope() {
+	p.structNames = p.structNames[:len(p.structNames)-1]
+}
+
+func (p *Parser) declareStructName(info *StructInfo) {
+	p.structNames[len(p.structNames)-1][info.Name] = info
+}
+
+func (p *Parser) lookupStructName(name string) *StructInfo {
+	for i := len(p.structNames) - 1; i >= 0; i-- {
+		if info, ok := p.structNames[i][name]; ok {
+			return info
+		}
+	}
+	return nil
+}
+
+// ---- Top level ----
+
+func (p *Parser) parseTranslationUnit() *TranslationUnit {
+	tu := &TranslationUnit{}
+	for p.tok.Kind != TokEOF {
+		start := p.tok
+		d := p.parseExternalDecl()
+		if d != nil {
+			tu.Decls = append(tu.Decls, d...)
+		}
+		if p.tok.Kind == start.Kind && p.tok.Pos == start.Pos && p.tok.Kind != TokEOF {
+			// No progress: skip the offending token to guarantee termination.
+			p.next()
+		}
+	}
+	return tu
+}
+
+// parseExternalDecl parses one file-scope construct, returning the nodes it
+// produced (a declaration list can produce several VarDecls).
+func (p *Parser) parseExternalDecl() []Node {
+	switch p.tok.Kind {
+	case TokSemicolon:
+		p.next()
+		return nil
+	case TokPrecision:
+		return p.parsePrecisionDecl()
+	case TokInvariant:
+		return p.parseInvariantDecl()
+	}
+
+	qual, prec, invariant := p.parseQualifiers()
+
+	if p.tok.Kind == TokStruct {
+		return p.parseStructDeclaration(qual, prec)
+	}
+
+	declType := p.parseTypeSpecifier()
+	if declType == nil {
+		p.errorf(p.tok.Pos, "expected declaration, found %s", p.tok)
+		p.skipTo(TokSemicolon, TokRBrace)
+		p.accept(TokSemicolon)
+		return nil
+	}
+
+	if p.tok.Kind != TokIdent {
+		// "float;" — legal but useless; consume.
+		p.expect(TokSemicolon)
+		return nil
+	}
+	nameTok := p.tok
+	p.next()
+
+	if p.tok.Kind == TokLParen {
+		if qual != QualNone {
+			p.errorf(nameTok.Pos, "functions may not have a %s qualifier", qual)
+		}
+		fd := p.parseFunctionRest(nameTok, declType, prec)
+		if fd == nil {
+			return nil
+		}
+		return []Node{fd}
+	}
+
+	vars := p.parseDeclaratorList(nameTok, declType, qual, prec, invariant)
+	nodes := make([]Node, 0, len(vars))
+	for _, v := range vars {
+		nodes = append(nodes, v)
+	}
+	return nodes
+}
+
+func (p *Parser) parsePrecisionDecl() []Node {
+	pos := p.tok.Pos
+	p.next()
+	prec := p.parsePrecisionQualifier()
+	if prec == PrecNone {
+		p.errorf(p.tok.Pos, "expected precision qualifier after 'precision'")
+	}
+	t := p.parseTypeSpecifier()
+	if t == nil {
+		p.errorf(p.tok.Pos, "expected type in precision declaration")
+	} else {
+		switch t.Kind {
+		case KFloat, KInt, KSampler2D, KSamplerCube:
+		default:
+			p.errorf(pos, "precision can only be declared for float, int and sampler types, not %s", t)
+		}
+	}
+	p.expect(TokSemicolon)
+	return []Node{&PrecisionDecl{Pos: pos, Prec: prec, Of: t}}
+}
+
+func (p *Parser) parseInvariantDecl() []Node {
+	pos := p.tok.Pos
+	p.next()
+	// Either "invariant gl_Position;" (re-declaration) or an invariant
+	// varying declaration, which parseQualifiers would have handled; here we
+	// only deal with the name list form.
+	if p.tok.Kind == TokIdent {
+		d := &InvariantDecl{Pos: pos}
+		d.Names = append(d.Names, p.tok.Text)
+		p.next()
+		for p.accept(TokComma) {
+			t := p.expect(TokIdent)
+			d.Names = append(d.Names, t.Text)
+		}
+		p.expect(TokSemicolon)
+		return []Node{d}
+	}
+	// invariant varying ... : rewind is impossible, so parse inline.
+	qual, prec, _ := p.parseQualifiers()
+	declType := p.parseTypeSpecifier()
+	if declType == nil {
+		p.errorf(p.tok.Pos, "expected type after 'invariant'")
+		p.skipTo(TokSemicolon)
+		p.accept(TokSemicolon)
+		return nil
+	}
+	nameTok := p.expect(TokIdent)
+	vars := p.parseDeclaratorList(nameTok, declType, qual, prec, true)
+	nodes := make([]Node, 0, len(vars))
+	for _, v := range vars {
+		nodes = append(nodes, v)
+	}
+	return nodes
+}
+
+// parseQualifiers consumes [invariant] [const|attribute|uniform|varying]
+// [precision].
+func (p *Parser) parseQualifiers() (Qualifier, Precision, bool) {
+	invariant := false
+	if p.tok.Kind == TokInvariant {
+		invariant = true
+		p.next()
+	}
+	qual := QualNone
+	switch p.tok.Kind {
+	case TokConst:
+		qual = QualConst
+		p.next()
+	case TokAttribute:
+		qual = QualAttribute
+		p.next()
+	case TokUniform:
+		qual = QualUniform
+		p.next()
+	case TokVarying:
+		qual = QualVarying
+		p.next()
+	}
+	prec := p.parsePrecisionQualifier()
+	return qual, prec, invariant
+}
+
+func (p *Parser) parsePrecisionQualifier() Precision {
+	switch p.tok.Kind {
+	case TokLowp:
+		p.next()
+		return PrecLow
+	case TokMediump:
+		p.next()
+		return PrecMedium
+	case TokHighp:
+		p.next()
+		return PrecHigh
+	}
+	return PrecNone
+}
+
+// parseTypeSpecifier parses a type keyword, a struct-name reference, or an
+// inline struct definition. Returns nil when the current token does not
+// start a type.
+func (p *Parser) parseTypeSpecifier() *Type {
+	if t := typeFromToken(p.tok.Kind); t != nil {
+		p.next()
+		return t
+	}
+	if p.tok.Kind == TokStruct {
+		info := p.parseStructBody()
+		if info == nil {
+			return nil
+		}
+		return StructType(info)
+	}
+	if p.tok.Kind == TokIdent {
+		if info := p.lookupStructName(p.tok.Text); info != nil {
+			p.next()
+			return StructType(info)
+		}
+	}
+	return nil
+}
+
+// parseStructBody parses 'struct' [name] '{' fields '}' and registers the
+// name in the current scope.
+func (p *Parser) parseStructBody() *StructInfo {
+	p.expect(TokStruct)
+	info := &StructInfo{}
+	if p.tok.Kind == TokIdent {
+		info.Name = p.tok.Text
+		p.next()
+	}
+	p.expect(TokLBrace)
+	for p.tok.Kind != TokRBrace && p.tok.Kind != TokEOF {
+		prec := p.parsePrecisionQualifier()
+		_ = prec
+		ft := p.parseTypeSpecifier()
+		if ft == nil {
+			p.errorf(p.tok.Pos, "expected type in struct field declaration, found %s", p.tok)
+			p.skipTo(TokSemicolon, TokRBrace)
+			p.accept(TokSemicolon)
+			continue
+		}
+		for {
+			nameTok := p.expect(TokIdent)
+			fieldType := ft
+			if p.accept(TokLBracket) {
+				size := p.parseConstIntExpr()
+				p.expect(TokRBracket)
+				fieldType = ArrayOf(ft, size)
+			}
+			if info.FieldIndex(nameTok.Text) >= 0 {
+				p.errorf(nameTok.Pos, "duplicate struct field %q", nameTok.Text)
+			}
+			info.Fields = append(info.Fields, StructField{Name: nameTok.Text, Type: fieldType})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		p.expect(TokSemicolon)
+	}
+	p.expect(TokRBrace)
+	if len(info.Fields) == 0 {
+		p.errorf(p.tok.Pos, "struct must have at least one field")
+	}
+	if info.Name != "" {
+		p.declareStructName(info)
+	}
+	return info
+}
+
+// parseStructDeclaration handles a file/block-scope struct definition with an
+// optional declarator list: struct S { ... } a, b;
+func (p *Parser) parseStructDeclaration(qual Qualifier, prec Precision) []Node {
+	pos := p.tok.Pos
+	info := p.parseStructBody()
+	if info == nil {
+		return nil
+	}
+	nodes := []Node{&StructDecl{Pos: pos, Info: info}}
+	if p.tok.Kind == TokIdent {
+		nameTok := p.tok
+		p.next()
+		vars := p.parseDeclaratorList(nameTok, StructType(info), qual, prec, false)
+		for _, v := range vars {
+			nodes = append(nodes, v)
+		}
+		return nodes
+	}
+	p.expect(TokSemicolon)
+	return nodes
+}
+
+// parseDeclaratorList parses "name [N] [= init] (, name2 ...)* ;" where the
+// first name token has already been consumed.
+func (p *Parser) parseDeclaratorList(first Token, base *Type, qual Qualifier, prec Precision, invariant bool) []*VarDecl {
+	var vars []*VarDecl
+	nameTok := first
+	for {
+		t := base
+		if p.accept(TokLBracket) {
+			size := p.parseConstIntExpr()
+			p.expect(TokRBracket)
+			t = ArrayOf(base, size)
+		}
+		v := &VarDecl{
+			Pos:       nameTok.Pos,
+			Name:      nameTok.Text,
+			DeclType:  t,
+			Qual:      qual,
+			Prec:      prec,
+			Invariant: invariant,
+		}
+		if p.accept(TokAssign) {
+			if p.tok.Kind == TokLBrace {
+				p.errorf(p.tok.Pos, "GLSL ES 1.00 does not support brace initializers")
+				p.skipTo(TokSemicolon)
+			} else {
+				v.Init = p.parseAssignmentExpr()
+			}
+		}
+		vars = append(vars, v)
+		if !p.accept(TokComma) {
+			break
+		}
+		nameTok = p.expect(TokIdent)
+		if nameTok.Text == "" {
+			break
+		}
+	}
+	p.expect(TokSemicolon)
+	return vars
+}
+
+// parseConstIntExpr parses a conditional expression and folds it to an int,
+// for array sizes. Full folding happens in sema; here we fold literals and
+// simple arithmetic to keep the type usable during parsing.
+func (p *Parser) parseConstIntExpr() int {
+	e := p.parseConditionalExpr()
+	if v, ok := foldParseTimeInt(e); ok {
+		if v <= 0 {
+			p.errorf(e.NodePos(), "array size must be positive, got %d", v)
+			return 1
+		}
+		return int(v)
+	}
+	p.errorf(e.NodePos(), "array size must be a constant integer expression")
+	return 1
+}
+
+// foldParseTimeInt folds literal integer arithmetic at parse time.
+func foldParseTimeInt(e Expr) (int32, bool) {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Val, true
+	case *UnaryExpr:
+		v, ok := foldParseTimeInt(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case TokMinus:
+			return -v, true
+		case TokPlus:
+			return v, true
+		}
+	case *BinaryExpr:
+		a, ok1 := foldParseTimeInt(x.X)
+		b, ok2 := foldParseTimeInt(x.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch x.Op {
+		case TokPlus:
+			return a + b, true
+		case TokMinus:
+			return a - b, true
+		case TokStar:
+			return a * b, true
+		case TokSlash:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		}
+	}
+	return 0, false
+}
+
+// ---- Functions ----
+
+func (p *Parser) parseFunctionRest(nameTok Token, ret *Type, retPrec Precision) *FuncDecl {
+	fd := &FuncDecl{Pos: nameTok.Pos, Name: nameTok.Text, Ret: ret, RetPrec: retPrec}
+	p.expect(TokLParen)
+	if p.tok.Kind != TokRParen {
+		// 'void' alone means no parameters.
+		if p.tok.Kind == TokVoid {
+			save := p.tok
+			p.next()
+			if p.tok.Kind == TokRParen {
+				// no params
+			} else {
+				p.errorf(save.Pos, "'void' parameter must be alone")
+				p.skipTo(TokRParen)
+			}
+		} else {
+			for {
+				param := p.parseParam()
+				if param != nil {
+					fd.Params = append(fd.Params, param)
+				}
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+		}
+	}
+	p.expect(TokRParen)
+	if p.accept(TokSemicolon) {
+		return fd // prototype
+	}
+	if p.tok.Kind != TokLBrace {
+		p.errorf(p.tok.Pos, "expected function body or ';', found %s", p.tok)
+		p.skipTo(TokLBrace, TokSemicolon)
+		if !p.accept(TokSemicolon) && p.tok.Kind != TokLBrace {
+			return fd
+		}
+		if p.tok.Kind != TokLBrace {
+			return fd
+		}
+	}
+	fd.Body = p.parseBlock()
+	return fd
+}
+
+func (p *Parser) parseParam() *VarDecl {
+	if p.accept(TokConst) {
+		// const-qualified in parameters are accepted and treated as in.
+	}
+	dir := DirIn
+	switch p.tok.Kind {
+	case TokIn:
+		p.next()
+	case TokOut:
+		dir = DirOut
+		p.next()
+	case TokInout:
+		dir = DirInOut
+		p.next()
+	}
+	prec := p.parsePrecisionQualifier()
+	t := p.parseTypeSpecifier()
+	if t == nil {
+		p.errorf(p.tok.Pos, "expected parameter type, found %s", p.tok)
+		p.skipTo(TokComma, TokRParen)
+		return nil
+	}
+	v := &VarDecl{Pos: p.tok.Pos, DeclType: t, Prec: prec, IsParam: true, Dir: dir}
+	if p.tok.Kind == TokIdent {
+		v.Name = p.tok.Text
+		v.Pos = p.tok.Pos
+		p.next()
+		if p.accept(TokLBracket) {
+			size := p.parseConstIntExpr()
+			p.expect(TokRBracket)
+			v.DeclType = ArrayOf(t, size)
+		}
+	}
+	return v
+}
+
+// ---- Statements ----
+
+func (p *Parser) parseBlock() *BlockStmt {
+	b := &BlockStmt{stmtBase: stmtBase{Pos: p.tok.Pos}}
+	p.expect(TokLBrace)
+	p.pushScope()
+	for p.tok.Kind != TokRBrace && p.tok.Kind != TokEOF {
+		start := p.tok
+		s := p.parseStatement()
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+		if p.tok.Kind == start.Kind && p.tok.Pos == start.Pos && p.tok.Kind != TokRBrace {
+			p.next()
+		}
+	}
+	p.popScope()
+	p.expect(TokRBrace)
+	return b
+}
+
+// startsDeclaration reports whether the current token begins a declaration.
+func (p *Parser) startsDeclaration() bool {
+	switch p.tok.Kind {
+	case TokConst, TokStruct, TokLowp, TokMediump, TokHighp, TokPrecision, TokInvariant,
+		TokAttribute, TokUniform, TokVarying:
+		return true
+	}
+	if typeFromToken(p.tok.Kind) != nil {
+		return true
+	}
+	if p.tok.Kind == TokIdent && p.lookupStructName(p.tok.Text) != nil {
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseStatement() Stmt {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokSemicolon:
+		p.next()
+		return &EmptyStmt{stmtBase{Pos: pos}}
+	case TokIf:
+		return p.parseIf()
+	case TokFor:
+		return p.parseFor()
+	case TokWhile:
+		return p.parseWhile()
+	case TokDo:
+		return p.parseDoWhile()
+	case TokReturn:
+		p.next()
+		r := &ReturnStmt{stmtBase: stmtBase{Pos: pos}}
+		if p.tok.Kind != TokSemicolon {
+			r.X = p.parseExpression()
+		}
+		p.expect(TokSemicolon)
+		return r
+	case TokBreak:
+		p.next()
+		p.expect(TokSemicolon)
+		return &BreakStmt{stmtBase{Pos: pos}}
+	case TokContinue:
+		p.next()
+		p.expect(TokSemicolon)
+		return &ContinueStmt{stmtBase{Pos: pos}}
+	case TokDiscard:
+		p.next()
+		p.expect(TokSemicolon)
+		return &DiscardStmt{stmtBase{Pos: pos}}
+	case TokPrecision:
+		// Block-scope precision declaration: parse and drop (it has no
+		// semantic effect in this implementation).
+		p.parsePrecisionDecl()
+		return &EmptyStmt{stmtBase{Pos: pos}}
+	}
+	if p.startsDeclaration() {
+		return p.parseDeclStmt()
+	}
+	x := p.parseExpression()
+	p.expect(TokSemicolon)
+	return &ExprStmt{stmtBase: stmtBase{Pos: pos}, X: x}
+}
+
+func (p *Parser) parseDeclStmt() Stmt {
+	pos := p.tok.Pos
+	qual, prec, invariant := p.parseQualifiers()
+
+	if p.tok.Kind == TokStruct {
+		structPos := p.tok.Pos
+		info := p.parseStructBody()
+		ds := &DeclStmt{stmtBase: stmtBase{Pos: pos}}
+		if info != nil {
+			ds.Struct = &StructDecl{Pos: structPos, Info: info}
+			if p.tok.Kind == TokIdent {
+				nameTok := p.tok
+				p.next()
+				ds.Vars = p.parseDeclaratorList(nameTok, StructType(info), qual, prec, invariant)
+				return ds
+			}
+		}
+		p.expect(TokSemicolon)
+		return ds
+	}
+
+	t := p.parseTypeSpecifier()
+	if t == nil {
+		p.errorf(p.tok.Pos, "expected type in declaration, found %s", p.tok)
+		p.skipTo(TokSemicolon, TokRBrace)
+		p.accept(TokSemicolon)
+		return &EmptyStmt{stmtBase{Pos: pos}}
+	}
+	nameTok := p.expect(TokIdent)
+	vars := p.parseDeclaratorList(nameTok, t, qual, prec, invariant)
+	return &DeclStmt{stmtBase: stmtBase{Pos: pos}, Vars: vars}
+}
+
+func (p *Parser) parseIf() Stmt {
+	pos := p.tok.Pos
+	p.expect(TokIf)
+	p.expect(TokLParen)
+	cond := p.parseExpression()
+	p.expect(TokRParen)
+	then := p.parseStatement()
+	var els Stmt
+	if p.accept(TokElse) {
+		els = p.parseStatement()
+	}
+	return &IfStmt{stmtBase: stmtBase{Pos: pos}, Cond: cond, Then: then, Else: els}
+}
+
+func (p *Parser) parseFor() Stmt {
+	pos := p.tok.Pos
+	p.expect(TokFor)
+	p.expect(TokLParen)
+	p.pushScope()
+	f := &ForStmt{stmtBase: stmtBase{Pos: pos}}
+	if p.tok.Kind != TokSemicolon {
+		if p.startsDeclaration() {
+			f.InitStmt = p.parseDeclStmt() // consumes ';'
+		} else {
+			x := p.parseExpression()
+			p.expect(TokSemicolon)
+			f.InitStmt = &ExprStmt{stmtBase: stmtBase{Pos: x.NodePos()}, X: x}
+		}
+	} else {
+		p.next()
+	}
+	if p.tok.Kind != TokSemicolon {
+		f.Cond = p.parseExpression()
+	}
+	p.expect(TokSemicolon)
+	if p.tok.Kind != TokRParen {
+		f.Post = p.parseExpression()
+	}
+	p.expect(TokRParen)
+	f.Body = p.parseStatement()
+	p.popScope()
+	return f
+}
+
+func (p *Parser) parseWhile() Stmt {
+	pos := p.tok.Pos
+	p.expect(TokWhile)
+	p.expect(TokLParen)
+	cond := p.parseExpression()
+	p.expect(TokRParen)
+	body := p.parseStatement()
+	return &WhileStmt{stmtBase: stmtBase{Pos: pos}, Cond: cond, Body: body}
+}
+
+func (p *Parser) parseDoWhile() Stmt {
+	pos := p.tok.Pos
+	p.expect(TokDo)
+	body := p.parseStatement()
+	p.expect(TokWhile)
+	p.expect(TokLParen)
+	cond := p.parseExpression()
+	p.expect(TokRParen)
+	p.expect(TokSemicolon)
+	return &DoWhileStmt{stmtBase: stmtBase{Pos: pos}, Body: body, Cond: cond}
+}
+
+// ---- Expressions ----
+
+// parseExpression parses a full expression including the comma operator.
+func (p *Parser) parseExpression() Expr {
+	x := p.parseAssignmentExpr()
+	for p.tok.Kind == TokComma {
+		pos := p.tok.Pos
+		p.next()
+		y := p.parseAssignmentExpr()
+		x = &SequenceExpr{exprBase: exprBase{Pos: pos}, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *Parser) parseAssignmentExpr() Expr {
+	x := p.parseConditionalExpr()
+	switch p.tok.Kind {
+	case TokAssign, TokPlusAssign, TokMinusAssign, TokStarAssign, TokSlashAssign:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		y := p.parseAssignmentExpr()
+		return &AssignExpr{exprBase: exprBase{Pos: pos}, Op: op, LHS: x, RHS: y}
+	case TokPercentAssign:
+		p.errorf(p.tok.Pos, "operator '%%=' is reserved in GLSL ES 1.00")
+		p.next()
+		p.parseAssignmentExpr()
+		return x
+	}
+	return x
+}
+
+func (p *Parser) parseConditionalExpr() Expr {
+	cond := p.parseBinaryExpr(0)
+	if p.tok.Kind == TokQuestion {
+		pos := p.tok.Pos
+		p.next()
+		then := p.parseAssignmentExpr()
+		p.expect(TokColon)
+		els := p.parseAssignmentExpr()
+		return &CondExpr{exprBase: exprBase{Pos: pos}, Cond: cond, Then: then, Else: els}
+	}
+	return cond
+}
+
+// binaryPrec maps operator tokens to precedence levels (higher binds
+// tighter). Reserved operators get a precedence so that they parse, then
+// error out.
+func binaryPrec(k TokenKind) int {
+	switch k {
+	case TokStar, TokSlash, TokPercent:
+		return 7
+	case TokPlus, TokMinus:
+		return 6
+	case TokShl, TokShr:
+		return 5
+	case TokLess, TokGreater, TokLessEq, TokGreaterEq:
+		return 4
+	case TokEqEq, TokNotEq:
+		return 3
+	case TokAmp, TokCaret, TokPipe:
+		return 2 // reserved; diagnosed on use
+	case TokAndAnd:
+		return 1
+	case TokXorXor:
+		return 1
+	case TokOrOr:
+		return 0
+	}
+	return -1
+}
+
+func isReservedOperator(k TokenKind) bool {
+	switch k {
+	case TokPercent, TokShl, TokShr, TokAmp, TokPipe, TokCaret, TokTilde:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseBinaryExpr(minPrec int) Expr {
+	x := p.parseUnaryExpr()
+	for {
+		prec := binaryPrec(p.tok.Kind)
+		if prec < minPrec {
+			return x
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if isReservedOperator(op) {
+			p.errorf(pos, "operator %s is reserved in GLSL ES 1.00", op)
+		}
+		p.next()
+		y := p.parseBinaryExpr(prec + 1)
+		x = &BinaryExpr{exprBase: exprBase{Pos: pos}, Op: op, X: x, Y: y}
+	}
+}
+
+func (p *Parser) parseUnaryExpr() Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokPlus, TokMinus, TokBang, TokInc, TokDec:
+		op := p.tok.Kind
+		p.next()
+		x := p.parseUnaryExpr()
+		return &UnaryExpr{exprBase: exprBase{Pos: pos}, Op: op, X: x}
+	case TokTilde:
+		p.errorf(pos, "operator '~' is reserved in GLSL ES 1.00")
+		p.next()
+		return p.parseUnaryExpr()
+	}
+	return p.parsePostfixExpr()
+}
+
+func (p *Parser) parsePostfixExpr() Expr {
+	x := p.parsePrimaryExpr()
+	for {
+		switch p.tok.Kind {
+		case TokLBracket:
+			pos := p.tok.Pos
+			p.next()
+			idx := p.parseExpression()
+			p.expect(TokRBracket)
+			x = &IndexExpr{exprBase: exprBase{Pos: pos}, X: x, Index: idx}
+		case TokDot:
+			pos := p.tok.Pos
+			p.next()
+			name := p.expect(TokIdent)
+			x = &FieldExpr{exprBase: exprBase{Pos: pos}, X: x, Name: name.Text, FieldIndex: -1}
+		case TokInc, TokDec:
+			op := p.tok.Kind
+			pos := p.tok.Pos
+			p.next()
+			x = &UnaryExpr{exprBase: exprBase{Pos: pos}, Op: op, X: x, Postfix: true}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimaryExpr() Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokIntLit:
+		v := p.tok.IntVal
+		p.next()
+		return &IntLit{exprBase: exprBase{Pos: pos}, Val: v}
+	case TokFloatLit:
+		v := p.tok.FloatVal
+		p.next()
+		return &FloatLit{exprBase: exprBase{Pos: pos}, Val: v}
+	case TokBoolLit:
+		v := p.tok.Text == "true"
+		p.next()
+		return &BoolLit{exprBase: exprBase{Pos: pos}, Val: v}
+	case TokLParen:
+		p.next()
+		x := p.parseExpression()
+		p.expect(TokRParen)
+		return x
+	case TokIdent:
+		name := p.tok.Text
+		p.next()
+		if p.tok.Kind == TokLParen {
+			return p.parseCallRest(pos, name)
+		}
+		return &Ident{exprBase: exprBase{Pos: pos}, Name: name}
+	}
+	// Type constructors: vec3(...), float(...), etc.
+	if t := typeFromToken(p.tok.Kind); t != nil {
+		name := p.tok.Text
+		p.next()
+		if p.tok.Kind == TokLParen {
+			return p.parseCallRest(pos, name)
+		}
+		p.errorf(pos, "expected '(' after type name %q", name)
+		return &Ident{exprBase: exprBase{Pos: pos}, Name: name}
+	}
+	p.errorf(pos, "expected expression, found %s", p.tok)
+	p.next()
+	return &IntLit{exprBase: exprBase{Pos: pos}, Val: 0}
+}
+
+func (p *Parser) parseCallRest(pos Pos, callee string) Expr {
+	call := &CallExpr{exprBase: exprBase{Pos: pos}, Callee: callee}
+	p.expect(TokLParen)
+	if p.tok.Kind != TokRParen {
+		if p.tok.Kind == TokVoid {
+			p.next() // f(void)
+		} else {
+			for {
+				call.Args = append(call.Args, p.parseAssignmentExpr())
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+		}
+	}
+	p.expect(TokRParen)
+	return call
+}

@@ -1,0 +1,384 @@
+package glsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustParse parses and fails the test on any diagnostic.
+func mustParse(t *testing.T, src string) *TranslationUnit {
+	t.Helper()
+	tu, errs := Parse(src)
+	if errs.Err() != nil {
+		t.Fatalf("parse errors:\n%v", errs)
+	}
+	return tu
+}
+
+// parseExpectError asserts that parsing produces an error containing substr.
+func parseExpectError(t *testing.T, src, substr string) {
+	t.Helper()
+	_, errs := Parse(src)
+	if errs.Err() == nil {
+		t.Fatalf("expected error containing %q, got none", substr)
+	}
+	if !strings.Contains(errs.Error(), substr) {
+		t.Fatalf("expected error containing %q, got:\n%v", substr, errs)
+	}
+}
+
+const minimalFrag = `
+precision mediump float;
+void main() { gl_FragColor = vec4(0.0); }
+`
+
+func TestParseMinimalFragment(t *testing.T) {
+	tu := mustParse(t, minimalFrag)
+	var foundMain bool
+	for _, d := range tu.Decls {
+		if fd, ok := d.(*FuncDecl); ok && fd.Name == "main" {
+			foundMain = true
+			if fd.Ret.Kind != KVoid {
+				t.Error("main should return void")
+			}
+			if fd.Body == nil {
+				t.Error("main should have a body")
+			}
+		}
+	}
+	if !foundMain {
+		t.Fatal("main not found")
+	}
+}
+
+func TestParseGlobalDeclarations(t *testing.T) {
+	tu := mustParse(t, `
+uniform sampler2D u_tex;
+uniform vec2 u_dims;
+attribute vec4 a_pos;
+varying vec2 v_uv;
+const float PI = 3.14159;
+float scratch;
+void main() {}
+`)
+	var quals []Qualifier
+	for _, d := range tu.Decls {
+		if v, ok := d.(*VarDecl); ok {
+			quals = append(quals, v.Qual)
+		}
+	}
+	want := []Qualifier{QualUniform, QualUniform, QualAttribute, QualVarying, QualConst, QualNone}
+	if len(quals) != len(want) {
+		t.Fatalf("got %d global vars, want %d", len(quals), len(want))
+	}
+	for i := range want {
+		if quals[i] != want[i] {
+			t.Errorf("decl %d: got %v, want %v", i, quals[i], want[i])
+		}
+	}
+}
+
+func TestParseMultiDeclarator(t *testing.T) {
+	tu := mustParse(t, "float a = 1.0, b, c = 2.0;\nvoid main(){}")
+	count := 0
+	for _, d := range tu.Decls {
+		if v, ok := d.(*VarDecl); ok && v.Qual == QualNone {
+			count++
+			if v.Name == "a" && v.Init == nil {
+				t.Error("a should have an initializer")
+			}
+			if v.Name == "b" && v.Init != nil {
+				t.Error("b should not have an initializer")
+			}
+		}
+	}
+	if count != 3 {
+		t.Fatalf("expected 3 declarators, got %d", count)
+	}
+}
+
+func TestParseArrayDeclaration(t *testing.T) {
+	tu := mustParse(t, "uniform float weights[8];\nvoid main(){}")
+	for _, d := range tu.Decls {
+		if v, ok := d.(*VarDecl); ok {
+			if v.DeclType.Kind != KArray || v.DeclType.ArrayLen != 8 {
+				t.Fatalf("expected float[8], got %s", v.DeclType)
+			}
+			return
+		}
+	}
+	t.Fatal("no var decl found")
+}
+
+func TestParseArraySizeConstExpr(t *testing.T) {
+	tu := mustParse(t, "uniform float w[2*3+1];\nvoid main(){}")
+	for _, d := range tu.Decls {
+		if v, ok := d.(*VarDecl); ok {
+			if v.DeclType.ArrayLen != 7 {
+				t.Fatalf("expected size 7, got %d", v.DeclType.ArrayLen)
+			}
+			return
+		}
+	}
+}
+
+func TestParseNegativeArraySizeRejected(t *testing.T) {
+	parseExpectError(t, "uniform float w[-1];\nvoid main(){}", "array size")
+}
+
+func TestParseFunctionPrototypeAndDefinition(t *testing.T) {
+	tu := mustParse(t, `
+float helper(float x);
+void main() { float y = helper(1.0); }
+float helper(float x) { return x * 2.0; }
+`)
+	var protos, defs int
+	for _, d := range tu.Decls {
+		if fd, ok := d.(*FuncDecl); ok && fd.Name == "helper" {
+			if fd.Body == nil {
+				protos++
+			} else {
+				defs++
+			}
+		}
+	}
+	if protos != 1 || defs != 1 {
+		t.Fatalf("protos=%d defs=%d, want 1 and 1", protos, defs)
+	}
+}
+
+func TestParseParamDirections(t *testing.T) {
+	tu := mustParse(t, "void f(in float a, out float b, inout float c) { b = a + c; }\nvoid main(){}")
+	for _, d := range tu.Decls {
+		if fd, ok := d.(*FuncDecl); ok && fd.Name == "f" {
+			if len(fd.Params) != 3 {
+				t.Fatalf("expected 3 params, got %d", len(fd.Params))
+			}
+			if fd.Params[0].Dir != DirIn || fd.Params[1].Dir != DirOut || fd.Params[2].Dir != DirInOut {
+				t.Errorf("wrong directions: %v %v %v", fd.Params[0].Dir, fd.Params[1].Dir, fd.Params[2].Dir)
+			}
+		}
+	}
+}
+
+func TestParseVoidParamList(t *testing.T) {
+	tu := mustParse(t, "float g(void) { return 1.0; }\nvoid main(){}")
+	for _, d := range tu.Decls {
+		if fd, ok := d.(*FuncDecl); ok && fd.Name == "g" {
+			if len(fd.Params) != 0 {
+				t.Fatalf("g(void) should have no params, got %d", len(fd.Params))
+			}
+		}
+	}
+}
+
+func TestParseStructDeclaration(t *testing.T) {
+	tu := mustParse(t, `
+struct Light { vec3 pos; float intensity; };
+uniform Light u_light;
+void main(){}
+`)
+	var sawStruct, sawVar bool
+	for _, d := range tu.Decls {
+		switch n := d.(type) {
+		case *StructDecl:
+			sawStruct = true
+			if n.Info.Name != "Light" || len(n.Info.Fields) != 2 {
+				t.Errorf("bad struct: %+v", n.Info)
+			}
+		case *VarDecl:
+			sawVar = true
+			if n.DeclType.Kind != KStruct {
+				t.Errorf("u_light should have struct type, got %s", n.DeclType)
+			}
+		}
+	}
+	if !sawStruct || !sawVar {
+		t.Fatal("missing struct or var")
+	}
+}
+
+func TestParseStructWithDeclarator(t *testing.T) {
+	tu := mustParse(t, "struct S { float x; } s1;\nvoid main(){}")
+	var varCount int
+	for _, d := range tu.Decls {
+		if v, ok := d.(*VarDecl); ok && v.Name == "s1" {
+			varCount++
+		}
+	}
+	if varCount != 1 {
+		t.Fatalf("expected s1 declared, got %d vars", varCount)
+	}
+}
+
+func TestParsePrecisionDeclaration(t *testing.T) {
+	tu := mustParse(t, "precision highp float;\nvoid main(){}")
+	for _, d := range tu.Decls {
+		if p, ok := d.(*PrecisionDecl); ok {
+			if p.Prec != PrecHigh || p.Of.Kind != KFloat {
+				t.Errorf("bad precision decl: %v %s", p.Prec, p.Of)
+			}
+			return
+		}
+	}
+	t.Fatal("precision decl not found")
+}
+
+func TestParsePrecisionOnlyForAllowedTypes(t *testing.T) {
+	parseExpectError(t, "precision highp vec4;\nvoid main(){}", "precision")
+}
+
+func TestParseControlFlow(t *testing.T) {
+	mustParse(t, `
+precision mediump float;
+void main() {
+	float acc = 0.0;
+	for (int i = 0; i < 10; ++i) { acc += 1.0; }
+	int j = 0;
+	while (j < 3) { j++; }
+	do { j--; } while (j > 0);
+	if (acc > 5.0) { acc = 5.0; } else acc = 0.0;
+	gl_FragColor = vec4(acc);
+}
+`)
+}
+
+func TestParseTernaryAndComma(t *testing.T) {
+	tu := mustParse(t, "precision mediump float;\nvoid main(){ float a = true ? 1.0 : 2.0; a = (a, 3.0); }")
+	_ = tu
+}
+
+func TestParseSwizzleChain(t *testing.T) {
+	mustParse(t, "precision mediump float;\nvoid main(){ vec4 v = vec4(1.0); vec2 w = v.xyz.xy; gl_FragColor = w.xxyy; }")
+}
+
+func TestParseIndexingAndFields(t *testing.T) {
+	mustParse(t, `
+precision mediump float;
+struct S { vec3 p; };
+void main(){
+	mat3 m = mat3(1.0);
+	vec3 col = m[1];
+	float elem = m[1][2];
+	S s = S(vec3(0.0));
+	float px = s.p.x;
+	gl_FragColor = vec4(col.x, elem, px, 1.0);
+}
+`)
+}
+
+func TestParseReservedOperatorsRejected(t *testing.T) {
+	parseExpectError(t, "void main(){ int a = 5 % 2; }", "reserved")
+	parseExpectError(t, "void main(){ int a = 1 << 2; }", "reserved")
+	parseExpectError(t, "void main(){ int a = 1 & 2; }", "reserved")
+	parseExpectError(t, "void main(){ int a = ~2; }", "reserved")
+	parseExpectError(t, "void main(){ int a = 1; a %= 2; }", "reserved")
+}
+
+func TestParseBraceInitializerRejected(t *testing.T) {
+	parseExpectError(t, "void main(){ float a[2] = {1.0, 2.0}; }", "brace")
+}
+
+func TestParseMissingSemicolonRecovers(t *testing.T) {
+	_, errs := Parse("void main(){ float a = 1.0 float b; }")
+	if errs.Err() == nil {
+		t.Fatal("expected a parse error")
+	}
+}
+
+func TestParseDeepExpressionPrecedence(t *testing.T) {
+	tu := mustParse(t, "precision mediump float;\nfloat r;\nvoid main(){ r = 1.0 + 2.0 * 3.0 - 4.0 / 2.0; }")
+	// find assignment r = ...; fold it and verify precedence: 1+6-2 = 5
+	for _, d := range tu.Decls {
+		fd, ok := d.(*FuncDecl)
+		if !ok || fd.Name != "main" {
+			continue
+		}
+		es := fd.Body.Stmts[0].(*ExprStmt)
+		asg := es.X.(*AssignExpr)
+		cv, okFold := FoldConst(asg.RHS)
+		if !okFold {
+			t.Fatal("RHS should fold")
+		}
+		if cv.F[0] != 5.0 {
+			t.Errorf("precedence wrong: got %g, want 5", cv.F[0])
+		}
+	}
+}
+
+func TestParseUnaryPrecedence(t *testing.T) {
+	tu := mustParse(t, "float r;\nvoid main(){ r = -2.0 * 3.0; }")
+	for _, d := range tu.Decls {
+		fd, ok := d.(*FuncDecl)
+		if !ok || fd.Name != "main" {
+			continue
+		}
+		es := fd.Body.Stmts[0].(*ExprStmt)
+		asg := es.X.(*AssignExpr)
+		cv, okFold := FoldConst(asg.RHS)
+		if !okFold || cv.F[0] != -6.0 {
+			t.Errorf("got %v, want -6", cv)
+		}
+	}
+}
+
+func TestParseForLoopHeaderScoping(t *testing.T) {
+	mustParse(t, `
+void main(){
+	for (int i = 0; i < 4; ++i) {}
+	for (int i = 0; i < 8; ++i) {}
+}
+`)
+}
+
+func TestParseEmptyShader(t *testing.T) {
+	tu, errs := Parse("")
+	if errs.Err() != nil {
+		t.Fatalf("empty source should parse: %v", errs)
+	}
+	if len(tu.Decls) != 0 {
+		t.Errorf("expected no decls, got %d", len(tu.Decls))
+	}
+}
+
+func TestParseStraySemicolons(t *testing.T) {
+	mustParse(t, ";;\nvoid main(){;;}\n;")
+}
+
+func TestParseInvariantDeclaration(t *testing.T) {
+	tu := mustParse(t, "invariant gl_Position;\nvoid main(){}")
+	found := false
+	for _, d := range tu.Decls {
+		if inv, ok := d.(*InvariantDecl); ok {
+			found = true
+			if len(inv.Names) != 1 || inv.Names[0] != "gl_Position" {
+				t.Errorf("bad invariant decl: %v", inv.Names)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("invariant decl not parsed")
+	}
+}
+
+func TestParseVertexShaderWithAttributes(t *testing.T) {
+	mustParse(t, `
+attribute vec4 a_position;
+attribute vec2 a_texcoord;
+varying vec2 v_texcoord;
+void main() {
+	v_texcoord = a_texcoord;
+	gl_Position = a_position;
+}
+`)
+}
+
+func TestParseLocalStructScope(t *testing.T) {
+	mustParse(t, `
+void main() {
+	struct Local { float v; };
+	Local l = Local(3.0);
+	float x = l.v;
+}
+`)
+}

@@ -1,0 +1,249 @@
+package glsl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPreprocessVersion(t *testing.T) {
+	res, errs := Preprocess("#version 100\nvoid main(){}\n")
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if res.Version != 100 {
+		t.Errorf("version = %d, want 100", res.Version)
+	}
+}
+
+func TestPreprocessUnsupportedVersion(t *testing.T) {
+	_, errs := Preprocess("#version 300 es\n")
+	if errs.Err() == nil {
+		t.Fatal("expected an error for #version 300")
+	}
+}
+
+func TestPreprocessObjectMacro(t *testing.T) {
+	res, errs := Preprocess("#define N 4\nfloat a[N];\n")
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if !strings.Contains(res.Source, "float a[4];") {
+		t.Errorf("macro not expanded: %q", res.Source)
+	}
+}
+
+func TestPreprocessFunctionMacro(t *testing.T) {
+	res, errs := Preprocess("#define SQ(x) ((x)*(x))\nfloat a = SQ(3.0);\n")
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if !strings.Contains(res.Source, "((3.0)*(3.0))") {
+		t.Errorf("function macro not expanded: %q", res.Source)
+	}
+}
+
+func TestPreprocessNestedMacro(t *testing.T) {
+	res, errs := Preprocess("#define A B\n#define B 7\nint x = A;\n")
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if !strings.Contains(res.Source, "int x = 7;") {
+		t.Errorf("nested macro not expanded: %q", res.Source)
+	}
+}
+
+func TestPreprocessRecursiveMacroTerminates(t *testing.T) {
+	res, errs := Preprocess("#define A A\nint x = A;\n")
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if !strings.Contains(res.Source, "int x = A;") {
+		t.Errorf("self-referential macro should stop expanding: %q", res.Source)
+	}
+}
+
+func TestPreprocessConditionals(t *testing.T) {
+	src := `#define FEATURE 1
+#if FEATURE
+float enabled;
+#else
+float disabled;
+#endif
+`
+	res, errs := Preprocess(src)
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if !strings.Contains(res.Source, "enabled") {
+		t.Errorf("#if branch missing: %q", res.Source)
+	}
+	if strings.Contains(res.Source, "disabled") {
+		t.Errorf("#else branch leaked: %q", res.Source)
+	}
+}
+
+func TestPreprocessIfdef(t *testing.T) {
+	src := "#ifdef GL_ES\nprecision mediump float;\n#endif\n"
+	res, errs := Preprocess(src)
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if !strings.Contains(res.Source, "precision mediump float;") {
+		t.Errorf("GL_ES must be predefined: %q", res.Source)
+	}
+}
+
+func TestPreprocessIfndefElse(t *testing.T) {
+	src := "#ifndef NOPE\nint yes;\n#else\nint no;\n#endif\n"
+	res, errs := Preprocess(src)
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if !strings.Contains(res.Source, "int yes;") || strings.Contains(res.Source, "int no;") {
+		t.Errorf("wrong branch: %q", res.Source)
+	}
+}
+
+func TestPreprocessElifChain(t *testing.T) {
+	src := `#define V 2
+#if V == 1
+int one;
+#elif V == 2
+int two;
+#elif V == 3
+int three;
+#else
+int other;
+#endif
+`
+	res, errs := Preprocess(src)
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if !strings.Contains(res.Source, "int two;") {
+		t.Errorf("#elif branch not taken: %q", res.Source)
+	}
+	for _, bad := range []string{"int one;", "int three;", "int other;"} {
+		if strings.Contains(res.Source, bad) {
+			t.Errorf("branch %q leaked", bad)
+		}
+	}
+}
+
+func TestPreprocessNestedConditionals(t *testing.T) {
+	src := `#define A 1
+#if A
+#if 0
+int never;
+#endif
+int kept;
+#endif
+`
+	res, errs := Preprocess(src)
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if strings.Contains(res.Source, "never") || !strings.Contains(res.Source, "kept") {
+		t.Errorf("nested conditional wrong: %q", res.Source)
+	}
+}
+
+func TestPreprocessDefinedOperator(t *testing.T) {
+	src := "#define X 1\n#if defined(X) && !defined(Y)\nint good;\n#endif\n"
+	res, errs := Preprocess(src)
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if !strings.Contains(res.Source, "int good;") {
+		t.Errorf("defined() broken: %q", res.Source)
+	}
+}
+
+func TestPreprocessUndef(t *testing.T) {
+	src := "#define X 1\n#undef X\n#ifdef X\nint bad;\n#endif\n"
+	res, errs := Preprocess(src)
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if strings.Contains(res.Source, "int bad;") {
+		t.Errorf("#undef did not remove macro: %q", res.Source)
+	}
+}
+
+func TestPreprocessErrorDirective(t *testing.T) {
+	_, errs := Preprocess("#error custom failure\n")
+	if errs.Err() == nil || !strings.Contains(errs.Error(), "custom failure") {
+		t.Fatalf("expected #error to surface: %v", errs)
+	}
+}
+
+func TestPreprocessErrorInDeadBranch(t *testing.T) {
+	_, errs := Preprocess("#if 0\n#error should not fire\n#endif\n")
+	if errs.Err() != nil {
+		t.Fatalf("#error in dead branch must not fire: %v", errs)
+	}
+}
+
+func TestPreprocessUnterminatedIf(t *testing.T) {
+	_, errs := Preprocess("#if 1\nint x;\n")
+	if errs.Err() == nil {
+		t.Fatal("expected an error for unterminated #if")
+	}
+}
+
+func TestPreprocessExtensionAndPragma(t *testing.T) {
+	src := "#extension GL_OES_standard_derivatives : enable\n#pragma optimize(on)\n"
+	res, errs := Preprocess(src)
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if res.Extensions["GL_OES_standard_derivatives"] != "enable" {
+		t.Errorf("extension not recorded: %v", res.Extensions)
+	}
+	if len(res.Pragmas) != 1 {
+		t.Errorf("pragma not recorded: %v", res.Pragmas)
+	}
+}
+
+func TestPreprocessLineContinuation(t *testing.T) {
+	res, errs := Preprocess("#define LONG 1 + \\\n2\nint x = LONG;\n")
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if !strings.Contains(res.Source, "1 + 2") {
+		t.Errorf("line continuation broken: %q", res.Source)
+	}
+}
+
+func TestPreprocessPreservesLineNumbers(t *testing.T) {
+	src := "#define X 1\n\nfloat a;\n"
+	res, errs := Preprocess(src)
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	lines := strings.Split(res.Source, "\n")
+	if len(lines) < 3 || strings.TrimSpace(lines[2]) != "float a;" {
+		t.Errorf("line structure not preserved: %q", res.Source)
+	}
+}
+
+func TestPreprocessReservedMacroNames(t *testing.T) {
+	_, errs := Preprocess("#define GL_FOO 1\n")
+	if errs.Err() == nil {
+		t.Fatal("GL_ macro names must be rejected")
+	}
+	_, errs = Preprocess("#define a__b 1\n")
+	if errs.Err() == nil {
+		t.Fatal("__ macro names must be rejected")
+	}
+}
+
+func TestPreprocessVersionMacro(t *testing.T) {
+	res, errs := Preprocess("#if __VERSION__ == 100\nint v100;\n#endif\n")
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if !strings.Contains(res.Source, "int v100;") {
+		t.Errorf("__VERSION__ not predefined: %q", res.Source)
+	}
+}

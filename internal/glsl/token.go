@@ -1,0 +1,311 @@
+// Package glsl implements a front-end (preprocessor, lexer, parser, type
+// checker) for the OpenGL ES Shading Language 1.00, the language mandated by
+// OpenGL ES 2.0. The subset implemented is the one a low-end mobile driver of
+// the VideoCore IV era accepts; ES-specific restrictions (no implicit
+// conversions, reserved operators, loop restrictions) are enforced or
+// reported, which is essential for the GPGPU techniques of Trompouki &
+// Kosmidis (DATE 2016) to be exercised faithfully.
+package glsl
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds. Keyword kinds follow the GLSL ES 1.00 specification §3.6.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokBoolLit
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokLBrace
+	TokRBrace
+	TokDot
+	TokComma
+	TokColon
+	TokSemicolon
+	TokQuestion
+
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokBang
+	TokInc // ++
+	TokDec // --
+
+	TokLess
+	TokGreater
+	TokLessEq
+	TokGreaterEq
+	TokEqEq
+	TokNotEq
+
+	TokAndAnd
+	TokOrOr
+	TokXorXor // ^^
+
+	TokAssign
+	TokPlusAssign
+	TokMinusAssign
+	TokStarAssign
+	TokSlashAssign
+
+	// Operators that exist lexically but are reserved (illegal) in
+	// GLSL ES 1.00: %, %=, bitwise ops, shifts.
+	TokPercent
+	TokPercentAssign
+	TokAmp
+	TokPipe
+	TokCaret
+	TokTilde
+	TokShl
+	TokShr
+
+	// Keywords.
+	TokAttribute
+	TokConst
+	TokUniform
+	TokVarying
+	TokBreak
+	TokContinue
+	TokDo
+	TokFor
+	TokWhile
+	TokIf
+	TokElse
+	TokIn
+	TokOut
+	TokInout
+	TokFloat
+	TokInt
+	TokVoid
+	TokBool
+	TokLowp
+	TokMediump
+	TokHighp
+	TokPrecision
+	TokInvariant
+	TokDiscard
+	TokReturn
+	TokMat2
+	TokMat3
+	TokMat4
+	TokVec2
+	TokVec3
+	TokVec4
+	TokIvec2
+	TokIvec3
+	TokIvec4
+	TokBvec2
+	TokBvec3
+	TokBvec4
+	TokSampler2D
+	TokSamplerCube
+	TokStruct
+
+	// Reserved keywords (GLSL ES 1.00 §3.6): using one is an error.
+	TokReservedWord
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF:       "end of file",
+	TokIdent:     "identifier",
+	TokIntLit:    "integer literal",
+	TokFloatLit:  "float literal",
+	TokBoolLit:   "boolean literal",
+	TokLParen:    "'('",
+	TokRParen:    "')'",
+	TokLBracket:  "'['",
+	TokRBracket:  "']'",
+	TokLBrace:    "'{'",
+	TokRBrace:    "'}'",
+	TokDot:       "'.'",
+	TokComma:     "','",
+	TokColon:     "':'",
+	TokSemicolon: "';'",
+	TokQuestion:  "'?'",
+
+	TokPlus:      "'+'",
+	TokMinus:     "'-'",
+	TokStar:      "'*'",
+	TokSlash:     "'/'",
+	TokBang:      "'!'",
+	TokInc:       "'++'",
+	TokDec:       "'--'",
+	TokLess:      "'<'",
+	TokGreater:   "'>'",
+	TokLessEq:    "'<='",
+	TokGreaterEq: "'>='",
+	TokEqEq:      "'=='",
+	TokNotEq:     "'!='",
+	TokAndAnd:    "'&&'",
+	TokOrOr:      "'||'",
+	TokXorXor:    "'^^'",
+
+	TokAssign:      "'='",
+	TokPlusAssign:  "'+='",
+	TokMinusAssign: "'-='",
+	TokStarAssign:  "'*='",
+	TokSlashAssign: "'/='",
+
+	TokPercent:       "'%'",
+	TokPercentAssign: "'%='",
+	TokAmp:           "'&'",
+	TokPipe:          "'|'",
+	TokCaret:         "'^'",
+	TokTilde:         "'~'",
+	TokShl:           "'<<'",
+	TokShr:           "'>>'",
+
+	TokAttribute:   "'attribute'",
+	TokConst:       "'const'",
+	TokUniform:     "'uniform'",
+	TokVarying:     "'varying'",
+	TokBreak:       "'break'",
+	TokContinue:    "'continue'",
+	TokDo:          "'do'",
+	TokFor:         "'for'",
+	TokWhile:       "'while'",
+	TokIf:          "'if'",
+	TokElse:        "'else'",
+	TokIn:          "'in'",
+	TokOut:         "'out'",
+	TokInout:       "'inout'",
+	TokFloat:       "'float'",
+	TokInt:         "'int'",
+	TokVoid:        "'void'",
+	TokBool:        "'bool'",
+	TokLowp:        "'lowp'",
+	TokMediump:     "'mediump'",
+	TokHighp:       "'highp'",
+	TokPrecision:   "'precision'",
+	TokInvariant:   "'invariant'",
+	TokDiscard:     "'discard'",
+	TokReturn:      "'return'",
+	TokMat2:        "'mat2'",
+	TokMat3:        "'mat3'",
+	TokMat4:        "'mat4'",
+	TokVec2:        "'vec2'",
+	TokVec3:        "'vec3'",
+	TokVec4:        "'vec4'",
+	TokIvec2:       "'ivec2'",
+	TokIvec3:       "'ivec3'",
+	TokIvec4:       "'ivec4'",
+	TokBvec2:       "'bvec2'",
+	TokBvec3:       "'bvec3'",
+	TokBvec4:       "'bvec4'",
+	TokSampler2D:   "'sampler2D'",
+	TokSamplerCube: "'samplerCube'",
+	TokStruct:      "'struct'",
+
+	TokReservedWord: "reserved word",
+}
+
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// keywords maps GLSL ES 1.00 keyword spellings to their token kinds.
+var keywords = map[string]TokenKind{
+	"attribute":   TokAttribute,
+	"const":       TokConst,
+	"uniform":     TokUniform,
+	"varying":     TokVarying,
+	"break":       TokBreak,
+	"continue":    TokContinue,
+	"do":          TokDo,
+	"for":         TokFor,
+	"while":       TokWhile,
+	"if":          TokIf,
+	"else":        TokElse,
+	"in":          TokIn,
+	"out":         TokOut,
+	"inout":       TokInout,
+	"float":       TokFloat,
+	"int":         TokInt,
+	"void":        TokVoid,
+	"bool":        TokBool,
+	"lowp":        TokLowp,
+	"mediump":     TokMediump,
+	"highp":       TokHighp,
+	"precision":   TokPrecision,
+	"invariant":   TokInvariant,
+	"discard":     TokDiscard,
+	"return":      TokReturn,
+	"mat2":        TokMat2,
+	"mat3":        TokMat3,
+	"mat4":        TokMat4,
+	"vec2":        TokVec2,
+	"vec3":        TokVec3,
+	"vec4":        TokVec4,
+	"ivec2":       TokIvec2,
+	"ivec3":       TokIvec3,
+	"ivec4":       TokIvec4,
+	"bvec2":       TokBvec2,
+	"bvec3":       TokBvec3,
+	"bvec4":       TokBvec4,
+	"sampler2D":   TokSampler2D,
+	"samplerCube": TokSamplerCube,
+	"struct":      TokStruct,
+	"true":        TokBoolLit,
+	"false":       TokBoolLit,
+}
+
+// reservedWords are keywords reserved for future use by GLSL ES 1.00 §3.6;
+// using any of them is a compile-time error.
+var reservedWords = map[string]bool{
+	"asm": true, "class": true, "union": true, "enum": true,
+	"typedef": true, "template": true, "this": true, "packed": true,
+	"goto": true, "switch": true, "default": true, "inline": true,
+	"noinline": true, "volatile": true, "public": true, "static": true,
+	"extern": true, "external": true, "interface": true, "flat": true,
+	"long": true, "short": true, "double": true, "half": true,
+	"fixed": true, "unsigned": true, "superp": true, "input": true,
+	"output": true, "hvec2": true, "hvec3": true, "hvec4": true,
+	"dvec2": true, "dvec3": true, "dvec4": true, "fvec2": true,
+	"fvec3": true, "fvec4": true, "sampler1D": true, "sampler3D": true,
+	"sampler1DShadow": true, "sampler2DShadow": true,
+	"sampler2DRect": true, "sampler3DRect": true, "sampler2DRectShadow": true,
+	"sizeof": true, "cast": true, "namespace": true, "using": true,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Token is one lexical token with its source position and spelling.
+type Token struct {
+	Kind TokenKind
+	Pos  Pos
+	Text string
+
+	// IntVal and FloatVal carry the decoded value for literal tokens.
+	IntVal   int32
+	FloatVal float32
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokIntLit, TokFloatLit, TokBoolLit:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,455 @@
+package glsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BasicKind enumerates the GLSL ES 1.00 type constructors.
+type BasicKind int
+
+// Basic kinds. Vectors and matrices are distinct kinds rather than
+// parameterized types because GLSL ES 1.00 has exactly this closed set.
+const (
+	KInvalid BasicKind = iota
+	KVoid
+	KBool
+	KInt
+	KFloat
+	KVec2
+	KVec3
+	KVec4
+	KIVec2
+	KIVec3
+	KIVec4
+	KBVec2
+	KBVec3
+	KBVec4
+	KMat2
+	KMat3
+	KMat4
+	KSampler2D
+	KSamplerCube
+	KArray
+	KStruct
+)
+
+// Precision is a GLSL ES precision qualifier. It does not affect the host
+// semantics of this implementation (arithmetic is always fp32) but is
+// tracked because GetShaderPrecisionFormat and declaration rules depend
+// on it.
+type Precision int
+
+// Precision qualifier values; PrecNone means "inherit the default".
+const (
+	PrecNone Precision = iota
+	PrecLow
+	PrecMedium
+	PrecHigh
+)
+
+func (p Precision) String() string {
+	switch p {
+	case PrecLow:
+		return "lowp"
+	case PrecMedium:
+		return "mediump"
+	case PrecHigh:
+		return "highp"
+	default:
+		return ""
+	}
+}
+
+// StructField is one member of a struct type.
+type StructField struct {
+	Name string
+	Type *Type
+}
+
+// StructInfo is the definition payload of a struct type.
+type StructInfo struct {
+	Name   string
+	Fields []StructField
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (s *StructInfo) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Type describes a GLSL ES type. Types are compared structurally with Equal;
+// the singletons below should be used for the basic kinds so pointer
+// comparison also works in the common case.
+type Type struct {
+	Kind     BasicKind
+	Elem     *Type       // array element type
+	ArrayLen int         // array length (>0)
+	Struct   *StructInfo // struct definition
+}
+
+// Singleton types for every non-composite kind.
+var (
+	TypeInvalid     = &Type{Kind: KInvalid}
+	TypeVoid        = &Type{Kind: KVoid}
+	TypeBool        = &Type{Kind: KBool}
+	TypeInt         = &Type{Kind: KInt}
+	TypeFloat       = &Type{Kind: KFloat}
+	TypeVec2        = &Type{Kind: KVec2}
+	TypeVec3        = &Type{Kind: KVec3}
+	TypeVec4        = &Type{Kind: KVec4}
+	TypeIVec2       = &Type{Kind: KIVec2}
+	TypeIVec3       = &Type{Kind: KIVec3}
+	TypeIVec4       = &Type{Kind: KIVec4}
+	TypeBVec2       = &Type{Kind: KBVec2}
+	TypeBVec3       = &Type{Kind: KBVec3}
+	TypeBVec4       = &Type{Kind: KBVec4}
+	TypeMat2        = &Type{Kind: KMat2}
+	TypeMat3        = &Type{Kind: KMat3}
+	TypeMat4        = &Type{Kind: KMat4}
+	TypeSampler2D   = &Type{Kind: KSampler2D}
+	TypeSamplerCube = &Type{Kind: KSamplerCube}
+)
+
+// ArrayOf returns the type "elem[n]".
+func ArrayOf(elem *Type, n int) *Type {
+	return &Type{Kind: KArray, Elem: elem, ArrayLen: n}
+}
+
+// StructType returns a struct type over the given definition.
+func StructType(info *StructInfo) *Type {
+	return &Type{Kind: KStruct, Struct: info}
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case KInvalid:
+		return "<invalid>"
+	case KVoid:
+		return "void"
+	case KBool:
+		return "bool"
+	case KInt:
+		return "int"
+	case KFloat:
+		return "float"
+	case KVec2:
+		return "vec2"
+	case KVec3:
+		return "vec3"
+	case KVec4:
+		return "vec4"
+	case KIVec2:
+		return "ivec2"
+	case KIVec3:
+		return "ivec3"
+	case KIVec4:
+		return "ivec4"
+	case KBVec2:
+		return "bvec2"
+	case KBVec3:
+		return "bvec3"
+	case KBVec4:
+		return "bvec4"
+	case KMat2:
+		return "mat2"
+	case KMat3:
+		return "mat3"
+	case KMat4:
+		return "mat4"
+	case KSampler2D:
+		return "sampler2D"
+	case KSamplerCube:
+		return "samplerCube"
+	case KArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.ArrayLen)
+	case KStruct:
+		if t.Struct != nil && t.Struct.Name != "" {
+			return t.Struct.Name
+		}
+		return "struct"
+	}
+	return "<?>"
+}
+
+// Equal reports structural type equality. Struct types are equal only when
+// they share the same definition (name equivalence, as in GLSL).
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KArray:
+		return t.ArrayLen == o.ArrayLen && t.Elem.Equal(o.Elem)
+	case KStruct:
+		return t.Struct == o.Struct
+	default:
+		return true
+	}
+}
+
+// IsScalar reports whether t is bool, int or float.
+func (t *Type) IsScalar() bool {
+	switch t.Kind {
+	case KBool, KInt, KFloat:
+		return true
+	}
+	return false
+}
+
+// IsVector reports whether t is any vecN/ivecN/bvecN.
+func (t *Type) IsVector() bool {
+	switch t.Kind {
+	case KVec2, KVec3, KVec4, KIVec2, KIVec3, KIVec4, KBVec2, KBVec3, KBVec4:
+		return true
+	}
+	return false
+}
+
+// IsMatrix reports whether t is mat2/mat3/mat4.
+func (t *Type) IsMatrix() bool {
+	switch t.Kind {
+	case KMat2, KMat3, KMat4:
+		return true
+	}
+	return false
+}
+
+// IsSampler reports whether t is an opaque sampler type.
+func (t *Type) IsSampler() bool {
+	return t.Kind == KSampler2D || t.Kind == KSamplerCube
+}
+
+// IsNumeric reports whether t is usable in arithmetic (float/int scalar,
+// vector, or matrix; never bool).
+func (t *Type) IsNumeric() bool {
+	switch t.Kind {
+	case KInt, KFloat, KVec2, KVec3, KVec4, KIVec2, KIVec3, KIVec4,
+		KMat2, KMat3, KMat4:
+		return true
+	}
+	return false
+}
+
+// ComponentType returns the scalar type of t's components (t itself for
+// scalars; float for matrices).
+func (t *Type) ComponentType() *Type {
+	switch t.Kind {
+	case KBool, KInt, KFloat:
+		return t
+	case KVec2, KVec3, KVec4, KMat2, KMat3, KMat4:
+		return TypeFloat
+	case KIVec2, KIVec3, KIVec4:
+		return TypeInt
+	case KBVec2, KBVec3, KBVec4:
+		return TypeBool
+	}
+	return TypeInvalid
+}
+
+// ComponentCount returns the number of scalar components (matrices count
+// rows*cols; arrays/structs return 0 — use flattened sizes in the executor).
+func (t *Type) ComponentCount() int {
+	switch t.Kind {
+	case KBool, KInt, KFloat:
+		return 1
+	case KVec2, KIVec2, KBVec2:
+		return 2
+	case KVec3, KIVec3, KBVec3:
+		return 3
+	case KVec4, KIVec4, KBVec4:
+		return 4
+	case KMat2:
+		return 4
+	case KMat3:
+		return 9
+	case KMat4:
+		return 16
+	}
+	return 0
+}
+
+// VectorSize returns N for vecN/ivecN/bvecN, 0 otherwise.
+func (t *Type) VectorSize() int {
+	if t.IsVector() {
+		return t.ComponentCount()
+	}
+	return 0
+}
+
+// MatrixDim returns N for matN, 0 otherwise.
+func (t *Type) MatrixDim() int {
+	switch t.Kind {
+	case KMat2:
+		return 2
+	case KMat3:
+		return 3
+	case KMat4:
+		return 4
+	}
+	return 0
+}
+
+// VectorOf returns the vector type with the given component type and size,
+// e.g. VectorOf(TypeFloat, 3) == vec3. Size 1 returns the scalar itself.
+func VectorOf(comp *Type, size int) *Type {
+	if size == 1 {
+		return comp
+	}
+	switch comp.Kind {
+	case KFloat:
+		switch size {
+		case 2:
+			return TypeVec2
+		case 3:
+			return TypeVec3
+		case 4:
+			return TypeVec4
+		}
+	case KInt:
+		switch size {
+		case 2:
+			return TypeIVec2
+		case 3:
+			return TypeIVec3
+		case 4:
+			return TypeIVec4
+		}
+	case KBool:
+		switch size {
+		case 2:
+			return TypeBVec2
+		case 3:
+			return TypeBVec3
+		case 4:
+			return TypeBVec4
+		}
+	}
+	return TypeInvalid
+}
+
+// MatrixOf returns matN for n in 2..4.
+func MatrixOf(n int) *Type {
+	switch n {
+	case 2:
+		return TypeMat2
+	case 3:
+		return TypeMat3
+	case 4:
+		return TypeMat4
+	}
+	return TypeInvalid
+}
+
+// FlatSize returns the total number of scalar slots needed to store a value
+// of type t, recursing through arrays and structs. Samplers occupy one slot
+// (the texture unit index).
+func (t *Type) FlatSize() int {
+	switch t.Kind {
+	case KArray:
+		return t.ArrayLen * t.Elem.FlatSize()
+	case KStruct:
+		n := 0
+		for _, f := range t.Struct.Fields {
+			n += f.Type.FlatSize()
+		}
+		return n
+	case KSampler2D, KSamplerCube:
+		return 1
+	default:
+		return t.ComponentCount()
+	}
+}
+
+// typeFromToken maps a type-keyword token to its singleton type, or nil.
+func typeFromToken(k TokenKind) *Type {
+	switch k {
+	case TokVoid:
+		return TypeVoid
+	case TokBool:
+		return TypeBool
+	case TokInt:
+		return TypeInt
+	case TokFloat:
+		return TypeFloat
+	case TokVec2:
+		return TypeVec2
+	case TokVec3:
+		return TypeVec3
+	case TokVec4:
+		return TypeVec4
+	case TokIvec2:
+		return TypeIVec2
+	case TokIvec3:
+		return TypeIVec3
+	case TokIvec4:
+		return TypeIVec4
+	case TokBvec2:
+		return TypeBVec2
+	case TokBvec3:
+		return TypeBVec3
+	case TokBvec4:
+		return TypeBVec4
+	case TokMat2:
+		return TypeMat2
+	case TokMat3:
+		return TypeMat3
+	case TokMat4:
+		return TypeMat4
+	case TokSampler2D:
+		return TypeSampler2D
+	case TokSamplerCube:
+		return TypeSamplerCube
+	}
+	return nil
+}
+
+// swizzleSets are the three equivalent component naming families
+// (GLSL ES 1.00 §5.5). A single swizzle may not mix families.
+var swizzleSets = []string{"xyzw", "rgba", "stpq"}
+
+// swizzleIndices decodes a swizzle like "xzy" into component indices.
+// It returns nil when name is not a valid swizzle for a vector of the given
+// size.
+func swizzleIndices(name string, size int) []int {
+	if len(name) == 0 || len(name) > 4 {
+		return nil
+	}
+	for _, set := range swizzleSets {
+		idx := make([]int, len(name))
+		ok := true
+		for i := 0; i < len(name); i++ {
+			p := strings.IndexByte(set, name[i])
+			if p < 0 || p >= size {
+				ok = false
+				break
+			}
+			idx[i] = p
+		}
+		if ok {
+			return idx
+		}
+	}
+	return nil
+}
+
+// swizzleHasDuplicates reports whether a swizzle repeats a component, which
+// makes it unusable as an l-value.
+func swizzleHasDuplicates(idx []int) bool {
+	var seen [4]bool
+	for _, i := range idx {
+		if seen[i] {
+			return true
+		}
+		seen[i] = true
+	}
+	return false
+}

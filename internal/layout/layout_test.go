@@ -1,0 +1,170 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"glescompute/internal/glsl"
+	"glescompute/internal/shader"
+)
+
+func TestForLengthShapes(t *testing.T) {
+	cases := []struct {
+		n, maxW int
+		w, h    int
+	}{
+		{1, 2048, 1, 1},
+		{2, 2048, 2, 1},
+		{3, 2048, 4, 1},
+		{1024, 2048, 1024, 1},
+		{1 << 20, 2048, 2048, 512},
+		{5000, 64, 64, 79},
+	}
+	for _, c := range cases {
+		g, err := ForLength(c.n, c.maxW)
+		if err != nil {
+			t.Fatalf("ForLength(%d,%d): %v", c.n, c.maxW, err)
+		}
+		if g.Width != c.w || g.Height != c.h {
+			t.Errorf("ForLength(%d,%d) = %dx%d, want %dx%d", c.n, c.maxW, g.Width, g.Height, c.w, c.h)
+		}
+		if g.Texels() < c.n {
+			t.Errorf("ForLength(%d,%d): %d texels < %d elements", c.n, c.maxW, g.Texels(), c.n)
+		}
+	}
+	if _, err := ForLength(0, 64); err == nil {
+		t.Error("n=0 must error")
+	}
+	if _, err := ForLength(5, 0); err == nil {
+		t.Error("maxW=0 must error")
+	}
+}
+
+func TestCoordIndexBijection(t *testing.T) {
+	f := func(nRaw uint16, iRaw uint32) bool {
+		n := int(nRaw)%10000 + 1
+		g, err := ForLength(n, 256)
+		if err != nil {
+			return false
+		}
+		i := int(iRaw) % n
+		x, y := g.Coord(i)
+		if x < 0 || x >= g.Width || y < 0 || y >= g.Height {
+			return false
+		}
+		return g.Index(x, y) == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTexCoordCenters(t *testing.T) {
+	g, _ := ForLength(8, 4) // 4x2
+	s, tt := g.TexCoord(0)
+	if s != 0.125 || tt != 0.25 {
+		t.Errorf("element 0 at (%g,%g), want (0.125,0.25)", s, tt)
+	}
+	s, tt = g.TexCoord(5) // (1,1)
+	if s != 0.375 || tt != 0.75 {
+		t.Errorf("element 5 at (%g,%g), want (0.375,0.75)", s, tt)
+	}
+}
+
+func TestSquare(t *testing.T) {
+	g, err := Square(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Width != 32 || g.Height != 32 || g.N != 1024 {
+		t.Errorf("Square(32) = %+v", g)
+	}
+	if _, err := Square(0); err == nil {
+		t.Error("Square(0) must error")
+	}
+}
+
+// TestGLSLHelpersMatchHost executes the generated GLSL index math in the
+// shader executor and compares against the host-side Grid maps — the
+// property that makes challenge #3/#4 addressing exact.
+func TestGLSLHelpersMatchHost(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 1000, 4096} {
+		g, err := ForLength(n, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := "precision highp float;\nuniform float u_idx;\n" +
+			g.GLSLHelpers("gc") +
+			`void main() {
+	vec2 c = gc_coord(u_idx);
+	gl_FragColor = vec4(c, 0.0, 1.0);
+}`
+		prog, errs := glsl.CompileSource(src, glsl.StageFragment, glsl.CheckOptions{})
+		if errs.Err() != nil {
+			t.Fatalf("n=%d: compile failed:\n%v", n, errs)
+		}
+		ex := shader.NewExec(prog, nil, shader.ExactSFU)
+		u := prog.LookupUniform("u_idx")
+		step := n/97 + 1
+		for i := 0; i < n; i += step {
+			ex.SetGlobal(u, shader.FloatVal(float32(i)))
+			if err := ex.InitGlobals(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ex.Run(); err != nil {
+				t.Fatal(err)
+			}
+			out := ex.Builtins[glsl.BVSlotFragColor].Vec4()
+			wantS, wantT := g.TexCoord(i)
+			if out[0] != wantS || out[1] != wantT {
+				t.Fatalf("n=%d i=%d: GLSL (%g,%g), host (%g,%g)", n, i, out[0], out[1], wantS, wantT)
+			}
+		}
+	}
+}
+
+// TestGLSLIndexFromFragCoord verifies the output-index helper against all
+// pixel centers of a small grid.
+func TestGLSLIndexFromFragCoord(t *testing.T) {
+	g, _ := ForLength(24, 8) // 8x3
+	src := "precision highp float;\n" + g.GLSLHelpers("gc") +
+		`void main() { gl_FragColor = vec4(gc_index(), 0.0, 0.0, 1.0); }`
+	prog, errs := glsl.CompileSource(src, glsl.StageFragment, glsl.CheckOptions{})
+	if errs.Err() != nil {
+		t.Fatalf("compile failed:\n%v", errs)
+	}
+	ex := shader.NewExec(prog, nil, shader.ExactSFU)
+	if err := ex.InitGlobals(); err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < g.Height; y++ {
+		for x := 0; x < g.Width; x++ {
+			ex.Builtins[glsl.BVSlotFragCoord] = shader.Vec4Val(
+				float32(x)+0.5, float32(y)+0.5, 0, 1)
+			if _, err := ex.Run(); err != nil {
+				t.Fatal(err)
+			}
+			got := int(ex.Builtins[glsl.BVSlotFragColor].F[0])
+			if got != g.Index(x, y) {
+				t.Fatalf("pixel (%d,%d): index %d, want %d", x, y, got, g.Index(x, y))
+			}
+		}
+	}
+}
+
+func TestGLSLHelpersPrefixed(t *testing.T) {
+	g, _ := ForLength(16, 4)
+	a := g.GLSLHelpers("in0")
+	b := g.GLSLHelpers("in1")
+	if !strings.Contains(a, "in0_coord") || !strings.Contains(b, "in1_coord") {
+		t.Error("prefix not applied")
+	}
+	// Both must coexist in one shader.
+	src := "precision highp float;\n" + a + b +
+		"void main() { gl_FragColor = vec4(in0_coord(0.0), in1_coord(1.0)); }"
+	_, errs := glsl.CompileSource(src, glsl.StageFragment, glsl.CheckOptions{})
+	if errs.Err() != nil {
+		t.Fatalf("prefixed helpers conflict:\n%v", errs)
+	}
+}

@@ -1,0 +1,61 @@
+package refcpu
+
+import "glescompute/internal/armtime"
+
+// Analytic operation-count functions: the counts the kernels in this
+// package would report for a given size, without executing them. The
+// benchmark harness uses these to model CPU time at the paper's full
+// problem sizes while validating results at smaller executed sizes.
+
+// SumInt32Counts returns the op counts of SumInt32 on n elements.
+func SumInt32Counts(n int) armtime.OpCounts {
+	return armtime.OpCounts{
+		IntAdd:       2 * uint64(n),
+		Load:         2 * uint64(n),
+		Store:        uint64(n),
+		Branch:       uint64(n),
+		BytesTouched: 12 * uint64(n),
+	}
+}
+
+// SumFloat32Counts returns the op counts of SumFloat32 on n elements.
+func SumFloat32Counts(n int) armtime.OpCounts {
+	return armtime.OpCounts{
+		FpAdd:        uint64(n),
+		IntAdd:       uint64(n),
+		Load:         2 * uint64(n),
+		Store:        uint64(n),
+		Branch:       uint64(n),
+		BytesTouched: 12 * uint64(n),
+	}
+}
+
+// SgemmInt32Counts returns the op counts of SgemmInt32 for n×n matrices.
+func SgemmInt32Counts(n int) armtime.OpCounts {
+	nn := uint64(n) * uint64(n)
+	nnn := nn * uint64(n)
+	return armtime.OpCounts{
+		IntAdd:       2 * nnn,
+		IntMul:       nnn,
+		Load:         2 * nnn,
+		Store:        nn,
+		Branch:       nnn,
+		BytesTouched: 16 * nn,
+	}
+}
+
+// SgemmFloat32Counts returns the op counts of SgemmFloat32 for n×n
+// matrices.
+func SgemmFloat32Counts(n int) armtime.OpCounts {
+	nn := uint64(n) * uint64(n)
+	nnn := nn * uint64(n)
+	return armtime.OpCounts{
+		FpAdd:        nnn,
+		FpMul:        nnn,
+		IntAdd:       nnn,
+		Load:         2 * nnn,
+		Store:        nn,
+		Branch:       nnn,
+		BytesTouched: 16 * nn,
+	}
+}

@@ -1,0 +1,149 @@
+// Package refcpu provides the CPU reference implementations of the paper's
+// benchmarks (and of this library's examples): straightforward scalar code,
+// the way the paper's C baselines are written. Each kernel returns its
+// result for validation and an exact operation-count report that
+// internal/armtime turns into modeled ARM1176 time.
+package refcpu
+
+import "glescompute/internal/armtime"
+
+// SumInt32 computes c[i] = a[i] + b[i] (the paper's `sum`, integer
+// configuration).
+func SumInt32(a, b []int32) ([]int32, armtime.OpCounts) {
+	n := len(a)
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = a[i] + b[i]
+	}
+	return out, SumInt32Counts(n)
+}
+
+// SumFloat32 computes c[i] = a[i] + b[i] (the paper's `sum`, float
+// configuration).
+func SumFloat32(a, b []float32) ([]float32, armtime.OpCounts) {
+	n := len(a)
+	out := make([]float32, n)
+	for i := 0; i < n; i++ {
+		out[i] = a[i] + b[i]
+	}
+	return out, SumFloat32Counts(n)
+}
+
+// SgemmInt32 computes C = A×B for n×n row-major int32 matrices (the
+// paper's `sgemm`, integer configuration).
+func SgemmInt32(a, b []int32, n int) ([]int32, armtime.OpCounts) {
+	out := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc int32
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * b[k*n+j]
+			}
+			out[i*n+j] = acc
+		}
+	}
+	return out, SgemmInt32Counts(n)
+}
+
+// SgemmFloat32 computes C = A×B for n×n row-major float32 matrices.
+func SgemmFloat32(a, b []float32, n int) ([]float32, armtime.OpCounts) {
+	out := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * b[k*n+j]
+			}
+			out[i*n+j] = acc
+		}
+	}
+	return out, SgemmFloat32Counts(n)
+}
+
+// SaxpyFloat32 computes y[i] = alpha*x[i] + y[i].
+func SaxpyFloat32(alpha float32, x, y []float32) ([]float32, armtime.OpCounts) {
+	n := len(x)
+	out := make([]float32, n)
+	for i := 0; i < n; i++ {
+		out[i] = alpha*x[i] + y[i]
+	}
+	return out, armtime.OpCounts{
+		FpAdd:        uint64(n),
+		FpMul:        uint64(n),
+		IntAdd:       uint64(n),
+		Load:         2 * uint64(n),
+		Store:        uint64(n),
+		Branch:       uint64(n),
+		BytesTouched: 12 * uint64(n),
+	}
+}
+
+// Blur3x3 applies a 3×3 box filter to a w×h single-channel byte image with
+// clamped edges.
+func Blur3x3(img []uint8, w, h int) ([]uint8, armtime.OpCounts) {
+	out := make([]uint8, w*h)
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sum := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					sx := clamp(x+dx, 0, w-1)
+					sy := clamp(y+dy, 0, h-1)
+					sum += int(img[sy*w+sx])
+				}
+			}
+			out[y*w+x] = uint8((sum + 4) / 9)
+		}
+	}
+	n := uint64(w) * uint64(h)
+	return out, armtime.OpCounts{
+		IntAdd:       9*n + 4*n, // taps + addressing
+		IntMul:       2 * n,     // row addressing
+		Load:         9 * n,
+		Store:        n,
+		Branch:       10 * n,
+		BytesTouched: 10 * n,
+	}
+}
+
+// ReduceSumFloat32 computes the sum of all elements.
+func ReduceSumFloat32(a []float32) (float32, armtime.OpCounts) {
+	var acc float32
+	for _, v := range a {
+		acc += v
+	}
+	n := uint64(len(a))
+	return acc, armtime.OpCounts{
+		FpAdd:        n,
+		IntAdd:       n,
+		Load:         n,
+		Branch:       n,
+		BytesTouched: 4 * n,
+	}
+}
+
+// DotFloat32 computes the inner product of two vectors.
+func DotFloat32(a, b []float32) (float32, armtime.OpCounts) {
+	var acc float32
+	for i := range a {
+		acc += a[i] * b[i]
+	}
+	n := uint64(len(a))
+	return acc, armtime.OpCounts{
+		FpAdd:        n,
+		FpMul:        n,
+		IntAdd:       n,
+		Load:         2 * n,
+		Branch:       n,
+		BytesTouched: 8 * n,
+	}
+}

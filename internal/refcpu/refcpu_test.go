@@ -1,0 +1,158 @@
+package refcpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumInt32(t *testing.T) {
+	a := []int32{1, 2, 3, -4}
+	b := []int32{10, 20, 30, 40}
+	out, counts := SumInt32(a, b)
+	want := []int32{11, 22, 33, 36}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+	if counts.IntAdd != 8 || counts.Load != 8 || counts.Store != 4 {
+		t.Errorf("counts wrong: %+v", counts)
+	}
+}
+
+func TestSumFloat32(t *testing.T) {
+	a := []float32{1.5, 2.5}
+	b := []float32{0.5, 0.25}
+	out, counts := SumFloat32(a, b)
+	if out[0] != 2.0 || out[1] != 2.75 {
+		t.Errorf("got %v", out)
+	}
+	if counts.FpAdd != 2 {
+		t.Errorf("counts: %+v", counts)
+	}
+}
+
+func TestSgemmIdentity(t *testing.T) {
+	// A × I = A.
+	const n = 4
+	a := make([]int32, n*n)
+	id := make([]int32, n*n)
+	for i := range a {
+		a[i] = int32(i + 1)
+	}
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	out, _ := SgemmInt32(a, id, n)
+	for i := range a {
+		if out[i] != a[i] {
+			t.Fatalf("A*I != A at %d: %d vs %d", i, out[i], a[i])
+		}
+	}
+	af := make([]float32, n*n)
+	idf := make([]float32, n*n)
+	for i := range af {
+		af[i] = float32(i) * 0.5
+	}
+	for i := 0; i < n; i++ {
+		idf[i*n+i] = 1
+	}
+	outf, _ := SgemmFloat32(af, idf, n)
+	for i := range af {
+		if outf[i] != af[i] {
+			t.Fatalf("A*I != A (float) at %d", i)
+		}
+	}
+}
+
+func TestSgemmKnownProduct(t *testing.T) {
+	// [1 2; 3 4] × [5 6; 7 8] = [19 22; 43 50] (row-major).
+	a := []int32{1, 2, 3, 4}
+	b := []int32{5, 6, 7, 8}
+	out, counts := SgemmInt32(a, b, 2)
+	want := []int32{19, 22, 43, 50}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+	if counts.IntMul != 8 {
+		t.Errorf("2x2 gemm needs 8 multiplies, counted %d", counts.IntMul)
+	}
+}
+
+func TestCountsMatchAnalytic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 1
+		a := make([]int32, n)
+		b := make([]int32, n)
+		_, c1 := SumInt32(a, b)
+		c2 := SumInt32Counts(n)
+		return c1 == c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	_, cg := SgemmInt32(make([]int32, 9), make([]int32, 9), 3)
+	if cg != SgemmInt32Counts(3) {
+		t.Error("sgemm counts diverge from analytic")
+	}
+	_, cf := SgemmFloat32(make([]float32, 9), make([]float32, 9), 3)
+	if cf != SgemmFloat32Counts(3) {
+		t.Error("sgemm float counts diverge from analytic")
+	}
+	_, cs := SumFloat32(make([]float32, 7), make([]float32, 7))
+	if cs != SumFloat32Counts(7) {
+		t.Error("sum float counts diverge from analytic")
+	}
+}
+
+func TestSaxpy(t *testing.T) {
+	out, counts := SaxpyFloat32(2, []float32{1, 2, 3}, []float32{10, 20, 30})
+	want := []float32{12, 24, 36}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("saxpy[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+	if counts.FpMul != 3 || counts.FpAdd != 3 {
+		t.Errorf("counts: %+v", counts)
+	}
+}
+
+func TestBlur3x3(t *testing.T) {
+	// Constant image stays constant (modulo rounding).
+	img := make([]uint8, 16)
+	for i := range img {
+		img[i] = 100
+	}
+	out, _ := Blur3x3(img, 4, 4)
+	for i, v := range out {
+		if v != 100 {
+			t.Fatalf("blur of constant image changed pixel %d: %d", i, v)
+		}
+	}
+	// A single bright pixel spreads to its neighbourhood.
+	img2 := make([]uint8, 25)
+	img2[12] = 255 // centre of 5x5
+	out2, _ := Blur3x3(img2, 5, 5)
+	if out2[12] == 0 || out2[6] == 0 || out2[18] == 0 {
+		t.Error("blur did not spread")
+	}
+	if out2[0] != 0 {
+		t.Error("blur spread too far")
+	}
+}
+
+func TestReduceAndDot(t *testing.T) {
+	s, _ := ReduceSumFloat32([]float32{1, 2, 3, 4})
+	if s != 10 {
+		t.Errorf("reduce = %g, want 10", s)
+	}
+	d, _ := DotFloat32([]float32{1, 2, 3}, []float32{4, 5, 6})
+	if d != 32 {
+		t.Errorf("dot = %g, want 32", d)
+	}
+}

@@ -1,0 +1,151 @@
+package shader
+
+import (
+	"testing"
+
+	"glescompute/internal/glsl"
+)
+
+func TestExecArrayFunctionParam(t *testing.T) {
+	got := runFragment(t, `
+precision mediump float;
+float sum4(float a[4]) {
+	float s = 0.0;
+	for (int i = 0; i < 4; ++i) { s += a[i]; }
+	return s;
+}
+void main() {
+	float xs[4];
+	xs[0] = 1.0; xs[1] = 2.0; xs[2] = 3.0; xs[3] = 4.0;
+	gl_FragColor = vec4(sum4(xs));
+}`, nil)
+	checkColor(t, got, [4]float32{10, 10, 10, 10}, 0)
+}
+
+func TestExecStructCopySemantics(t *testing.T) {
+	// Assignment copies the struct; mutating the copy must not affect the
+	// original.
+	got := runFragment(t, `
+precision mediump float;
+struct S { float a; vec2 b; };
+void main() {
+	S x = S(1.0, vec2(2.0, 3.0));
+	S y = x;
+	y.a = 100.0;
+	y.b.x = 200.0;
+	gl_FragColor = vec4(x.a, x.b.x, y.a, y.b.x);
+}`, nil)
+	checkColor(t, got, [4]float32{1, 2, 100, 200}, 0)
+}
+
+func TestExecArrayCopySemantics(t *testing.T) {
+	got := runFragment(t, `
+precision mediump float;
+void main() {
+	float a[2];
+	a[0] = 1.0; a[1] = 2.0;
+	float b[2];
+	b = a;
+	b[0] = 50.0;
+	gl_FragColor = vec4(a[0], a[1], b[0], b[1]);
+}`, nil)
+	checkColor(t, got, [4]float32{1, 2, 50, 2}, 0)
+}
+
+func TestExecStructComparison(t *testing.T) {
+	got := runFragment(t, `
+precision mediump float;
+struct S { float a; vec2 b; };
+void main() {
+	S x = S(1.0, vec2(2.0, 3.0));
+	S y = S(1.0, vec2(2.0, 3.0));
+	S z = S(1.0, vec2(2.0, 9.0));
+	gl_FragColor = vec4(x == y ? 1.0 : 0.0, x == z ? 1.0 : 0.0, x != z ? 1.0 : 0.0, 1.0);
+}`, nil)
+	checkColor(t, got, [4]float32{1, 0, 1, 1}, 0)
+}
+
+func TestExecMatrixColumnSwizzleWrite(t *testing.T) {
+	got := runFragment(t, `
+precision mediump float;
+void main() {
+	mat3 m = mat3(0.0);
+	m[1].xy = vec2(3.0, 4.0);
+	m[2][2] = 9.0;
+	gl_FragColor = vec4(m[1][0], m[1][1], m[2][2], m[0][0]);
+}`, nil)
+	checkColor(t, got, [4]float32{3, 4, 9, 0}, 0)
+}
+
+func TestExecStructArrayMix(t *testing.T) {
+	got := runFragment(t, `
+precision mediump float;
+struct P { float w; };
+void main() {
+	P ps[3];
+	ps[0] = P(10.0);
+	ps[1] = P(20.0);
+	ps[2] = P(30.0);
+	float s = 0.0;
+	for (int i = 0; i < 3; ++i) { s += ps[i].w; }
+	gl_FragColor = vec4(s);
+}`, nil)
+	checkColor(t, got, [4]float32{60, 60, 60, 60}, 0)
+}
+
+func TestExecUniformStructAccess(t *testing.T) {
+	prog, errs := glsl.CompileSource(`
+precision mediump float;
+struct Light { vec3 color; float power; };
+uniform Light u_l;
+void main() { gl_FragColor = vec4(u_l.color * u_l.power, 1.0); }
+`, glsl.StageFragment, glsl.CheckOptions{})
+	if errs.Err() != nil {
+		t.Fatal(errs)
+	}
+	ex := NewExec(prog, nil, ExactSFU)
+	u := prog.LookupUniform("u_l")
+	val := Zero(u.DeclType)
+	val.Agg[0] = Vec3Val(0.5, 0.25, 0.125)
+	val.Agg[1] = FloatVal(2)
+	ex.SetGlobal(u, val)
+	if err := ex.InitGlobals(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := ex.Builtins[glsl.BVSlotFragColor].Vec4()
+	checkColor(t, got, [4]float32{1, 0.5, 0.25, 1}, 1e-6)
+}
+
+func TestExecInoutAggregates(t *testing.T) {
+	got := runFragment(t, `
+precision mediump float;
+struct S { float v; };
+void bump(inout S s) { s.v += 1.0; }
+void main() {
+	S s = S(5.0);
+	bump(s);
+	bump(s);
+	gl_FragColor = vec4(s.v);
+}`, nil)
+	checkColor(t, got, [4]float32{7, 7, 7, 7}, 0)
+}
+
+func TestExecConstArrayIndexingThroughLoop(t *testing.T) {
+	got := runFragment(t, `
+precision mediump float;
+uniform float u_sel;
+void main() {
+	vec4 v = vec4(10.0, 20.0, 30.0, 40.0);
+	float acc = 0.0;
+	for (int i = 0; i < 4; ++i) {
+		if (float(i) == u_sel) { acc = v[i]; }
+	}
+	gl_FragColor = vec4(acc);
+}`, func(ex *Exec) {
+		ex.SetGlobal(ex.Prog.LookupUniform("u_sel"), FloatVal(2))
+	})
+	checkColor(t, got, [4]float32{30, 30, 30, 30}, 0)
+}

@@ -1,0 +1,705 @@
+package shader
+
+import (
+	"glescompute/internal/glsl"
+)
+
+// lref is a resolved l-value: a pointer to the storage Value, plus an
+// optional component selection into its F array (for swizzles, vector
+// components and matrix columns).
+type lref struct {
+	v     *Value
+	comps []int // nil means "whole value"
+}
+
+func (ex *Exec) evalExpr(e glsl.Expr, f *frame) (Value, error) {
+	switch n := e.(type) {
+	case *glsl.IntLit:
+		return IntVal(n.Val), nil
+	case *glsl.FloatLit:
+		return FloatVal(n.Val), nil
+	case *glsl.BoolLit:
+		return BoolVal(n.Val), nil
+	case *glsl.Ident:
+		return ex.evalIdent(n, f)
+	case *glsl.BinaryExpr:
+		return ex.evalBinary(n, f)
+	case *glsl.UnaryExpr:
+		return ex.evalUnary(n, f)
+	case *glsl.CondExpr:
+		cond, err := ex.evalExpr(n.Cond, f)
+		if err != nil {
+			return Value{}, err
+		}
+		ex.Stats.Select += uint64(n.Type().ComponentCount())
+		if cond.Bool() {
+			return ex.evalExpr(n.Then, f)
+		}
+		return ex.evalExpr(n.Else, f)
+	case *glsl.AssignExpr:
+		return ex.evalAssign(n, f)
+	case *glsl.SequenceExpr:
+		if _, err := ex.evalExpr(n.X, f); err != nil {
+			return Value{}, err
+		}
+		return ex.evalExpr(n.Y, f)
+	case *glsl.CallExpr:
+		return ex.evalCall(n, f)
+	case *glsl.FieldExpr:
+		return ex.evalField(n, f)
+	case *glsl.IndexExpr:
+		return ex.evalIndex(n, f)
+	}
+	return Value{}, ex.rtError(e.NodePos(), "unknown expression %T", e)
+}
+
+func (ex *Exec) evalIdent(n *glsl.Ident, f *frame) (Value, error) {
+	if n.BRef != nil {
+		return ex.Builtins[n.BRef.Slot], nil
+	}
+	if n.Ref == nil {
+		return Value{}, ex.rtError(n.Pos, "unresolved identifier %q", n.Name)
+	}
+	switch n.Ref.Storage {
+	case glsl.StorageGlobal:
+		return ex.Globals[n.Ref.Slot], nil
+	default:
+		if f == nil {
+			return Value{}, ex.rtError(n.Pos, "local %q used outside a function frame", n.Name)
+		}
+		return f.locals[n.Ref.Slot], nil
+	}
+}
+
+func (ex *Exec) lvalue(e glsl.Expr, f *frame) (lref, error) {
+	switch n := e.(type) {
+	case *glsl.Ident:
+		if n.BRef != nil {
+			return lref{v: &ex.Builtins[n.BRef.Slot]}, nil
+		}
+		if n.Ref == nil {
+			return lref{}, ex.rtError(n.Pos, "unresolved identifier %q", n.Name)
+		}
+		if n.Ref.Storage == glsl.StorageGlobal {
+			return lref{v: &ex.Globals[n.Ref.Slot]}, nil
+		}
+		return lref{v: &f.locals[n.Ref.Slot]}, nil
+	case *glsl.FieldExpr:
+		base, err := ex.lvalue(n.X, f)
+		if err != nil {
+			return lref{}, err
+		}
+		if n.Swizzle != nil {
+			return composeComps(base, n.Swizzle), nil
+		}
+		if base.comps != nil {
+			return lref{}, ex.rtError(n.Pos, "field access through component selection")
+		}
+		if n.FieldIndex < 0 || n.FieldIndex >= len(base.v.Agg) {
+			return lref{}, ex.rtError(n.Pos, "field index out of range")
+		}
+		return lref{v: &base.v.Agg[n.FieldIndex]}, nil
+	case *glsl.IndexExpr:
+		base, err := ex.lvalue(n.X, f)
+		if err != nil {
+			return lref{}, err
+		}
+		iv, err := ex.evalExpr(n.Index, f)
+		if err != nil {
+			return lref{}, err
+		}
+		idx := int(iv.Int())
+		xt := n.X.Type()
+		switch {
+		case xt.Kind == glsl.KArray:
+			if base.comps != nil {
+				return lref{}, ex.rtError(n.Pos, "array access through component selection")
+			}
+			idx = clampIndex(idx, xt.ArrayLen)
+			return lref{v: &base.v.Agg[idx]}, nil
+		case xt.IsVector():
+			idx = clampIndex(idx, xt.VectorSize())
+			return composeComps(base, []int{idx}), nil
+		case xt.IsMatrix():
+			dim := xt.MatrixDim()
+			idx = clampIndex(idx, dim)
+			col := make([]int, dim)
+			for i := range col {
+				col[i] = idx*dim + i
+			}
+			return composeComps(base, col), nil
+		}
+		return lref{}, ex.rtError(n.Pos, "type %s is not indexable", xt)
+	default:
+		return lref{}, ex.rtError(e.NodePos(), "expression is not an l-value")
+	}
+}
+
+// composeComps applies a component selection on top of an existing lref.
+func composeComps(base lref, sel []int) lref {
+	if base.comps == nil {
+		return lref{v: base.v, comps: sel}
+	}
+	out := make([]int, len(sel))
+	for i, s := range sel {
+		out[i] = base.comps[s]
+	}
+	return lref{v: base.v, comps: out}
+}
+
+// clampIndex clamps dynamic indices into range, the robust behaviour GL
+// implementations use for out-of-bounds access.
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+func (ex *Exec) store(dst lref, val Value, t *glsl.Type) {
+	if dst.comps == nil {
+		if val.Agg != nil {
+			// Aggregates have value semantics in GLSL: deep-copy so the
+			// destination does not alias the source's backing storage.
+			val = val.Copy()
+		}
+		val.T = dst.v.T
+		if val.T == nil {
+			val.T = t
+		}
+		*dst.v = val
+		return
+	}
+	for i, c := range dst.comps {
+		dst.v.F[c] = val.F[i]
+	}
+}
+
+func (ex *Exec) evalAssign(n *glsl.AssignExpr, f *frame) (Value, error) {
+	rhs, err := ex.evalExpr(n.RHS, f)
+	if err != nil {
+		return Value{}, err
+	}
+	dst, err := ex.lvalue(n.LHS, f)
+	if err != nil {
+		return Value{}, err
+	}
+	if n.Op != glsl.TokAssign {
+		cur, err := ex.evalExpr(n.LHS, f)
+		if err != nil {
+			return Value{}, err
+		}
+		op := map[glsl.TokenKind]glsl.TokenKind{
+			glsl.TokPlusAssign:  glsl.TokPlus,
+			glsl.TokMinusAssign: glsl.TokMinus,
+			glsl.TokStarAssign:  glsl.TokStar,
+			glsl.TokSlashAssign: glsl.TokSlash,
+		}[n.Op]
+		rhs = ex.applyBinary(op, cur, rhs, n.LHS.Type(), n.RHS.Type(), n.Type())
+	}
+	ex.Stats.Mov += uint64(maxI(1, n.Type().ComponentCount()))
+	ex.store(dst, rhs, n.Type())
+	rhs.T = n.Type()
+	return rhs, nil
+}
+
+func (ex *Exec) evalField(n *glsl.FieldExpr, f *frame) (Value, error) {
+	x, err := ex.evalExpr(n.X, f)
+	if err != nil {
+		return Value{}, err
+	}
+	if n.Swizzle != nil {
+		out := Value{T: n.Type()}
+		for i, s := range n.Swizzle {
+			out.F[i] = x.F[s]
+		}
+		ex.Stats.Mov += uint64(len(n.Swizzle))
+		return out, nil
+	}
+	if n.FieldIndex < 0 || n.FieldIndex >= len(x.Agg) {
+		return Value{}, ex.rtError(n.Pos, "field index out of range")
+	}
+	return x.Agg[n.FieldIndex], nil
+}
+
+func (ex *Exec) evalIndex(n *glsl.IndexExpr, f *frame) (Value, error) {
+	x, err := ex.evalExpr(n.X, f)
+	if err != nil {
+		return Value{}, err
+	}
+	iv, err := ex.evalExpr(n.Index, f)
+	if err != nil {
+		return Value{}, err
+	}
+	idx := int(iv.Int())
+	xt := n.X.Type()
+	switch {
+	case xt.Kind == glsl.KArray:
+		idx = clampIndex(idx, xt.ArrayLen)
+		return x.Agg[idx], nil
+	case xt.IsVector():
+		idx = clampIndex(idx, xt.VectorSize())
+		ex.Stats.Mov++
+		return FloatValTyped(n.Type(), x.F[idx]), nil
+	case xt.IsMatrix():
+		dim := xt.MatrixDim()
+		idx = clampIndex(idx, dim)
+		out := Value{T: n.Type()}
+		copy(out.F[:dim], x.F[idx*dim:idx*dim+dim])
+		ex.Stats.Mov += uint64(dim)
+		return out, nil
+	}
+	return Value{}, ex.rtError(n.Pos, "type %s is not indexable", xt)
+}
+
+// FloatValTyped builds a scalar value with an explicit type (float or int
+// component reads share this path).
+func FloatValTyped(t *glsl.Type, f float32) Value {
+	v := Value{T: t}
+	v.F[0] = f
+	return v
+}
+
+func (ex *Exec) evalUnary(n *glsl.UnaryExpr, f *frame) (Value, error) {
+	if n.Op == glsl.TokInc || n.Op == glsl.TokDec {
+		cur, err := ex.evalExpr(n.X, f)
+		if err != nil {
+			return Value{}, err
+		}
+		one := FloatVal(1)
+		if n.X.Type().ComponentType().Kind == glsl.KInt {
+			one = IntVal(1)
+		}
+		op := glsl.TokPlus
+		if n.Op == glsl.TokDec {
+			op = glsl.TokMinus
+		}
+		next := ex.applyBinary(op, cur, one, n.X.Type(), one.T, n.X.Type())
+		dst, err := ex.lvalue(n.X, f)
+		if err != nil {
+			return Value{}, err
+		}
+		ex.store(dst, next, n.X.Type())
+		if n.Postfix {
+			return cur, nil
+		}
+		return next, nil
+	}
+	x, err := ex.evalExpr(n.X, f)
+	if err != nil {
+		return Value{}, err
+	}
+	out := Value{T: n.Type()}
+	nc := x.NumComps()
+	switch n.Op {
+	case glsl.TokPlus:
+		out = x
+		out.T = n.Type()
+	case glsl.TokMinus:
+		for i := 0; i < nc; i++ {
+			out.F[i] = -x.F[i]
+		}
+		ex.Stats.Add += uint64(nc)
+	case glsl.TokBang:
+		if x.F[0] == 0 {
+			out.F[0] = 1
+		}
+		ex.Stats.Logic++
+	default:
+		return Value{}, ex.rtError(n.Pos, "unsupported unary operator %s", n.Op)
+	}
+	return out, nil
+}
+
+func (ex *Exec) evalBinary(n *glsl.BinaryExpr, f *frame) (Value, error) {
+	// Short-circuit logical operators.
+	switch n.Op {
+	case glsl.TokAndAnd:
+		x, err := ex.evalExpr(n.X, f)
+		if err != nil {
+			return Value{}, err
+		}
+		ex.Stats.Logic++
+		if !x.Bool() {
+			return BoolVal(false), nil
+		}
+		y, err := ex.evalExpr(n.Y, f)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolVal(y.Bool()), nil
+	case glsl.TokOrOr:
+		x, err := ex.evalExpr(n.X, f)
+		if err != nil {
+			return Value{}, err
+		}
+		ex.Stats.Logic++
+		if x.Bool() {
+			return BoolVal(true), nil
+		}
+		y, err := ex.evalExpr(n.Y, f)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolVal(y.Bool()), nil
+	}
+	x, err := ex.evalExpr(n.X, f)
+	if err != nil {
+		return Value{}, err
+	}
+	y, err := ex.evalExpr(n.Y, f)
+	if err != nil {
+		return Value{}, err
+	}
+	return ex.applyBinary(n.Op, x, y, n.X.Type(), n.Y.Type(), n.Type()), nil
+}
+
+// applyBinary performs a type-checked binary operation; types come from the
+// checker so no validation is needed here.
+func (ex *Exec) applyBinary(op glsl.TokenKind, x, y Value, xt, yt, resT *glsl.Type) Value {
+	switch op {
+	case glsl.TokXorXor:
+		ex.Stats.Logic++
+		return BoolVal(x.Bool() != y.Bool())
+	case glsl.TokLess, glsl.TokGreater, glsl.TokLessEq, glsl.TokGreaterEq:
+		ex.Stats.Cmp++
+		a, b := x.F[0], y.F[0]
+		var r bool
+		switch op {
+		case glsl.TokLess:
+			r = a < b
+		case glsl.TokGreater:
+			r = a > b
+		case glsl.TokLessEq:
+			r = a <= b
+		case glsl.TokGreaterEq:
+			r = a >= b
+		}
+		return BoolVal(r)
+	case glsl.TokEqEq, glsl.TokNotEq:
+		eq := valuesEqual(x, y)
+		ex.Stats.Cmp += uint64(maxI(1, xt.ComponentCount()))
+		if op == glsl.TokNotEq {
+			eq = !eq
+		}
+		return BoolVal(eq)
+	}
+
+	// Arithmetic. Matrix algebra first.
+	if op == glsl.TokStar && (xt.IsMatrix() || yt.IsMatrix()) &&
+		!(xt.IsMatrix() && yt.IsScalar()) && !(xt.IsScalar() && yt.IsMatrix()) {
+		return ex.matMul(x, y, xt, yt, resT)
+	}
+
+	isInt := resT.ComponentType().Kind == glsl.KInt
+	nc := resT.ComponentCount()
+	out := Value{T: resT}
+	xs := xt.IsScalar() && nc > 1
+	ys := yt.IsScalar() && nc > 1
+	for i := 0; i < nc; i++ {
+		a := x.F[i]
+		if xs {
+			a = x.F[0]
+		}
+		b := y.F[i]
+		if ys {
+			b = y.F[0]
+		}
+		switch op {
+		case glsl.TokPlus:
+			out.F[i] = a + b
+		case glsl.TokMinus:
+			out.F[i] = a - b
+		case glsl.TokStar:
+			out.F[i] = a * b
+		case glsl.TokSlash:
+			if isInt {
+				if b == 0 {
+					out.F[i] = 0 // undefined in GLSL; pick 0 deterministically
+				} else {
+					out.F[i] = truncToward0(float64(a) / float64(b))
+				}
+			} else {
+				out.F[i] = a / b
+			}
+		}
+	}
+	if isInt && op != glsl.TokSlash {
+		// Integers ride in float32 registers; results stay integral as long
+		// as they fit in 24 bits of mantissa — exactly the paper's §IV-C
+		// observation. No truncation is applied so the hardware behaviour
+		// (silent precision loss past 2^24) is preserved.
+		_ = isInt
+	}
+	switch op {
+	case glsl.TokPlus, glsl.TokMinus:
+		ex.Stats.Add += uint64(nc)
+	case glsl.TokStar:
+		ex.Stats.Mul += uint64(nc)
+	case glsl.TokSlash:
+		ex.Stats.Div += uint64(nc)
+	}
+	return out
+}
+
+func valuesEqual(x, y Value) bool {
+	n := maxI(x.NumComps(), y.NumComps())
+	for i := 0; i < n; i++ {
+		if x.F[i] != y.F[i] {
+			return false
+		}
+	}
+	if len(x.Agg) != len(y.Agg) {
+		return false
+	}
+	for i := range x.Agg {
+		if !valuesEqual(x.Agg[i], y.Agg[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ex *Exec) matMul(x, y Value, xt, yt, resT *glsl.Type) Value {
+	out := Value{T: resT}
+	switch {
+	case xt.IsMatrix() && yt.IsMatrix():
+		n := xt.MatrixDim()
+		for col := 0; col < n; col++ {
+			for row := 0; row < n; row++ {
+				var s float32
+				for k := 0; k < n; k++ {
+					s += x.F[k*n+row] * y.F[col*n+k]
+				}
+				out.F[col*n+row] = s
+			}
+		}
+		ex.Stats.Mul += uint64(n * n * n)
+		ex.Stats.Add += uint64(n * n * (n - 1))
+	case xt.IsMatrix() && yt.IsVector():
+		n := xt.MatrixDim()
+		for row := 0; row < n; row++ {
+			var s float32
+			for k := 0; k < n; k++ {
+				s += x.F[k*n+row] * y.F[k]
+			}
+			out.F[row] = s
+		}
+		ex.Stats.Mul += uint64(n * n)
+		ex.Stats.Add += uint64(n * (n - 1))
+	case xt.IsVector() && yt.IsMatrix():
+		n := yt.MatrixDim()
+		for col := 0; col < n; col++ {
+			var s float32
+			for k := 0; k < n; k++ {
+				s += x.F[k] * y.F[col*n+k]
+			}
+			out.F[col] = s
+		}
+		ex.Stats.Mul += uint64(n * n)
+		ex.Stats.Add += uint64(n * (n - 1))
+	}
+	return out
+}
+
+// ---- Calls ----
+
+func (ex *Exec) evalCall(n *glsl.CallExpr, f *frame) (Value, error) {
+	switch n.Kind {
+	case glsl.CallTypeConstructor:
+		return ex.evalConstructor(n, f)
+	case glsl.CallStructConstructor:
+		args := make([]Value, len(n.Args))
+		for i, a := range n.Args {
+			v, err := ex.evalExpr(a, f)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		out := Value{T: n.CtorType, Agg: args}
+		return out, nil
+	case glsl.CallBuiltin:
+		return ex.evalBuiltin(n, f)
+	case glsl.CallUser:
+		return ex.evalUserCall(n, f)
+	}
+	return Value{}, ex.rtError(n.Pos, "unresolved call to %q", n.Callee)
+}
+
+func (ex *Exec) evalConstructor(n *glsl.CallExpr, f *frame) (Value, error) {
+	t := n.CtorType
+	args := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		v, err := ex.evalExpr(a, f)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	out := Value{T: t}
+	switch {
+	case t.IsScalar():
+		v := args[0].F[0]
+		switch t.Kind {
+		case glsl.KInt:
+			if args[0].T.ComponentType().Kind != glsl.KInt {
+				v = truncToward0(float64(v))
+			}
+		case glsl.KBool:
+			if v != 0 {
+				v = 1
+			} else {
+				v = 0
+			}
+		}
+		out.F[0] = v
+		ex.Stats.Mov++
+	case t.IsVector():
+		size := t.VectorSize()
+		if len(args) == 1 && args[0].T.IsScalar() {
+			v := convertComp(t, args[0])
+			for i := 0; i < size; i++ {
+				out.F[i] = v
+			}
+		} else {
+			k := 0
+			for _, a := range args {
+				an := a.NumComps()
+				for j := 0; j < an && k < size; j++ {
+					out.F[k] = convertCompAt(t, a, j)
+					k++
+				}
+			}
+		}
+		ex.Stats.Mov += uint64(size)
+	case t.IsMatrix():
+		dim := t.MatrixDim()
+		if len(args) == 1 && args[0].T.IsScalar() {
+			for i := 0; i < dim; i++ {
+				out.F[i*dim+i] = args[0].F[0]
+			}
+		} else {
+			k := 0
+			for _, a := range args {
+				an := a.NumComps()
+				for j := 0; j < an && k < dim*dim; j++ {
+					out.F[k] = a.F[j]
+					k++
+				}
+			}
+		}
+		ex.Stats.Mov += uint64(dim * dim)
+	default:
+		return Value{}, ex.rtError(n.Pos, "cannot construct %s", t)
+	}
+	return out, nil
+}
+
+// convertComp converts args[0].F[0] to t's component type semantics.
+func convertComp(t *glsl.Type, a Value) float32 {
+	return convertCompAt(t, a, 0)
+}
+
+func convertCompAt(t *glsl.Type, a Value, i int) float32 {
+	v := a.F[i]
+	switch t.ComponentType().Kind {
+	case glsl.KInt:
+		if a.T.ComponentType().Kind == glsl.KFloat {
+			return truncToward0(float64(v))
+		}
+		return v
+	case glsl.KBool:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	default:
+		return v
+	}
+}
+
+func (ex *Exec) evalUserCall(n *glsl.CallExpr, f *frame) (Value, error) {
+	fd := n.Func
+	if fd.Body == nil {
+		return Value{}, ex.rtError(n.Pos, "call to undefined function %q", n.Callee)
+	}
+	if ex.depth > 64 {
+		return Value{}, ex.rtError(n.Pos, "call stack too deep")
+	}
+	ex.Stats.Call++
+	args := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		if fd.Params[i].Dir == glsl.DirOut {
+			args[i] = Zero(fd.Params[i].DeclType)
+			continue
+		}
+		v, err := ex.evalExpr(a, f)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	callee := ex.pushFrame(fd)
+	for i, p := range fd.Params {
+		v := args[i]
+		if v.Agg != nil {
+			// Parameters are copies; in-params must not write through to
+			// the caller's aggregate storage.
+			v = v.Copy()
+		}
+		v.T = p.DeclType
+		callee.locals[p.Slot] = v
+	}
+	c, err := ex.execStmt(fd.Body, callee)
+	if err != nil {
+		ex.popFrame()
+		return Value{}, err
+	}
+	ret := callee.ret
+	hasRet := callee.hasRet
+	// Copy out/inout parameters back before the frame is recycled.
+	type writeback struct {
+		arg glsl.Expr
+		val Value
+		t   *glsl.Type
+	}
+	var wbs []writeback
+	for i, p := range fd.Params {
+		if p.Dir == glsl.DirOut || p.Dir == glsl.DirInOut {
+			wbs = append(wbs, writeback{arg: n.Args[i], val: callee.locals[p.Slot], t: p.DeclType})
+		}
+	}
+	ex.popFrame()
+	for _, wb := range wbs {
+		dst, err := ex.lvalue(wb.arg, f)
+		if err != nil {
+			return Value{}, err
+		}
+		ex.store(dst, wb.val, wb.t)
+		ex.Stats.Mov += uint64(maxI(1, wb.t.ComponentCount()))
+	}
+	if c == ctrlDiscard {
+		// discard inside a helper aborts the whole invocation; signal it
+		// through the error channel and catch it in Run.
+		return Value{}, errDiscard
+	}
+	if fd.Ret.Kind == glsl.KVoid {
+		return Value{T: glsl.TypeVoid}, nil
+	}
+	if !hasRet {
+		return Zero(fd.Ret), nil
+	}
+	ret.T = fd.Ret
+	return ret, nil
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,249 @@
+package shader
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"glescompute/internal/glsl"
+)
+
+// exprHarness compiles a fragment shader evaluating expr over uniforms
+// a, b, c and returns a function computing it for given inputs.
+func exprHarness(t *testing.T, expr string) func(a, b, c float32) float32 {
+	t.Helper()
+	src := "precision highp float;\nuniform float a;\nuniform float b;\nuniform float c;\n" +
+		"void main() { gl_FragColor = vec4(" + expr + "); }"
+	prog, errs := glsl.CompileSource(src, glsl.StageFragment, glsl.CheckOptions{})
+	if errs.Err() != nil {
+		t.Fatalf("compile %q failed:\n%v", expr, errs)
+	}
+	ex := NewExec(prog, nil, ExactSFU)
+	ua := prog.LookupUniform("a")
+	ub := prog.LookupUniform("b")
+	uc := prog.LookupUniform("c")
+	return func(a, b, c float32) float32 {
+		ex.SetGlobal(ua, FloatVal(a))
+		ex.SetGlobal(ub, FloatVal(b))
+		ex.SetGlobal(uc, FloatVal(c))
+		if err := ex.InitGlobals(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ex.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ex.Builtins[glsl.BVSlotFragColor].F[0]
+	}
+}
+
+// small maps quick-generated floats into a well-behaved range.
+func small(x float32) float32 {
+	if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+		return 1
+	}
+	return float32(math.Mod(float64(x), 1000))
+}
+
+func TestPropArithmeticMatchesGo(t *testing.T) {
+	// GLSL fp32 arithmetic must agree bit-for-bit with Go float32
+	// arithmetic (both are IEEE 754 single).
+	eval := exprHarness(t, "(a + b) * c - a / (abs(c) + 1.0)")
+	f := func(ra, rb, rc float32) bool {
+		a, b, c := small(ra), small(rb), small(rc)
+		want := (a+b)*c - a/(abs32t(c)+1)
+		got := eval(a, b, c)
+		return got == want || (math.IsNaN(float64(got)) && math.IsNaN(float64(want)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMinMaxClamp(t *testing.T) {
+	eval := exprHarness(t, "clamp(a, min(b, c), max(b, c))")
+	f := func(ra, rb, rc float32) bool {
+		a, b, c := small(ra), small(rb), small(rc)
+		lo, hi := b, c
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		want := a
+		if want < lo {
+			want = lo
+		}
+		if want > hi {
+			want = hi
+		}
+		return eval(a, b, c) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropFloorFractIdentity(t *testing.T) {
+	// floor(a) + fract(a) == a for finite fp32 (exact in IEEE).
+	eval := exprHarness(t, "floor(a) + fract(a)")
+	f := func(ra float32) bool {
+		a := small(ra)
+		return eval(a, 0, 0) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropModIdentity(t *testing.T) {
+	// mod(a,b) = a - b*floor(a/b), b != 0: the exact GLSL definition.
+	eval := exprHarness(t, "mod(a, b)")
+	f := func(ra, rb float32) bool {
+		a, b := small(ra), small(rb)
+		if b == 0 {
+			return true
+		}
+		want := a - b*float32(math.Floor(float64(a/b)))
+		return eval(a, b, 0) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMixLerp(t *testing.T) {
+	eval := exprHarness(t, "mix(a, b, c)")
+	f := func(ra, rb, rt float32) bool {
+		a, b := small(ra), small(rb)
+		tt := float32(math.Abs(math.Mod(float64(rt), 1)))
+		want := a*(1-tt) + b*tt
+		return eval(a, b, tt) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDotCommutative(t *testing.T) {
+	src := `precision highp float;
+uniform float a;
+uniform float b;
+uniform float c;
+void main() {
+	vec3 u = vec3(a, b, c);
+	vec3 v = vec3(c, a, b);
+	gl_FragColor = vec4(dot(u, v) - dot(v, u), 0.0, 0.0, 1.0);
+}`
+	prog, errs := glsl.CompileSource(src, glsl.StageFragment, glsl.CheckOptions{})
+	if errs.Err() != nil {
+		t.Fatal(errs)
+	}
+	ex := NewExec(prog, nil, ExactSFU)
+	f := func(ra, rb, rc float32) bool {
+		ex.SetGlobal(prog.LookupUniform("a"), FloatVal(small(ra)))
+		ex.SetGlobal(prog.LookupUniform("b"), FloatVal(small(rb)))
+		ex.SetGlobal(prog.LookupUniform("c"), FloatVal(small(rc)))
+		if err := ex.InitGlobals(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ex.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ex.Builtins[glsl.BVSlotFragColor].F[0] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMatrixVectorDistributive(t *testing.T) {
+	// M*(u+v) == M*u + M*v in exact arithmetic is NOT guaranteed in fp,
+	// but M*I == column reconstruction IS exact. Verify M*e_i extracts
+	// column i bit-exactly.
+	src := `precision highp float;
+uniform float a;
+uniform float b;
+uniform float c;
+void main() {
+	mat3 m = mat3(a, b, c, b, c, a, c, a, b);
+	vec3 col1 = m * vec3(0.0, 1.0, 0.0);
+	gl_FragColor = vec4(col1 - m[1], 1.0);
+}`
+	prog, errs := glsl.CompileSource(src, glsl.StageFragment, glsl.CheckOptions{})
+	if errs.Err() != nil {
+		t.Fatal(errs)
+	}
+	ex := NewExec(prog, nil, ExactSFU)
+	f := func(ra, rb, rc float32) bool {
+		ex.SetGlobal(prog.LookupUniform("a"), FloatVal(small(ra)))
+		ex.SetGlobal(prog.LookupUniform("b"), FloatVal(small(rb)))
+		ex.SetGlobal(prog.LookupUniform("c"), FloatVal(small(rc)))
+		if err := ex.InitGlobals(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ex.Run(); err != nil {
+			t.Fatal(err)
+		}
+		out := ex.Builtins[glsl.BVSlotFragColor]
+		return out.F[0] == 0 && out.F[1] == 0 && out.F[2] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropStepThreshold(t *testing.T) {
+	eval := exprHarness(t, "step(a, b)")
+	f := func(ra, rb float32) bool {
+		a, b := small(ra), small(rb)
+		want := float32(1)
+		if b < a {
+			want = 0
+		}
+		return eval(a, b, 0) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropIntTruncationDivision(t *testing.T) {
+	// GLSL int division truncates toward zero, like C.
+	src := `precision highp float;
+uniform float a;
+uniform float b;
+uniform float c;
+void main() {
+	int x = int(a);
+	int y = int(b);
+	gl_FragColor = vec4(float(x / y), 0.0, 0.0, 1.0);
+}`
+	prog, errs := glsl.CompileSource(src, glsl.StageFragment, glsl.CheckOptions{})
+	if errs.Err() != nil {
+		t.Fatal(errs)
+	}
+	ex := NewExec(prog, nil, ExactSFU)
+	f := func(ra, rb int16) bool {
+		if rb == 0 {
+			return true
+		}
+		ex.SetGlobal(prog.LookupUniform("a"), FloatVal(float32(ra)))
+		ex.SetGlobal(prog.LookupUniform("b"), FloatVal(float32(rb)))
+		if err := ex.InitGlobals(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ex.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := float32(int32(ra) / int32(rb))
+		return ex.Builtins[glsl.BVSlotFragColor].F[0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs32t(x float32) float32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,138 @@
+// Package shader executes checked GLSL ES 1.00 programs. It is the
+// "QPU" of the simulated device: all arithmetic is IEEE float32 (integers
+// ride in float registers, exactly as on the VideoCore IV the paper
+// targets), special-function-unit operations (exp2/log2) can be configured
+// with reduced precision to model the hardware, and every scalar operation
+// is counted so the timing model in internal/vc4 can convert a run into
+// modeled cycles.
+package shader
+
+import (
+	"math"
+
+	"glescompute/internal/glsl"
+)
+
+// Value is a runtime GLSL value. Scalars, vectors and matrices live in the
+// fixed F array (matrices column-major); arrays and structs use Agg.
+// Sampler values store their texture unit number in F[0].
+type Value struct {
+	T   *glsl.Type
+	F   [16]float32
+	Agg []Value
+}
+
+// Zero returns the zero value of type t.
+func Zero(t *glsl.Type) Value {
+	v := Value{T: t}
+	switch t.Kind {
+	case glsl.KArray:
+		v.Agg = make([]Value, t.ArrayLen)
+		for i := range v.Agg {
+			v.Agg[i] = Zero(t.Elem)
+		}
+	case glsl.KStruct:
+		v.Agg = make([]Value, len(t.Struct.Fields))
+		for i, f := range t.Struct.Fields {
+			v.Agg[i] = Zero(f.Type)
+		}
+	}
+	return v
+}
+
+// Copy returns a deep copy of v (aggregates are cloned).
+func (v Value) Copy() Value {
+	out := v
+	if v.Agg != nil {
+		out.Agg = make([]Value, len(v.Agg))
+		for i := range v.Agg {
+			out.Agg[i] = v.Agg[i].Copy()
+		}
+	}
+	return out
+}
+
+// Float returns component 0 as float32.
+func (v Value) Float() float32 { return v.F[0] }
+
+// Int returns component 0 truncated toward zero.
+func (v Value) Int() int32 { return int32(v.F[0]) }
+
+// Bool returns component 0 as a boolean.
+func (v Value) Bool() bool { return v.F[0] != 0 }
+
+// NumComps returns the number of scalar components in F.
+func (v Value) NumComps() int {
+	if v.T == nil {
+		return 0
+	}
+	return v.T.ComponentCount()
+}
+
+// Vec4 returns the first four components, for framebuffer output.
+func (v Value) Vec4() [4]float32 {
+	return [4]float32{v.F[0], v.F[1], v.F[2], v.F[3]}
+}
+
+// FloatVal builds a float scalar value.
+func FloatVal(f float32) Value {
+	v := Value{T: glsl.TypeFloat}
+	v.F[0] = f
+	return v
+}
+
+// IntVal builds an int scalar value.
+func IntVal(i int32) Value {
+	v := Value{T: glsl.TypeInt}
+	v.F[0] = float32(i)
+	return v
+}
+
+// BoolVal builds a bool scalar value.
+func BoolVal(b bool) Value {
+	v := Value{T: glsl.TypeBool}
+	if b {
+		v.F[0] = 1
+	}
+	return v
+}
+
+// Vec2Val, Vec3Val and Vec4Val build float vector values.
+func Vec2Val(x, y float32) Value {
+	v := Value{T: glsl.TypeVec2}
+	v.F[0], v.F[1] = x, y
+	return v
+}
+
+// Vec3Val builds a vec3 value.
+func Vec3Val(x, y, z float32) Value {
+	v := Value{T: glsl.TypeVec3}
+	v.F[0], v.F[1], v.F[2] = x, y, z
+	return v
+}
+
+// Vec4Val builds a vec4 value.
+func Vec4Val(x, y, z, w float32) Value {
+	v := Value{T: glsl.TypeVec4}
+	v.F[0], v.F[1], v.F[2], v.F[3] = x, y, z, w
+	return v
+}
+
+// SamplerVal builds a sampler value bound to a texture unit.
+func SamplerVal(t *glsl.Type, unit int) Value {
+	v := Value{T: t}
+	v.F[0] = float32(unit)
+	return v
+}
+
+// FromConst converts a folded compile-time constant into a runtime value.
+func FromConst(cv *glsl.ConstValue) Value {
+	v := Value{T: cv.T}
+	copy(v.F[:], cv.F)
+	return v
+}
+
+// truncToward0 truncates like C integer division (GLSL int semantics).
+func truncToward0(x float64) float32 {
+	return float32(math.Trunc(x))
+}

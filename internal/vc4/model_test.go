@@ -1,0 +1,95 @@
+package vc4
+
+import (
+	"testing"
+	"time"
+
+	"glescompute/internal/gles"
+	"glescompute/internal/shader"
+)
+
+func TestPeakGFLOPSMatchesPaper(t *testing.T) {
+	m := DefaultModel()
+	// The paper (§I) quotes the VideoCore IV at 24 GFlops.
+	if got := m.PeakGFLOPS(); got != 24 {
+		t.Errorf("peak = %g GFLOPS, want 24 (paper §I)", got)
+	}
+}
+
+func TestShaderTimeScalesLinearly(t *testing.T) {
+	m := DefaultModel()
+	s1 := shader.Stats{Add: 1000, Mul: 1000, Invocations: 100}
+	s2 := shader.Stats{Add: 2000, Mul: 2000, Invocations: 200}
+	t1 := m.ShaderTime(&s1)
+	t2 := m.ShaderTime(&s2)
+	if diff := t2 - 2*t1; diff < -time.Nanosecond || diff > time.Nanosecond {
+		t.Errorf("time must scale linearly: %v vs %v", t1, t2)
+	}
+	if t1 <= 0 {
+		t.Error("non-empty stats must cost time")
+	}
+}
+
+func TestShaderTimeOpWeights(t *testing.T) {
+	m := DefaultModel()
+	sfu := shader.Stats{SFU: 1000}
+	add := shader.Stats{Add: 1000}
+	if m.ShaderTime(&sfu) <= m.ShaderTime(&add) {
+		t.Error("SFU ops must cost more than plain adds")
+	}
+	div := shader.Stats{Div: 1000}
+	if m.ShaderTime(&div) <= m.ShaderTime(&add) {
+		t.Error("divisions must cost more than adds")
+	}
+	mov := shader.Stats{Mov: 1000}
+	if m.ShaderTime(&mov) >= m.ShaderTime(&add) {
+		t.Error("moves must be cheaper than adds (register coalescing)")
+	}
+}
+
+func TestTransferAndCompileTime(t *testing.T) {
+	m := DefaultModel()
+	tr := gles.TransferStats{
+		TexUploadBytes:  uint64(m.UploadBytesPerSec), // exactly one second
+		TexUploadCalls:  1,
+		ReadPixelsBytes: uint64(m.ReadbackBytesPerSec),
+		ReadPixelsCalls: 1,
+		CompileCount:    2,
+		LinkCount:       1,
+	}
+	tt := m.TransferTime(&tr)
+	want := 2*time.Second + m.UploadCallOverhead + m.ReadbackOverhead
+	if diff := tt - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("transfer time %v, want ~%v", tt, want)
+	}
+	ct := m.CompileTime(&tr)
+	if ct != 2*m.CompileTimePerShader+m.LinkTimePerProgram {
+		t.Errorf("compile time %v", ct)
+	}
+}
+
+func TestWallTimeComposition(t *testing.T) {
+	m := DefaultModel()
+	draws := gles.DrawStats{
+		DrawCalls:     1,
+		FragmentStats: shader.Stats{Add: 1 << 20, Invocations: 1 << 16},
+	}
+	tr := gles.TransferStats{TexUploadBytes: 1 << 20, TexUploadCalls: 1, CompileCount: 2, LinkCount: 1}
+	total := m.WallTime(&draws, &tr)
+	sum := m.CompileTime(&tr) + m.TransferTime(&tr) + m.DrawTime(&draws)
+	if total != sum {
+		t.Errorf("WallTime %v != components %v", total, sum)
+	}
+}
+
+func TestDualIssueReducesALUTime(t *testing.T) {
+	m := DefaultModel()
+	m.DualIssueEff = 0
+	s := shader.Stats{Add: 10000, Mul: 10000}
+	slow := m.ShaderTime(&s)
+	m.DualIssueEff = 1
+	fast := m.ShaderTime(&s)
+	if fast >= slow {
+		t.Error("full dual-issue must halve ALU time")
+	}
+}
