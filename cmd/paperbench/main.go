@@ -6,11 +6,16 @@
 // Usage:
 //
 //	paperbench [-exp all|sum-int|sum-float|sgemm-int|sgemm-float|
-//	            precision|int24|fig1|fig2|sfu-sweep|codec-overhead]
-//	           [-sum-n N] [-sum-exec N] [-sgemm-n N]
+//	            precision|int24|fig1|fig2|sfu-sweep|halffloat|codec-overhead]
+//	           [-sum-n N] [-sum-exec N] [-sgemm-n N] [-json]
+//
+// With -json, results are emitted as a single machine-readable JSON
+// object on stdout (for capturing benchmark trajectories as BENCH_*.json)
+// instead of the human-readable tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,12 +24,43 @@ import (
 	"glescompute/internal/paper"
 )
 
+// speedupJSON is the machine-readable form of one speedup experiment.
+type speedupJSON struct {
+	ID           string  `json:"id"`
+	Kernel       string  `json:"kernel"`
+	Elem         string  `json:"elem"`
+	TargetN      int     `json:"target_n"`
+	ExecN        int     `json:"exec_n"`
+	PaperSpeedup float64 `json:"paper_speedup_x"`
+	ModelSpeedup float64 `json:"model_speedup_x"`
+	ExecSpeedup  float64 `json:"exec_only_speedup_x"`
+	GPUMicros    int64   `json:"gpu_us"`
+	CPUMicros    int64   `json:"cpu_us"`
+	Validated    bool    `json:"validated"`
+}
+
+func toSpeedupJSON(s paper.Speedup) speedupJSON {
+	return speedupJSON{
+		ID: s.ID, Kernel: s.Kernel, Elem: s.Elem.String(),
+		TargetN: s.TargetN, ExecN: s.ExecN,
+		PaperSpeedup: s.PaperSpeedup,
+		ModelSpeedup: s.ModelSpeedup(),
+		ExecSpeedup:  s.ExecOnlySpeedup(),
+		GPUMicros:    s.GPU.Total().Microseconds(),
+		CPUMicros:    s.CPUTime.Microseconds(),
+		Validated:    s.Validated,
+	}
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	sumN := flag.Int("sum-n", 1<<20, "sum: full problem size (elements)")
 	sumExec := flag.Int("sum-exec", 1<<14, "sum: executed size (extrapolated to -sum-n)")
 	sgemmN := flag.Int("sgemm-n", 1024, "sgemm: full matrix dimension")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
+
+	report := map[string]interface{}{}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -46,7 +82,11 @@ func main() {
 		fmt.Printf("  %-5s %-16s %9s | %7s | %9s %9s | %10s %10s %s\n",
 			"ID", "benchmark", "size", "paper", "model", "exec-only", "GPU", "CPU", "valid")
 	}
-	printSpeedup := func(s paper.Speedup) {
+	printSpeedup := func(name string, s paper.Speedup) {
+		if *jsonOut {
+			report[name] = toSpeedupJSON(s)
+			return
+		}
 		speedupHeader()
 		fmt.Printf("  %-5s %-16s %9d | %6.1fx | %8.2fx %8.2fx | %10v %10v %v\n",
 			s.ID, fmt.Sprintf("%s (%s)", s.Kernel, s.Elem), s.TargetN,
@@ -59,7 +99,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		printSpeedup(s)
+		printSpeedup("sum-int", s)
 		return nil
 	})
 	run("sum-float", func() error {
@@ -67,7 +107,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		printSpeedup(s)
+		printSpeedup("sum-float", s)
 		return nil
 	})
 	run("sgemm-int", func() error {
@@ -75,7 +115,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		printSpeedup(s)
+		printSpeedup("sgemm-int", s)
 		return nil
 	})
 	run("sgemm-float", func() error {
@@ -83,7 +123,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		printSpeedup(s)
+		printSpeedup("sgemm-float", s)
 		return nil
 	})
 
@@ -91,6 +131,10 @@ func main() {
 		res, err := paper.RunPrecision(500)
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			report["precision"] = res
+			return nil
 		}
 		fmt.Println()
 		fmt.Println("P1 — float accuracy (paper §V: within the 15 most significant mantissa bits):")
@@ -105,6 +149,10 @@ func main() {
 		if err != nil {
 			return err
 		}
+		if *jsonOut {
+			report["int24"] = res
+			return nil
+		}
 		fmt.Println()
 		fmt.Println("P2 — integer precision (paper §IV-C: equivalent to a 24-bit integer):")
 		fmt.Printf("  values ≤ 2^24 round-trip exactly: %v\n", res.ExactThrough24)
@@ -117,14 +165,23 @@ func main() {
 		if err != nil {
 			return err
 		}
+		if *jsonOut {
+			report["fig1"] = out
+			return nil
+		}
 		fmt.Println()
 		fmt.Print(out)
 		return nil
 	})
 
 	run("fig2", func() error {
+		out := paper.Fig2Dump(nil)
+		if *jsonOut {
+			report["fig2"] = out
+			return nil
+		}
 		fmt.Println()
-		fmt.Print(paper.Fig2Dump(nil))
+		fmt.Print(out)
 		return nil
 	})
 
@@ -132,6 +189,10 @@ func main() {
 		points, err := paper.RunSFUSweep(200)
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			report["sfu-sweep"] = points
+			return nil
 		}
 		fmt.Println()
 		fmt.Println("A2 — SFU precision sweep (where the paper's 15 bits comes from):")
@@ -151,6 +212,10 @@ func main() {
 		if err != nil {
 			return err
 		}
+		if *jsonOut {
+			report["halffloat"] = res
+			return nil
+		}
 		fmt.Println()
 		fmt.Println("A4 — half-float extension vs the paper's codec (paper §II: fp16 is 'neither enough nor portable'):")
 		fmt.Printf("  corpus: %d fp32 values spanning 1e-6..1e6\n", res.Samples)
@@ -166,6 +231,10 @@ func main() {
 		if err != nil {
 			return err
 		}
+		if *jsonOut {
+			report["codec-overhead"] = res
+			return nil
+		}
 		fmt.Println()
 		fmt.Println("A1 — codec overhead on the integer sum kernel:")
 		fmt.Printf("  encode-only kernel: %6.1f modeled cycles/element\n", res.EncodeOnlyCycles)
@@ -174,4 +243,13 @@ func main() {
 			res.OverheadFraction*100)
 		return nil
 	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: encoding JSON: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -1,0 +1,3 @@
+module glescompute
+
+go 1.24

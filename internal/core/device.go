@@ -40,6 +40,10 @@ type Config struct {
 	Workers int
 	// StrictAppendixA enforces GLSL ES Appendix A loop restrictions.
 	StrictAppendixA bool
+	// UseInterpreter runs shaders on the reference AST interpreter
+	// instead of the default bytecode VM (same results, slower; used by
+	// the differential test harness).
+	UseInterpreter bool
 }
 
 // Timeline is the modeled wall-clock breakdown of everything executed
@@ -89,6 +93,7 @@ func Open(cfg Config) (*Device, error) {
 		Conv:            conv,
 		Workers:         cfg.Workers,
 		StrictAppendixA: cfg.StrictAppendixA,
+		UseInterpreter:  cfg.UseInterpreter,
 	})
 	d := &Device{ctx: ctx, gpu: vc4.DefaultModel(), cfg: cfg}
 	if d.cfg.MaxGridWidth <= 0 || d.cfg.MaxGridWidth > ctx.Caps().MaxTextureSize {

@@ -31,6 +31,11 @@ type Config struct {
 	Workers int
 	// StrictAppendixA makes the shader compiler enforce GLSL ES Appendix A.
 	StrictAppendixA bool
+	// UseInterpreter forces the reference AST interpreter for shader
+	// execution instead of the default bytecode VM. The two engines are
+	// bit-identical (enforced by differential tests); the interpreter
+	// exists as the reference implementation and for debugging.
+	UseInterpreter bool
 }
 
 // Caps describes implementation limits, mirroring the VideoCore IV values.

@@ -114,7 +114,7 @@ func (c *Context) draw(mode uint32, indices []int) {
 	stats := DrawStats{DrawCalls: 1}
 
 	// ---- Vertex stage ----
-	vex := shader.NewExec(p.vsProg, c, c.cfg.SFU)
+	vex := c.newExecutor(p.vsProg, p.vsCode)
 	c.pushUniforms(p, vex, p.vsProg)
 	if err := vex.InitGlobals(); err != nil {
 		c.setErr(INVALID_OPERATION, "draw: vertex shader init failed: %v", err)
@@ -145,19 +145,18 @@ func (c *Context) draw(mode uint32, indices []int) {
 			c.setErr(INVALID_OPERATION, "draw: vertex shader failed: %v", err)
 			return
 		}
-		pos := vex.Builtins[glsl.BVSlotPosition]
 		sv := raster.ShadedVertex{
-			Pos:      [4]float32{pos.F[0], pos.F[1], pos.F[2], pos.F[3]},
+			Pos:      vex.Position(),
 			Varyings: make([]float32, p.varyComps),
 		}
 		for _, link := range p.varyings {
-			flattenValue(sv.Varyings[link.offset:link.offset+link.comps], vex.Globals[link.vsDecl.Slot])
+			vex.ReadGlobalFlat(link.vsDecl, sv.Varyings[link.offset:link.offset+link.comps])
 		}
 		shaded[i] = sv
-		pointSizes[i] = vex.Builtins[glsl.BVSlotPointSize].F[0]
+		pointSizes[i] = vex.PointSize()
 	}
 	stats.VertexInvocations = uint64(len(indices))
-	stats.VertexStats = vex.Stats
+	stats.VertexStats = *vex.StatsRef()
 
 	// ---- Primitive assembly ----
 	var tris [][3]raster.ShadedVertex
@@ -205,7 +204,7 @@ func (c *Context) draw(mode uint32, indices []int) {
 			defer wg.Done()
 			y0 := band * bandRows
 			y1 := minInt(y0+bandRows, fbH)
-			fex := shader.NewExec(p.fsProg, c, c.cfg.SFU)
+			fex := c.newExecutor(p.fsProg, p.fsCode)
 			c.pushUniforms(p, fex, p.fsProg)
 			if err := fex.InitGlobals(); err != nil {
 				workerErrs[band] = err
@@ -232,11 +231,11 @@ func (c *Context) draw(mode uint32, indices []int) {
 			}
 			for pi, pt := range pts {
 				rz.Point(pt, pointSizes[pi], func(fr *raster.Fragment, pcx, pcy float32) {
-					fex.Builtins[glsl.BVSlotPointCoord] = shader.Vec2Val(pcx, pcy)
+					fex.SetPointCoord(pcx, pcy)
 					emit(fr)
 				})
 			}
-			ws.FragmentStats.AddStats(&fex.Stats)
+			ws.FragmentStats.AddStats(fex.StatsRef())
 		}(band)
 	}
 	wg.Wait()
@@ -285,7 +284,7 @@ func (c *Context) cullTriangle(t [3]raster.ShadedVertex, frontCCW bool) bool {
 
 // shadeFragment runs the fragment shader and the per-fragment pipeline
 // (scissor → shader → depth → blend → mask → write).
-func (c *Context) shadeFragment(p *Program, fex *shader.Exec, fr *raster.Fragment,
+func (c *Context) shadeFragment(p *Program, fex shader.Executor, fr *raster.Fragment,
 	fb *Framebuffer, colorData []byte, depthData []float32, fbW, fbH int,
 	ws *DrawStats, werr *error) {
 
@@ -299,17 +298,13 @@ func (c *Context) shadeFragment(p *Program, fex *shader.Exec, fr *raster.Fragmen
 		}
 	}
 	// Early depth is illegal when shaders can discard; run shader first.
-	fex.Builtins[glsl.BVSlotFragCoord] = shader.Vec4Val(
-		fr.FragCoord[0], fr.FragCoord[1], fr.FragCoord[2], fr.FragCoord[3])
-	fex.Builtins[glsl.BVSlotFrontFacing] = shader.BoolVal(fr.FrontFacing)
+	fex.SetFragCoord(fr.FragCoord)
+	fex.SetFrontFacing(fr.FrontFacing)
 	for _, link := range p.varyings {
-		v := shader.Zero(link.fsDecl.DeclType)
-		unflattenValue(&v, fr.Varyings[link.offset:link.offset+link.comps])
-		fex.Globals[link.fsDecl.Slot] = v
+		fex.SetGlobalFlat(link.fsDecl, fr.Varyings[link.offset:link.offset+link.comps])
 	}
 	// Reset the color output (GL leaves it undefined; zero is deterministic).
-	fex.Builtins[glsl.BVSlotFragColor] = shader.Zero(glsl.TypeVec4)
-	fex.Builtins[glsl.BVSlotFragData] = shader.Zero(glsl.ArrayOf(glsl.TypeVec4, glsl.MaxDrawBuffers))
+	fex.ResetFragOutputs()
 
 	discarded, err := fex.Run()
 	if err != nil {
@@ -334,12 +329,8 @@ func (c *Context) shadeFragment(p *Program, fex *shader.Exec, fr *raster.Fragmen
 	}
 
 	// Output color: gl_FragColor, or gl_FragData[0] if written.
-	out := fex.Builtins[glsl.BVSlotFragColor]
-	fd := fex.Builtins[glsl.BVSlotFragData]
-	if len(fd.Agg) > 0 && anyNonZero(fd.Agg[0]) {
-		out = fd.Agg[0]
-	}
-	r, g, b, a := out.F[0], out.F[1], out.F[2], out.F[3]
+	out := fex.FragOutput()
+	r, g, b, a := out[0], out[1], out[2], out[3]
 
 	o := (fr.Y*fbW + fr.X) * 4
 	if c.blendOn {
@@ -359,15 +350,6 @@ func (c *Context) shadeFragment(p *Program, fex *shader.Exec, fr *raster.Fragmen
 		}
 	}
 	ws.PixelsWritten++
-}
-
-func anyNonZero(v shader.Value) bool {
-	for i := 0; i < 4; i++ {
-		if v.F[i] != 0 {
-			return true
-		}
-	}
-	return false
 }
 
 func depthPass(fn uint32, frag, stored float32) bool {
@@ -438,7 +420,7 @@ func (c *Context) blend(sr, sg, sb, sa, dr, dg, db, da float32) (r, g, b, a floa
 }
 
 // pushUniforms copies program uniform values into an executor.
-func (c *Context) pushUniforms(p *Program, ex *shader.Exec, prog *glsl.Program) {
+func (c *Context) pushUniforms(p *Program, ex shader.Executor, prog *glsl.Program) {
 	for _, u := range prog.Uniforms {
 		if v, ok := p.uniformVals[u.Name]; ok {
 			ex.SetGlobal(u, v.Copy())
@@ -453,44 +435,4 @@ func writeAttrib(dst *shader.Value, t *glsl.Type, v4 [4]float32) {
 	for i := 0; i < n && i < 4; i++ {
 		dst.F[i] = v4[i]
 	}
-}
-
-// flattenValue writes a value's components into out in declaration order.
-func flattenValue(out []float32, v shader.Value) {
-	if len(v.Agg) > 0 {
-		off := 0
-		for _, el := range v.Agg {
-			n := flatLen(el)
-			flattenValue(out[off:off+n], el)
-			off += n
-		}
-		return
-	}
-	n := v.NumComps()
-	copy(out, v.F[:n])
-}
-
-func flatLen(v shader.Value) int {
-	if len(v.Agg) > 0 {
-		n := 0
-		for _, el := range v.Agg {
-			n += flatLen(el)
-		}
-		return n
-	}
-	return v.NumComps()
-}
-
-// unflattenValue fills a zeroed value from flattened components.
-func unflattenValue(v *shader.Value, in []float32) {
-	if len(v.Agg) > 0 {
-		off := 0
-		for i := range v.Agg {
-			n := flatLen(v.Agg[i])
-			unflattenValue(&v.Agg[i], in[off:off+n])
-			off += n
-		}
-		return
-	}
-	copy(v.F[:v.NumComps()], in)
 }

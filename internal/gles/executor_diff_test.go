@@ -1,0 +1,94 @@
+package gles
+
+// Pipeline-level executor differential: render the same scenes once on
+// the bytecode VM (default) and once on the reference AST interpreter,
+// and require byte-identical framebuffers and identical DrawStats —
+// including the per-stage shader.Stats the vc4 timing model consumes.
+
+import (
+	"bytes"
+	"testing"
+
+	"glescompute/internal/shader"
+)
+
+// drawScene renders one scene and returns the framebuffer and draw stats.
+func drawScene(t *testing.T, useInterp bool, fsSrc string, setup func(c *Context, prog uint32)) ([]byte, DrawStats) {
+	t.Helper()
+	const W, H = 12, 9
+	c := NewContext(Config{Width: W, Height: H, SFU: shader.DefaultSFU, Workers: 3, UseInterpreter: useInterp})
+	prog := buildProgram(t, c, passVS, fsSrc)
+	c.UseProgram(prog)
+	fullscreenQuad(t, c, prog)
+	if setup != nil {
+		setup(c, prog)
+	}
+	c.DrawArrays(TRIANGLES, 0, 6)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("draw error 0x%04x: %s", e, c.LastErrorDetail())
+	}
+	return readAll(t, c, W, H), c.Draws()
+}
+
+func diffScene(t *testing.T, name, fsSrc string, setup func(c *Context, prog uint32)) {
+	t.Helper()
+	pxVM, statsVM := drawScene(t, false, fsSrc, setup)
+	pxIn, statsIn := drawScene(t, true, fsSrc, setup)
+	if !bytes.Equal(pxVM, pxIn) {
+		t.Errorf("%s: framebuffer bytes diverge between VM and interpreter", name)
+	}
+	if statsVM != statsIn {
+		t.Errorf("%s: draw stats diverge:\nvm:     %+v\ninterp: %+v", name, statsVM, statsIn)
+	}
+}
+
+func TestExecutorDifferentialScenes(t *testing.T) {
+	t.Run("gradient-math", func(t *testing.T) {
+		diffScene(t, "gradient-math", `
+precision highp float;
+varying vec2 v_texcoord;
+uniform float u_k;
+void main() {
+	float v = sin(v_texcoord.x * 6.28) * cos(v_texcoord.y * 3.14) + pow(v_texcoord.x + 0.1, u_k);
+	gl_FragColor = vec4(fract(v), clamp(v, 0.0, 1.0), v_texcoord.y, 1.0);
+}`, func(c *Context, prog uint32) {
+			c.Uniform1f(c.GetUniformLocation(prog, "u_k"), 1.75)
+		})
+	})
+	t.Run("discard-checker", func(t *testing.T) {
+		diffScene(t, "discard-checker", `
+precision mediump float;
+varying vec2 v_texcoord;
+void main() {
+	if (mod(floor(gl_FragCoord.x) + floor(gl_FragCoord.y), 2.0) == 0.0) { discard; }
+	gl_FragColor = vec4(v_texcoord, 0.5, 1.0);
+}`, nil)
+	})
+	t.Run("blend-depth", func(t *testing.T) {
+		diffScene(t, "blend-depth", `
+precision mediump float;
+varying vec2 v_texcoord;
+void main() { gl_FragColor = vec4(v_texcoord.x, 0.25, v_texcoord.y, 0.5); }`,
+			func(c *Context, prog uint32) {
+				c.Enable(BLEND)
+				c.BlendFunc(SRC_ALPHA, ONE_MINUS_SRC_ALPHA)
+				c.Enable(DEPTH_TEST)
+				c.ClearColor(0.2, 0.3, 0.4, 1)
+				c.Clear(COLOR_BUFFER_BIT | DEPTH_BUFFER_BIT)
+			})
+	})
+	t.Run("loops-functions", func(t *testing.T) {
+		diffScene(t, "loops-functions", `
+precision highp float;
+varying vec2 v_texcoord;
+float acc(float x) {
+	float s = 0.0;
+	for (int i = 0; i < 8; i++) {
+		s += mod(x * float(i), 3.0);
+		if (s > 5.0) { break; }
+	}
+	return s;
+}
+void main() { gl_FragColor = vec4(acc(v_texcoord.x), acc(v_texcoord.y) * 0.1, 0.0, 1.0); }`, nil)
+	})
+}

@@ -149,6 +149,12 @@ type Program struct {
 	vsProg *glsl.Program
 	fsProg *glsl.Program
 
+	// Bytecode compiled once at link time and shared by every draw and
+	// worker (the VM register machine replaces the AST interpreter on the
+	// hot path; a nil entry falls back to the interpreter).
+	vsCode *shader.Compiled
+	fsCode *shader.Compiled
+
 	boundAttribs map[string]int
 	attribLocs   map[string]int // post-link
 	attribDecls  []*glsl.VarDecl
@@ -392,7 +398,23 @@ func (c *Context) LinkProgram(id uint32) {
 		return
 	}
 
+	// Lower both stages to bytecode once per link; every draw call and
+	// fragment worker reuses the compiled form. Compilation failure is not
+	// a link error — the AST interpreter remains as fallback.
+	p.vsCode, _ = shader.Compile(p.vsProg)
+	p.fsCode, _ = shader.Compile(p.fsProg)
+
 	p.linked = true
+}
+
+// newExecutor builds a shader executor for one stage of a linked program:
+// the bytecode VM by default, the AST interpreter when configured (or when
+// bytecode compilation failed).
+func (c *Context) newExecutor(prog *glsl.Program, code *shader.Compiled) shader.Executor {
+	if code != nil && !c.cfg.UseInterpreter {
+		return shader.NewVM(code, c, c.cfg.SFU)
+	}
+	return shader.NewExec(prog, c, c.cfg.SFU)
 }
 
 // addUniformLeaves recursively enumerates location-addressable leaves.

@@ -1,0 +1,18 @@
+// 3x3 box blur: nested loops over texture fetches with an offset table,
+// the image-processing shape of the paper's workloads.
+precision mediump float;
+
+uniform sampler2D u_tex;
+uniform vec2 u_texel; // 1/width, 1/height
+varying vec2 v_uv;
+
+void main() {
+	vec4 acc = vec4(0.0);
+	for (int dy = -1; dy <= 1; dy++) {
+		for (int dx = -1; dx <= 1; dx++) {
+			vec2 off = vec2(float(dx), float(dy)) * u_texel;
+			acc += texture2D(u_tex, v_uv + off);
+		}
+	}
+	gl_FragColor = acc / 9.0;
+}

@@ -1,0 +1,39 @@
+// The paper's §IV-E float codec round trip: decode an fp32 value from an
+// RGBA8 texel and re-encode it for the framebuffer. Exercises ternaries,
+// exp2/log2 (SFU ops), floor, mod, clamp and heavy scalar arithmetic.
+precision highp float;
+
+uniform sampler2D u_data;
+varying vec2 v_uv;
+
+float decode_f32(vec4 t) {
+	vec4 b = floor(t * 255.0 + vec4(0.5));
+	if (b.a == 0.0) { return 0.0; }
+	float sgn = b.b < 128.0 ? 1.0 : -1.0;
+	float m2 = b.b < 128.0 ? b.b : b.b - 128.0;
+	float mant = (b.r + b.g * 256.0 + m2 * 65536.0) / 8388608.0;
+	return sgn * (1.0 + mant) * exp2(b.a - 127.0);
+}
+
+vec4 encode_f32(float v) {
+	if (v == 0.0) { return vec4(0.0); }
+	float sgn = v < 0.0 ? 1.0 : 0.0;
+	float af = abs(v);
+	float e = floor(log2(af));
+	float m = af * exp2(-e);
+	if (m < 1.0) { m = m * 2.0; e = e - 1.0; }
+	if (m >= 2.0) { m = m * 0.5; e = e + 1.0; }
+	float mant = floor((m - 1.0) * 8388608.0 + 0.5);
+	if (mant >= 8388608.0) { mant = 0.0; e = e + 1.0; }
+	float b0 = mod(mant, 256.0);
+	float r1 = floor((mant - b0) / 256.0);
+	float b1 = mod(r1, 256.0);
+	float b2 = floor((r1 - b1) / 256.0) + sgn * 128.0;
+	float b3 = clamp(e + 127.0, 0.0, 255.0);
+	return (vec4(b0, b1, b2, b3) + vec4(0.25)) / 255.0;
+}
+
+void main() {
+	float v = decode_f32(texture2D(u_data, v_uv));
+	gl_FragColor = encode_f32(v * 2.0 + 1.0);
+}

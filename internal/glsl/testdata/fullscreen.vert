@@ -1,0 +1,11 @@
+// Pass-through fullscreen-quad vertex shader: the paper's challenge #1
+// (ES 2.0 has no fixed-function pipeline, so even pure compute must
+// program the vertex stage).
+attribute vec2 a_position;
+attribute vec2 a_texcoord;
+varying vec2 v_uv;
+
+void main() {
+	v_uv = a_texcoord;
+	gl_Position = vec4(a_position, 0.0, 1.0);
+}

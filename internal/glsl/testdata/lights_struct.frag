@@ -1,0 +1,35 @@
+// Multi-light accumulation over an array of structs, with a helper
+// function using an out parameter — exercises aggregates, user calls and
+// parameter write-back.
+precision mediump float;
+
+struct Light {
+	vec3 pos;
+	vec3 color;
+	float intensity;
+};
+
+uniform Light u_lights[3];
+uniform vec3 u_base;
+
+varying vec3 v_normal;
+varying vec3 v_world_pos;
+
+void shade(Light light, vec3 n, vec3 p, out vec3 contrib) {
+	vec3 l = light.pos - p;
+	float d2 = dot(l, l);
+	float att = light.intensity / (1.0 + d2);
+	float diff = max(dot(n, normalize(l)), 0.0);
+	contrib = light.color * (diff * att);
+}
+
+void main() {
+	vec3 n = normalize(v_normal);
+	vec3 acc = u_base;
+	for (int i = 0; i < 3; i++) {
+		vec3 c;
+		shade(u_lights[i], n, v_world_pos, c);
+		acc += c;
+	}
+	gl_FragColor = vec4(clamp(acc, 0.0, 1.0), 1.0);
+}

@@ -1,0 +1,24 @@
+// Mandelbrot escape-time kernel: data-dependent loop with break, the
+// canonical GPGPU stress test for divergent control flow.
+precision highp float;
+
+uniform vec2 u_center;
+uniform float u_scale;
+varying vec2 v_uv;
+
+void main() {
+	vec2 c = u_center + (v_uv - 0.5) * u_scale;
+	vec2 z = vec2(0.0);
+	float escaped = 0.0;
+	float iters = 0.0;
+	for (int i = 0; i < 64; i++) {
+		z = vec2(z.x * z.x - z.y * z.y, 2.0 * z.x * z.y) + c;
+		if (dot(z, z) > 4.0) {
+			escaped = 1.0;
+			break;
+		}
+		iters += 1.0;
+	}
+	float t = iters / 64.0;
+	gl_FragColor = vec4(t, t * t, escaped, 1.0);
+}

@@ -1,0 +1,23 @@
+// Classic per-fragment Phong lighting: exercises varyings, uniforms,
+// vector builtins (normalize/dot/reflect/pow/max) and swizzles.
+precision mediump float;
+
+uniform vec3 u_light_pos;
+uniform vec3 u_view_pos;
+uniform vec3 u_diffuse;
+uniform vec3 u_specular;
+uniform float u_shininess;
+
+varying vec3 v_normal;
+varying vec3 v_world_pos;
+
+void main() {
+	vec3 n = normalize(v_normal);
+	vec3 l = normalize(u_light_pos - v_world_pos);
+	vec3 v = normalize(u_view_pos - v_world_pos);
+	vec3 r = reflect(-l, n);
+	float diff = max(dot(n, l), 0.0);
+	float spec = pow(max(dot(r, v), 0.0), u_shininess);
+	vec3 color = u_diffuse * diff + u_specular * spec + u_diffuse * 0.08;
+	gl_FragColor = vec4(clamp(color, 0.0, 1.0), 1.0);
+}

@@ -1,0 +1,18 @@
+// Animated point sprites: writes gl_PointSize, uses trig builtins, mix
+// and smoothstep — the vertex-stage feature set beyond pass-through.
+attribute vec3 a_position;
+attribute float a_phase;
+
+uniform float u_time;
+uniform mat4 u_mvp;
+
+varying vec2 v_uv;
+
+void main() {
+	float w = sin(u_time + a_phase * 6.2831853);
+	vec3 p = a_position + vec3(0.0, 0.1 * w, 0.0);
+	gl_Position = u_mvp * vec4(p, 1.0);
+	float fade = smoothstep(-1.0, 1.0, w);
+	gl_PointSize = mix(2.0, 8.0, fade);
+	v_uv = vec2(fade, a_phase);
+}

@@ -1,0 +1,25 @@
+// One step of a tree reduction (paper challenge #7: kernel chaining):
+// each output fragment sums a fixed-width strip of the input texture.
+precision highp float;
+
+uniform sampler2D u_in;
+uniform vec2 u_in_dims;
+uniform float u_stride;
+varying vec2 v_uv;
+
+float fetch(float idx) {
+	float row = floor((idx + 0.5) / u_in_dims.x);
+	float col = idx - row * u_in_dims.x;
+	vec2 st = vec2((col + 0.5) / u_in_dims.x, (row + 0.5) / u_in_dims.y);
+	return texture2D(u_in, st).r;
+}
+
+void main() {
+	float base = floor(gl_FragCoord.x) * u_stride;
+	float acc = 0.0;
+	for (float k = 0.0; k < 64.0; k += 1.0) {
+		if (k >= u_stride) { break; }
+		acc += fetch(base + k);
+	}
+	gl_FragColor = vec4(acc, 0.0, 0.0, 1.0);
+}

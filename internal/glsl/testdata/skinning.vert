@@ -1,0 +1,24 @@
+// Two-bone vertex skinning: mat4 uniform arrays, dynamic array indexing,
+// matrix*vector products and attribute-heavy input.
+attribute vec3 a_position;
+attribute vec3 a_normal;
+attribute vec2 a_bones;   // bone indices (as floats)
+attribute vec2 a_weights; // blend weights
+
+uniform mat4 u_bones[4];
+uniform mat4 u_viewproj;
+
+varying vec3 v_normal;
+varying vec3 v_world_pos;
+
+void main() {
+	mat4 m0 = u_bones[int(a_bones.x)];
+	mat4 m1 = u_bones[int(a_bones.y)];
+	vec4 p = vec4(a_position, 1.0);
+	vec4 skinned = m0 * p * a_weights.x + m1 * p * a_weights.y;
+	vec4 n0 = m0 * vec4(a_normal, 0.0);
+	vec4 n1 = m1 * vec4(a_normal, 0.0);
+	v_normal = (n0 * a_weights.x + n1 * a_weights.y).xyz;
+	v_world_pos = skinned.xyz;
+	gl_Position = u_viewproj * skinned;
+}

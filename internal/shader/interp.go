@@ -156,6 +156,13 @@ func NewExec(prog *glsl.Program, tex TextureSampler, sfu SFUConfig) *Exec {
 // findMutatedGlobals scans the program for assignments to globals so that
 // only those slots are reset between invocations.
 func (ex *Exec) findMutatedGlobals() {
+	ex.mutatedGlobals = MutatedGlobalSlots(ex.Prog)
+}
+
+// MutatedGlobalSlots scans a checked program for assignments to globals and
+// returns their slots. Both the AST interpreter and the bytecode VM use it
+// to decide which globals must be reset between invocations.
+func MutatedGlobalSlots(prog *glsl.Program) []int {
 	written := map[int]bool{}
 	var scanExpr func(e glsl.Expr)
 	var scanStmt func(s glsl.Stmt)
@@ -259,14 +266,16 @@ func (ex *Exec) findMutatedGlobals() {
 			}
 		}
 	}
-	for _, fd := range ex.Prog.Functions {
+	for _, fd := range prog.Functions {
 		if fd.Body != nil {
 			scanStmt(fd.Body)
 		}
 	}
+	var slots []int
 	for slot := range written {
-		ex.mutatedGlobals = append(ex.mutatedGlobals, slot)
+		slots = append(slots, slot)
 	}
+	return slots
 }
 
 // InitGlobals evaluates file-scope initializers (const and plain globals).
