@@ -153,3 +153,71 @@ float gc_kernel(float idx) {
 		t.Fatal("strict Appendix A mode must reject uniform loop bounds")
 	}
 }
+
+// TestPublicAPIPipeline exercises the device-resident pipeline through
+// the public surface: a map stage chained into an on-device sum
+// reduction, with the stats proving no host traffic between passes.
+func TestPublicAPIPipeline(t *testing.T) {
+	dev, err := glescompute.Open(glescompute.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	const n = 4096
+	square, err := dev.BuildKernel(glescompute.KernelSpec{
+		Name:   "square",
+		Inputs: []glescompute.Param{{Name: "x", Type: glescompute.Float32}},
+		Source: `float gc_kernel(float idx) { float v = gc_x(idx); return v * v; }`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := dev.NewPipeline()
+	defer p.Free()
+	x := p.Input(glescompute.Float32, n)
+	p.Output(p.Reduce(p.Stage(square, nil, x), glescompute.ReduceAdd))
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	xs := make([]float32, n)
+	var want float64
+	for i := range xs {
+		xs[i] = float32(i%37) * 0.125
+		want += float64(xs[i]) * float64(xs[i])
+	}
+	in, err := dev.NewBuffer(glescompute.Float32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.WriteFloat32(xs); err != nil {
+		t.Fatal(err)
+	}
+	out, err := dev.NewBuffer(glescompute.Float32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Run([]*glescompute.Buffer{out}, []*glescompute.Buffer{in}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HostUploadBytes != 0 || stats.HostReadbackBytes != 0 {
+		t.Errorf("pipeline moved host bytes between stages: %+v", stats)
+	}
+	if stats.Passes < 13 { // 1 map + ceil(log2 4096) reduce passes
+		t.Errorf("Passes = %d, want >= 13", stats.Passes)
+	}
+	got, err := out.ReadFloat32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := (float64(got[0]) - want) / want
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 1.0/(1<<8) {
+		t.Errorf("GPU sum of squares = %g, CPU = %g, rel err %g", got[0], want, rel)
+	}
+}

@@ -6,8 +6,9 @@
 // Usage:
 //
 //	paperbench [-exp all|sum-int|sum-float|sgemm-int|sgemm-float|
-//	            precision|int24|fig1|fig2|sfu-sweep|halffloat|codec-overhead]
-//	           [-sum-n N] [-sum-exec N] [-sgemm-n N] [-json]
+//	            precision|int24|fig1|fig2|sfu-sweep|halffloat|codec-overhead|
+//	            pipeline]
+//	           [-sum-n N] [-sum-exec N] [-sgemm-n N] [-pipeline-n N] [-json]
 //
 // With -json, results are emitted as a single machine-readable JSON
 // object on stdout (for capturing benchmark trajectories as BENCH_*.json)
@@ -52,11 +53,24 @@ func toSpeedupJSON(s paper.Speedup) speedupJSON {
 	}
 }
 
+// pipelineJSON is the machine-readable form of the pipeline experiment.
+type pipelineJSON struct {
+	N                  int     `json:"n"`
+	Passes             int     `json:"passes"`
+	ResidentMicros     int64   `json:"resident_us"`
+	RoundTripMicros    int64   `json:"round_trip_us"`
+	ResidentHostBytes  uint64  `json:"resident_host_bytes"`
+	RoundTripHostBytes uint64  `json:"round_trip_host_bytes"`
+	SpeedupX           float64 `json:"speedup_x"`
+	Validated          bool    `json:"validated"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	sumN := flag.Int("sum-n", 1<<20, "sum: full problem size (elements)")
 	sumExec := flag.Int("sum-exec", 1<<14, "sum: executed size (extrapolated to -sum-n)")
 	sgemmN := flag.Int("sgemm-n", 1024, "sgemm: full matrix dimension")
+	pipelineN := flag.Int("pipeline-n", 1<<14, "pipeline: reduction chain size (elements)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
 
@@ -223,6 +237,34 @@ func main() {
 			res.FP16RangeLoss, res.Samples, res.MinBitsFP16, res.MeanBitsFP16)
 		fmt.Printf("  paper's codec:   %4d/%d values lost,                              worst %d bits, mean %.1f bits\n",
 			res.CodecRangeLoss, res.Samples, res.MinBitsCodec, res.MeanBitsCodec)
+		return nil
+	})
+
+	run("pipeline", func() error {
+		res, err := paper.RunPipelineChain(*pipelineN)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			report["pipeline"] = pipelineJSON{
+				N: res.N, Passes: res.Passes,
+				ResidentMicros:     res.Resident.Total().Microseconds(),
+				RoundTripMicros:    res.RoundTrip.Total().Microseconds(),
+				ResidentHostBytes:  res.ResidentHostBytes,
+				RoundTripHostBytes: res.RoundTripHostBytes,
+				SpeedupX:           res.SpeedupX(),
+				Validated:          res.Validated,
+			}
+			return nil
+		}
+		fmt.Println()
+		fmt.Printf("P3 — device-resident pipeline vs host round-trip chaining (sum reduction, n=%d, %d passes):\n",
+			res.N, res.Passes)
+		fmt.Printf("  device-resident: %8d host bytes, model %10v (exec %v)\n",
+			res.ResidentHostBytes, res.Resident.Total().Round(10000), res.Resident.Execute.Round(10000))
+		fmt.Printf("  host round-trip: %8d host bytes, model %10v (exec %v)\n",
+			res.RoundTripHostBytes, res.RoundTrip.Total().Round(10000), res.RoundTrip.Execute.Round(10000))
+		fmt.Printf("  chain speedup: %.1fx; results bit-identical: %v\n", res.SpeedupX(), res.Validated)
 		return nil
 	})
 

@@ -1,8 +1,9 @@
-// Command reduction computes the sum of a large array with a multi-pass
-// tree reduction: each pass halves the array by adding element pairs,
-// ping-ponging between two buffers. This demonstrates kernel chaining
-// through render-to-texture (the paper's challenge #7: with careful
-// ordering, intermediate results never leave the GPU).
+// Command reduction computes the sum of a large array with the built-in
+// device-resident reduction: Pipeline.Reduce folds the array down
+// log-style, each pass reading the previous pass's texture directly —
+// intermediate results never leave the GPU and never touch the codec
+// (the paper's challenge #7, without the hand-rolled buffer juggling
+// this example used to carry).
 package main
 
 import (
@@ -12,12 +13,6 @@ import (
 
 	"glescompute"
 )
-
-const pairSumSrc = `
-float gc_kernel(float idx) {
-	return gc_x(2.0 * idx) + gc_x(2.0 * idx + 1.0);
-}
-`
 
 func main() {
 	const n = 1 << 14
@@ -34,50 +29,49 @@ func main() {
 		cpuSum += float64(data[i])
 	}
 
-	// Ping-pong buffers; each pass reads `cur` and writes `next` of half
-	// the size.
-	cur, err := dev.NewBuffer(glescompute.Float32, n)
+	in, err := dev.NewBuffer(glescompute.Float32, n)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := cur.WriteFloat32(data); err != nil {
+	if err := in.WriteFloat32(data); err != nil {
 		log.Fatal(err)
 	}
-
-	k, err := dev.BuildKernel(glescompute.KernelSpec{
-		Name:   "pairsum",
-		Inputs: []glescompute.Param{{Name: "x", Type: glescompute.Float32}},
-		Source: pairSumSrc,
-	})
+	out, err := dev.NewBuffer(glescompute.Float32, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	passes := 0
-	for size := n; size > 1; size /= 2 {
-		next, err := dev.NewBuffer(glescompute.Float32, size/2)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if _, err := k.Run1(next, []*glescompute.Buffer{cur}, nil); err != nil {
-			log.Fatal(err)
-		}
-		cur.Free()
-		cur = next
-		passes++
+	// The whole tree is one pipeline: ceil(log2 n) pairwise-sum passes
+	// ping-ponging through pooled intermediate textures.
+	p := dev.NewPipeline()
+	defer p.Free()
+	p.Output(p.Reduce(p.Input(glescompute.Float32, n), glescompute.ReduceAdd))
+	if err := p.Err(); err != nil {
+		log.Fatal(err)
 	}
 
-	res, err := cur.ReadFloat32()
+	stats, err := p.Run([]*glescompute.Buffer{out}, []*glescompute.Buffer{in}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := out.ReadFloat32()
 	if err != nil {
 		log.Fatal(err)
 	}
 	got := float64(res[0])
 	rel := math.Abs(got-cpuSum) / cpuSum
-	fmt.Printf("tree reduction of %d floats in %d GPU passes\n", n, passes)
+	fmt.Printf("tree reduction of %d floats in %d GPU passes (%d textures pooled, %d recycled)\n",
+		n, stats.Passes, stats.PoolAllocs, stats.PoolReuses)
+	fmt.Printf("host traffic between passes: %d bytes up, %d bytes down (device-resident)\n",
+		stats.HostUploadBytes, stats.HostReadbackBytes)
 	fmt.Printf("GPU sum = %.1f, CPU sum = %.1f, relative error = %.3g\n", got, cpuSum, rel)
 	// log2(n)=14 passes of ~2^-15-accurate adds: allow ~2^-9.
 	if rel > 1.0/(1<<9) {
 		log.Fatal("validation failed")
+	}
+	if stats.HostUploadBytes != 0 || stats.HostReadbackBytes != 0 {
+		log.Fatal("expected a fully device-resident reduction")
 	}
 	fmt.Println("OK")
 }

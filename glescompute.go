@@ -67,6 +67,23 @@ type (
 	Timeline = core.Timeline
 	// ElemType enumerates supported element types.
 	ElemType = codec.ElemType
+	// Pipeline chains kernels device-resident: each stage's output
+	// texture feeds the next stage's sampler with no host round-trip.
+	Pipeline = core.Pipeline
+	// PipelineStats reports one pipeline execution, including the
+	// host-traffic counters proving the chain stayed on-device.
+	PipelineStats = core.PipelineStats
+	// Ref names a data slot (input or stage output) inside a Pipeline.
+	Ref = core.Ref
+	// ReduceOp is a pairwise fold operator for Pipeline.Reduce.
+	ReduceOp = core.ReduceOp
+)
+
+// Built-in reduction operators for Pipeline.Reduce.
+var (
+	ReduceAdd = core.ReduceAdd
+	ReduceMin = core.ReduceMin
+	ReduceMax = core.ReduceMax
 )
 
 // Element types supported by buffers and kernels (paper §IV).

@@ -48,6 +48,7 @@ func (d *Device) NewMatrixBuffer(t codec.ElemType, n int) (*Buffer, error) {
 
 func (d *Device) newBufferWithGrid(t codec.ElemType, n int, g layout.Grid) (*Buffer, error) {
 	ctx := d.ctx
+	prev := uint32(ctx.GetIntegerv(gles.TEXTURE_BINDING_2D)[0])
 	tex := ctx.CreateTexture()
 	ctx.BindTexture(gles.TEXTURE_2D, tex)
 	// Allocate storage; NEAREST + CLAMP_TO_EDGE keeps NPOT textures
@@ -58,6 +59,7 @@ func (d *Device) newBufferWithGrid(t codec.ElemType, n int, g layout.Grid) (*Buf
 	ctx.TexParameteri(gles.TEXTURE_2D, gles.TEXTURE_MAG_FILTER, gles.NEAREST)
 	ctx.TexParameteri(gles.TEXTURE_2D, gles.TEXTURE_WRAP_S, gles.CLAMP_TO_EDGE)
 	ctx.TexParameteri(gles.TEXTURE_2D, gles.TEXTURE_WRAP_T, gles.CLAMP_TO_EDGE)
+	ctx.BindTexture(gles.TEXTURE_2D, prev)
 	if err := d.checkGL("NewBuffer"); err != nil {
 		return nil, err
 	}
@@ -86,16 +88,20 @@ func (b *Buffer) Free() {
 }
 
 // ensureFBO lazily creates the framebuffer object with this buffer's
-// texture as color attachment.
+// texture as color attachment. The caller's framebuffer binding is left
+// untouched; callers bind the returned FBO themselves when they need it.
 func (b *Buffer) ensureFBO() (uint32, error) {
 	if b.fbo != 0 {
 		return b.fbo, nil
 	}
 	ctx := b.dev.ctx
+	prev := uint32(ctx.GetIntegerv(gles.FRAMEBUFFER_BINDING)[0])
 	fbo := ctx.CreateFramebuffer()
 	ctx.BindFramebuffer(gles.FRAMEBUFFER, fbo)
 	ctx.FramebufferTexture2D(gles.FRAMEBUFFER, gles.COLOR_ATTACHMENT0, gles.TEXTURE_2D, b.tex, 0)
-	if st := ctx.CheckFramebufferStatus(gles.FRAMEBUFFER); st != gles.FRAMEBUFFER_COMPLETE {
+	st := ctx.CheckFramebufferStatus(gles.FRAMEBUFFER)
+	ctx.BindFramebuffer(gles.FRAMEBUFFER, prev)
+	if st != gles.FRAMEBUFFER_COMPLETE {
 		return 0, fmt.Errorf("core: buffer FBO incomplete: 0x%04x", st)
 	}
 	if err := b.dev.checkGL("ensureFBO"); err != nil {
@@ -105,26 +111,32 @@ func (b *Buffer) ensureFBO() (uint32, error) {
 	return fbo, nil
 }
 
-// upload packs the prepared texel bytes (4 per texel) into the texture.
+// upload packs the prepared texel bytes (4 per texel) into the texture,
+// restoring the application's 2D texture binding afterwards.
 func (b *Buffer) upload(texels []byte) error {
 	ctx := b.dev.ctx
 	full := make([]byte, b.grid.Texels()*4)
 	copy(full, texels)
+	prev := uint32(ctx.GetIntegerv(gles.TEXTURE_BINDING_2D)[0])
 	ctx.BindTexture(gles.TEXTURE_2D, b.tex)
 	ctx.TexImage2D(gles.TEXTURE_2D, 0, gles.RGBA, b.grid.Width, b.grid.Height, 0, gles.RGBA, gles.UNSIGNED_BYTE, full)
+	ctx.BindTexture(gles.TEXTURE_2D, prev)
 	return b.dev.checkGL("upload")
 }
 
-// readTexels reads the whole texture back through an FBO + ReadPixels.
+// readTexels reads the whole texture back through an FBO + ReadPixels,
+// restoring the application's framebuffer binding afterwards.
 func (b *Buffer) readTexels() ([]byte, error) {
 	fbo, err := b.ensureFBO()
 	if err != nil {
 		return nil, err
 	}
 	ctx := b.dev.ctx
+	prev := uint32(ctx.GetIntegerv(gles.FRAMEBUFFER_BINDING)[0])
 	ctx.BindFramebuffer(gles.FRAMEBUFFER, fbo)
 	out := make([]byte, b.grid.Texels()*4)
 	ctx.ReadPixels(0, 0, b.grid.Width, b.grid.Height, gles.RGBA, gles.UNSIGNED_BYTE, out)
+	ctx.BindFramebuffer(gles.FRAMEBUFFER, prev)
 	if err := b.dev.checkGL("readTexels"); err != nil {
 		return nil, err
 	}

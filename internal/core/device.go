@@ -12,7 +12,10 @@
 //	#8 multi-output kernels split into one shader pass per output
 //
 // — behind a Device/Buffer/Kernel API a CUDA/OpenCL programmer would
-// recognize.
+// recognize. Multi-pass workloads chain device-resident through Pipeline
+// (pipeline.go): output textures feed the next pass's sampler directly,
+// with pooled ping-pong intermediates and automatic resolution of the
+// render-into-sampled-texture hazard (DESIGN.md §6a).
 package core
 
 import (
@@ -62,6 +65,18 @@ func (t Timeline) Total() time.Duration {
 	return t.Compile + t.Upload + t.Execute + t.Readback
 }
 
+// Sub returns the componentwise difference t - o: the cost of the work
+// executed between two Timeline snapshots. Pipeline uses it to price one
+// chain under the timing model.
+func (t Timeline) Sub(o Timeline) Timeline {
+	return Timeline{
+		Compile:  t.Compile - o.Compile,
+		Upload:   t.Upload - o.Upload,
+		Execute:  t.Execute - o.Execute,
+		Readback: t.Readback - o.Readback,
+	}
+}
+
 // Device is a simulated low-end mobile GPU opened for compute.
 type Device struct {
 	ctx *gles.Context
@@ -72,6 +87,10 @@ type Device struct {
 	quadUV  []byte
 
 	copyProg uint32 // lazily built pass-through copy program (challenge #7)
+
+	// reduceKernels caches compiled fold kernels by op+elem so every
+	// pipeline on the device shares one program per reduction operator.
+	reduceKernels map[string]*Kernel
 }
 
 // Open creates a compute device over a fresh simulated ES 2.0 context.

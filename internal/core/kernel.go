@@ -150,6 +150,78 @@ type RunStats struct {
 	Draw gles.DrawStats
 }
 
+// glStateGuard snapshots the context state a compute pass clobbers —
+// framebuffer/program/active-texture bindings, the viewport, the 2D
+// texture bindings of the units the pass uses, and the vertex attribute
+// arrays carrying the fullscreen quad — so kernel runs can interleave
+// with raw dev.GL() rendering without leaking state into the application.
+type glStateGuard struct {
+	dev      *Device
+	fbo      uint32
+	prog     uint32
+	active   uint32
+	viewport [4]int
+	units    []uint32 // TEXTURE_BINDING_2D of units 0..len-1
+	attribs  map[int]gles.VertexAttribSnapshot
+}
+
+// saveGLState captures the state that binding nUnits texture units and
+// the given attribute locations would overwrite.
+func (d *Device) saveGLState(nUnits int, attribLocs ...int) *glStateGuard {
+	ctx := d.ctx
+	g := &glStateGuard{
+		dev:     d,
+		fbo:     uint32(ctx.GetIntegerv(gles.FRAMEBUFFER_BINDING)[0]),
+		prog:    uint32(ctx.GetIntegerv(gles.CURRENT_PROGRAM)[0]),
+		active:  uint32(ctx.GetIntegerv(gles.ACTIVE_TEXTURE)[0]),
+		attribs: map[int]gles.VertexAttribSnapshot{},
+	}
+	copy(g.viewport[:], ctx.GetIntegerv(gles.VIEWPORT))
+	for u := 0; u < nUnits; u++ {
+		ctx.ActiveTexture(uint32(gles.TEXTURE0 + u))
+		g.units = append(g.units, uint32(ctx.GetIntegerv(gles.TEXTURE_BINDING_2D)[0]))
+	}
+	for _, loc := range attribLocs {
+		if loc < 0 {
+			continue
+		}
+		if s, ok := ctx.GetVertexAttrib(loc); ok {
+			g.attribs[loc] = s
+		}
+	}
+	return g
+}
+
+// restore reinstates the captured state; call via defer so error paths
+// restore too.
+func (g *glStateGuard) restore() {
+	ctx := g.dev.ctx
+	for u, tex := range g.units {
+		ctx.ActiveTexture(uint32(gles.TEXTURE0 + u))
+		ctx.BindTexture(gles.TEXTURE_2D, tex)
+	}
+	for loc, s := range g.attribs {
+		ctx.RestoreVertexAttrib(loc, s)
+	}
+	ctx.ActiveTexture(g.active)
+	ctx.UseProgram(g.prog)
+	ctx.BindFramebuffer(gles.FRAMEBUFFER, g.fbo)
+	ctx.Viewport(g.viewport[0], g.viewport[1], g.viewport[2], g.viewport[3])
+}
+
+// checkOutputAliasing rejects an output buffer that is also bound as an
+// input: rendering into a texture being sampled is undefined GL (the
+// hazard Pipeline's pool resolves automatically with a copy or swap).
+func checkOutputAliasing(kernel string, out *Buffer, outName string, ins []*Buffer, inputs []Param) error {
+	for i, in := range ins {
+		if in.tex == out.tex {
+			return fmt.Errorf("core: kernel %q: output %q aliases input %q (INVALID_OPERATION: sampling a texture while rendering into it is undefined; use Pipeline or a copy)",
+				kernel, outName, inputs[i].Name)
+		}
+	}
+	return nil
+}
+
 // Run executes the kernel: one draw pass per output. outs[i] receives
 // output i of the spec; ins[i] feeds input i. uniforms supplies the user
 // uniforms by name.
@@ -166,7 +238,24 @@ func (k *Kernel) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float32)
 			return stats, fmt.Errorf("core: input %q expects %s, buffer holds %s", in.Name, in.Type, ins[i].elem)
 		}
 	}
+	for pi := range k.passes {
+		if err := checkOutputAliasing(k.spec.Name, outs[pi], k.passes[pi].out.Name, ins, k.spec.Inputs); err != nil {
+			return stats, err
+		}
+		for pj := pi + 1; pj < len(k.passes); pj++ {
+			if outs[pi].tex == outs[pj].tex {
+				return stats, fmt.Errorf("core: kernel %q: outputs %q and %q share a buffer (the later pass would overwrite the earlier)",
+					k.spec.Name, k.passes[pi].out.Name, k.passes[pj].out.Name)
+			}
+		}
+	}
 	ctx := k.dev.ctx
+	attribLocs := make([]int, 0, 2*len(k.passes))
+	for pi := range k.passes {
+		attribLocs = append(attribLocs, k.passes[pi].posLoc, k.passes[pi].uvLoc)
+	}
+	guard := k.dev.saveGLState(len(ins), attribLocs...)
+	defer guard.restore()
 	for pi := range k.passes {
 		pass := &k.passes[pi]
 		out := outs[pi]
@@ -236,6 +325,9 @@ func (d *Device) Copy(dst, src *Buffer) error {
 	if dst.elem != src.elem {
 		return fmt.Errorf("core: Copy: element type mismatch %s vs %s", dst.elem, src.elem)
 	}
+	if dst.tex == src.tex {
+		return fmt.Errorf("core: Copy: dst aliases src (INVALID_OPERATION: sampling a texture while rendering into it is undefined)")
+	}
 	prog, err := d.copyProgram()
 	if err != nil {
 		return err
@@ -245,14 +337,16 @@ func (d *Device) Copy(dst, src *Buffer) error {
 	if err != nil {
 		return err
 	}
+	pos := ctx.GetAttribLocation(prog, "a_position")
+	uv := ctx.GetAttribLocation(prog, "a_texcoord")
+	guard := d.saveGLState(1, pos, uv)
+	defer guard.restore()
 	ctx.BindFramebuffer(gles.FRAMEBUFFER, fbo)
 	ctx.Viewport(0, 0, dst.grid.Width, dst.grid.Height)
 	ctx.UseProgram(prog)
 	ctx.ActiveTexture(gles.TEXTURE0)
 	ctx.BindTexture(gles.TEXTURE_2D, src.tex)
 	ctx.Uniform1i(ctx.GetUniformLocation(prog, "gc_src"), 0)
-	pos := ctx.GetAttribLocation(prog, "a_position")
-	uv := ctx.GetAttribLocation(prog, "a_texcoord")
 	ctx.EnableVertexAttribArray(pos)
 	ctx.VertexAttribPointerClient(pos, 2, gles.FLOAT, false, 16, d.quadPos)
 	ctx.EnableVertexAttribArray(uv)

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"glescompute/internal/codec"
+	"glescompute/internal/layout"
+)
+
+// poolKey identifies interchangeable intermediate buffers: same element
+// type and same texel grid (a buffer's texture storage is its grid).
+type poolKey struct {
+	elem codec.ElemType
+	grid layout.Grid
+}
+
+// bufferPool recycles device buffers for pipeline intermediates. A chain
+// of same-sized stages ping-pongs between two pooled buffers (a slot is
+// released as soon as its last reader has run, so the next stage's output
+// reuses the texture a previous stage wrote); across Run calls the pool
+// makes repeated pipeline execution allocation-free. Buffers checked out
+// of the pool are by construction never simultaneously bound as a
+// stage's input and render target — the swap half of the runtime's
+// hazard rule (Pipeline falls back to a copy when the target is a
+// user-owned buffer it cannot swap).
+type bufferPool struct {
+	dev  *Device
+	free map[poolKey][]*Buffer
+	all  []*Buffer
+
+	allocs int // buffers created because no free one matched
+	reuses int // acquisitions served from the free lists
+}
+
+func newBufferPool(d *Device) *bufferPool {
+	return &bufferPool{dev: d, free: map[poolKey][]*Buffer{}}
+}
+
+// acquire returns a free pooled buffer of the given shape, allocating one
+// when the pool has none. n may differ between users of the same grid
+// (e.g. reduction tails); the logical length is rewritten on checkout.
+func (p *bufferPool) acquire(elem codec.ElemType, n int, grid layout.Grid) (*Buffer, error) {
+	key := poolKey{elem: elem, grid: grid}
+	if list := p.free[key]; len(list) > 0 {
+		b := list[len(list)-1]
+		p.free[key] = list[:len(list)-1]
+		b.n = n
+		p.reuses++
+		return b, nil
+	}
+	b, err := p.dev.newBufferWithGrid(elem, n, grid)
+	if err != nil {
+		return nil, err
+	}
+	p.allocs++
+	p.all = append(p.all, b)
+	return b, nil
+}
+
+// release returns a buffer acquired from this pool to its free list.
+func (p *bufferPool) release(b *Buffer) {
+	key := poolKey{elem: b.elem, grid: b.grid}
+	p.free[key] = append(p.free[key], b)
+}
+
+// freeAll releases every GL object the pool ever allocated.
+func (p *bufferPool) freeAll() {
+	for _, b := range p.all {
+		b.Free()
+	}
+	p.all = nil
+	p.free = map[poolKey][]*Buffer{}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"glescompute/internal/codec"
+	"glescompute/internal/gles"
+)
+
+// rawGLScene owns a hand-rolled GL rendering setup on the device's
+// context, the way a graphics application sharing the context with the
+// compute runtime would: its own program, attribute arrays, texture
+// binding and viewport, configured once and redrawn without re-setup.
+type rawGLScene struct {
+	ctx    *gles.Context
+	prog   uint32
+	posLoc int
+	w, h   int
+}
+
+const rawVS = `
+attribute vec2 a_position;
+void main() { gl_Position = vec4(a_position, 0.0, 1.0); }
+`
+
+const rawFS = `
+precision mediump float;
+uniform vec4 u_color;
+void main() { gl_FragColor = u_color; }
+`
+
+func newRawGLScene(t *testing.T, d *Device) *rawGLScene {
+	t.Helper()
+	ctx := d.GL()
+	vs := ctx.CreateShader(gles.VERTEX_SHADER)
+	ctx.ShaderSource(vs, rawVS)
+	ctx.CompileShader(vs)
+	fs := ctx.CreateShader(gles.FRAGMENT_SHADER)
+	ctx.ShaderSource(fs, rawFS)
+	ctx.CompileShader(fs)
+	prog := ctx.CreateProgram()
+	ctx.AttachShader(prog, vs)
+	ctx.AttachShader(prog, fs)
+	ctx.LinkProgram(prog)
+	if ctx.GetProgramiv(prog, gles.LINK_STATUS) != 1 {
+		t.Fatalf("raw scene link failed: %s", ctx.GetProgramInfoLog(prog))
+	}
+	s := &rawGLScene{ctx: ctx, prog: prog, w: 4, h: 4}
+	s.posLoc = ctx.GetAttribLocation(prog, "a_position")
+
+	// One-time setup, exactly once — the point of the test is that kernel
+	// runs must not force the app to redo any of this.
+	verts := []float32{-1, -1, 1, -1, 1, 1, -1, -1, 1, 1, -1, 1}
+	raw := make([]byte, len(verts)*4)
+	for i, v := range verts {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	ctx.BindFramebuffer(gles.FRAMEBUFFER, 0)
+	ctx.Viewport(0, 0, s.w, s.h)
+	ctx.UseProgram(prog)
+	ctx.Uniform4f(ctx.GetUniformLocation(prog, "u_color"), 1, 0.5, 0.25, 1)
+	ctx.EnableVertexAttribArray(s.posLoc)
+	ctx.VertexAttribPointerClient(s.posLoc, 2, gles.FLOAT, false, 8, raw)
+	return s
+}
+
+// draw redraws with NO state re-setup and returns the default
+// framebuffer contents.
+func (s *rawGLScene) draw(t *testing.T) []byte {
+	t.Helper()
+	s.ctx.DrawArrays(gles.TRIANGLES, 0, 6)
+	if e := s.ctx.GetError(); e != gles.NO_ERROR {
+		t.Fatalf("raw draw errored: 0x%04x: %s", e, s.ctx.LastErrorDetail())
+	}
+	out := make([]byte, s.w*s.h*4)
+	s.ctx.ReadPixels(0, 0, s.w, s.h, gles.RGBA, gles.UNSIGNED_BYTE, out)
+	if e := s.ctx.GetError(); e != gles.NO_ERROR {
+		t.Fatalf("raw readback errored: 0x%04x: %s", e, s.ctx.LastErrorDetail())
+	}
+	return out
+}
+
+// TestKernelRunDoesNotLeakGLState interleaves raw dev.GL() rendering with
+// kernel runs, copies, buffer creation, uploads and readbacks; the raw
+// scene must render identically before and after, without re-setup. This
+// is the regression test for Run/Copy clobbering program/FBO/active-
+// texture bindings and leaving vertex attrib arrays enabled.
+func TestKernelRunDoesNotLeakGLState(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	scene := newRawGLScene(t, d)
+	want := scene.draw(t)
+
+	// A full round of compute activity on the shared context.
+	const n = 300
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i) * 0.5
+	}
+	ba, err := d.NewBuffer(codec.Float32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, _ := d.NewBuffer(codec.Float32, n)
+	bo, _ := d.NewBuffer(codec.Float32, n)
+	if err := ba.WriteFloat32(xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := bb.WriteFloat32(xs); err != nil {
+		t.Fatal(err)
+	}
+	k := buildSum(t, d, codec.Float32)
+	if _, err := k.Run1(bo, []*Buffer{ba, bb}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Copy(bb, bo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bo.ReadFloat32(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := scene.draw(t)
+	if !bytes.Equal(want, got) {
+		t.Errorf("raw GL scene changed after kernel runs:\n before %v\n after  %v", want, got)
+	}
+
+	// The bindings themselves must be back where the app left them.
+	ctx := d.GL()
+	if fb := ctx.GetIntegerv(gles.FRAMEBUFFER_BINDING)[0]; fb != 0 {
+		t.Errorf("FRAMEBUFFER_BINDING leaked: %d, want 0", fb)
+	}
+	if prog := ctx.GetIntegerv(gles.CURRENT_PROGRAM)[0]; prog != int(scene.prog) {
+		t.Errorf("CURRENT_PROGRAM leaked: %d, want %d", prog, scene.prog)
+	}
+	if at := ctx.GetIntegerv(gles.ACTIVE_TEXTURE)[0]; at != gles.TEXTURE0 {
+		t.Errorf("ACTIVE_TEXTURE leaked: 0x%04x, want TEXTURE0", at)
+	}
+	if vp := ctx.GetIntegerv(gles.VIEWPORT); vp[2] != 4 || vp[3] != 4 {
+		t.Errorf("viewport leaked: %v, want 4x4", vp)
+	}
+	// Attribute arrays the kernel used must not stay enabled beyond what
+	// the app enabled (the app uses exactly one array).
+	enabled := 0
+	for i := 0; i < d.Caps().MaxVertexAttribs; i++ {
+		if s, ok := ctx.GetVertexAttrib(i); ok && s.Enabled {
+			enabled++
+		}
+	}
+	if enabled != 1 {
+		t.Errorf("%d vertex attrib arrays enabled after kernel runs, want 1", enabled)
+	}
+}
+
+// TestRunRejectsOutputAliasingInput pins the single-kernel hazard: an
+// output buffer that is also bound as an input must be rejected instead
+// of producing garbage.
+func TestRunRejectsOutputAliasingInput(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	const n = 64
+	ba, err := d.NewBuffer(codec.Float32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, _ := d.NewBuffer(codec.Float32, n)
+	k := buildSum(t, d, codec.Float32)
+
+	_, err = k.Run1(ba, []*Buffer{ba, bb}, nil)
+	if err == nil {
+		t.Fatal("Run with output aliasing input 'a' succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "INVALID_OPERATION") {
+		t.Errorf("alias error %q does not mention INVALID_OPERATION", err)
+	}
+	if _, err := k.Run1(bb, []*Buffer{ba, bb}, nil); err == nil {
+		t.Fatal("Run with output aliasing input 'b' succeeded, want error")
+	}
+
+	// Copy has the same hazard.
+	if err := d.Copy(ba, ba); err == nil {
+		t.Fatal("Copy(dst == src) succeeded, want error")
+	}
+
+	// Distinct buffers still work.
+	bo, _ := d.NewBuffer(codec.Float32, n)
+	if _, err := k.Run1(bo, []*Buffer{ba, bb}, nil); err != nil {
+		t.Fatalf("non-aliased Run failed: %v", err)
+	}
+}

@@ -308,6 +308,22 @@ func (c *Context) GetIntegerv(pname uint32) []int {
 		return []int{c.caps.MaxTextureSize, c.caps.MaxTextureSize}
 	case CURRENT_PROGRAM:
 		return []int{int(c.current)}
+	case ACTIVE_TEXTURE:
+		return []int{TEXTURE0 + c.activeUnit}
+	case TEXTURE_BINDING_2D:
+		return []int{int(c.texUnits[c.activeUnit].tex2D)}
+	case TEXTURE_BINDING_CUBE_MAP:
+		return []int{int(c.texUnits[c.activeUnit].texCube)}
+	case ARRAY_BUFFER_BINDING:
+		return []int{int(c.arrayBuffer)}
+	case ELEMENT_ARRAY_BUFFER_BINDING:
+		return []int{int(c.elementBuf)}
+	case FRAMEBUFFER_BINDING:
+		return []int{int(c.boundFB)}
+	case RENDERBUFFER_BINDING:
+		return []int{int(c.boundRB)}
+	case VIEWPORT:
+		return []int{c.viewport[0], c.viewport[1], c.viewport[2], c.viewport[3]}
 	case IMPLEMENTATION_COLOR_READ_FORMAT:
 		return []int{RGBA}
 	case IMPLEMENTATION_COLOR_READ_TYPE:
@@ -451,9 +467,11 @@ func (c *Context) FrontFace(mode uint32) {
 	}
 }
 
-// BlendFunc mirrors glBlendFunc.
+// BlendFunc mirrors glBlendFunc. SRC_ALPHA_SATURATE is a source-only
+// factor (ES 2.0 §4.1.3 lists it in the source column only) and is
+// rejected as a destination factor.
 func (c *Context) BlendFunc(src, dst uint32) {
-	if !validBlendFactor(src) || !validBlendFactor(dst) {
+	if !validBlendFactor(src, true) || !validBlendFactor(dst, false) {
 		c.setErr(INVALID_ENUM, "BlendFunc: bad factor")
 		return
 	}
@@ -523,12 +541,14 @@ func clamp01(x float32) float32 {
 	return x
 }
 
-func validBlendFactor(f uint32) bool {
+func validBlendFactor(f uint32, isSrc bool) bool {
 	switch f {
 	case ZERO, ONE, SRC_COLOR, ONE_MINUS_SRC_COLOR, SRC_ALPHA,
 		ONE_MINUS_SRC_ALPHA, DST_ALPHA, ONE_MINUS_DST_ALPHA,
 		DST_COLOR, ONE_MINUS_DST_COLOR:
 		return true
+	case SRC_ALPHA_SATURATE:
+		return isSrc
 	}
 	return false
 }

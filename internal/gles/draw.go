@@ -127,6 +127,11 @@ func (c *Context) draw(mode uint32, indices []int) {
 			loc := p.attribLocs[a.Name]
 			span := attribSpan(a.DeclType)
 			val := shader.Zero(a.DeclType)
+			// An out-of-range fetch (vertex beyond the array, or no
+			// backing store) deliberately yields (0,0,0,1) instead of an
+			// error: ES 2.0 makes reads past a client array undefined, and
+			// this simulator pins them to robust-buffer-access-style
+			// zero-fill (TestFetchAttribOutOfRangeZeroFill).
 			if span == 1 {
 				v4, _ := c.fetchAttrib(loc, vi)
 				writeAttrib(&val, a.DeclType, v4)
@@ -398,6 +403,17 @@ func (c *Context) blend(sr, sg, sb, sa, dr, dg, db, da float32) (r, g, b, a floa
 			return [4]float32{dr, dg, db, da}
 		case ONE_MINUS_DST_COLOR:
 			return [4]float32{1 - dr, 1 - dg, 1 - db, 1 - da}
+		case SRC_ALPHA_SATURATE:
+			// Src-only factor (BlendFunc rejects it as dst): f = min(As,
+			// 1-Ad) on RGB, 1 on alpha.
+			if !isSrc {
+				return [4]float32{1, 1, 1, 1}
+			}
+			f := sa
+			if 1-da < f {
+				f = 1 - da
+			}
+			return [4]float32{f, f, f, 1}
 		}
 		return [4]float32{1, 1, 1, 1}
 	}

@@ -172,9 +172,20 @@ const (
 	ONE_MINUS_DST_ALPHA   = 0x0305
 	DST_COLOR             = 0x0306
 	ONE_MINUS_DST_COLOR   = 0x0307
+	SRC_ALPHA_SATURATE    = 0x0308
 	FUNC_ADD              = 0x8006
 	FUNC_SUBTRACT         = 0x800A
 	FUNC_REVERSE_SUBTRACT = 0x800B
+
+	// Binding-state queries (GetIntegerv).
+	ACTIVE_TEXTURE               = 0x84E0
+	TEXTURE_BINDING_2D           = 0x8069
+	TEXTURE_BINDING_CUBE_MAP     = 0x8514
+	ARRAY_BUFFER_BINDING         = 0x8894
+	ELEMENT_ARRAY_BUFFER_BINDING = 0x8895
+	FRAMEBUFFER_BINDING          = 0x8CA6
+	RENDERBUFFER_BINDING         = 0x8CA7
+	VIEWPORT                     = 0x0BA2
 
 	// Strings.
 	VENDOR                   = 0x1F00

@@ -792,6 +792,13 @@ func TestTransferStatsAccounting(t *testing.T) {
 	if tr.TexUploadCalls != 1 || tr.ReadPixelsCalls != 1 {
 		t.Errorf("call counts wrong: %+v", tr)
 	}
+	// Storage allocation (nil data) moves no host bytes and must not be
+	// priced as an upload call.
+	c.TexImage2D(TEXTURE_2D, 0, RGBA, 4, 4, 0, RGBA, UNSIGNED_BYTE, nil)
+	tr = c.Transfers()
+	if tr.TexUploadCalls != 1 || tr.TexUploadBytes != 64 {
+		t.Errorf("nil-data TexImage2D was counted as a transfer: %+v", tr)
+	}
 }
 
 func absInt(x int) int {

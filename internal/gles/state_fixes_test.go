@@ -1,0 +1,256 @@
+package gles
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// f32raw packs float32 values into a little-endian client array.
+func f32raw(vals ...float32) []byte {
+	out := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+// TestBlendSrcAlphaSaturate checks the SRC_ALPHA_SATURATE source factor:
+// f = min(As, 1-Ad) on RGB and 1 on alpha.
+func TestBlendSrcAlphaSaturate(t *testing.T) {
+	c := newTestContext(1, 1)
+	c.ClearColor(0.25, 0, 0, 0.5) // dst: Ad = 0.5
+	c.Clear(COLOR_BUFFER_BIT)
+	prog := buildProgram(t, c, passVS, solidFS)
+	c.UseProgram(prog)
+	c.Uniform4f(c.GetUniformLocation(prog, "u_color"), 0.8, 0, 0, 0.6)
+	fullscreenQuad(t, c, prog)
+	c.Enable(BLEND)
+	c.BlendFunc(SRC_ALPHA_SATURATE, ONE)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("BlendFunc(SRC_ALPHA_SATURATE, ONE) errored: 0x%04x", e)
+	}
+	c.DrawArrays(TRIANGLES, 0, 6)
+	px := readAll(t, c, 1, 1)
+	// f = min(0.6, 1-0.5) = 0.5: R = 0.8*0.5 + 0.25 = 0.65; A = 0.6*1 + 0.5 (clamped).
+	if absInt(int(px[0])-166) > 2 {
+		t.Errorf("R = %d, want ~166 (0.65*255)", px[0])
+	}
+	if px[3] != 255 {
+		t.Errorf("A = %d, want 255 (saturate factor is 1 on alpha)", px[3])
+	}
+}
+
+// TestBlendFuncRejectsSaturateDst pins SRC_ALPHA_SATURATE as src-only.
+func TestBlendFuncRejectsSaturateDst(t *testing.T) {
+	c := newTestContext(1, 1)
+	c.BlendFunc(ONE_MINUS_SRC_ALPHA, SRC_ALPHA)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("valid BlendFunc errored: 0x%04x", e)
+	}
+	c.BlendFunc(ONE, SRC_ALPHA_SATURATE)
+	if e := c.GetError(); e != INVALID_ENUM {
+		t.Fatalf("BlendFunc(dst=SRC_ALPHA_SATURATE) error = 0x%04x, want INVALID_ENUM", e)
+	}
+	// The rejected call must not have modified blend state.
+	if c.blendSrc != ONE_MINUS_SRC_ALPHA || c.blendDst != SRC_ALPHA {
+		t.Errorf("blend factors clobbered by rejected call: (0x%04x, 0x%04x)", c.blendSrc, c.blendDst)
+	}
+}
+
+// drawTexturedViewport renders a fullscreen quad sampling tex into a WxH
+// context and returns the pixels.
+func drawTexturedViewport(t *testing.T, w, h, texW int, minFilter, magFilter uint32) []byte {
+	t.Helper()
+	c := newTestContext(w, h)
+	prog := buildProgram(t, c, passVS, `
+precision mediump float;
+uniform sampler2D u_tex;
+varying vec2 v_texcoord;
+void main() { gl_FragColor = texture2D(u_tex, v_texcoord); }
+`)
+	c.UseProgram(prog)
+	tex := c.CreateTexture()
+	c.BindTexture(TEXTURE_2D, tex)
+	// texW x 1 row of alternating 0 / 255 red texels.
+	data := make([]byte, texW*4)
+	for i := 0; i < texW; i++ {
+		if i%2 == 1 {
+			data[i*4] = 255
+		}
+		data[i*4+3] = 255
+	}
+	c.TexImage2D(TEXTURE_2D, 0, RGBA, texW, 1, 0, RGBA, UNSIGNED_BYTE, data)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_MIN_FILTER, minFilter)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_MAG_FILTER, magFilter)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_WRAP_S, CLAMP_TO_EDGE)
+	c.TexParameteri(TEXTURE_2D, TEXTURE_WRAP_T, CLAMP_TO_EDGE)
+	c.Uniform1i(c.GetUniformLocation(prog, "u_tex"), 0)
+	fullscreenQuad(t, c, prog)
+	c.DrawArrays(TRIANGLES, 0, 6)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("draw error 0x%04x: %s", e, c.LastErrorDetail())
+	}
+	return readAll(t, c, w, h)
+}
+
+// TestMinFilterUsedUnderMinification is the regression test for the
+// min/mag selection bug: sampling used magFilter unconditionally, so a
+// NEAREST-min/LINEAR-mag texture was linearly filtered even under heavy
+// minification.
+func TestMinFilterUsedUnderMinification(t *testing.T) {
+	// An 8-texel row squeezed into a 2-pixel viewport: 4 texels per pixel
+	// (minification). Under NEAREST every output is an exact texel value.
+	px := drawTexturedViewport(t, 2, 1, 8, NEAREST, LINEAR)
+	for x := 0; x < 2; x++ {
+		if v := px[x*4]; v != 0 && v != 255 {
+			t.Errorf("pixel %d = %d: minified NEAREST-min texture was filtered (magFilter leaked in)", x, v)
+		}
+	}
+	// Same footprint with LINEAR min filter must blend neighbouring
+	// texels: pixel 0 samples at u=0.25 -> fx = 0.25*8-0.5 = 1.5, an even
+	// mix of texels 1 (255) and 2 (0) -> ~128.
+	px = drawTexturedViewport(t, 2, 1, 8, LINEAR, NEAREST)
+	if absInt(int(px[0])-128) > 2 {
+		t.Errorf("pixel 0 = %d, want ~128 (LINEAR min filter under minification)", px[0])
+	}
+}
+
+// TestMagFilterUsedUnderMagnification pins the other side of the
+// footprint rule: a 2-texel row stretched over 8 pixels magnifies, so
+// magFilter decides.
+func TestMagFilterUsedUnderMagnification(t *testing.T) {
+	px := drawTexturedViewport(t, 8, 1, 2, LINEAR, NEAREST)
+	for x := 0; x < 8; x++ {
+		if v := px[x*4]; v != 0 && v != 255 {
+			t.Errorf("pixel %d = %d: magnified NEAREST-mag texture was filtered (minFilter leaked in)", x, v)
+		}
+	}
+	// LINEAR mag on the same geometry blends across the texel boundary.
+	px = drawTexturedViewport(t, 8, 1, 2, NEAREST, LINEAR)
+	mixed := false
+	for x := 0; x < 8; x++ {
+		if v := px[x*4]; v != 0 && v != 255 {
+			mixed = true
+		}
+	}
+	if !mixed {
+		t.Error("LINEAR mag filter under magnification produced no blended pixels")
+	}
+}
+
+// TestFetchAttribOutOfRangeZeroFill pins the intended semantics of
+// out-of-range vertex attribute fetches: the fetch reports failure and
+// yields the robust zero-fill vec4 (0,0,0,1), and draw calls swallow the
+// failure rather than raising a GL error (ES 2.0 leaves such reads
+// undefined; the simulator makes them deterministic).
+func TestFetchAttribOutOfRangeZeroFill(t *testing.T) {
+	c := newTestContext(2, 2)
+	c.EnableVertexAttribArray(0)
+	c.VertexAttribPointerClient(0, 2, FLOAT, false, 0, f32raw(1, 2, 3, 4)) // 2 vertices
+
+	if v, ok := c.fetchAttrib(0, 1); !ok || v != [4]float32{3, 4, 0, 1} {
+		t.Fatalf("in-range fetch = %v, %v; want (3,4,0,1), true", v, ok)
+	}
+	if v, ok := c.fetchAttrib(0, 2); ok || v != [4]float32{0, 0, 0, 1} {
+		t.Fatalf("out-of-range fetch = %v, %v; want zero-fill (0,0,0,1), false", v, ok)
+	}
+
+	// Enabled array with no backing store at all: same zero-fill.
+	c.EnableVertexAttribArray(1)
+	if v, ok := c.fetchAttrib(1, 0); ok || v != [4]float32{0, 0, 0, 1} {
+		t.Fatalf("no-backing fetch = %v, %v; want zero-fill (0,0,0,1), false", v, ok)
+	}
+
+	// Draw-level: a position array covering only 3 of 6 requested
+	// vertices must not raise a GL error; the missing vertices collapse
+	// to (0,0,0,1) and their triangle is degenerate.
+	prog := buildProgram(t, c, passVS, solidFS)
+	c.UseProgram(prog)
+	c.Uniform4f(c.GetUniformLocation(prog, "u_color"), 1, 1, 1, 1)
+	posLoc := c.GetAttribLocation(prog, "a_position")
+	c.EnableVertexAttribArray(posLoc)
+	c.VertexAttribPointerClient(posLoc, 2, FLOAT, false, 0,
+		f32raw(-1, -1, 1, -1, 1, 1)) // first triangle only
+	c.DrawArrays(TRIANGLES, 0, 6)
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("short-array draw raised 0x%04x: %s", e, c.LastErrorDetail())
+	}
+	px := readAll(t, c, 2, 2)
+	if px[(0*2+1)*4] != 255 { // bottom-right: inside the first triangle
+		t.Error("first (fully-fed) triangle was not rendered")
+	}
+	if px[(1*2+0)*4] != 0 { // top-left: second triangle collapsed
+		t.Error("degenerate zero-filled triangle produced fragments")
+	}
+}
+
+// TestGetIntegervBindings covers the binding-state queries the compute
+// runtime uses to save and restore context state around kernel draws.
+func TestGetIntegervBindings(t *testing.T) {
+	c := newTestContext(2, 2)
+	if got := c.GetIntegerv(FRAMEBUFFER_BINDING)[0]; got != 0 {
+		t.Errorf("FRAMEBUFFER_BINDING = %d, want 0", got)
+	}
+	fb := c.CreateFramebuffer()
+	c.BindFramebuffer(FRAMEBUFFER, fb)
+	if got := c.GetIntegerv(FRAMEBUFFER_BINDING)[0]; got != int(fb) {
+		t.Errorf("FRAMEBUFFER_BINDING = %d, want %d", got, fb)
+	}
+	tex := c.CreateTexture()
+	c.ActiveTexture(TEXTURE0 + 3)
+	c.BindTexture(TEXTURE_2D, tex)
+	if got := c.GetIntegerv(ACTIVE_TEXTURE)[0]; got != TEXTURE0+3 {
+		t.Errorf("ACTIVE_TEXTURE = 0x%04x, want 0x%04x", got, TEXTURE0+3)
+	}
+	if got := c.GetIntegerv(TEXTURE_BINDING_2D)[0]; got != int(tex) {
+		t.Errorf("TEXTURE_BINDING_2D = %d, want %d", got, tex)
+	}
+	vp := c.GetIntegerv(VIEWPORT)
+	if len(vp) != 4 || vp[2] != 2 || vp[3] != 2 {
+		t.Errorf("VIEWPORT = %v, want [0 0 2 2]", vp)
+	}
+	if e := c.GetError(); e != NO_ERROR {
+		t.Fatalf("binding queries raised 0x%04x", e)
+	}
+}
+
+// TestVertexAttribSnapshotRoundTrip checks the save/restore extension the
+// compute runtime uses to avoid leaking attribute state.
+func TestVertexAttribSnapshotRoundTrip(t *testing.T) {
+	c := newTestContext(2, 2)
+	raw := f32raw(1, 2, 3, 4)
+	c.EnableVertexAttribArray(2)
+	c.VertexAttribPointerClient(2, 2, FLOAT, false, 8, raw)
+	c.VertexAttrib4f(3, 5, 6, 7, 8)
+
+	snap2, ok := c.GetVertexAttrib(2)
+	if !ok || !snap2.Enabled || snap2.Size != 2 || snap2.Stride != 8 {
+		t.Fatalf("snapshot of attrib 2 = %+v, %v", snap2, ok)
+	}
+	snap3, _ := c.GetVertexAttrib(3)
+
+	// Clobber, then restore.
+	c.DisableVertexAttribArray(2)
+	c.VertexAttribPointerClient(2, 4, FLOAT, true, 0, nil)
+	c.VertexAttrib4f(3, 0, 0, 0, 0)
+	c.RestoreVertexAttrib(2, snap2)
+	c.RestoreVertexAttrib(3, snap3)
+
+	got, _ := c.GetVertexAttrib(2)
+	if !got.Enabled || got.Size != 2 || got.Stride != 8 || got.Normalized {
+		t.Errorf("restored attrib 2 = %+v, want original state", got)
+	}
+	if v, ok := c.fetchAttrib(2, 1); !ok || v != [4]float32{3, 4, 0, 1} {
+		t.Errorf("restored attrib 2 fetch = %v, %v; want (3,4,0,1)", v, ok)
+	}
+	if got3, _ := c.GetVertexAttrib(3); got3.Current != [4]float32{5, 6, 7, 8} {
+		t.Errorf("restored attrib 3 current = %v, want (5,6,7,8)", got3.Current)
+	}
+	if _, ok := c.GetVertexAttrib(99); ok {
+		t.Error("GetVertexAttrib(99) reported success")
+	}
+	if e := c.GetError(); e != INVALID_VALUE {
+		t.Errorf("out-of-range GetVertexAttrib error = 0x%04x, want INVALID_VALUE", e)
+	}
+}

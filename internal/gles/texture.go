@@ -188,8 +188,10 @@ func (c *Context) TexImage2D(target uint32, level int, internalFormat uint32, wi
 	if data != nil {
 		convertToRGBA8(rgba, data, width*height, format, typ)
 		c.transfers.TexUploadBytes += uint64(width * height * bpp)
+		// nil data allocates storage without moving host bytes, so only
+		// real uploads pay the per-call transfer overhead in the model.
+		c.transfers.TexUploadCalls++
 	}
-	c.transfers.TexUploadCalls++
 
 	for len(t.levels) <= level {
 		t.levels = append(t.levels, texLevel{})
@@ -433,7 +435,22 @@ func (c *Context) Sample2D(unit int, s, t float32) [4]float32 {
 	if tex == nil || !tex.complete() {
 		return [4]float32{0, 0, 0, 1}
 	}
-	return tex.sample(s, t)
+	return tex.sample(s, t, c.minified(tex))
+}
+
+// minified estimates the sampling footprint (the GL scale factor ρ) for
+// filter selection. The shader interface carries no derivatives, so the
+// texel-per-pixel rate is taken from the texture resolution against the
+// current viewport — exact for the full-screen-quad mapping GPGPU uses,
+// where du/dx = texW/vpW, and a sound heuristic elsewhere. ρ > 1 (more
+// than one texel per pixel) selects the minification filter.
+func (c *Context) minified(tex *Texture) bool {
+	lv := &tex.levels[0]
+	vw, vh := c.viewport[2], c.viewport[3]
+	if vw <= 0 || vh <= 0 {
+		return false
+	}
+	return lv.width > vw || lv.height > vh
 }
 
 // SampleCube implements shader.TextureSampler. Cube sampling selects the
@@ -447,6 +464,7 @@ func (c *Context) SampleCube(unit int, s, t, r float32) [4]float32 {
 	if tex == nil || !tex.complete() {
 		return [4]float32{0, 0, 0, 1}
 	}
+	minified := c.minified(tex)
 	// Major-axis projection to 2D coordinates.
 	as, at, ar := abs32(s), abs32(t), abs32(r)
 	var u, v float32
@@ -458,15 +476,22 @@ func (c *Context) SampleCube(unit int, s, t, r float32) [4]float32 {
 	default:
 		u, v = (s/at+1)/2, (r/at+1)/2
 	}
-	return tex.sample(u, v)
+	return tex.sample(u, v, minified)
 }
 
-// sample performs filtered sampling at normalized coordinates. Mipmap
-// selection always uses the base level (no derivatives in this
-// implementation); mip filters behave like their non-mip counterparts.
-func (t *Texture) sample(s, tc float32) [4]float32 {
+// sample performs filtered sampling at normalized coordinates. The filter
+// comes from minFilter under minification and magFilter under
+// magnification, per the GL footprint rule. Mipmap selection always uses
+// the base level (no derivatives in this implementation); mip filters
+// behave like their within-level counterparts (LINEAR_MIPMAP_* filters
+// linearly, NEAREST_MIPMAP_* point-samples).
+func (t *Texture) sample(s, tc float32, minified bool) [4]float32 {
 	lv := &t.levels[0]
-	linear := t.magFilter == LINEAR
+	filter := t.magFilter
+	if minified {
+		filter = t.minFilter
+	}
+	linear := filter == LINEAR || filter == LINEAR_MIPMAP_NEAREST || filter == LINEAR_MIPMAP_LINEAR
 	if linear {
 		return lv.sampleLinear(s, tc, t.wrapS, t.wrapT)
 	}

@@ -81,6 +81,63 @@ func (c *Context) vertexAttribPointer(index, size int, typ uint32, normalized bo
 	a.clientData = client
 }
 
+// VertexAttribSnapshot is the full client state of one generic vertex
+// attribute — what glGetVertexAttribiv plus glGetVertexAttribPointerv
+// expose on real GL, folded into one struct because this simulator also
+// supports client-memory arrays. It lets runtimes layered on the context
+// (internal/core) save and restore attribute state around their own draws
+// instead of leaking it into the application.
+type VertexAttribSnapshot struct {
+	Enabled    bool
+	Size       int
+	Type       uint32
+	Normalized bool
+	Stride     int
+	Offset     int
+	Buffer     uint32
+	ClientData []byte
+	Current    [4]float32
+}
+
+// GetVertexAttrib captures the state of attribute `index`.
+func (c *Context) GetVertexAttrib(index int) (VertexAttribSnapshot, bool) {
+	if index < 0 || index >= len(c.attribs) {
+		c.setErr(INVALID_VALUE, "GetVertexAttrib: index %d out of range", index)
+		return VertexAttribSnapshot{}, false
+	}
+	a := &c.attribs[index]
+	return VertexAttribSnapshot{
+		Enabled:    a.enabled,
+		Size:       a.size,
+		Type:       a.typ,
+		Normalized: a.normalized,
+		Stride:     a.stride,
+		Offset:     a.offset,
+		Buffer:     a.buffer,
+		ClientData: a.clientData,
+		Current:    a.current,
+	}, true
+}
+
+// RestoreVertexAttrib reinstates a snapshot taken with GetVertexAttrib.
+func (c *Context) RestoreVertexAttrib(index int, s VertexAttribSnapshot) {
+	if index < 0 || index >= len(c.attribs) {
+		c.setErr(INVALID_VALUE, "RestoreVertexAttrib: index %d out of range", index)
+		return
+	}
+	c.attribs[index] = vertexAttrib{
+		enabled:    s.Enabled,
+		size:       s.Size,
+		typ:        s.Type,
+		normalized: s.Normalized,
+		stride:     s.Stride,
+		offset:     s.Offset,
+		buffer:     s.Buffer,
+		clientData: s.ClientData,
+		current:    s.Current,
+	}
+}
+
 // VertexAttrib1f .. VertexAttrib4f set the current (constant) attribute
 // value used when the array is disabled.
 func (c *Context) VertexAttrib1f(index int, x float32) { c.vertexAttribf(index, x, 0, 0, 1) }

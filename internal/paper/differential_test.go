@@ -175,3 +175,14 @@ func TestDifferentialRawStats(t *testing.T) {
 	assertIdentical(t, "vertex stats", vm.Vert, interp.Vert)
 	assertIdentical(t, "output bytes", vm.Out, interp.Out)
 }
+
+func TestDifferentialPipelineChain(t *testing.T) {
+	vm, interp := withBothExecutors(t, func() interface{} {
+		res, err := RunPipelineChain(1 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	})
+	assertIdentical(t, "pipeline chain", vm, interp)
+}

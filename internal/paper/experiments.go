@@ -804,3 +804,129 @@ func RunCodecOverhead(n int) (CodecOverhead, error) {
 	res.OverheadFraction = (res.FullSumCycles - 1) / res.FullSumCycles
 	return res, nil
 }
+
+// ---- P3: device-resident pipeline vs host round-trip chaining ----
+
+// PipelineChain compares the two ways to chain a multi-pass GPGPU
+// workload (a log-style sum reduction) on an ES 2.0 device:
+//
+//   - device-resident: core.Pipeline feeds each pass's output texture to
+//     the next pass's sampler (the paper's challenge #7 "careful
+//     ordering", automated) — one upload, one 4-byte readback;
+//   - host round-trip: every intermediate is read back through
+//     ReadPixels+codec and re-uploaded, the only *safe* option an
+//     application has without the pipeline's hazard management.
+//
+// Both paths run the identical fold kernel, so the final bits must agree
+// exactly; the modeled wall times price what staying on-device is worth.
+type PipelineChain struct {
+	N      int // elements reduced
+	Passes int // fragment passes in the chain
+
+	Resident  core.Timeline // modeled wall time, device-resident pipeline
+	RoundTrip core.Timeline // modeled wall time, host round-trip chaining
+
+	ResidentHostBytes  uint64 // host bytes moved by the pipeline path
+	RoundTripHostBytes uint64 // host bytes moved by the round-trip path
+
+	Validated bool // final results bit-identical
+}
+
+// SpeedupX is the modeled end-to-end win of staying device-resident.
+func (p PipelineChain) SpeedupX() float64 {
+	return float64(p.RoundTrip.Total()) / float64(p.Resident.Total())
+}
+
+// RunPipelineChain executes both chaining strategies at n elements.
+func RunPipelineChain(n int) (PipelineChain, error) {
+	res := PipelineChain{N: n}
+	dev, err := core.Open(deviceConfig())
+	if err != nil {
+		return res, err
+	}
+	defer dev.Close()
+
+	rng := rand.New(rand.NewSource(20160314))
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = rng.Float32()*8 - 4
+	}
+
+	// Device-resident pipeline: upload once, fold on-device, read 1 element.
+	p := dev.NewPipeline()
+	defer p.Free()
+	p.Output(p.Reduce(p.Input(codec.Float32, n), core.ReduceAdd))
+	if err := p.Err(); err != nil {
+		return res, err
+	}
+	in, err := dev.NewBuffer(codec.Float32, n)
+	if err != nil {
+		return res, err
+	}
+	out, err := dev.NewBuffer(codec.Float32, 1)
+	if err != nil {
+		return res, err
+	}
+	dev.ResetTimeline()
+	if err := in.WriteFloat32(xs); err != nil {
+		return res, err
+	}
+	stats, err := p.Run([]*core.Buffer{out}, []*core.Buffer{in}, nil)
+	if err != nil {
+		return res, err
+	}
+	resident, err := out.ReadFloat32()
+	if err != nil {
+		return res, err
+	}
+	res.Resident = dev.Timeline()
+	res.Passes = stats.Passes
+	tr := dev.GL().Transfers()
+	res.ResidentHostBytes = tr.TexUploadBytes + tr.ReadPixelsBytes
+	if stats.HostUploadBytes != 0 || stats.HostReadbackBytes != 0 {
+		return res, fmt.Errorf("paper: pipeline moved %d/%d host bytes between stages, want 0",
+			stats.HostUploadBytes, stats.HostReadbackBytes)
+	}
+
+	// Host round-trip: the same fold kernel, but every intermediate
+	// bounces through ReadPixels + the codec and back up.
+	k, err := dev.BuildReduceKernel(codec.Float32, core.ReduceAdd)
+	if err != nil {
+		return res, err
+	}
+	dev.ResetTimeline()
+	cur := xs
+	for sz := n; sz > 1; sz = (sz + 1) / 2 {
+		bin, err := dev.NewBuffer(codec.Float32, sz)
+		if err != nil {
+			return res, err
+		}
+		bout, err := dev.NewBuffer(codec.Float32, (sz+1)/2)
+		if err != nil {
+			return res, err
+		}
+		if err := bin.WriteFloat32(cur); err != nil {
+			return res, err
+		}
+		if _, err := k.Run1(bout, []*core.Buffer{bin},
+			map[string]float32{core.ReduceLenUniform: float32(sz)}); err != nil {
+			return res, err
+		}
+		if cur, err = bout.ReadFloat32(); err != nil {
+			return res, err
+		}
+		bin.Free()
+		bout.Free()
+	}
+	res.RoundTrip = dev.Timeline()
+	tr = dev.GL().Transfers()
+	res.RoundTripHostBytes = tr.TexUploadBytes + tr.ReadPixelsBytes
+
+	res.Validated = len(cur) == 1 &&
+		math.Float32bits(cur[0]) == math.Float32bits(resident[0])
+	if !res.Validated {
+		return res, fmt.Errorf("paper: pipeline chain result %g differs from round-trip %g",
+			resident[0], cur[0])
+	}
+	return res, nil
+}

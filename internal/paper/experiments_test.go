@@ -221,3 +221,31 @@ func TestCodecOverheadA1(t *testing.T) {
 		t.Error("codec overhead should dominate an elementwise add (paper: 'extra burden of packing and unpacking')")
 	}
 }
+
+func TestPipelineChainP3(t *testing.T) {
+	res, err := RunPipelineChain(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("P3: %d passes, resident %v vs round-trip %v (%.1fx), host bytes %d vs %d",
+		res.Passes, res.Resident.Total(), res.RoundTrip.Total(), res.SpeedupX(),
+		res.ResidentHostBytes, res.RoundTripHostBytes)
+	if !res.Validated {
+		t.Error("pipeline and round-trip results must be bit-identical")
+	}
+	if res.Passes != 12 {
+		t.Errorf("passes = %d, want 12 (log2 of 4096)", res.Passes)
+	}
+	// The pipeline path moves exactly one upload and one 1-element
+	// readback; the round-trip path bounces every intermediate.
+	if res.ResidentHostBytes != uint64(4<<12)+4 {
+		t.Errorf("resident host bytes = %d, want %d", res.ResidentHostBytes, (4<<12)+4)
+	}
+	if res.RoundTripHostBytes <= res.ResidentHostBytes*2 {
+		t.Errorf("round-trip host bytes = %d, expected far more than resident %d",
+			res.RoundTripHostBytes, res.ResidentHostBytes)
+	}
+	if res.SpeedupX() <= 1 {
+		t.Errorf("device-resident chain speedup = %.2fx, want > 1x", res.SpeedupX())
+	}
+}
