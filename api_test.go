@@ -154,6 +154,80 @@ float gc_kernel(float idx) {
 	}
 }
 
+// TestPublicAPIQueue exercises the async compute service through the
+// public surface: pooled devices, async submission, request batching, and
+// the service-level stats.
+func TestPublicAPIQueue(t *testing.T) {
+	q, err := glescompute.OpenQueue(glescompute.QueueConfig{Devices: 2, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	sum := glescompute.KernelSpec{
+		Name:    "sum",
+		Inputs:  []glescompute.Param{{Name: "a", Type: glescompute.Int32}, {Name: "b", Type: glescompute.Int32}},
+		Outputs: []glescompute.OutputSpec{{Name: "out", Type: glescompute.Int32}},
+		Source:  "float gc_kernel(float idx) { return gc_a(idx) + gc_b(idx); }",
+	}
+	const jobs = 24
+	const n = 48
+	rng := rand.New(rand.NewSource(7))
+	type pending struct {
+		a, b []int32
+		job  *glescompute.Job
+	}
+	var ps []pending
+	for i := 0; i < jobs; i++ {
+		a := make([]int32, n)
+		b := make([]int32, n)
+		for k := range a {
+			a[k] = int32(rng.Intn(1 << 20))
+			b[k] = int32(rng.Intn(1 << 20))
+		}
+		j, err := q.Submit(nil, glescompute.JobSpec{
+			Kernel:    sum,
+			Inputs:    []interface{}{a, b},
+			Batchable: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, pending{a: a, b: b, job: j})
+	}
+	for i, p := range ps {
+		res, err := p.job.Wait(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := res.Int32()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range p.a {
+			if got[k] != p.a[k]+p.b[k] {
+				t.Fatalf("job %d element %d: got %d, want %d", i, k, got[k], p.a[k]+p.b[k])
+			}
+		}
+		if res.Stats.Time.Total() <= 0 {
+			t.Fatalf("job %d: no modeled launch time", i)
+		}
+	}
+	st := q.Stats()
+	if st.Completed != jobs {
+		t.Fatalf("completed %d, want %d", st.Completed, jobs)
+	}
+	if st.ModeledMakespan() <= 0 {
+		t.Fatal("no modeled makespan")
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(nil, glescompute.JobSpec{Kernel: sum, Inputs: []interface{}{[]int32{1}, []int32{2}}}); err != glescompute.ErrQueueClosed {
+		t.Fatalf("Submit after Close: %v, want ErrQueueClosed", err)
+	}
+}
+
 // TestPublicAPIPipeline exercises the device-resident pipeline through
 // the public surface: a map stage chained into an on-device sum
 // reduction, with the stats proving no host traffic between passes.

@@ -7,8 +7,9 @@
 //
 //	paperbench [-exp all|sum-int|sum-float|sgemm-int|sgemm-float|
 //	            precision|int24|fig1|fig2|sfu-sweep|halffloat|codec-overhead|
-//	            pipeline]
-//	           [-sum-n N] [-sum-exec N] [-sgemm-n N] [-pipeline-n N] [-json]
+//	            pipeline|serve]
+//	           [-sum-n N] [-sum-exec N] [-sgemm-n N] [-pipeline-n N]
+//	           [-serve-jobs N] [-serve-n N] [-json]
 //
 // With -json, results are emitted as a single machine-readable JSON
 // object on stdout (for capturing benchmark trajectories as BENCH_*.json)
@@ -20,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"glescompute/internal/codec"
 	"glescompute/internal/paper"
@@ -71,6 +73,8 @@ func main() {
 	sumExec := flag.Int("sum-exec", 1<<14, "sum: executed size (extrapolated to -sum-n)")
 	sgemmN := flag.Int("sgemm-n", 1024, "sgemm: full matrix dimension")
 	pipelineN := flag.Int("pipeline-n", 1<<14, "pipeline: reduction chain size (elements)")
+	serveJobs := flag.Int("serve-jobs", 10000, "serve: number of small requests in the stream")
+	serveN := flag.Int("serve-n", 8, "serve: elements per small sum request")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
 
@@ -265,6 +269,65 @@ func main() {
 		fmt.Printf("  host round-trip: %8d host bytes, model %10v (exec %v)\n",
 			res.RoundTripHostBytes, res.RoundTrip.Total().Round(10000), res.RoundTrip.Execute.Round(10000))
 		fmt.Printf("  chain speedup: %.1fx; results bit-identical: %v\n", res.SpeedupX(), res.Validated)
+		return nil
+	})
+
+	run("serve", func() error {
+		res, err := paper.RunServe(*serveJobs, *serveN, nil)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			report["serve"] = res
+		} else {
+			fmt.Println()
+			fmt.Printf("S1 — concurrent compute service (%d requests: 15/16 sum n=%d, 1/16 sgemm %d×%d):\n",
+				res.Jobs, res.N, res.SgemmN, res.SgemmN)
+			fmt.Printf("  %-7s %-8s | %12s %12s | %10s %10s | %8s %9s\n",
+				"devices", "batching", "model jobs/s", "wall jobs/s", "model", "wall", "launches", "occupancy")
+			for _, pt := range res.Points {
+				fmt.Printf("  %-7d %-8v | %12.0f %12.0f | %9.0fms %9.0fms | %8d %8.1fx\n",
+					pt.Devices, pt.Batching, pt.ModelJobsPerSec, pt.WallJobsPerSec,
+					pt.ModelMS, pt.WallMS, pt.Launches, pt.Occupancy)
+			}
+			fmt.Printf("  batched pool vs naive single device: %.1fx modeled, %.1fx wall clock\n",
+				res.ModelSpeedupX, res.WallSpeedupX)
+			fmt.Printf("  all outputs bit-identical to synchronous Kernel.Run: %v\n", res.Validated)
+		}
+		if !res.Validated {
+			return fmt.Errorf("serve outputs not bit-identical to synchronous execution")
+		}
+		// The speedup bars are asserted only at full scale; quick smoke
+		// runs (small -serve-jobs) are wall-clock noise-dominated. The
+		// modeled vc4 bar (the repo's primary metric) is unconditional;
+		// the wall-clock bar scales with the host: the pool's parallel
+		// component needs ≥2 CPUs to exist at all (EXPERIMENTS.md S1), so
+		// a single-CPU host is held to the batching-only wall win.
+		if *serveJobs >= 2000 {
+			if res.ModelSpeedupX < 2 {
+				return fmt.Errorf("batched multi-device modeled speedup %.2fx, want >= 2x", res.ModelSpeedupX)
+			}
+			// The pool's wall parallelism needs BOTH physical CPUs and
+			// runtime permission to use them, so the gate keys off
+			// min(NumCPU, GOMAXPROCS): either at 1 means the device pool
+			// cannot overlap on the wall clock and only the batching win
+			// remains measurable.
+			procs := runtime.NumCPU()
+			if g := runtime.GOMAXPROCS(0); g < procs {
+				procs = g
+			}
+			wallBar := 2.0
+			if procs < 2 {
+				wallBar = 1.15
+				if !*jsonOut {
+					fmt.Printf("  note: single-CPU execution (min(NumCPU, GOMAXPROCS) = %d) — device-pool wall parallelism unavailable, asserting batching-only wall win (>= %.2fx)\n", procs, wallBar)
+				}
+			}
+			if res.WallSpeedupX < wallBar {
+				return fmt.Errorf("batched multi-device wall speedup %.2fx, want >= %.2fx (effective CPUs: %d)",
+					res.WallSpeedupX, wallBar, procs)
+			}
+		}
 		return nil
 	})
 

@@ -37,11 +37,28 @@
 // behaviour. Timing models for the VideoCore IV and its companion ARM1176
 // CPU reproduce the performance relationships the paper reports; see
 // EXPERIMENTS.md.
+//
+// For serving many small requests, Queue turns the library into an
+// asynchronous multi-device compute service: a pool of devices (each
+// pinned to its own goroutine), non-blocking submission with bounded
+// backpressure, and request batching that coalesces small same-kernel
+// jobs into one fragment pass:
+//
+//	q, _ := glescompute.OpenQueue(glescompute.QueueConfig{Devices: 4})
+//	defer q.Close()
+//	job, _ := q.Submit(ctx, glescompute.JobSpec{
+//		Kernel:    spec,
+//		Inputs:    []interface{}{xs, ys},
+//		Batchable: true, // element-wise: eligible for coalescing
+//	})
+//	res, _ := job.Wait(ctx)
+//	sums, _ := res.Float32()
 package glescompute
 
 import (
 	"glescompute/internal/codec"
 	"glescompute/internal/core"
+	"glescompute/internal/sched"
 )
 
 // Re-exported core types. The implementation lives in internal/core; these
@@ -79,6 +96,38 @@ type (
 	ReduceOp = core.ReduceOp
 )
 
+// Re-exported scheduler types: the asynchronous multi-device compute
+// service of internal/sched.
+type (
+	// Queue is an async compute service over a pool of devices.
+	Queue = sched.Queue
+	// QueueConfig configures a queue (pool size, queue depth, batching).
+	QueueConfig = sched.Config
+	// Job is an in-flight compute request returned by Queue.Submit.
+	Job = sched.Job
+	// JobSpec describes one compute request over host slices.
+	JobSpec = sched.JobSpec
+	// JobResult is a completed job's output and statistics.
+	JobResult = sched.Result
+	// JobStats reports how one job was executed (device, batching,
+	// modeled launch timeline, queueing delay).
+	JobStats = sched.JobStats
+	// QueueStats is a service-level snapshot aggregating the per-device
+	// modeled timelines.
+	QueueStats = sched.QueueStats
+	// QueueDeviceStats is one pooled device's share of the work.
+	QueueDeviceStats = sched.DeviceStats
+)
+
+// Sentinel errors.
+var (
+	// ErrClosed is wrapped by operations on a closed Device, Kernel or
+	// Pipeline.
+	ErrClosed = core.ErrClosed
+	// ErrQueueClosed is returned by Queue.Submit after Queue.Close.
+	ErrQueueClosed = sched.ErrQueueClosed
+)
+
 // Built-in reduction operators for Pipeline.Reduce.
 var (
 	ReduceAdd = core.ReduceAdd
@@ -98,6 +147,10 @@ const (
 // Open creates a compute device over a fresh simulated OpenGL ES 2.0
 // context.
 func Open(cfg Config) (*Device, error) { return core.Open(cfg) }
+
+// OpenQueue opens a pool of cfg.Devices simulated devices behind an
+// asynchronous compute queue with request batching. See Queue.
+func OpenQueue(cfg QueueConfig) (*Queue, error) { return sched.OpenQueue(cfg) }
 
 // MantissaBitsAgreement reports how many of the most significant mantissa
 // bits of got are accurate with respect to want — the paper's float

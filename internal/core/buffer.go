@@ -26,6 +26,9 @@ type Buffer struct {
 
 // NewBuffer allocates a device buffer of n elements of type t.
 func (d *Device) NewBuffer(t codec.ElemType, n int) (*Buffer, error) {
+	if err := d.checkOpen("NewBuffer"); err != nil {
+		return nil, err
+	}
 	g, err := layout.ForLength(n, d.cfg.MaxGridWidth)
 	if err != nil {
 		return nil, err
@@ -33,9 +36,30 @@ func (d *Device) NewBuffer(t codec.ElemType, n int) (*Buffer, error) {
 	return d.newBufferWithGrid(t, n, g)
 }
 
+// NewBufferWithGrid allocates a buffer of n logical elements over an
+// explicit texture layout — the hook the scheduler's request batching
+// uses to allocate one shared texture laid out by layout.PackRows. n may
+// be smaller than the grid's texel count (trailing texels are padding).
+func (d *Device) NewBufferWithGrid(t codec.ElemType, n int, g layout.Grid) (*Buffer, error) {
+	if err := d.checkOpen("NewBufferWithGrid"); err != nil {
+		return nil, err
+	}
+	if g.Width <= 0 || g.Height <= 0 || g.Width > d.cfg.MaxGridWidth ||
+		g.Height > d.ctx.Caps().MaxTextureSize {
+		return nil, fmt.Errorf("core: NewBufferWithGrid: grid %dx%d out of range", g.Width, g.Height)
+	}
+	if n <= 0 || n > g.Texels() {
+		return nil, fmt.Errorf("core: NewBufferWithGrid: %d elements do not fit %dx%d texels", n, g.Width, g.Height)
+	}
+	return d.newBufferWithGrid(t, n, g)
+}
+
 // NewMatrixBuffer allocates a buffer holding an n×n row-major matrix with
 // an exact n×n texel layout, so kernels can address (row, col) directly.
 func (d *Device) NewMatrixBuffer(t codec.ElemType, n int) (*Buffer, error) {
+	if err := d.checkOpen("NewMatrixBuffer"); err != nil {
+		return nil, err
+	}
 	if n > d.cfg.MaxGridWidth {
 		return nil, fmt.Errorf("core: matrix dimension %d exceeds max texture size %d", n, d.cfg.MaxGridWidth)
 	}
@@ -75,8 +99,13 @@ func (b *Buffer) Len() int { return b.n }
 // Grid returns the 2D texture layout.
 func (b *Buffer) Grid() layout.Grid { return b.grid }
 
-// Free releases the buffer's GL objects.
+// Free releases the buffer's GL objects. Freeing after the device has
+// closed is a no-op (the context's objects are already unreachable).
 func (b *Buffer) Free() {
+	if b.dev.closed {
+		b.fbo, b.tex = 0, 0
+		return
+	}
 	if b.fbo != 0 {
 		b.dev.ctx.DeleteFramebuffer(b.fbo)
 		b.fbo = 0
@@ -114,6 +143,9 @@ func (b *Buffer) ensureFBO() (uint32, error) {
 // upload packs the prepared texel bytes (4 per texel) into the texture,
 // restoring the application's 2D texture binding afterwards.
 func (b *Buffer) upload(texels []byte) error {
+	if err := b.dev.checkOpen("upload"); err != nil {
+		return err
+	}
 	ctx := b.dev.ctx
 	full := make([]byte, b.grid.Texels()*4)
 	copy(full, texels)
@@ -127,6 +159,9 @@ func (b *Buffer) upload(texels []byte) error {
 // readTexels reads the whole texture back through an FBO + ReadPixels,
 // restoring the application's framebuffer binding afterwards.
 func (b *Buffer) readTexels() ([]byte, error) {
+	if err := b.dev.checkOpen("read"); err != nil {
+		return nil, err
+	}
 	fbo, err := b.ensureFBO()
 	if err != nil {
 		return nil, err

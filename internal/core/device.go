@@ -19,6 +19,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -26,6 +27,12 @@ import (
 	"glescompute/internal/shader"
 	"glescompute/internal/vc4"
 )
+
+// ErrClosed is returned (wrapped) by operations on a closed Device, Kernel
+// or Pipeline. Long-running services race queue shutdown against in-flight
+// work; a clean error lets them treat that race as a normal outcome
+// instead of a crash.
+var ErrClosed = errors.New("device is closed")
 
 // Config configures a compute device.
 type Config struct {
@@ -77,6 +84,17 @@ func (t Timeline) Sub(o Timeline) Timeline {
 	}
 }
 
+// Add returns the componentwise sum t + o. The scheduler uses it to
+// accumulate per-launch timeline deltas into per-device busy time.
+func (t Timeline) Add(o Timeline) Timeline {
+	return Timeline{
+		Compile:  t.Compile + o.Compile,
+		Upload:   t.Upload + o.Upload,
+		Execute:  t.Execute + o.Execute,
+		Readback: t.Readback + o.Readback,
+	}
+}
+
 // Device is a simulated low-end mobile GPU opened for compute.
 type Device struct {
 	ctx *gles.Context
@@ -86,11 +104,20 @@ type Device struct {
 	quadPos []byte // interleaved fullscreen-quad vertices (challenge #2)
 	quadUV  []byte
 
-	copyProg uint32 // lazily built pass-through copy program (challenge #7)
+	copyProg   uint32 // lazily built pass-through copy program (challenge #7)
+	copyShader [2]uint32
 
 	// reduceKernels caches compiled fold kernels by op+elem so every
 	// pipeline on the device shares one program per reduction operator.
 	reduceKernels map[string]*Kernel
+
+	// kernelCache holds kernels compiled through BuildKernelCached, keyed
+	// by KernelSpec.CacheKey — the scheduler's per-device compile-once
+	// cache. Owned (and closed) by the device.
+	kernelCache map[string]*Kernel
+
+	closed   bool
+	leakHook func(gles.ObjectCounts)
 }
 
 // Open creates a compute device over a fresh simulated ES 2.0 context.
@@ -138,9 +165,54 @@ func fullscreenQuad() (pos, uv []byte) {
 	return raw, raw[8:]
 }
 
-// Close releases the device. (The simulated context has no external
-// resources; Close exists for API symmetry and future backends.)
-func (d *Device) Close() error { return nil }
+// checkOpen returns a wrapped ErrClosed when the device has been closed.
+func (d *Device) checkOpen(op string) error {
+	if d.closed {
+		return fmt.Errorf("core: %s: %w", op, ErrClosed)
+	}
+	return nil
+}
+
+// Close releases every device-owned simulator object (cached kernels,
+// reduce kernels, the copy program) and marks the device closed: further
+// operations return ErrClosed. Objects still live afterwards — buffers
+// never freed, kernels never closed — are user leaks; they are reported
+// to the hook installed with SetLeakHook, so long-running queue processes
+// can prove they do not accumulate simulator objects. Close is idempotent.
+func (d *Device) Close() error {
+	if d.closed {
+		return nil
+	}
+	for _, k := range d.reduceKernels {
+		k.Close()
+	}
+	d.reduceKernels = nil
+	for _, k := range d.kernelCache {
+		k.Close()
+	}
+	d.kernelCache = nil
+	if d.copyProg != 0 {
+		d.ctx.DeleteProgram(d.copyProg)
+		d.ctx.DeleteShader(d.copyShader[0])
+		d.ctx.DeleteShader(d.copyShader[1])
+		d.copyProg = 0
+	}
+	live := d.ctx.ObjectCounts()
+	d.closed = true
+	if live.Total() > 0 && d.leakHook != nil {
+		d.leakHook(live)
+	}
+	return nil
+}
+
+// SetLeakHook installs a callback Close invokes with the census of
+// objects still live at shutdown (only when that census is non-empty).
+// Pass nil to remove the hook.
+func (d *Device) SetLeakHook(fn func(gles.ObjectCounts)) { d.leakHook = fn }
+
+// LiveObjects reports the simulator objects currently live on the
+// device's context.
+func (d *Device) LiveObjects() gles.ObjectCounts { return d.ctx.ObjectCounts() }
 
 // GL exposes the underlying ES 2.0 context for advanced use and testing.
 func (d *Device) GL() *gles.Context { return d.ctx }
@@ -150,6 +222,12 @@ func (d *Device) GPUModel() *vc4.Model { return d.gpu }
 
 // Caps returns the device limits relevant to compute.
 func (d *Device) Caps() gles.Caps { return d.ctx.Caps() }
+
+// MaxGridWidth returns the effective texture-width bound buffer layouts
+// use on this device (Config.MaxGridWidth clamped to the context limit).
+// The scheduler packs batch textures against this, not the raw caps, so
+// batched and solo execution accept exactly the same jobs.
+func (d *Device) MaxGridWidth() int { return d.cfg.MaxGridWidth }
 
 // PrecisionInfo reports the shader precision formats, the query the paper
 // uses (§IV-E) to establish that GPU floats match IEEE 754 bit counts.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"glescompute/internal/codec"
 	"glescompute/internal/gles"
@@ -55,10 +56,46 @@ func (s KernelSpec) normalized() KernelSpec {
 	return s
 }
 
+// CacheKey returns a canonical content key for the spec: two specs with
+// the same key compile to identical programs. BuildKernelCached uses it
+// for the per-device compile-once cache; the scheduler additionally keys
+// request batches on it, so this sits on the per-submission hot path and
+// avoids fmt.
+func (s KernelSpec) CacheKey() string {
+	s = s.normalized()
+	var b strings.Builder
+	b.Grow(len(s.Name) + len(s.Source) + 16*(len(s.Inputs)+len(s.Outputs)+len(s.Uniforms)) + 4)
+	b.WriteString(s.Name)
+	b.WriteByte(0)
+	b.WriteString(s.Source)
+	b.WriteByte(0)
+	for _, in := range s.Inputs {
+		b.WriteString("i:")
+		b.WriteString(in.Name)
+		b.WriteByte(':')
+		b.WriteByte(byte('0' + int(in.Type)))
+		b.WriteByte(0)
+	}
+	for _, out := range s.Outputs {
+		b.WriteString("o:")
+		b.WriteString(out.Name)
+		b.WriteByte(':')
+		b.WriteByte(byte('0' + int(out.Type)))
+		b.WriteByte(0)
+	}
+	for _, u := range s.Uniforms {
+		b.WriteString("u:")
+		b.WriteString(u)
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
 // kernelPass is one compiled shader pass producing one output.
 type kernelPass struct {
 	out     OutputSpec
 	prog    uint32
+	vs, fs  uint32 // shader objects, deleted by Close
 	posLoc  int
 	uvLoc   int
 	samLocs []int // sampler uniform per input
@@ -73,22 +110,29 @@ type Kernel struct {
 	dev    *Device
 	spec   KernelSpec
 	passes []kernelPass
+	closed bool
 }
 
 // BuildKernel compiles a kernel specification into executable passes.
 func (d *Device) BuildKernel(spec KernelSpec) (*Kernel, error) {
+	if err := d.checkOpen("BuildKernel"); err != nil {
+		return nil, err
+	}
 	spec = spec.normalized()
 	k := &Kernel{dev: d, spec: spec}
 	for _, out := range spec.Outputs {
 		fsSrc := generateFragmentShader(spec, out)
-		prog, err := d.buildProgram(passVertexShader, fsSrc)
+		prog, vs, fs, err := d.buildProgram(passVertexShader, fsSrc)
 		if err != nil {
+			k.Close() // release the passes already built for earlier outputs
 			return nil, fmt.Errorf("core: kernel %q output %q: %w", spec.Name, out.Name, err)
 		}
 		ctx := d.ctx
 		pass := kernelPass{
 			out:     out,
 			prog:    prog,
+			vs:      vs,
+			fs:      fs,
 			posLoc:  ctx.GetAttribLocation(prog, "a_position"),
 			uvLoc:   ctx.GetAttribLocation(prog, "a_texcoord"),
 			outDims: ctx.GetUniformLocation(prog, "gc_out_dims"),
@@ -107,6 +151,50 @@ func (d *Device) BuildKernel(spec KernelSpec) (*Kernel, error) {
 	return k, nil
 }
 
+// BuildKernelCached compiles the spec at most once per device: repeated
+// calls with content-identical specs (see KernelSpec.CacheKey) return the
+// same *Kernel. Cached kernels are owned by the device and closed by
+// Device.Close; callers should not Close them individually (doing so is
+// safe — the cache lazily recompiles).
+func (d *Device) BuildKernelCached(spec KernelSpec) (*Kernel, error) {
+	if err := d.checkOpen("BuildKernelCached"); err != nil {
+		return nil, err
+	}
+	key := spec.CacheKey()
+	if k, ok := d.kernelCache[key]; ok && !k.closed {
+		return k, nil
+	}
+	k, err := d.BuildKernel(spec)
+	if err != nil {
+		return nil, err
+	}
+	if d.kernelCache == nil {
+		d.kernelCache = map[string]*Kernel{}
+	}
+	d.kernelCache[key] = k
+	return k, nil
+}
+
+// Close deletes the kernel's GL programs and shaders. A closed kernel's
+// Run returns ErrClosed. Closing after the owning device has closed is a
+// no-op (the context's objects are already gone); Close is idempotent.
+func (k *Kernel) Close() error {
+	if k.closed {
+		return nil
+	}
+	k.closed = true
+	if k.dev.closed {
+		return nil
+	}
+	for i := range k.passes {
+		p := &k.passes[i]
+		k.dev.ctx.DeleteProgram(p.prog)
+		k.dev.ctx.DeleteShader(p.vs)
+		k.dev.ctx.DeleteShader(p.fs)
+	}
+	return nil
+}
+
 // passVertexShader is the pass-through vertex shader of challenge #1: the
 // mobile API forces the vertex stage to be programmed even though compute
 // needs no transformation — it only forwards the varying.
@@ -120,29 +208,39 @@ void main() {
 }
 `
 
-// buildProgram compiles and links a VS/FS pair into a GL program.
-func (d *Device) buildProgram(vsSrc, fsSrc string) (uint32, error) {
+// buildProgram compiles and links a VS/FS pair into a GL program; the
+// shader object ids are returned so owners can delete them on Close.
+func (d *Device) buildProgram(vsSrc, fsSrc string) (prog, vs, fs uint32, err error) {
 	ctx := d.ctx
-	vs := ctx.CreateShader(gles.VERTEX_SHADER)
+	vs = ctx.CreateShader(gles.VERTEX_SHADER)
 	ctx.ShaderSource(vs, vsSrc)
 	ctx.CompileShader(vs)
 	if ctx.GetShaderiv(vs, gles.COMPILE_STATUS) != 1 {
-		return 0, fmt.Errorf("vertex shader: %s", ctx.GetShaderInfoLog(vs))
+		err = fmt.Errorf("vertex shader: %s", ctx.GetShaderInfoLog(vs))
+		ctx.DeleteShader(vs)
+		return 0, 0, 0, err
 	}
-	fs := ctx.CreateShader(gles.FRAGMENT_SHADER)
+	fs = ctx.CreateShader(gles.FRAGMENT_SHADER)
 	ctx.ShaderSource(fs, fsSrc)
 	ctx.CompileShader(fs)
 	if ctx.GetShaderiv(fs, gles.COMPILE_STATUS) != 1 {
-		return 0, fmt.Errorf("fragment shader: %s\n--- generated source ---\n%s", ctx.GetShaderInfoLog(fs), fsSrc)
+		err = fmt.Errorf("fragment shader: %s\n--- generated source ---\n%s", ctx.GetShaderInfoLog(fs), fsSrc)
+		ctx.DeleteShader(vs)
+		ctx.DeleteShader(fs)
+		return 0, 0, 0, err
 	}
-	prog := ctx.CreateProgram()
+	prog = ctx.CreateProgram()
 	ctx.AttachShader(prog, vs)
 	ctx.AttachShader(prog, fs)
 	ctx.LinkProgram(prog)
 	if ctx.GetProgramiv(prog, gles.LINK_STATUS) != 1 {
-		return 0, fmt.Errorf("link: %s", ctx.GetProgramInfoLog(prog))
+		err = fmt.Errorf("link: %s", ctx.GetProgramInfoLog(prog))
+		ctx.DeleteProgram(prog)
+		ctx.DeleteShader(vs)
+		ctx.DeleteShader(fs)
+		return 0, 0, 0, err
 	}
-	return prog, nil
+	return prog, vs, fs, nil
 }
 
 // RunStats reports one kernel execution.
@@ -227,6 +325,12 @@ func checkOutputAliasing(kernel string, out *Buffer, outName string, ins []*Buff
 // uniforms by name.
 func (k *Kernel) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float32) (RunStats, error) {
 	var stats RunStats
+	if err := k.dev.checkOpen("Kernel.Run"); err != nil {
+		return stats, err
+	}
+	if k.closed {
+		return stats, fmt.Errorf("core: kernel %q: Run: %w", k.spec.Name, ErrClosed)
+	}
 	if len(outs) != len(k.passes) {
 		return stats, fmt.Errorf("core: kernel %q has %d outputs, got %d buffers", k.spec.Name, len(k.passes), len(outs))
 	}
@@ -319,6 +423,9 @@ func (k *Kernel) Run1(out *Buffer, ins []*Buffer, uniforms map[string]float32) (
 // already the framebuffer attachment, a trivial copy pass moves it there.
 // Both buffers must have identical grids and element types.
 func (d *Device) Copy(dst, src *Buffer) error {
+	if err := d.checkOpen("Copy"); err != nil {
+		return err
+	}
 	if dst.grid != src.grid {
 		return fmt.Errorf("core: Copy: grid mismatch %v vs %v", dst.grid, src.grid)
 	}
@@ -367,10 +474,11 @@ func (d *Device) copyProgram() (uint32, error) {
 	if d.copyProg != 0 {
 		return d.copyProg, nil
 	}
-	prog, err := d.buildProgram(passVertexShader, copyFS)
+	prog, vs, fs, err := d.buildProgram(passVertexShader, copyFS)
 	if err != nil {
 		return 0, err
 	}
 	d.copyProg = prog
+	d.copyShader = [2]uint32{vs, fs}
 	return prog, nil
 }

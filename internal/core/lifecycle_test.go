@@ -1,0 +1,266 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"glescompute/internal/codec"
+	"glescompute/internal/gles"
+)
+
+var lcSumSpec = KernelSpec{
+	Name:   "sum",
+	Inputs: []Param{{Name: "a", Type: codec.Float32}, {Name: "b", Type: codec.Float32}},
+	Source: `float gc_kernel(float idx) { return gc_a(idx) + gc_b(idx); }`,
+}
+
+// TestKernelCloseReleasesObjects pins that Kernel.Close deletes the
+// program and both shaders of every pass, and that a closed kernel
+// refuses to run.
+func TestKernelCloseReleasesObjects(t *testing.T) {
+	dev, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	before := dev.LiveObjects()
+	k, err := dev.BuildKernel(KernelSpec{
+		Name:    "multi",
+		Inputs:  []Param{{Name: "x", Type: codec.Float32}},
+		Outputs: []OutputSpec{{Name: "p", Type: codec.Float32}, {Name: "q", Type: codec.Float32}},
+		Source: `float gc_kernel_p(float idx) { return gc_x(idx) + 1.0; }
+float gc_kernel_q(float idx) { return gc_x(idx) * 2.0; }`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := dev.LiveObjects()
+	if mid.Programs != before.Programs+2 || mid.Shaders != before.Shaders+4 {
+		t.Fatalf("after build: %+v (before %+v), want +2 programs +4 shaders", mid, before)
+	}
+	if err := k.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after := dev.LiveObjects()
+	if after != before {
+		t.Fatalf("after close: %+v, want %+v", after, before)
+	}
+	out, _ := dev.NewBuffer(codec.Float32, 4)
+	defer out.Free()
+	if _, err := k.Run([]*Buffer{out, out}, []*Buffer{out}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run on closed kernel: err = %v, want ErrClosed", err)
+	}
+	if err := k.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestBuildKernelFailureLeaksNothing pins that a spec whose later output
+// fails to compile releases the programs and shaders already built for
+// earlier outputs — a long-running service retrying a bad kernel must
+// not accumulate simulator objects.
+func TestBuildKernelFailureLeaksNothing(t *testing.T) {
+	dev, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	before := dev.LiveObjects()
+	_, err = dev.BuildKernel(KernelSpec{
+		Name:    "half-bad",
+		Inputs:  []Param{{Name: "x", Type: codec.Float32}},
+		Outputs: []OutputSpec{{Name: "p", Type: codec.Float32}, {Name: "q", Type: codec.Float32}},
+		Source: `float gc_kernel_p(float idx) { return gc_x(idx); }
+float gc_kernel_q(float idx) { return this does not parse; }`,
+	})
+	if err == nil {
+		t.Fatal("broken second output compiled")
+	}
+	if after := dev.LiveObjects(); after != before {
+		t.Fatalf("failed BuildKernel leaked objects: %+v -> %+v", before, after)
+	}
+}
+
+// TestDeviceCloseErrClosed pins the clean error path for every operation
+// on a closed device — the race a queue shutdown must tolerate.
+func TestDeviceCloseErrClosed(t *testing.T) {
+	dev, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := dev.NewBuffer(codec.Float32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, _ := dev.NewBuffer(codec.Float32, 16)
+	k, err := dev.BuildKernel(lcSumSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := dev.NewPipeline()
+	p.Output(p.Stage(k, nil, p.Input(codec.Float32, 16), p.Input(codec.Float32, 16)))
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	wantClosed := func(label string, err error) {
+		t.Helper()
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("%s on closed device: err = %v, want ErrClosed", label, err)
+		}
+	}
+	_, err = dev.NewBuffer(codec.Float32, 4)
+	wantClosed("NewBuffer", err)
+	_, err = dev.NewMatrixBuffer(codec.Float32, 4)
+	wantClosed("NewMatrixBuffer", err)
+	_, err = dev.NewBufferWithGrid(codec.Float32, 4, buf.Grid())
+	wantClosed("NewBufferWithGrid", err)
+	_, err = dev.BuildKernel(lcSumSpec)
+	wantClosed("BuildKernel", err)
+	_, err = dev.BuildKernelCached(lcSumSpec)
+	wantClosed("BuildKernelCached", err)
+	_, err = dev.BuildReduceKernel(codec.Float32, ReduceAdd)
+	wantClosed("BuildReduceKernel", err)
+	_, err = k.Run1(buf, []*Buffer{buf2, buf2}, nil)
+	wantClosed("Kernel.Run", err)
+	wantClosed("WriteFloat32", buf.WriteFloat32(make([]float32, 16)))
+	_, err = buf.ReadFloat32()
+	wantClosed("ReadFloat32", err)
+	wantClosed("WriteRange", buf.WriteRange(0, make([]float32, 16)))
+	_, err = buf.ReadRange(0, 4)
+	wantClosed("ReadRange", err)
+	wantClosed("Copy", dev.Copy(buf, buf2))
+	_, err = p.Run([]*Buffer{buf}, []*Buffer{buf, buf2}, nil)
+	wantClosed("Pipeline.Run", err)
+	// Free after device close must be a harmless no-op.
+	buf.Free()
+	buf2.Free()
+	p.Free()
+}
+
+// TestDeviceCloseLeakHook checks the leak census: silent when everything
+// was released, reporting the exact counts when objects leak.
+func TestDeviceCloseLeakHook(t *testing.T) {
+	// Clean shutdown: no callback.
+	dev, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := dev.NewBuffer(codec.Float32, 8)
+	if err := b.WriteFloat32(make([]float32, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadFloat32(); err != nil { // forces the FBO into being
+		t.Fatal(err)
+	}
+	k, _ := dev.BuildKernel(lcSumSpec)
+	k.Close()
+	b.Free()
+	called := false
+	dev.SetLeakHook(func(o gles.ObjectCounts) { called = true })
+	dev.Close()
+	if called {
+		t.Fatal("leak hook fired on a clean shutdown")
+	}
+
+	// Leaky shutdown: the census names what was left behind.
+	dev2, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaked, _ := dev2.NewBuffer(codec.Float32, 8)
+	_ = leaked
+	if _, err := dev2.BuildKernel(lcSumSpec); err != nil {
+		t.Fatal(err)
+	}
+	var got gles.ObjectCounts
+	dev2.SetLeakHook(func(o gles.ObjectCounts) { got = o })
+	dev2.Close()
+	if got.Textures != 1 || got.Programs != 1 || got.Shaders != 2 {
+		t.Fatalf("leak census = %+v, want 1 texture, 1 program, 2 shaders", got)
+	}
+}
+
+// TestBuildKernelCached pins compile-once semantics: content-identical
+// specs share one kernel and no new GL objects.
+func TestBuildKernelCached(t *testing.T) {
+	dev, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	k1, err := dev.BuildKernelCached(lcSumSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := dev.LiveObjects()
+	k2, err := dev.BuildKernelCached(lcSumSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("content-identical specs compiled twice")
+	}
+	if dev.LiveObjects() != objs {
+		t.Fatalf("cache hit created objects: %+v -> %+v", objs, dev.LiveObjects())
+	}
+	other := lcSumSpec
+	other.Source = `float gc_kernel(float idx) { return gc_a(idx) - gc_b(idx); }`
+	k3, err := dev.BuildKernelCached(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Fatal("different sources shared a cached kernel")
+	}
+	// A closed cached kernel is lazily recompiled rather than returned.
+	k3.Close()
+	k4, err := dev.BuildKernelCached(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4 == k3 {
+		t.Fatal("cache returned a closed kernel")
+	}
+}
+
+// TestPipelineClose pins ErrClosed on a closed pipeline.
+func TestPipelineClose(t *testing.T) {
+	dev, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	k, err := dev.BuildKernel(lcSumSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := dev.NewPipeline()
+	p.Output(p.Stage(k, nil, p.Input(codec.Float32, 8), p.Input(codec.Float32, 8)))
+	a, _ := dev.NewBuffer(codec.Float32, 8)
+	b, _ := dev.NewBuffer(codec.Float32, 8)
+	o, _ := dev.NewBuffer(codec.Float32, 8)
+	defer a.Free()
+	defer b.Free()
+	defer o.Free()
+	if err := a.WriteFloat32(make([]float32, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteFloat32(make([]float32, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run([]*Buffer{o}, []*Buffer{a, b}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run([]*Buffer{o}, []*Buffer{a, b}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run on closed pipeline: err = %v, want ErrClosed", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

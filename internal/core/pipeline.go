@@ -51,21 +51,35 @@ type Pipeline struct {
 	stages  []pipeStage
 	inputs  []Ref
 	outputs []Ref
-	pool    *bufferPool
+	pool    *BufferPool
 
-	err error // first builder error, surfaced at Run
+	err    error // first builder error, surfaced at Run
+	closed bool
 }
 
 // NewPipeline creates an empty pipeline on the device.
 func (d *Device) NewPipeline() *Pipeline {
-	return &Pipeline{dev: d, pool: newBufferPool(d)}
+	return &Pipeline{dev: d, pool: NewBufferPool(d)}
 }
 
 // Err returns the first builder error, if any.
 func (p *Pipeline) Err() error { return p.err }
 
-// Free releases the pipeline's pooled intermediate buffers.
-func (p *Pipeline) Free() { p.pool.freeAll() }
+// Close releases the pipeline's pooled intermediate buffers and marks the
+// pipeline closed: further Runs return ErrClosed. The kernels wired into
+// stages are not closed (the pipeline does not own them). Idempotent.
+func (p *Pipeline) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	p.pool.FreeAll()
+	return nil
+}
+
+// Free releases the pipeline's pooled intermediate buffers; equivalent to
+// Close (kept as the historical name).
+func (p *Pipeline) Free() { p.Close() }
 
 func (p *Pipeline) fail(format string, args ...interface{}) Ref {
 	if p.err == nil {
@@ -299,6 +313,12 @@ func (p *Pipeline) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float3
 	if p.err != nil {
 		return stats, p.err
 	}
+	if err := p.dev.checkOpen("Pipeline.Run"); err != nil {
+		return stats, err
+	}
+	if p.closed {
+		return stats, fmt.Errorf("core: pipeline: Run: %w", ErrClosed)
+	}
 	if len(p.stages) == 0 {
 		return stats, fmt.Errorf("core: pipeline: no stages")
 	}
@@ -346,11 +366,11 @@ func (p *Pipeline) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float3
 	checkedOut := map[*Buffer]bool{}
 	defer func() {
 		for b := range checkedOut {
-			p.pool.release(b)
+			p.pool.Release(b)
 		}
 	}()
 	acquire := func(elem codec.ElemType, n int, grid layout.Grid) (*Buffer, error) {
-		b, err := p.pool.acquire(elem, n, grid)
+		b, err := p.pool.Acquire(elem, n, grid)
 		if err == nil {
 			checkedOut[b] = true
 		}
@@ -358,7 +378,7 @@ func (p *Pipeline) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float3
 	}
 	release := func(b *Buffer) {
 		delete(checkedOut, b)
-		p.pool.release(b)
+		p.pool.Release(b)
 	}
 
 	// A hazard copy pending until the aliased data's last reader has run:

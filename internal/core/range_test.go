@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"glescompute/internal/codec"
+)
+
+// TestWriteReadRangeFloat32 exercises row-aligned sub-range writes and
+// arbitrary-span reads against full-buffer transfers.
+func TestWriteReadRangeFloat32(t *testing.T) {
+	dev, err := Open(Config{MaxGridWidth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	const n = 16*4 + 7 // 5 rows, partial tail
+	b, err := dev.NewBuffer(codec.Float32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Free()
+	rng := rand.New(rand.NewSource(11))
+	full := make([]float32, n)
+	for i := range full {
+		full[i] = rng.Float32()*100 - 50
+	}
+	if err := b.WriteFloat32(full); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite rows 1..2 (elements 16..48) through WriteRange.
+	patch := make([]float32, 32)
+	for i := range patch {
+		patch[i] = float32(i) + 0.25
+		full[16+i] = patch[i]
+	}
+	if err := b.WriteRange(16, patch); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the tail (row-aligned range ending at b.n).
+	tail := []float32{1, 2, 3, 4, 5, 6, 7}
+	copy(full[64:], tail)
+	if err := b.WriteRange(64, tail); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := b.ReadFloat32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		if got[i] != full[i] {
+			t.Fatalf("after ranged writes, element %d = %g, want %g", i, got[i], full[i])
+		}
+	}
+
+	// Arbitrary-span reads, including mid-row offsets.
+	for _, span := range [][2]int{{0, n}, {0, 1}, {5, 20}, {16, 32}, {63, 8}, {n - 1, 1}} {
+		off, count := span[0], span[1]
+		out, err := b.ReadRange(off, count)
+		if err != nil {
+			t.Fatalf("ReadRange(%d,%d): %v", off, count, err)
+		}
+		vals := out.([]float32)
+		for i := 0; i < count; i++ {
+			if vals[i] != full[off+i] {
+				t.Fatalf("ReadRange(%d,%d)[%d] = %g, want %g", off, count, i, vals[i], full[off+i])
+			}
+		}
+	}
+}
+
+// TestRangeAllTypes round-trips every element type through ranged I/O.
+func TestRangeAllTypes(t *testing.T) {
+	dev, err := Open(Config{MaxGridWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	const n = 24 // 3 full rows of 8
+	check := func(label string, src interface{}, elem codec.ElemType) {
+		t.Helper()
+		b, err := dev.NewBuffer(elem, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Free()
+		if err := b.WriteRange(0, src); err != nil {
+			t.Fatalf("%s: WriteRange: %v", label, err)
+		}
+		got, err := b.ReadRange(8, 8) // middle row
+		if err != nil {
+			t.Fatalf("%s: ReadRange: %v", label, err)
+		}
+		switch s := src.(type) {
+		case []int32:
+			for i, v := range got.([]int32) {
+				if v != s[8+i] {
+					t.Fatalf("%s: element %d = %d, want %d", label, i, v, s[8+i])
+				}
+			}
+		case []uint32:
+			for i, v := range got.([]uint32) {
+				if v != s[8+i] {
+					t.Fatalf("%s: element %d = %d, want %d", label, i, v, s[8+i])
+				}
+			}
+		case []int8:
+			for i, v := range got.([]int8) {
+				if v != s[8+i] {
+					t.Fatalf("%s: element %d = %d, want %d", label, i, v, s[8+i])
+				}
+			}
+		case []uint8:
+			for i, v := range got.([]uint8) {
+				if v != s[8+i] {
+					t.Fatalf("%s: element %d = %d, want %d", label, i, v, s[8+i])
+				}
+			}
+		}
+	}
+	i32 := make([]int32, n)
+	u32 := make([]uint32, n)
+	i8 := make([]int8, n)
+	u8 := make([]uint8, n)
+	for i := 0; i < n; i++ {
+		i32[i] = int32(i*1000 - 12000)
+		u32[i] = uint32(i * 99991)
+		i8[i] = int8(i*9 - 100)
+		u8[i] = uint8(i * 10)
+	}
+	check("int32", i32, codec.Int32)
+	check("uint32", u32, codec.Uint32)
+	check("int8", i8, codec.Int8)
+	check("uint8", u8, codec.Uint8)
+}
+
+// TestRangeErrors pins the rectangle constraints and bounds checks.
+func TestRangeErrors(t *testing.T) {
+	dev, err := Open(Config{MaxGridWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	b, err := dev.NewBuffer(codec.Float32, 30) // 4 rows of 8, partial tail
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Free()
+	if err := b.WriteRange(3, make([]float32, 8)); err == nil {
+		t.Fatal("mid-row write offset accepted")
+	}
+	if err := b.WriteRange(0, make([]float32, 5)); err == nil {
+		t.Fatal("partial-row write not reaching the tail accepted")
+	}
+	if err := b.WriteRange(24, make([]float32, 6)); err != nil {
+		t.Fatalf("row-aligned tail write rejected: %v", err)
+	}
+	if err := b.WriteRange(8, make([]float32, 30)); err == nil {
+		t.Fatal("out-of-bounds write accepted")
+	}
+	if err := b.WriteRange(0, make([]int32, 8)); err == nil {
+		t.Fatal("type-mismatched write accepted")
+	}
+	if _, err := b.ReadRange(28, 4); err == nil {
+		t.Fatal("out-of-bounds read accepted")
+	}
+	if _, err := b.ReadRange(-1, 2); err == nil {
+		t.Fatal("negative offset read accepted")
+	}
+	if _, err := b.ReadRange(0, 0); err == nil {
+		t.Fatal("empty read accepted")
+	}
+}

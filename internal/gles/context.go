@@ -515,6 +515,36 @@ func (c *Context) Finish() {}
 // Flush mirrors glFlush.
 func (c *Context) Flush() {}
 
+// ObjectCounts reports the live (created and not yet deleted) objects a
+// context owns. Long-running compute services use it to prove they are not
+// accumulating simulator objects (leaked kernels leak programs and
+// shaders; leaked buffers leak textures and framebuffers).
+type ObjectCounts struct {
+	Textures      int
+	Buffers       int
+	Shaders       int
+	Programs      int
+	Framebuffers  int
+	Renderbuffers int
+}
+
+// Total returns the total number of live objects.
+func (o ObjectCounts) Total() int {
+	return o.Textures + o.Buffers + o.Shaders + o.Programs + o.Framebuffers + o.Renderbuffers
+}
+
+// ObjectCounts returns the live object census of this context.
+func (c *Context) ObjectCounts() ObjectCounts {
+	return ObjectCounts{
+		Textures:      len(c.textures),
+		Buffers:       len(c.buffers),
+		Shaders:       len(c.shaders),
+		Programs:      len(c.programs),
+		Framebuffers:  len(c.framebuffers),
+		Renderbuffers: len(c.renderbuffers),
+	}
+}
+
 // Transfers returns accumulated host↔device transfer statistics.
 func (c *Context) Transfers() TransferStats { return c.transfers }
 

@@ -50,6 +50,46 @@ func Square(n int) (Grid, error) {
 	return Grid{Width: n, Height: n, N: n * n}, nil
 }
 
+// PackRows lays out several linear arrays in one shared texture, each
+// array starting on a fresh texel row — the layout the scheduler's request
+// batching uses to coalesce many small kernel launches into a single
+// fragment pass. The width is the power-of-two ForLength would pick for
+// the largest array (so in-shader row arithmetic stays exact for every
+// member), and each array occupies ceil(n/W) whole rows; the tail of a
+// member's last row is padding. It returns the packed grid and the linear
+// element offset of each array (always a multiple of W, so members can be
+// written and read as whole-row sub-ranges).
+func PackRows(ns []int, maxWidth, maxHeight int) (Grid, []int, error) {
+	if len(ns) == 0 {
+		return Grid{}, nil, fmt.Errorf("layout: PackRows: no arrays")
+	}
+	maxN := 0
+	for _, n := range ns {
+		if n <= 0 {
+			return Grid{}, nil, fmt.Errorf("layout: PackRows: array length must be positive, got %d", n)
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	base, err := ForLength(maxN, maxWidth)
+	if err != nil {
+		return Grid{}, nil, err
+	}
+	w := base.Width
+	offs := make([]int, len(ns))
+	row := 0
+	for i, n := range ns {
+		offs[i] = row * w
+		row += (n + w - 1) / w
+	}
+	if maxHeight > 0 && row > maxHeight {
+		return Grid{}, nil, fmt.Errorf("layout: PackRows: %d arrays need %d rows of width %d, max height is %d",
+			len(ns), row, w, maxHeight)
+	}
+	return Grid{Width: w, Height: row, N: offs[len(offs)-1] + ns[len(ns)-1]}, offs, nil
+}
+
 // Texels returns the total number of texels in the texture.
 func (g Grid) Texels() int { return g.Width * g.Height }
 

@@ -168,3 +168,47 @@ func TestGLSLHelpersPrefixed(t *testing.T) {
 		t.Fatalf("prefixed helpers conflict:\n%v", errs)
 	}
 }
+
+func TestPackRows(t *testing.T) {
+	// Mixed lengths: width follows the largest member, every member
+	// starts on a fresh row, offsets are row-aligned and non-overlapping.
+	ns := []int{5, 130, 1, 64, 33}
+	g, offs, err := PackRows(ns, 2048, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ForLength(130, 2048)
+	if g.Width != want.Width {
+		t.Fatalf("packed width %d, want the largest member's ForLength width %d", g.Width, want.Width)
+	}
+	rows := 0
+	for i, n := range ns {
+		if offs[i] != rows*g.Width {
+			t.Fatalf("member %d offset %d, want row-aligned %d", i, offs[i], rows*g.Width)
+		}
+		if offs[i]%g.Width != 0 {
+			t.Fatalf("member %d offset %d not a multiple of width %d", i, offs[i], g.Width)
+		}
+		rows += (n + g.Width - 1) / g.Width
+	}
+	if g.Height != rows {
+		t.Fatalf("packed height %d, want %d", g.Height, rows)
+	}
+	if g.N != offs[len(offs)-1]+ns[len(ns)-1] {
+		t.Fatalf("packed N %d, want last offset + last length = %d", g.N, offs[len(offs)-1]+ns[len(ns)-1])
+	}
+	if g.N > g.Texels() {
+		t.Fatalf("N %d exceeds texel count %d", g.N, g.Texels())
+	}
+
+	// Errors: empty set, non-positive member, height overflow.
+	if _, _, err := PackRows(nil, 64, 64); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, _, err := PackRows([]int{4, 0}, 64, 64); err == nil {
+		t.Fatal("non-positive member length accepted")
+	}
+	if _, _, err := PackRows([]int{64, 64, 64}, 64, 2); err == nil {
+		t.Fatal("overflowing max height accepted")
+	}
+}

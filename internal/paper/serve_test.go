@@ -1,0 +1,46 @@
+package paper
+
+import "testing"
+
+// TestRunServeQuick runs a scaled-down S1 sweep and pins the acceptance
+// properties that are robust at small scale: every job bit-identical to
+// its synchronous reference, batching actually coalescing launches, and
+// the batched pool beating the naive single device by ≥2× on modeled
+// time. (The wall-clock speedup is asserted only at full scale by
+// `paperbench -exp serve`; at test sizes it is noise-dominated.)
+func TestRunServeQuick(t *testing.T) {
+	res, err := RunServe(240, 128, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Validated {
+		t.Fatal("serve outputs not bit-identical to synchronous Kernel.Run")
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(res.Points))
+	}
+	base := res.Points[0]
+	if base.Batching || base.Devices != 1 {
+		t.Fatalf("baseline point misconfigured: %+v", base)
+	}
+	if base.Occupancy > 1.001 {
+		t.Fatalf("unbatched baseline coalesced jobs: occupancy %.2f", base.Occupancy)
+	}
+	var sawBatching bool
+	for _, pt := range res.Points {
+		if pt.Batching && pt.Occupancy > 1.5 {
+			sawBatching = true
+		}
+		if pt.Launches == 0 || pt.Modeled <= 0 {
+			t.Fatalf("degenerate point: %+v", pt)
+		}
+	}
+	if !sawBatching {
+		t.Fatalf("no point shows coalescing: %+v", res.Points)
+	}
+	if res.ModelSpeedupX < 2 {
+		t.Fatalf("batched pool modeled speedup %.2fx, want >= 2x", res.ModelSpeedupX)
+	}
+	t.Logf("S1 quick: model %.1fx, wall %.1fx, batched occupancy %.1f",
+		res.ModelSpeedupX, res.WallSpeedupX, res.Points[len(res.Points)-1].Occupancy)
+}

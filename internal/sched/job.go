@@ -1,0 +1,237 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"glescompute/internal/codec"
+	"glescompute/internal/core"
+)
+
+// JobSpec describes one compute request: a kernel plus host-side input
+// arrays. The queue owns all device buffers; callers deal only in host
+// slices.
+type JobSpec struct {
+	// Kernel is the kernel to run. It must have a single output (the
+	// default). Content-identical specs share one compiled program per
+	// device.
+	Kernel core.KernelSpec
+	// Inputs holds one host slice per kernel input, of the matching
+	// element type ([]float32, []int32, []uint32, []int8, []uint8).
+	Inputs []interface{}
+	// OutN is the output length. 0 means the length of the first input
+	// (or MatrixN² for matrix jobs).
+	OutN int
+	// MatrixN, when positive, lays every input and the output out as an
+	// exact MatrixN×MatrixN texel matrix (all arrays must hold MatrixN²
+	// elements) so kernels can use 2D addressing. Matrix jobs never
+	// batch.
+	MatrixN int
+	// Uniforms supplies the kernel's user uniforms.
+	Uniforms map[string]float32
+	// Batchable declares the kernel element-wise: output element i
+	// depends only on input elements i (through the gc_<in>(idx)
+	// accessors), and the kernel reads none of gc_out_n, gc_<in>_dims or
+	// v_uv. Such jobs may be coalesced with same-kernel same-uniform jobs
+	// into one launch; the packed layout relocates elements but never
+	// changes the arithmetic, so outputs stay bit-identical. Every input
+	// must then be exactly OutN elements long.
+	Batchable bool
+}
+
+// Job is an in-flight compute request.
+type Job struct {
+	spec   JobSpec
+	ctx    context.Context
+	key    string // batch grouping key (batchable jobs only)
+	enq    time.Time
+	doneCh chan struct{}
+
+	// Written by the executing worker before doneCh closes.
+	out   interface{}
+	stats JobStats
+	err   error
+}
+
+// JobStats reports how one job was executed.
+type JobStats struct {
+	// Device is the pool index of the device that ran the job (-1 when
+	// the job never reached a device).
+	Device int
+	// Batched reports whether the job was coalesced with others;
+	// BatchSize is the number of jobs in its launch (1 when solo).
+	Batched   bool
+	BatchSize int
+	// Run and Time describe the GPU launch that carried the job (shared
+	// by every member of a batch): raw draw statistics and the modeled
+	// vc4 wall-clock of the launch.
+	Run  core.RunStats
+	Time core.Timeline
+	// QueueWait is the host wall-clock time from Submit to the start of
+	// the launch; Service is the host wall-clock of the launch itself.
+	QueueWait time.Duration
+	Service   time.Duration
+}
+
+// Result is a completed job's output.
+type Result struct {
+	// Output is a freshly allocated host slice of the kernel's output
+	// element type.
+	Output interface{}
+	Stats  JobStats
+}
+
+// Float32 returns the output as []float32.
+func (r Result) Float32() ([]float32, error) {
+	if v, ok := r.Output.([]float32); ok {
+		return v, nil
+	}
+	return nil, fmt.Errorf("sched: output is %T, not []float32", r.Output)
+}
+
+// Int32 returns the output as []int32.
+func (r Result) Int32() ([]int32, error) {
+	if v, ok := r.Output.([]int32); ok {
+		return v, nil
+	}
+	return nil, fmt.Errorf("sched: output is %T, not []int32", r.Output)
+}
+
+// Done returns a channel closed when the job completes.
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// Wait blocks until the job completes (or ctx is done) and returns its
+// result. A nil ctx means context.Background. Waiting with a cancelled
+// context does not cancel the job itself; cancel the Submit context for
+// that.
+func (j *Job) Wait(ctx context.Context) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.doneCh:
+		if j.err != nil {
+			return Result{Stats: j.stats}, j.err
+		}
+		return Result{Output: j.out, Stats: j.stats}, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// elemOf maps a host slice to its device element type.
+func elemOf(src interface{}) (codec.ElemType, bool) {
+	switch src.(type) {
+	case []float32:
+		return codec.Float32, true
+	case []int32:
+		return codec.Int32, true
+	case []uint32:
+		return codec.Uint32, true
+	case []int8:
+		return codec.Int8, true
+	case []uint8:
+		return codec.Uint8, true
+	}
+	return 0, false
+}
+
+// outElem returns the element type of the kernel's single output.
+func outElem(spec core.KernelSpec) codec.ElemType {
+	if len(spec.Outputs) > 0 {
+		return spec.Outputs[0].Type
+	}
+	return codec.Float32
+}
+
+// newJob validates a spec and builds the queued job.
+func newJob(ctx context.Context, spec JobSpec) (*Job, error) {
+	if len(spec.Kernel.Outputs) > 1 {
+		return nil, fmt.Errorf("sched: kernel %q has %d outputs; the queue executes single-output kernels (use Device.BuildKernel for multi-output)",
+			spec.Kernel.Name, len(spec.Kernel.Outputs))
+	}
+	if len(spec.Inputs) != len(spec.Kernel.Inputs) {
+		return nil, fmt.Errorf("sched: kernel %q declares %d inputs, job supplies %d",
+			spec.Kernel.Name, len(spec.Kernel.Inputs), len(spec.Inputs))
+	}
+	for i, src := range spec.Inputs {
+		t, ok := elemOf(src)
+		if !ok {
+			return nil, fmt.Errorf("sched: input %q: unsupported host slice type %T", spec.Kernel.Inputs[i].Name, src)
+		}
+		if t != spec.Kernel.Inputs[i].Type {
+			return nil, fmt.Errorf("sched: input %q expects %s, job supplies %s",
+				spec.Kernel.Inputs[i].Name, spec.Kernel.Inputs[i].Type, t)
+		}
+		if core.HostLen(src) == 0 {
+			return nil, fmt.Errorf("sched: input %q is empty", spec.Kernel.Inputs[i].Name)
+		}
+	}
+	if spec.MatrixN > 0 {
+		want := spec.MatrixN * spec.MatrixN
+		if spec.OutN == 0 {
+			spec.OutN = want
+		}
+		if spec.OutN != want {
+			return nil, fmt.Errorf("sched: matrix job: OutN %d != MatrixN² (%d)", spec.OutN, want)
+		}
+		for i, src := range spec.Inputs {
+			if core.HostLen(src) != want {
+				return nil, fmt.Errorf("sched: matrix job: input %q has %d elements, want MatrixN² (%d)",
+					spec.Kernel.Inputs[i].Name, core.HostLen(src), want)
+			}
+		}
+		if spec.Batchable {
+			return nil, fmt.Errorf("sched: matrix jobs cannot batch (exact matrix layouts do not row-pack)")
+		}
+	}
+	if spec.OutN == 0 {
+		if len(spec.Inputs) == 0 {
+			return nil, fmt.Errorf("sched: OutN required for kernels with no inputs")
+		}
+		spec.OutN = core.HostLen(spec.Inputs[0])
+	}
+	if spec.Batchable {
+		for i, src := range spec.Inputs {
+			if core.HostLen(src) != spec.OutN {
+				return nil, fmt.Errorf("sched: batchable (element-wise) job: input %q has %d elements, output has %d",
+					spec.Kernel.Inputs[i].Name, core.HostLen(src), spec.OutN)
+			}
+		}
+	}
+	j := &Job{spec: spec, ctx: ctx, enq: time.Now(), doneCh: make(chan struct{})}
+	if spec.Batchable {
+		j.key = batchKey(spec)
+	}
+	return j, nil
+}
+
+// batchKey groups jobs that may share one launch: identical kernel
+// content and bit-identical uniform values. Like KernelSpec.CacheKey it
+// sits on the per-submission hot path, so no fmt.
+func batchKey(spec JobSpec) string {
+	key := spec.Kernel.CacheKey()
+	if len(spec.Uniforms) == 0 {
+		return key
+	}
+	names := make([]string, 0, len(spec.Uniforms))
+	for name := range spec.Uniforms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.Grow(len(key) + 16*len(names))
+	b.WriteString(key)
+	for _, name := range names {
+		b.WriteByte('|')
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatUint(uint64(math.Float32bits(spec.Uniforms[name])), 16))
+	}
+	return b.String()
+}

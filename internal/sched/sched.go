@@ -1,0 +1,306 @@
+// Package sched turns the single-device compute library into an
+// asynchronous multi-device compute service: a Queue owns a pool of
+// simulated ES 2.0 devices, accepts kernel jobs from any goroutine, and
+// schedules them for throughput.
+//
+// Three mechanisms do the work:
+//
+//   - Device pool / sharding. OpenQueue(Config{Devices: N}) opens N
+//     core.Devices, each pinned to its own goroutine for its whole life —
+//     the GL-context single-thread invariant is preserved by construction,
+//     never by locking. Work units are sharded to the least-loaded device;
+//     each device compiles a KernelSpec at most once
+//     (core.BuildKernelCached), so a hot kernel costs one compile per
+//     shard.
+//
+//   - Async submission. Submit returns a *Job immediately; Job.Wait
+//     yields the output plus per-job RunStats and a modeled vc4 Timeline
+//     for the launch that carried it. The submission queue is bounded
+//     (Config.MaxPending): when the pool falls behind, Submit blocks —
+//     backpressure, not unbounded memory — and honours context
+//     cancellation while blocked. Queue.Drain waits for the queue to
+//     empty; Queue.Close drains, then shuts every device down cleanly.
+//
+//   - Request batching. Small same-kernel jobs are coalesced into one
+//     fragment pass: member arrays become adjacent texel rows of one
+//     shared texture (layout.PackRows), uploaded in a single call, run as
+//     a single draw, read back in a single call and sliced per job. M
+//     tiny dispatches pay one launch's fixed costs (driver draw overhead,
+//     per-call upload/readback overhead — the dominant cost of a small
+//     kernel) instead of M. Batching is adaptive: jobs coalesce only when
+//     the queue actually has same-kernel work waiting, so an idle queue
+//     adds no latency. Only jobs marked JobSpec.Batchable (element-wise
+//     kernels) are eligible; outputs are bit-identical to solo execution
+//     because the packed layout changes where an element lives, never the
+//     arithmetic applied to it.
+//
+// QueueStats aggregates the per-device vc4 timelines into a service-level
+// view: modeled makespan across the pool, per-device busy time and wall
+// utilization, and batching occupancy proving the coalescing happened.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"glescompute/internal/core"
+)
+
+// ErrQueueClosed is returned by Submit after Close.
+var ErrQueueClosed = errors.New("sched: queue is closed")
+
+// Config configures a compute queue.
+type Config struct {
+	// Devices is the size of the device pool; 0 means 1.
+	Devices int
+	// Device configures every pooled device. When Device.Workers is 0 and
+	// Devices > 1, each device's fragment-stage parallelism is capped to
+	// GOMAXPROCS/Devices so the pool does not oversubscribe the host.
+	Device core.Config
+	// MaxPending bounds the submission queue; Submit blocks when it is
+	// full (backpressure). 0 means 1024.
+	MaxPending int
+	// MaxBatch caps how many jobs coalesce into one launch; 0 means 64.
+	MaxBatch int
+	// DisableBatching forces every job to run as its own launch.
+	DisableBatching bool
+}
+
+// Queue is an asynchronous compute service over a pool of devices.
+type Queue struct {
+	cfg     Config
+	pending chan *Job
+	workers []*worker
+	opened  time.Time
+
+	dispatchDone chan struct{}
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	closed   bool
+	inFlight int
+	counts   struct {
+		submitted, completed, failed, canceled uint64
+	}
+}
+
+// OpenQueue opens a device pool and starts its scheduler.
+func OpenQueue(cfg Config) (*Queue, error) {
+	if cfg.Devices <= 0 {
+		cfg.Devices = 1
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 1024
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.DisableBatching {
+		cfg.MaxBatch = 1
+	}
+	dcfg := cfg.Device
+	if dcfg.Workers == 0 && cfg.Devices > 1 {
+		if w := runtime.GOMAXPROCS(0) / cfg.Devices; w > 1 {
+			dcfg.Workers = w
+		} else {
+			dcfg.Workers = 1
+		}
+	}
+	q := &Queue{
+		cfg:          cfg,
+		pending:      make(chan *Job, cfg.MaxPending),
+		opened:       time.Now(),
+		dispatchDone: make(chan struct{}),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	for i := 0; i < cfg.Devices; i++ {
+		dev, err := core.Open(dcfg)
+		if err != nil {
+			for _, w := range q.workers {
+				w.dev.Close()
+			}
+			return nil, fmt.Errorf("sched: opening device %d: %w", i, err)
+		}
+		q.workers = append(q.workers, newWorker(q, i, dev))
+	}
+	for _, w := range q.workers {
+		go w.run()
+	}
+	go q.dispatch()
+	return q, nil
+}
+
+// Submit validates the job and enqueues it, returning immediately unless
+// the queue is full, in which case it blocks until space frees or ctx is
+// done. A nil ctx means context.Background; the context also covers the
+// job itself — a job whose context is cancelled before it reaches a
+// device completes with the context's error instead of running.
+func (q *Queue) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	j, err := newJob(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil, ErrQueueClosed
+	}
+	q.inFlight++
+	q.counts.submitted++
+	q.mu.Unlock()
+	select {
+	case q.pending <- j:
+		return j, nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		q.inFlight--
+		q.counts.submitted--
+		if q.inFlight == 0 {
+			q.cond.Broadcast()
+		}
+		q.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Drain blocks until every job submitted so far has completed.
+func (q *Queue) Drain() {
+	q.mu.Lock()
+	for q.inFlight > 0 {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+}
+
+// Close drains the queue, stops the scheduler, and closes every pooled
+// device on its own goroutine. Submissions racing Close either complete
+// normally or fail with ErrQueueClosed. Idempotent.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	for q.inFlight > 0 {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+	close(q.pending)
+	<-q.dispatchDone
+	for _, w := range q.workers {
+		<-w.done
+	}
+	return nil
+}
+
+// finishJob publishes a job's outcome and wakes Drain/Close when the
+// queue empties.
+func (q *Queue) finishJob(j *Job, out interface{}, st JobStats, err error) {
+	j.out, j.stats, j.err = out, st, err
+	close(j.doneCh)
+	q.mu.Lock()
+	q.inFlight--
+	switch {
+	case err == nil:
+		q.counts.completed++
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		q.counts.canceled++
+	default:
+		q.counts.failed++
+	}
+	if q.inFlight == 0 {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// dispatch is the scheduler loop: it pulls submitted jobs, groups
+// batchable same-kernel-same-uniform jobs, and hands work units to the
+// least-loaded device. Groups are flushed whenever the submission channel
+// momentarily empties (or a safety bound is hit), so batches form exactly
+// when the pool is behind — the adaptive-batching rule serving systems
+// use to trade zero idle latency for loaded throughput.
+func (q *Queue) dispatch() {
+	defer func() {
+		for _, w := range q.workers {
+			close(w.ch)
+		}
+		close(q.dispatchDone)
+	}()
+	var order []string
+	groups := map[string][]*Job{}
+	buffered := 0
+	rr := 0
+	assign := func(u *workUnit) {
+		best := q.workers[rr%len(q.workers)]
+		rr++
+		for _, w := range q.workers {
+			if len(w.ch) < len(best.ch) {
+				best = w
+			}
+		}
+		best.ch <- u
+	}
+	add := func(j *Job) {
+		if err := j.ctx.Err(); err != nil {
+			q.finishJob(j, nil, JobStats{Device: -1}, fmt.Errorf("sched: job cancelled while queued: %w", err))
+			return
+		}
+		if !j.spec.Batchable || q.cfg.MaxBatch <= 1 {
+			assign(&workUnit{jobs: []*Job{j}})
+			return
+		}
+		if _, ok := groups[j.key]; !ok {
+			order = append(order, j.key)
+		}
+		groups[j.key] = append(groups[j.key], j)
+		buffered++
+	}
+	flush := func() {
+		for _, key := range order {
+			jobs := groups[key]
+			for len(jobs) > 0 {
+				n := len(jobs)
+				if n > q.cfg.MaxBatch {
+					n = q.cfg.MaxBatch
+				}
+				assign(&workUnit{jobs: jobs[:n:n]})
+				jobs = jobs[n:]
+			}
+			delete(groups, key)
+		}
+		order = order[:0]
+		buffered = 0
+	}
+	bound := q.cfg.MaxBatch * len(q.workers) * 2
+	for {
+		j, ok := <-q.pending
+		if !ok {
+			flush()
+			return
+		}
+		add(j)
+	drain:
+		for buffered < bound {
+			select {
+			case j2, ok2 := <-q.pending:
+				if !ok2 {
+					flush()
+					return
+				}
+				add(j2)
+			default:
+				break drain
+			}
+		}
+		flush()
+	}
+}

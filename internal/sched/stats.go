@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"glescompute/internal/core"
+)
+
+// DeviceStats is the per-device share of the service's work.
+type DeviceStats struct {
+	// Device is the pool index.
+	Device int
+	// Jobs and Launches count completed work; Launches < Jobs when
+	// batching coalesced requests. Batches counts multi-job launches and
+	// BatchedJobs the jobs they carried.
+	Jobs, Launches       uint64
+	Batches, BatchedJobs uint64
+	// Busy is the accumulated modeled vc4 timeline of this device's
+	// launches; BusyWall is the host wall-clock spent executing them.
+	Busy     core.Timeline
+	BusyWall time.Duration
+}
+
+// QueueStats is a service-level snapshot: totals plus the per-device vc4
+// timelines aggregated into pool-wide throughput figures.
+type QueueStats struct {
+	Submitted, Completed, Failed, Cancelled uint64
+
+	// Launch aggregates across the pool.
+	Launches, Batches, BatchedJobs uint64
+
+	// Elapsed is the host wall-clock since the queue opened.
+	Elapsed time.Duration
+
+	Devices []DeviceStats
+}
+
+// Stats returns a point-in-time snapshot of the queue's counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := QueueStats{
+		Submitted: q.counts.submitted,
+		Completed: q.counts.completed,
+		Failed:    q.counts.failed,
+		Cancelled: q.counts.canceled,
+		Elapsed:   time.Since(q.opened),
+	}
+	for _, w := range q.workers {
+		d := w.st
+		d.Device = w.id
+		s.Devices = append(s.Devices, d)
+		s.Launches += d.Launches
+		s.Batches += d.Batches
+		s.BatchedJobs += d.BatchedJobs
+	}
+	return s
+}
+
+// Occupancy is the mean number of jobs per GPU launch — 1.0 means no
+// coalescing happened, higher proves batching amortized launch overhead.
+func (s QueueStats) Occupancy() float64 {
+	if s.Launches == 0 {
+		return 0
+	}
+	jobs := uint64(0)
+	for _, d := range s.Devices {
+		jobs += d.Jobs
+	}
+	return float64(jobs) / float64(s.Launches)
+}
+
+// ModeledMakespan is the modeled wall-clock the pool needed for its work:
+// devices run concurrently, so the service finishes when its busiest
+// device does.
+func (s QueueStats) ModeledMakespan() time.Duration {
+	var max time.Duration
+	for _, d := range s.Devices {
+		if t := d.Busy.Total(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// ModeledBusy is the summed modeled timeline across the pool (total
+// device-time consumed, the cost side of the throughput story).
+func (s QueueStats) ModeledBusy() core.Timeline {
+	var t core.Timeline
+	for _, d := range s.Devices {
+		t = t.Add(d.Busy)
+	}
+	return t
+}
+
+// Utilization is a device's busy wall-clock as a fraction of the queue's
+// elapsed wall-clock.
+func (s QueueStats) Utilization(device int) float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	for _, d := range s.Devices {
+		if d.Device == device {
+			return float64(d.BusyWall) / float64(s.Elapsed)
+		}
+	}
+	return 0
+}
+
+// Report renders the snapshot as a human-readable service summary.
+func (s QueueStats) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "queue: %d submitted, %d completed, %d failed, %d cancelled in %v\n",
+		s.Submitted, s.Completed, s.Failed, s.Cancelled, s.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "launches: %d (%d batches carrying %d jobs, occupancy %.2f jobs/launch)\n",
+		s.Launches, s.Batches, s.BatchedJobs, s.Occupancy())
+	fmt.Fprintf(&b, "modeled makespan across pool: %v (total device-time %v)\n",
+		s.ModeledMakespan().Round(time.Microsecond), s.ModeledBusy().Total().Round(time.Microsecond))
+	for _, d := range s.Devices {
+		fmt.Fprintf(&b, "  device %d: %5d jobs in %5d launches, modeled busy %10v, wall busy %10v (%.0f%% util)\n",
+			d.Device, d.Jobs, d.Launches, d.Busy.Total().Round(time.Microsecond),
+			d.BusyWall.Round(time.Microsecond), 100*s.Utilization(d.Device))
+	}
+	return b.String()
+}

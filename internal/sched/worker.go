@@ -1,0 +1,319 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"glescompute/internal/codec"
+	"glescompute/internal/core"
+	"glescompute/internal/layout"
+)
+
+// workUnit is what the dispatcher hands a device: one job, or a batch of
+// same-kernel same-uniform jobs to coalesce into one launch.
+type workUnit struct {
+	jobs []*Job
+}
+
+// worker owns one pooled device. The device is touched only from run()'s
+// goroutine — the GL single-thread invariant holds by construction. Job
+// and batch buffers recycle through the same core.BufferPool pipelines
+// use, capped so a long-running queue seeing many distinct request
+// shapes cannot grow its buffer inventory without bound.
+type worker struct {
+	q    *Queue
+	id   int
+	dev  *core.Device
+	ch   chan *workUnit
+	done chan struct{}
+	pool *core.BufferPool
+
+	st DeviceStats // guarded by q.mu
+}
+
+func newWorker(q *Queue, id int, dev *core.Device) *worker {
+	pool := core.NewBufferPool(dev)
+	pool.SetLimit(8, 128)
+	return &worker{
+		q:    q,
+		id:   id,
+		dev:  dev,
+		ch:   make(chan *workUnit, 2),
+		done: make(chan struct{}),
+		pool: pool,
+	}
+}
+
+// run is the device goroutine: execute work units until the dispatcher
+// closes the channel, then release the pool and the device.
+func (w *worker) run() {
+	defer close(w.done)
+	for u := range w.ch {
+		w.exec(u)
+	}
+	w.pool.FreeAll()
+	w.dev.Close()
+}
+
+func (w *worker) exec(u *workUnit) {
+	live := u.jobs[:0]
+	for _, j := range u.jobs {
+		if err := j.ctx.Err(); err != nil {
+			w.q.finishJob(j, nil, JobStats{Device: w.id}, fmt.Errorf("sched: job cancelled: %w", err))
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if len(live) > 1 && w.execBatch(live) {
+		return
+	}
+	for _, j := range live {
+		w.execSolo(j)
+	}
+}
+
+// note folds one launch into the per-device statistics.
+func (w *worker) note(jobs int, batched bool, dt core.Timeline, wall time.Duration) {
+	w.q.mu.Lock()
+	w.st.Jobs += uint64(jobs)
+	w.st.Launches++
+	if batched {
+		w.st.Batches++
+		w.st.BatchedJobs += uint64(jobs)
+	}
+	w.st.Busy = w.st.Busy.Add(dt)
+	w.st.BusyWall += wall
+	w.q.mu.Unlock()
+}
+
+// jobBuffer acquires a buffer shaped for one job array: exact matrix
+// layout for matrix jobs, the standard linear layout otherwise.
+func (w *worker) jobBuffer(elem codec.ElemType, n, matrixN int) (*core.Buffer, error) {
+	var grid layout.Grid
+	var err error
+	if matrixN > 0 {
+		if matrixN > w.dev.MaxGridWidth() {
+			return nil, fmt.Errorf("sched: matrix dimension %d exceeds max grid width %d", matrixN, w.dev.MaxGridWidth())
+		}
+		grid, err = layout.Square(matrixN)
+	} else {
+		grid, err = layout.ForLength(n, w.dev.MaxGridWidth())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return w.pool.Acquire(elem, n, grid)
+}
+
+// execSolo runs one job as its own launch.
+func (w *worker) execSolo(j *Job) {
+	start := time.Now()
+	t0 := w.dev.Timeline()
+	out, rs, err := w.runSolo(j)
+	dt := w.dev.Timeline().Sub(t0)
+	wall := time.Since(start)
+	w.note(1, false, dt, wall)
+	w.q.finishJob(j, out, JobStats{
+		Device:    w.id,
+		BatchSize: 1,
+		Run:       rs,
+		Time:      dt,
+		QueueWait: start.Sub(j.enq),
+		Service:   wall,
+	}, err)
+}
+
+func (w *worker) runSolo(j *Job) (interface{}, core.RunStats, error) {
+	var rs core.RunStats
+	k, err := w.dev.BuildKernelCached(j.spec.Kernel)
+	if err != nil {
+		return nil, rs, err
+	}
+	var held []*core.Buffer
+	defer func() {
+		for _, b := range held {
+			w.pool.Release(b)
+		}
+	}()
+
+	ins := make([]*core.Buffer, len(j.spec.Inputs))
+	for i, src := range j.spec.Inputs {
+		b, err := w.jobBuffer(j.spec.Kernel.Inputs[i].Type, core.HostLen(src), j.spec.MatrixN)
+		if err != nil {
+			return nil, rs, err
+		}
+		held = append(held, b)
+		if err := b.WriteRange(0, src); err != nil {
+			return nil, rs, err
+		}
+		ins[i] = b
+	}
+	outB, err := w.jobBuffer(outElem(j.spec.Kernel), j.spec.OutN, j.spec.MatrixN)
+	if err != nil {
+		return nil, rs, err
+	}
+	held = append(held, outB)
+	rs, err = k.Run1(outB, ins, j.spec.Uniforms)
+	if err != nil {
+		return nil, rs, err
+	}
+	out, err := outB.ReadRange(0, j.spec.OutN)
+	return out, rs, err
+}
+
+// execBatch coalesces the jobs into one launch. It returns false when the
+// batch cannot be packed (the caller falls back to solo execution);
+// execution errors complete every member with the error and return true.
+func (w *worker) execBatch(jobs []*Job) bool {
+	spec := jobs[0].spec
+	ns := make([]int, len(jobs))
+	for i, j := range jobs {
+		ns[i] = j.spec.OutN
+	}
+	// Width is bounded by the device's effective layout bound (which may
+	// be tighter than the raw texture caps), so a batch never rejects a
+	// job its solo layout would accept.
+	grid, offs, err := layout.PackRows(ns, w.dev.MaxGridWidth(), w.dev.Caps().MaxTextureSize)
+	if err != nil {
+		return false // too large to share one texture: run solo
+	}
+	start := time.Now()
+	t0 := w.dev.Timeline()
+	outs, rs, err := w.runBatch(jobs, spec, grid, offs)
+	dt := w.dev.Timeline().Sub(t0)
+	wall := time.Since(start)
+	w.note(len(jobs), true, dt, wall)
+	for i, j := range jobs {
+		st := JobStats{
+			Device:    w.id,
+			Batched:   true,
+			BatchSize: len(jobs),
+			Run:       rs,
+			Time:      dt,
+			QueueWait: start.Sub(j.enq),
+			Service:   wall,
+		}
+		if err != nil {
+			w.q.finishJob(j, nil, st, err)
+		} else {
+			w.q.finishJob(j, outs[i], st, nil)
+		}
+	}
+	return true
+}
+
+func (w *worker) runBatch(jobs []*Job, spec JobSpec, grid layout.Grid, offs []int) ([]interface{}, core.RunStats, error) {
+	var rs core.RunStats
+	k, err := w.dev.BuildKernelCached(spec.Kernel)
+	if err != nil {
+		return nil, rs, err
+	}
+	var held []*core.Buffer
+	defer func() {
+		for _, b := range held {
+			w.pool.Release(b)
+		}
+	}()
+	packedBuf := func(elem codec.ElemType) (*core.Buffer, error) {
+		b, err := w.pool.Acquire(elem, grid.N, grid)
+		if err == nil {
+			held = append(held, b)
+		}
+		return b, err
+	}
+
+	// Pack each input's member arrays into adjacent rows of one shared
+	// texture and upload it in a single call.
+	ins := make([]*core.Buffer, len(spec.Kernel.Inputs))
+	for p := range spec.Kernel.Inputs {
+		elem := spec.Kernel.Inputs[p].Type
+		packed := newHostSlice(elem, grid.N)
+		for ji, j := range jobs {
+			copyHostSlice(packed, offs[ji], j.spec.Inputs[p])
+		}
+		b, err := packedBuf(elem)
+		if err != nil {
+			return nil, rs, err
+		}
+		if err := b.WriteRange(0, packed); err != nil {
+			return nil, rs, err
+		}
+		ins[p] = b
+	}
+
+	// One fragment pass computes every member's output.
+	outB, err := packedBuf(outElem(spec.Kernel))
+	if err != nil {
+		return nil, rs, err
+	}
+	rs, err = k.Run1(outB, ins, spec.Uniforms)
+	if err != nil {
+		return nil, rs, err
+	}
+
+	// One readback; slice each member's rows back out.
+	all, err := outB.ReadRange(0, grid.N)
+	if err != nil {
+		return nil, rs, err
+	}
+	outs := make([]interface{}, len(jobs))
+	for ji := range jobs {
+		outs[ji] = sliceHostCopy(all, offs[ji], ns(jobs[ji]))
+	}
+	return outs, rs, nil
+}
+
+func ns(j *Job) int { return j.spec.OutN }
+
+// newHostSlice allocates a typed host slice of n elements.
+func newHostSlice(t codec.ElemType, n int) interface{} {
+	switch t {
+	case codec.Float32:
+		return make([]float32, n)
+	case codec.Int32:
+		return make([]int32, n)
+	case codec.Uint32:
+		return make([]uint32, n)
+	case codec.Int8:
+		return make([]int8, n)
+	default:
+		return make([]uint8, n)
+	}
+}
+
+// copyHostSlice copies src into dst starting at element off; both must be
+// typed slices of the same element type.
+func copyHostSlice(dst interface{}, off int, src interface{}) {
+	switch d := dst.(type) {
+	case []float32:
+		copy(d[off:], src.([]float32))
+	case []int32:
+		copy(d[off:], src.([]int32))
+	case []uint32:
+		copy(d[off:], src.([]uint32))
+	case []int8:
+		copy(d[off:], src.([]int8))
+	case []uint8:
+		copy(d[off:], src.([]uint8))
+	}
+}
+
+// sliceHostCopy returns a fresh copy of n elements of src at off, so each
+// job owns its output independently of the shared batch readback.
+func sliceHostCopy(src interface{}, off, n int) interface{} {
+	switch s := src.(type) {
+	case []float32:
+		return append([]float32(nil), s[off:off+n]...)
+	case []int32:
+		return append([]int32(nil), s[off:off+n]...)
+	case []uint32:
+		return append([]uint32(nil), s[off:off+n]...)
+	case []int8:
+		return append([]int8(nil), s[off:off+n]...)
+	default:
+		return append([]uint8(nil), src.([]uint8)[off:off+n]...)
+	}
+}
