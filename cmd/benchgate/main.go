@@ -1,0 +1,179 @@
+// Command benchgate compares two paperbench -json reports and fails when
+// the current one regresses against the committed baseline — the CI gate
+// of the repo's benchmark trajectory (BENCH_*.json).
+//
+// Only modeled metrics are gated: vc4/armtime model outputs are
+// deterministic functions of the executed instruction streams, identical
+// on every host, so the gate needs no noise margin beyond the intended
+// regression budget. Wall-clock figures in the reports are ignored.
+//
+// Gated metrics (higher is better) are numeric leaves whose key is one of
+// model_speedup_x, exec_only_speedup_x, speedup_x, model_jobs_per_sec,
+// model_inf_per_sec, batch_model_speedup_x or occupancy_jobs_per_launch.
+// Every gated metric present in the baseline must exist in the current
+// report at ≥ (1 - max-regress) of the baseline value; booleans named
+// *validated must be true in the current report.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_BASELINE.json -current BENCH_PR4.json [-max-regress 0.10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// gatedKeys are the higher-is-better modeled metrics.
+var gatedKeys = map[string]bool{
+	"model_speedup_x":           true,
+	"exec_only_speedup_x":       true,
+	"speedup_x":                 true,
+	"model_jobs_per_sec":        true,
+	"model_inf_per_sec":         true,
+	"batch_model_speedup_x":     true,
+	"occupancy_jobs_per_launch": true,
+}
+
+// isValidatedKey matches boolean leaves that must hold in the current
+// report.
+func isValidatedKey(key string) bool {
+	return key == "validated" || key == "int_validated" || key == "float_validated"
+}
+
+// walk flattens a JSON tree into path→value for float and bool leaves.
+func walk(prefix string, v interface{}, nums map[string]float64, bools map[string]bool) {
+	switch t := v.(type) {
+	case map[string]interface{}:
+		for k, c := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			walk(p, c, nums, bools)
+		}
+	case []interface{}:
+		for i, c := range t {
+			walk(prefix+"."+strconv.Itoa(i), c, nums, bools)
+		}
+	case float64:
+		nums[prefix] = t
+	case bool:
+		bools[prefix] = t
+	}
+}
+
+// leafKey returns the last path segment.
+func leafKey(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '.' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// compare returns failure messages (empty = gate passes) and
+// informational lines.
+func compare(base, cur map[string]interface{}, maxRegress float64) (failures, info []string) {
+	bNums, bBools := map[string]float64{}, map[string]bool{}
+	cNums, cBools := map[string]float64{}, map[string]bool{}
+	walk("", base, bNums, bBools)
+	walk("", cur, cNums, cBools)
+
+	paths := make([]string, 0, len(bNums))
+	for p := range bNums {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if !gatedKeys[leafKey(p)] {
+			continue
+		}
+		bv := bNums[p]
+		cv, ok := cNums[p]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline (%.4g), missing from current report", p, bv))
+			continue
+		}
+		floor := bv * (1 - maxRegress)
+		switch {
+		case cv < floor:
+			failures = append(failures, fmt.Sprintf("%s: %.4g -> %.4g (%.1f%% regression, budget %.0f%%)",
+				p, bv, cv, 100*(1-cv/bv), 100*maxRegress))
+		case cv > bv*1.001:
+			info = append(info, fmt.Sprintf("%s: %.4g -> %.4g (improved %.1f%%)", p, bv, cv, 100*(cv/bv-1)))
+		}
+	}
+
+	vpaths := make([]string, 0, len(cBools))
+	for p := range cBools {
+		vpaths = append(vpaths, p)
+	}
+	sort.Strings(vpaths)
+	for _, p := range vpaths {
+		if isValidatedKey(leafKey(p)) && !cBools[p] {
+			failures = append(failures, fmt.Sprintf("%s: false (validation must hold)", p))
+		}
+	}
+	// A baseline validation flag vanishing from the current report means a
+	// differential check silently stopped running.
+	for p, v := range bBools {
+		if isValidatedKey(leafKey(p)) && v {
+			if _, ok := cBools[p]; !ok {
+				failures = append(failures, fmt.Sprintf("%s: validated in baseline, missing from current report", p))
+			}
+		}
+	}
+	sort.Strings(failures)
+	return failures, info
+}
+
+func readReport(path string) (map[string]interface{}, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]interface{}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_BASELINE.json", "committed baseline paperbench -json report")
+	current := flag.String("current", "", "freshly captured paperbench -json report")
+	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional regression per gated metric")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	base, err := readReport(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := readReport(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	failures, info := compare(base, cur, *maxRegress)
+	for _, line := range info {
+		fmt.Println("  " + line)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) against %s:\n", len(failures), *baseline)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: all gated metrics within %.0f%% of %s\n", 100**maxRegress, *baseline)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func report(t *testing.T, src string) map[string]interface{} {
+	t.Helper()
+	var out map[string]interface{}
+	if err := json.Unmarshal([]byte(src), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+const baseJSON = `{
+	"sum-int": {"model_speedup_x": 7.0, "gpu_us": 100, "validated": true},
+	"nn": {
+		"model_speedup_x": 3.8,
+		"batch_model_speedup_x": 1.5,
+		"int_validated": true,
+		"points": [
+			{"model_inf_per_sec": 180.0, "wall_inf_per_sec": 3.0, "validated": true},
+			{"model_inf_per_sec": 550.0, "wall_inf_per_sec": 3.1, "validated": true}
+		]
+	}
+}`
+
+func TestGatePassesWithinBudget(t *testing.T) {
+	cur := report(t, strings.ReplaceAll(baseJSON, "180.0", "170.0")) // -5.6%: inside 10%
+	failures, _ := compare(report(t, baseJSON), cur, 0.10)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+}
+
+func TestGateCatchesRegression(t *testing.T) {
+	cur := report(t, strings.ReplaceAll(baseJSON, "550.0", "400.0")) // -27%
+	failures, _ := compare(report(t, baseJSON), cur, 0.10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "nn.points.1.model_inf_per_sec") {
+		t.Fatalf("failures = %v, want one on nn.points.1.model_inf_per_sec", failures)
+	}
+}
+
+func TestGateIgnoresWallClockAndUngatedKeys(t *testing.T) {
+	cur := report(t, strings.ReplaceAll(strings.ReplaceAll(baseJSON, "\"wall_inf_per_sec\": 3.0", "\"wall_inf_per_sec\": 0.1"),
+		"\"gpu_us\": 100", "\"gpu_us\": 9000"))
+	failures, _ := compare(report(t, baseJSON), cur, 0.10)
+	if len(failures) != 0 {
+		t.Fatalf("wall-clock/ungated change tripped the gate: %v", failures)
+	}
+}
+
+func TestGateCatchesMissingMetricAndFailedValidation(t *testing.T) {
+	cur := report(t, `{
+		"sum-int": {"model_speedup_x": 7.0, "validated": true},
+		"nn": {"model_speedup_x": 3.8, "batch_model_speedup_x": 1.5, "int_validated": false, "points": []}
+	}`)
+	failures, _ := compare(report(t, baseJSON), cur, 0.10)
+	joined := strings.Join(failures, "\n")
+	for _, want := range []string{
+		"nn.int_validated: false",
+		"nn.points.0.model_inf_per_sec: present in baseline",
+		"nn.points.0.validated: validated in baseline, missing",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("failures missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestGateReportsImprovements(t *testing.T) {
+	cur := report(t, strings.ReplaceAll(baseJSON, "\"model_speedup_x\": 7.0", "\"model_speedup_x\": 9.0"))
+	failures, info := compare(report(t, baseJSON), cur, 0.10)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if len(info) != 1 || !strings.Contains(info[0], "sum-int.model_speedup_x") {
+		t.Fatalf("info = %v, want one improvement line", info)
+	}
+}

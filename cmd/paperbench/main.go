@@ -7,9 +7,10 @@
 //
 //	paperbench [-exp all|sum-int|sum-float|sgemm-int|sgemm-float|
 //	            precision|int24|fig1|fig2|sfu-sweep|halffloat|codec-overhead|
-//	            pipeline|serve]
+//	            pipeline|serve|nn|<comma-separated list>]
 //	           [-sum-n N] [-sum-exec N] [-sgemm-n N] [-pipeline-n N]
-//	           [-serve-jobs N] [-serve-n N] [-json]
+//	           [-serve-jobs N] [-serve-n N] [-nn-requests N] [-nn-batch N]
+//	           [-json]
 //
 // With -json, results are emitted as a single machine-readable JSON
 // object on stdout (for capturing benchmark trajectories as BENCH_*.json)
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"glescompute/internal/codec"
 	"glescompute/internal/paper"
@@ -68,20 +70,28 @@ type pipelineJSON struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run")
+	exp := flag.String("exp", "all", "experiment(s) to run: all or a comma-separated list")
 	sumN := flag.Int("sum-n", 1<<20, "sum: full problem size (elements)")
 	sumExec := flag.Int("sum-exec", 1<<14, "sum: executed size (extrapolated to -sum-n)")
 	sgemmN := flag.Int("sgemm-n", 1024, "sgemm: full matrix dimension")
 	pipelineN := flag.Int("pipeline-n", 1<<14, "pipeline: reduction chain size (elements)")
 	serveJobs := flag.Int("serve-jobs", 10000, "serve: number of small requests in the stream")
 	serveN := flag.Int("serve-n", 8, "serve: elements per small sum request")
+	nnRequests := flag.Int("nn-requests", 24, "nn: inference requests in the serve sweep")
+	nnBatch := flag.Int("nn-batch", 8, "nn: images coalesced per batched launch")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
 
 	report := map[string]interface{}{}
 
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			selected[name] = true
+		}
+	}
 	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
+		if !selected["all"] && !selected[name] {
 			return
 		}
 		if err := fn(); err != nil {
@@ -328,6 +338,44 @@ func main() {
 					res.WallSpeedupX, wallBar, procs)
 			}
 		}
+		return nil
+	})
+
+	run("nn", func() error {
+		res, err := paper.RunNN(*nnRequests, *nnBatch, nil)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			report["nn"] = res
+			return nil
+		}
+		fmt.Println()
+		fmt.Printf("N1 — neural-network inference (LeNet-scale CNN, %s input, float32, batch 1):\n", res.InShape)
+		fmt.Printf("  %-9s %-8s %-9s | %11s %11s %8s | %9s\n",
+			"layer", "kind", "out", "GPU model", "CPU model", "speedup", "max err")
+		for _, l := range res.Layers {
+			fmt.Printf("  %-9s %-8s %-9s | %9.0fµs %9.0fµs %7.2fx | %9.2g\n",
+				l.Name, l.Kind, l.OutShape, l.GPUUS, l.CPUUS, l.SpeedupX, l.MaxErr)
+		}
+		fmt.Printf("  %-28s | %9.0fµs %9.0fµs %7.2fx | (end-to-end, warm)\n",
+			"whole network", res.NetGPUUS, res.NetCPUUS, res.ModelSpeedupX)
+		fmt.Printf("  float layers within codec tolerance: %v; int32 configuration (%d layers) bit-identical: %v\n",
+			res.FloatValidated, res.IntLayers, res.IntValidated)
+		fmt.Printf("  serve sweep: %d requests through the Queue, solo vs batched (B=%d):\n", res.Requests, res.Batch)
+		fmt.Printf("  %-7s %-5s | %12s %12s | %9s %9s | %8s %10s\n",
+			"devices", "batch", "model inf/s", "wall inf/s", "model", "wall", "launches", "compile%")
+		for _, pt := range res.Points {
+			fmt.Printf("  %-7d %-5d | %12.1f %12.1f | %7.0fms %7.0fms | %8d %9.1f%%\n",
+				pt.Devices, pt.Batch, pt.ModelInfPerSec, pt.WallInfPerSec,
+				pt.ModelMS, pt.WallMS, pt.Launches, pt.CompileShareP)
+		}
+		allIdentical := true
+		for _, pt := range res.Points {
+			allIdentical = allIdentical && pt.Validated
+		}
+		fmt.Printf("  batched vs solo at %d devices: %.2fx modeled; all outputs bit-identical to solo: %v\n",
+			res.Points[len(res.Points)-1].Devices, res.BatchModelSpeedupX, allIdentical)
 		return nil
 	})
 

@@ -1,0 +1,133 @@
+// Command nn-infer runs a LeNet-scale MNIST-style CNN — conv, pool, dense
+// and softmax layers, every one an ES 2.0 fragment kernel — as a single
+// device-resident pipeline, validates each layer against the CPU
+// reference, then serves a stream of inference requests through the
+// multi-device queue, solo and batch-coalesced.
+//
+// The weights are seeded pseudo-random (the repo validates inference
+// mechanics and performance, not trained accuracy), so the "predictions"
+// are arbitrary but deterministic — and must match the CPU's bit for bit
+// on the classification decision.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"glescompute"
+	demo "glescompute/internal/nn"
+	"glescompute/internal/refcpu"
+	"glescompute/nn"
+)
+
+func main() {
+	const seed = 20160316
+	model := demo.DemoLeNetFloat32(seed)
+	if err := model.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	dev, err := glescompute.Open(glescompute.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dev.Close()
+
+	// Single inference with every layer tapped, checked against refcpu.
+	image := demo.DemoInputFloat32(7, 1)
+	refs, _, err := model.Reference(image, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := model.Build(dev, 1, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+	res, err := net.Run(image)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("LeNet-scale CNN on a %s image, %d layers, %d fragment passes, %d host bytes between layers\n",
+		model.In(), len(model.Layers()), res.Stats.Passes,
+		res.Stats.HostUploadBytes+res.Stats.HostReadbackBytes)
+	fmt.Printf("  %-9s %-8s %-9s %12s %10s\n", "layer", "kind", "out", "model time", "max err")
+	for i, l := range model.Layers() {
+		var worst float64
+		if l.Kind == nn.KindSoftmax {
+			worst = demo.MaxAbsErr(res.Taps[i], refs[i])
+			if worst > demo.SoftmaxAbsTol {
+				log.Fatalf("layer %s: error %.3g over tolerance", l.Name, worst)
+			}
+		} else {
+			worst = demo.MaxHybridErr(res.Taps[i], refs[i])
+			if worst > demo.FloatTol {
+				log.Fatalf("layer %s: error %.3g over tolerance", l.Name, worst)
+			}
+		}
+		fmt.Printf("  %-9s %-8s %-9s %12v %10.2g\n",
+			l.Name, l.Kind, l.Out, res.LayerTimes[i].Total().Round(time.Microsecond), worst)
+	}
+
+	probs := res.Output.([]float32)
+	gpuClass := argmax(probs)
+	cpuClass := refcpu.ArgmaxFloat32(refs[len(refs)-1].([]float32), 1, demo.DemoClasses)[0]
+	fmt.Printf("prediction: class %d (p=%.3f); CPU reference agrees: %v\n",
+		gpuClass, probs[gpuClass], gpuClass == cpuClass)
+	if gpuClass != cpuClass {
+		log.Fatal("GPU and CPU classifications disagree")
+	}
+
+	// Serve a burst of requests through the device pool, solo vs batched.
+	const requests, batch = 8, 4
+	images := demo.DemoInputFloat32(23, requests)
+	per := model.In().N()
+	for _, b := range []int{1, batch} {
+		q, err := glescompute.OpenQueue(glescompute.QueueConfig{Devices: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc, err := nn.NewService(model, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var jobs []*glescompute.Job
+		for off := 0; off < requests; off += b {
+			j, err := svc.InferBatch(nil, images[off*per:(off+b)*per], b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			jobs = append(jobs, j)
+		}
+		classes := make([]int, 0, requests)
+		for _, j := range jobs {
+			r, err := j.Wait(nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out := r.Output.([]float32)
+			for i := 0; i+demo.DemoClasses <= len(out); i += demo.DemoClasses {
+				classes = append(classes, argmax(out[i:i+demo.DemoClasses]))
+			}
+		}
+		st := q.Stats()
+		fmt.Printf("served %d inferences (batch %d, 2 devices): %d launches, modeled makespan %v, classes %v\n",
+			requests, b, st.Launches, st.ModeledMakespan().Round(time.Microsecond), classes)
+		q.Close()
+		svc.Close()
+	}
+	fmt.Println("OK")
+}
+
+func argmax(xs []float32) int {
+	best, bv := 0, float32(math.Inf(-1))
+	for i, v := range xs {
+		if v > bv {
+			best, bv = i, v
+		}
+	}
+	return best
+}

@@ -53,6 +53,10 @@
 //	})
 //	res, _ := job.Wait(ctx)
 //	sums, _ := res.Float32()
+//
+// The glescompute/nn subpackage builds neural-network inference on this
+// stack: conv/pool/dense layers as fragment kernels, whole CNNs compiled
+// into one device-resident pipeline, and inference serving over Queue.
 package glescompute
 
 import (

@@ -303,6 +303,13 @@ type PipelineStats struct {
 	HazardCopies int // output-aliases-input resolutions via copy
 	PoolAllocs   int // intermediates freshly allocated this run
 	PoolReuses   int // intermediates served from the recycled pool
+
+	// StageTimes is the modeled wall-time of each stage, one entry per
+	// builder stage in order (hazard-copy passes are charged to the stage
+	// that flushed them). Multi-stage workloads — a neural network pricing
+	// its layers, say — aggregate these into per-phase breakdowns without
+	// re-running the chain stage by stage.
+	StageTimes []Timeline
 }
 
 // Run executes the pipeline. ins feed the declared Input slots in order;
@@ -391,8 +398,10 @@ func (p *Pipeline) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float3
 	}
 	var pending []pendingCopy
 
+	stats.StageTimes = make([]Timeline, 0, len(p.stages))
 	for si := range p.stages {
 		st := &p.stages[si]
+		stageT0 := p.dev.Timeline()
 		stageIns := make([]*Buffer, len(st.ins))
 		for i, r := range st.ins {
 			stageIns[i] = bind[r]
@@ -497,6 +506,7 @@ func (p *Pipeline) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float3
 			release(pc.src)
 		}
 		pending = kept
+		stats.StageTimes = append(stats.StageTimes, p.dev.Timeline().Sub(stageT0))
 	}
 
 	tr1 := p.dev.ctx.Transfers()

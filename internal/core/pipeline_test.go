@@ -785,3 +785,46 @@ func TestReduceKernelCachedPerDevice(t *testing.T) {
 	p1.Free()
 	p2.Free()
 }
+
+// TestPipelineStageTimes pins the per-stage timing hook: one Timeline per
+// builder stage, summing (with the inter-stage accounting exact) to the
+// whole-chain modeled time.
+func TestPipelineStageTimes(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	const n = 256
+	scale, shift := buildPipeKernels(t, d)
+
+	p := d.NewPipeline()
+	defer p.Close()
+	in := p.Input(codec.Float32, n)
+	s1 := p.Stage(scale, map[string]float32{"u_scale": 2.0}, in)
+	s2 := p.Stage(shift, nil, s1)
+	p.Output(p.Stage(scale, map[string]float32{"u_scale": 0.5}, s2))
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	bin, _ := d.NewBuffer(codec.Float32, n)
+	bout, _ := d.NewBuffer(codec.Float32, n)
+	if err := bin.WriteFloat32(randFloats(n, 7)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Run([]*Buffer{bout}, []*Buffer{bin}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.StageTimes) != 3 {
+		t.Fatalf("StageTimes has %d entries, want 3", len(stats.StageTimes))
+	}
+	var sum Timeline
+	for i, st := range stats.StageTimes {
+		if st.Execute <= 0 {
+			t.Errorf("stage %d: non-positive modeled execute time %v", i, st.Execute)
+		}
+		sum = sum.Add(st)
+	}
+	if sum != stats.Time {
+		t.Fatalf("stage times sum to %+v, whole chain is %+v", sum, stats.Time)
+	}
+}

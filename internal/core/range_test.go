@@ -174,3 +174,100 @@ func TestRangeErrors(t *testing.T) {
 		t.Fatal("empty read accepted")
 	}
 }
+
+// TestRangeBoundaryOffsets pins data correctness at the row-boundary
+// cases the batching layout leans on: first row, interior whole rows, the
+// row-aligned partial tail, and reads whose spans start or end mid-row.
+func TestRangeBoundaryOffsets(t *testing.T) {
+	dev, err := Open(Config{MaxGridWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	const n, w = 30, 8 // 4 rows: 8+8+8+6 (partial tail)
+	b, err := dev.NewBuffer(codec.Int32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Free()
+
+	base := make([]int32, n)
+	for i := range base {
+		base[i] = int32(100 + i)
+	}
+	if err := b.WriteRange(0, base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interior whole-row write leaves the neighbours untouched.
+	mid := []int32{-1, -2, -3, -4, -5, -6, -7, -8}
+	if err := b.WriteRange(8, mid); err != nil {
+		t.Fatal(err)
+	}
+	// Row-aligned write into the partial tail row.
+	tail := []int32{-24, -25, -26, -27, -28, -29}
+	if err := b.WriteRange(24, tail); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int32(nil), base...)
+	copy(want[8:], mid)
+	copy(want[24:], tail)
+
+	got, err := b.ReadInt32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	// Reads at every boundary flavour: full buffer, single element at the
+	// very end, span starting mid-row, span crossing the tail boundary,
+	// and a whole interior row.
+	cases := []struct{ off, count int }{
+		{0, n}, {n - 1, 1}, {3, 7}, {20, 10}, {8, 8}, {0, 1}, {23, 2},
+	}
+	for _, tc := range cases {
+		out, err := b.ReadRange(tc.off, tc.count)
+		if err != nil {
+			t.Fatalf("ReadRange(%d, %d): %v", tc.off, tc.count, err)
+		}
+		vals := out.([]int32)
+		if len(vals) != tc.count {
+			t.Fatalf("ReadRange(%d, %d): %d elements", tc.off, tc.count, len(vals))
+		}
+		for i, v := range vals {
+			if v != want[tc.off+i] {
+				t.Fatalf("ReadRange(%d, %d): element %d = %d, want %d", tc.off, tc.count, i, v, want[tc.off+i])
+			}
+		}
+	}
+
+	// Zero-length write: accepted as a no-op wherever it lands.
+	if err := b.WriteRange(5, []int32{}); err != nil {
+		t.Fatalf("zero-length write rejected: %v", err)
+	}
+	// A write ending exactly at the tail element is legal even though it
+	// covers no whole row.
+	if err := b.WriteRange(24, []int32{1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatalf("tail-exact write rejected: %v", err)
+	}
+	// One-row buffer: offset 0 + full length is the only legal write.
+	one, err := dev.NewBuffer(codec.Int32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Free()
+	if err := one.WriteRange(0, []int32{9, 8, 7, 6, 5}); err != nil {
+		t.Fatalf("single-row full write rejected: %v", err)
+	}
+	outAny, err := one.ReadRange(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := outAny.([]int32); out[0] != 7 || out[1] != 6 {
+		t.Fatalf("single-row ReadRange = %v, want [7 6]", out)
+	}
+}

@@ -212,3 +212,66 @@ func TestPackRows(t *testing.T) {
 		t.Fatal("overflowing max height accepted")
 	}
 }
+
+// TestPackRowsSingleRowMembers pins the degenerate layouts: one member,
+// members that exactly fill a row, and members of one element each.
+func TestPackRowsSingleRowMembers(t *testing.T) {
+	// Lone member: identical to its own ForLength layout.
+	g, offs, err := PackRows([]int{12}, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ForLength(12, 64)
+	if g.Width != want.Width || g.Height != 1 || offs[0] != 0 || g.N != 12 {
+		t.Fatalf("single member packed as %+v offs %v, want width %d height 1", g, offs, want.Width)
+	}
+
+	// Members exactly one row wide: no padding rows at all.
+	g, offs, err = PackRows([]int{8, 8, 8}, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Width != 8 || g.Height != 3 || g.N != g.Texels() {
+		t.Fatalf("exact-row members packed as %+v (offs %v), want 8x3 fully used", g, offs)
+	}
+
+	// One-element members: each still gets a private row (the batching
+	// invariant: member offsets are row-aligned so sub-range transfers
+	// never touch a neighbour).
+	g, offs, err = PackRows([]int{1, 1, 1, 1}, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Width != 1 || g.Height != 4 {
+		t.Fatalf("one-element members packed as %+v, want 1x4", g)
+	}
+	for i, off := range offs {
+		if off != i {
+			t.Fatalf("offset %d = %d, want %d", i, off, i)
+		}
+	}
+}
+
+// TestPackRowsMaxWidthOverflow pins the clamp when the largest member
+// exceeds the device's texture-width bound: the width clamps to maxWidth
+// and the member wraps onto multiple rows, unless the row budget runs out.
+func TestPackRowsMaxWidthOverflow(t *testing.T) {
+	g, offs, err := PackRows([]int{100, 3}, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Width != 16 {
+		t.Fatalf("width %d, want clamp to maxWidth 16", g.Width)
+	}
+	if rows := (100 + 15) / 16; offs[1] != rows*16 {
+		t.Fatalf("second member offset %d, want %d (after %d wrapped rows)", offs[1], rows*16, rows)
+	}
+	// Same members, but a height budget the wrap cannot fit.
+	if _, _, err := PackRows([]int{100, 3}, 16, 6); err == nil {
+		t.Fatal("PackRows accepted members needing 8 rows with max height 6")
+	}
+	// A member so large no texture holds it.
+	if _, _, err := PackRows([]int{1 << 20}, 64, 64); err == nil {
+		t.Fatal("PackRows accepted a member beyond maxWidth x maxHeight")
+	}
+}

@@ -1,0 +1,64 @@
+package nn
+
+import "math"
+
+// Float validation thresholds for codec-bounded comparisons against the
+// refcpu baselines (see EXPERIMENTS.md §N1 for the derivation from the
+// paper's ~15-mantissa-bit codec precision, P1).
+const (
+	// FloatTol bounds MaxHybridErr for conv/dense/pool/relu layer outputs.
+	FloatTol = 1.0 / (1 << 8)
+	// SoftmaxAbsTol bounds the absolute error of softmax probabilities
+	// (exp amplifies logit error by the logit magnitude, so the relative
+	// form is the wrong yardstick there).
+	SoftmaxAbsTol = 2e-3
+)
+
+// MaxHybridErr returns the worst per-element error |got-want| divided by
+// max(|want|, 1% of the layer's dynamic range): relative in the bulk,
+// absolute near zero, so elements produced by cancellation don't dominate
+// the metric. Both arguments must be []float32 of equal length.
+func MaxHybridErr(got, want interface{}) float64 {
+	g, w := got.([]float32), want.([]float32)
+	scale := 0.0
+	for _, v := range w {
+		if a := math.Abs(float64(v)); a > scale {
+			scale = a
+		}
+	}
+	scale = math.Max(scale*1e-2, 1e-6)
+	worst := 0.0
+	for i := range w {
+		err := math.Abs(float64(g[i]) - float64(w[i]))
+		if rel := err / math.Max(math.Abs(float64(w[i])), scale); rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// MaxAbsErr returns the worst per-element absolute error.
+func MaxAbsErr(got, want interface{}) float64 {
+	g, w := got.([]float32), want.([]float32)
+	worst := 0.0
+	for i := range w {
+		if d := math.Abs(float64(g[i]) - float64(w[i])); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Int32Equal reports whether two []int32 slices are bit-identical.
+func Int32Equal(got, want interface{}) bool {
+	g, w := got.([]int32), want.([]int32)
+	if len(g) != len(w) {
+		return false
+	}
+	for i := range w {
+		if g[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"glescompute/internal/codec"
+	"glescompute/internal/core"
+)
+
+// Kernel loop bounds. GLSL ES 1.00 for-loops need literal bounds
+// (Appendix A), so inner loops run to a compile-time ceiling and break at
+// the live size carried in a uniform — the sgemm idiom. The model builder
+// rejects layers that would exceed them.
+const (
+	maxInner = 4096 // im2col / dense inner dimension, softmax row length
+	maxTaps  = 64   // depthwise / pooling window taps
+)
+
+// All nn kernels address tensors linearly through the gc_<in>(idx)
+// accessors, so they are independent of the 2D texture layout the
+// pipeline's pooled intermediates happen to use. Index decompositions use
+// the repo-wide floor((i + 0.5) / d) guard (see internal/layout). Every
+// index computed in-shader must stay inside fp32's exact integer window
+// (±2^24); Build enforces it per stage.
+
+// im2colSource gathers every receptive field of the input tensor into one
+// row of the patch matrix: output element (r, t) — r indexing
+// (batch, oy, ox) patches, t indexing (ky, kx, ic) taps — is input element
+// (b, oy·stride+ky, ox·stride+kx, ic). The patch matrix is row-packed
+// [rows][K] so the GEMM stage can walk a row with consecutive linear
+// fetches.
+const im2colSource = `
+float gc_kernel(float idx) {
+	float r = floor((idx + 0.5) / u_kk);
+	float t = idx - r * u_kk;
+	float b = floor((r + 0.5) / u_ohw);
+	float p = r - b * u_ohw;
+	float oy = floor((p + 0.5) / u_ow);
+	float ox = p - oy * u_ow;
+	float ky = floor((t + 0.5) / u_kwic);
+	float q = t - ky * u_kwic;
+	float kx = floor((q + 0.5) / u_ic);
+	float ic = q - kx * u_ic;
+	float y = oy * u_stride + ky;
+	float x = ox * u_stride + kx;
+	return gc_x(((b * u_inh + y) * u_inw + x) * u_ic + ic);
+}
+`
+
+// gemmSource is the shared GEMM+bias kernel: out[r][c] = bias[c] +
+// Σ_k x[r][k]·w[k][cols]. Conv2D runs it over the im2col patch matrix;
+// Dense runs it with one row per batch image.
+const gemmSource = `
+float gc_kernel(float idx) {
+	float r = floor((idx + 0.5) / u_cols);
+	float c = idx - r * u_cols;
+	float acc = gc_bias(c);
+	for (float k = 0.0; k < 4096.0; k += 1.0) {
+		if (k >= u_k) { break; }
+		acc += gc_x(r * u_k + k) * gc_w(k * u_cols + c);
+	}
+	return acc;
+}
+`
+
+// dwSource is the depthwise convolution: each channel convolved with its
+// own filter, taps visited in (ky, kx) order.
+const dwSource = `
+float gc_kernel(float idx) {
+	float b = floor((idx + 0.5) / u_on);
+	float p = idx - b * u_on;
+	float oy = floor((p + 0.5) / u_owc);
+	float q = p - oy * u_owc;
+	float ox = floor((q + 0.5) / u_c);
+	float c = q - ox * u_c;
+	float acc = gc_bias(c);
+	for (float t = 0.0; t < 64.0; t += 1.0) {
+		if (t >= u_taps) { break; }
+		float ky = floor((t + 0.5) / u_kw);
+		float kx = t - ky * u_kw;
+		float y = oy * u_stride + ky;
+		float x = ox * u_stride + kx;
+		acc += gc_x(((b * u_inh + y) * u_inw + x) * u_c + c) * gc_w(t * u_c + c);
+	}
+	return acc;
+}
+`
+
+// poolSource is max-pooling; the accumulator starts at tap (0,0) so no
+// sentinel minimum is needed (taps never leave the window: valid pooling).
+const poolSource = `
+float gc_kernel(float idx) {
+	float b = floor((idx + 0.5) / u_on);
+	float p = idx - b * u_on;
+	float oy = floor((p + 0.5) / u_owc);
+	float q = p - oy * u_owc;
+	float ox = floor((q + 0.5) / u_c);
+	float c = q - ox * u_c;
+	float acc = gc_x(((b * u_inh + oy * u_stride) * u_inw + ox * u_stride) * u_c + c);
+	for (float t = 1.0; t < 64.0; t += 1.0) {
+		if (t >= u_taps) { break; }
+		float ky = floor((t + 0.5) / u_pw);
+		float kx = t - ky * u_pw;
+		float y = oy * u_stride + ky;
+		float x = ox * u_stride + kx;
+		acc = max(acc, gc_x(((b * u_inh + y) * u_inw + x) * u_c + c));
+	}
+	return acc;
+}
+`
+
+const reluSource = `
+float gc_kernel(float idx) {
+	return max(gc_x(idx), 0.0);
+}
+`
+
+// rescaleIntSource is the exact fixed-point requantization: x is an
+// integer-valued float ≤ 2^24 and u_scale a power of two, so the division
+// and floor are both exact — bit-identical to x >> shift on the CPU.
+const rescaleIntSource = `
+float gc_kernel(float idx) {
+	return floor(gc_x(idx) / u_scale);
+}
+`
+
+const rescaleFloatSource = `
+float gc_kernel(float idx) {
+	return gc_x(idx) / u_scale;
+}
+`
+
+// Softmax lowers to four passes, each a per-row scan so it works for any
+// batch size (core.Pipeline's Reduce folds whole slots, not rows).
+const rowMaxSource = `
+float gc_kernel(float idx) {
+	float acc = gc_x(idx * u_n);
+	for (float k = 1.0; k < 4096.0; k += 1.0) {
+		if (k >= u_n) { break; }
+		acc = max(acc, gc_x(idx * u_n + k));
+	}
+	return acc;
+}
+`
+
+const expSubSource = `
+float gc_kernel(float idx) {
+	float b = floor((idx + 0.5) / u_n);
+	return exp(gc_x(idx) - gc_m(b));
+}
+`
+
+const rowSumSource = `
+float gc_kernel(float idx) {
+	float acc = 0.0;
+	for (float k = 0.0; k < 4096.0; k += 1.0) {
+		if (k >= u_n) { break; }
+		acc += gc_x(idx * u_n + k);
+	}
+	return acc;
+}
+`
+
+const rowDivSource = `
+float gc_kernel(float idx) {
+	float b = floor((idx + 0.5) / u_n);
+	return gc_x(idx) / gc_s(b);
+}
+`
+
+// kernelFor compiles (through the device's compile-once cache) one nn
+// kernel for the given element type.
+func kernelFor(dev *core.Device, name string, elem codec.ElemType, inputs []string, uniforms []string, src string) (*core.Kernel, error) {
+	params := make([]core.Param, len(inputs))
+	for i, in := range inputs {
+		params[i] = core.Param{Name: in, Type: elem}
+	}
+	return dev.BuildKernelCached(core.KernelSpec{
+		Name:     name,
+		Inputs:   params,
+		Outputs:  []core.OutputSpec{{Name: "out", Type: elem}},
+		Uniforms: uniforms,
+		Source:   src,
+	})
+}

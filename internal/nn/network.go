@@ -1,0 +1,338 @@
+package nn
+
+import (
+	"fmt"
+
+	"glescompute/internal/codec"
+	"glescompute/internal/core"
+)
+
+// exactWindow is fp32's exact integer window: every linear index computed
+// in-shader must stay below it, so every tensor flowing through a network
+// (including the im2col patch matrix) is capped at 2^24 elements.
+const exactWindow = 1 << 24
+
+// Network is a Model compiled onto one device: a single device-resident
+// core.Pipeline running every layer back to back on the GPU, with the
+// weights resident in device buffers (uploaded once at Build). Run moves
+// one input tensor up and the marked outputs back — between layers, zero
+// host bytes (PipelineStats proves it).
+//
+// A Network is bound to its device and batch size; it is not safe for
+// concurrent use (drive it from the device's goroutine, as sched workers
+// do).
+type Network struct {
+	dev   *core.Device
+	model *Model
+	batch int
+
+	p          *core.Pipeline
+	imgBuf     *core.Buffer
+	weightBufs []*core.Buffer
+	outBufs    []*core.Buffer
+	tapAll     bool
+	stageOf    []int // pipeline stage index -> layer index
+	closed     bool
+}
+
+// Result is one Network.Run execution.
+type Result struct {
+	// Output is the final layer's host data ([]float32 or []int32,
+	// batch·outN elements).
+	Output interface{}
+	// Taps holds every layer's output in order when the network was built
+	// with tapAll (nil otherwise); the last entry aliases Output.
+	Taps []interface{}
+	// Stats is the whole-chain pipeline execution report.
+	Stats core.PipelineStats
+	// LayerTimes aggregates Stats.StageTimes per layer (a conv layer owns
+	// its im2col and GEMM passes, softmax its four scans).
+	LayerTimes []core.Timeline
+}
+
+// Build compiles the model for the device at a fixed batch size. With
+// tapAll every layer's output is marked as a pipeline output (the
+// validation mode N1 uses); otherwise only the final layer is read back.
+func (m *Model) Build(dev *core.Device, batch int, tapAll bool) (*Network, error) {
+	if m.err != nil {
+		return nil, m.err
+	}
+	if len(m.layers) == 0 {
+		return nil, fmt.Errorf("nn: Build: model has no layers")
+	}
+	if batch <= 0 {
+		return nil, fmt.Errorf("nn: Build: non-positive batch %d", batch)
+	}
+	net := &Network{dev: dev, model: m, batch: batch, p: dev.NewPipeline(), tapAll: tapAll}
+	ok := false
+	defer func() {
+		if !ok {
+			net.Close()
+		}
+	}()
+
+	checkN := func(what string, n int) error {
+		if n >= exactWindow {
+			return fmt.Errorf("nn: Build: %s has %d elements, beyond the exact fp32 index window (2^24)", what, n)
+		}
+		return nil
+	}
+	if err := checkN("input tensor", batch*m.in.N()); err != nil {
+		return nil, err
+	}
+
+	// weightInput uploads a host weight slice into a device-resident
+	// buffer and declares it as a pipeline input.
+	weightInput := func(layer, param string, w interface{}) (core.Ref, error) {
+		n := hostLen(w)
+		if err := checkN(layer+" "+param, n); err != nil {
+			return -1, err
+		}
+		b, err := net.dev.NewBuffer(m.elem, n)
+		if err != nil {
+			return -1, err
+		}
+		net.weightBufs = append(net.weightBufs, b)
+		if err := b.WriteRange(0, w); err != nil {
+			return -1, err
+		}
+		return net.p.Input(m.elem, n), nil
+	}
+
+	cur := net.p.Input(m.elem, batch*m.in.N())
+	curShape := m.in
+	var layerRefs []core.Ref
+	for li, l := range m.layers {
+		stage := func(r core.Ref) core.Ref { // record stage->layer ownership
+			net.stageOf = append(net.stageOf, li)
+			return r
+		}
+		f := func(v int) float32 { return float32(v) }
+		var out core.Ref
+		switch l.kind {
+		case KindConv:
+			cs := l.conv
+			rows := batch * cs.OutH() * cs.OutW()
+			if err := checkN(l.name+" im2col matrix", rows*cs.K()); err != nil {
+				return nil, err
+			}
+			im2colK, err := kernelFor(dev, "nn-im2col", m.elem, []string{"x"},
+				[]string{"u_kk", "u_ohw", "u_ow", "u_kwic", "u_ic", "u_stride", "u_inh", "u_inw"}, im2colSource)
+			if err != nil {
+				return nil, err
+			}
+			gemmK, err := kernelFor(dev, "nn-gemm", m.elem, []string{"x", "w", "bias"},
+				[]string{"u_cols", "u_k"}, gemmSource)
+			if err != nil {
+				return nil, err
+			}
+			wRef, err := weightInput(l.name, "weights", l.w)
+			if err != nil {
+				return nil, err
+			}
+			bRef, err := weightInput(l.name, "bias", l.bias)
+			if err != nil {
+				return nil, err
+			}
+			patches := stage(net.p.StageN(im2colK, rows*cs.K(), map[string]float32{
+				"u_kk": f(cs.K()), "u_ohw": f(cs.OutH() * cs.OutW()), "u_ow": f(cs.OutW()),
+				"u_kwic": f(cs.KW * cs.InC), "u_ic": f(cs.InC), "u_stride": f(cs.Stride),
+				"u_inh": f(cs.InH), "u_inw": f(cs.InW),
+			}, cur))
+			out = stage(net.p.StageN(gemmK, rows*cs.OutC, map[string]float32{
+				"u_cols": f(cs.OutC), "u_k": f(cs.K()),
+			}, patches, wRef, bRef))
+		case KindDW:
+			ds := l.dw
+			dwK, err := kernelFor(dev, "nn-dwconv", m.elem, []string{"x", "w", "bias"},
+				[]string{"u_on", "u_owc", "u_c", "u_taps", "u_kw", "u_stride", "u_inh", "u_inw"}, dwSource)
+			if err != nil {
+				return nil, err
+			}
+			wRef, err := weightInput(l.name, "weights", l.w)
+			if err != nil {
+				return nil, err
+			}
+			bRef, err := weightInput(l.name, "bias", l.bias)
+			if err != nil {
+				return nil, err
+			}
+			out = stage(net.p.StageN(dwK, batch*l.outShape.N(), map[string]float32{
+				"u_on": f(l.outShape.N()), "u_owc": f(l.outShape.W * ds.C), "u_c": f(ds.C),
+				"u_taps": f(ds.KH * ds.KW), "u_kw": f(ds.KW), "u_stride": f(ds.Stride),
+				"u_inh": f(ds.InH), "u_inw": f(ds.InW),
+			}, cur, wRef, bRef))
+		case KindPool:
+			poolK, err := kernelFor(dev, "nn-maxpool", m.elem, []string{"x"},
+				[]string{"u_on", "u_owc", "u_c", "u_taps", "u_pw", "u_stride", "u_inh", "u_inw"}, poolSource)
+			if err != nil {
+				return nil, err
+			}
+			out = stage(net.p.StageN(poolK, batch*l.outShape.N(), map[string]float32{
+				"u_on": f(l.outShape.N()), "u_owc": f(l.outShape.W * curShape.C), "u_c": f(curShape.C),
+				"u_taps": f(l.ph * l.pw), "u_pw": f(l.pw), "u_stride": f(l.stride),
+				"u_inh": f(curShape.H), "u_inw": f(curShape.W),
+			}, cur))
+		case KindReLU:
+			reluK, err := kernelFor(dev, "nn-relu", m.elem, []string{"x"}, nil, reluSource)
+			if err != nil {
+				return nil, err
+			}
+			out = stage(net.p.Stage(reluK, nil, cur))
+		case KindDense:
+			gemmK, err := kernelFor(dev, "nn-gemm", m.elem, []string{"x", "w", "bias"},
+				[]string{"u_cols", "u_k"}, gemmSource)
+			if err != nil {
+				return nil, err
+			}
+			wRef, err := weightInput(l.name, "weights", l.w)
+			if err != nil {
+				return nil, err
+			}
+			bRef, err := weightInput(l.name, "bias", l.bias)
+			if err != nil {
+				return nil, err
+			}
+			out = stage(net.p.StageN(gemmK, batch*l.out, map[string]float32{
+				"u_cols": f(l.out), "u_k": f(l.in),
+			}, cur, wRef, bRef))
+		case KindSoftmax:
+			n := curShape.N()
+			rowMaxK, err := kernelFor(dev, "nn-rowmax", m.elem, []string{"x"}, []string{"u_n"}, rowMaxSource)
+			if err != nil {
+				return nil, err
+			}
+			expSubK, err := kernelFor(dev, "nn-expsub", m.elem, []string{"x", "m"}, []string{"u_n"}, expSubSource)
+			if err != nil {
+				return nil, err
+			}
+			rowSumK, err := kernelFor(dev, "nn-rowsum", m.elem, []string{"x"}, []string{"u_n"}, rowSumSource)
+			if err != nil {
+				return nil, err
+			}
+			rowDivK, err := kernelFor(dev, "nn-rowdiv", m.elem, []string{"x", "s"}, []string{"u_n"}, rowDivSource)
+			if err != nil {
+				return nil, err
+			}
+			uni := map[string]float32{"u_n": f(n)}
+			rowMax := stage(net.p.StageN(rowMaxK, batch, uni, cur))
+			exps := stage(net.p.StageN(expSubK, batch*n, uni, cur, rowMax))
+			sums := stage(net.p.StageN(rowSumK, batch, uni, exps))
+			out = stage(net.p.StageN(rowDivK, batch*n, uni, exps, sums))
+		case KindRescale:
+			src, name := rescaleFloatSource, "nn-rescale"
+			if m.elem == codec.Int32 {
+				src, name = rescaleIntSource, "nn-rescale-int"
+			}
+			rescaleK, err := kernelFor(dev, name, m.elem, []string{"x"}, []string{"u_scale"}, src)
+			if err != nil {
+				return nil, err
+			}
+			out = stage(net.p.Stage(rescaleK, map[string]float32{"u_scale": f(1 << l.shift)}, cur))
+		default:
+			return nil, fmt.Errorf("nn: Build: unknown layer kind %q", l.kind)
+		}
+		if err := checkN(l.name+" output", batch*l.outShape.N()); err != nil {
+			return nil, err
+		}
+		layerRefs = append(layerRefs, out)
+		cur = out
+		curShape = l.outShape
+	}
+
+	// Mark outputs and allocate their receiving buffers.
+	marked := layerRefs[len(layerRefs)-1:]
+	if tapAll {
+		marked = layerRefs
+	}
+	for i, r := range marked {
+		net.p.Output(r)
+		li := len(m.layers) - 1
+		if tapAll {
+			li = i
+		}
+		b, err := dev.NewBuffer(m.elem, batch*m.layers[li].outShape.N())
+		if err != nil {
+			return nil, err
+		}
+		net.outBufs = append(net.outBufs, b)
+	}
+	if err := net.p.Err(); err != nil {
+		return nil, err
+	}
+	imgBuf, err := dev.NewBuffer(m.elem, batch*m.in.N())
+	if err != nil {
+		return nil, err
+	}
+	net.imgBuf = imgBuf
+	ok = true
+	return net, nil
+}
+
+// Batch returns the batch size the network was built for.
+func (n *Network) Batch() int { return n.batch }
+
+// Model returns the model the network was built from.
+func (n *Network) Model() *Model { return n.model }
+
+// Run uploads input (batch·In().N() elements of the model element type),
+// executes the whole network on the device, and reads back the marked
+// outputs.
+func (n *Network) Run(input interface{}) (*Result, error) {
+	if n.closed {
+		return nil, fmt.Errorf("nn: Run: %w", core.ErrClosed)
+	}
+	if got, want := hostLen(input), n.batch*n.model.in.N(); got != want {
+		return nil, fmt.Errorf("nn: Run: input has %d elements, want %d", got, want)
+	}
+	if err := n.imgBuf.WriteRange(0, input); err != nil {
+		return nil, err
+	}
+	ins := append([]*core.Buffer{n.imgBuf}, n.weightBufs...)
+	stats, err := n.p.Run(n.outBufs, ins, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Stats: stats, LayerTimes: make([]core.Timeline, len(n.model.layers))}
+	for si, li := range n.stageOf {
+		if si < len(stats.StageTimes) {
+			res.LayerTimes[li] = res.LayerTimes[li].Add(stats.StageTimes[si])
+		}
+	}
+	for i, b := range n.outBufs {
+		out, err := b.ReadRange(0, b.Len())
+		if err != nil {
+			return nil, err
+		}
+		if n.tapAll {
+			res.Taps = append(res.Taps, out)
+		}
+		if i == len(n.outBufs)-1 {
+			res.Output = out
+		}
+	}
+	return res, nil
+}
+
+// Close releases the network's pipeline and device buffers (weights,
+// input, outputs). The kernels stay in the device's compile-once cache.
+// Idempotent.
+func (n *Network) Close() error {
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	if n.p != nil {
+		n.p.Close()
+	}
+	if n.imgBuf != nil {
+		n.imgBuf.Free()
+	}
+	for _, b := range n.weightBufs {
+		b.Free()
+	}
+	for _, b := range n.outBufs {
+		b.Free()
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"glescompute/internal/codec"
+	"glescompute/internal/core"
+	"glescompute/internal/sched"
+)
+
+// Service serves a Model's inference over a sched.Queue device pool.
+// Requests ride the queue as Direct jobs: each submission runs the whole
+// device-resident network on whichever pooled device the scheduler picks,
+// against that device's lazily-built Network (weights uploaded once per
+// device and batch size, then resident).
+//
+// Two submission granularities mirror the serving trade-off the mobile
+// inference engines make: Infer runs one image per launch (lowest
+// latency), InferBatch coalesces several images into one batch-B network
+// execution, amortizing each pass's fixed launch costs across the batch —
+// model-level request batching, the CNNdroid regime. Outputs are
+// bit-identical either way (see TestBatchedMatchesSolo).
+type Service struct {
+	model *Model
+	q     *sched.Queue
+	nets  sync.Map // netKey -> *Network
+}
+
+type netKey struct {
+	dev   *core.Device
+	batch int
+}
+
+// NewService wraps a queue in an inference service for the model.
+func NewService(m *Model, q *sched.Queue) (*Service, error) {
+	if err := m.Err(); err != nil {
+		return nil, err
+	}
+	return &Service{model: m, q: q}, nil
+}
+
+// netFor returns the device's network for the batch size, building it on
+// first use. Only the device's worker goroutine calls this for a given
+// device, so each network is built and used single-threaded.
+func (s *Service) netFor(dev *core.Device, batch int) (*Network, error) {
+	key := netKey{dev: dev, batch: batch}
+	if v, ok := s.nets.Load(key); ok {
+		return v.(*Network), nil
+	}
+	net, err := s.model.Build(dev, batch, false)
+	if err != nil {
+		return nil, err
+	}
+	s.nets.Store(key, net)
+	return net, nil
+}
+
+// InferBatch submits count images (count·In().N() elements, the model's
+// element type) as one device launch. The job's output holds the
+// count·classes final-layer elements in request order.
+func (s *Service) InferBatch(ctx context.Context, images interface{}, count int) (*sched.Job, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("nn: InferBatch: non-positive count %d", count)
+	}
+	switch images.(type) {
+	case []float32:
+		if s.model.elem != codec.Float32 {
+			return nil, fmt.Errorf("nn: InferBatch: []float32 input for %s model", s.model.elem)
+		}
+	case []int32:
+		if s.model.elem != codec.Int32 {
+			return nil, fmt.Errorf("nn: InferBatch: []int32 input for %s model", s.model.elem)
+		}
+	default:
+		return nil, fmt.Errorf("nn: InferBatch: unsupported input type %T", images)
+	}
+	if got, want := hostLen(images), count*s.model.in.N(); got != want {
+		return nil, fmt.Errorf("nn: InferBatch: %d elements for %d images, want %d", got, count, want)
+	}
+	return s.q.Submit(ctx, sched.JobSpec{
+		Direct: func(dev *core.Device) (interface{}, core.RunStats, error) {
+			net, err := s.netFor(dev, count)
+			if err != nil {
+				return nil, core.RunStats{}, err
+			}
+			res, err := net.Run(images)
+			if err != nil {
+				return nil, core.RunStats{}, err
+			}
+			return res.Output, core.RunStats{Draw: res.Stats.Draw}, nil
+		},
+	})
+}
+
+// Infer submits a single-image inference.
+func (s *Service) Infer(ctx context.Context, image interface{}) (*sched.Job, error) {
+	return s.InferBatch(ctx, image, 1)
+}
+
+// Close releases the cached per-device networks. Call it after the queue
+// has been closed (or drained): networks are freed off their device
+// goroutines, which is only safe once no jobs are running — on an
+// already-closed device it degenerates to a host-side cleanup.
+func (s *Service) Close() error {
+	s.nets.Range(func(k, v interface{}) bool {
+		v.(*Network).Close()
+		s.nets.Delete(k)
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"glescompute/internal/core"
+	"glescompute/internal/sched"
+)
+
+// TestServiceSoloAndBatched drives inference through the queue's device
+// pool both one-image-per-launch and batch-coalesced, asserting every
+// output bit-identical to the direct single-device network.
+func TestServiceSoloAndBatched(t *testing.T) {
+	const requests, B = 8, 4
+	m := DemoLeNetFloat32(20160316)
+	xs := DemoInputFloat32(99, requests)
+	per := DemoShape.N()
+
+	// Ground truth: the plain single-device network.
+	dev := openTest(t)
+	net, err := m.Build(dev, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float32, 0, requests*DemoClasses)
+	for r := 0; r < requests; r++ {
+		res, err := net.Run(xs[r*per : (r+1)*per])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res.Output.([]float32)...)
+	}
+	net.Close()
+	dev.Close()
+
+	for _, batch := range []int{1, B} {
+		q, err := sched.OpenQueue(sched.Config{Devices: 2, Device: core.Config{Workers: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := NewService(m, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jobs []*sched.Job
+		for off := 0; off < requests; off += batch {
+			j, err := svc.InferBatch(nil, xs[off*per:(off+batch)*per], batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, j)
+		}
+		for ji, j := range jobs {
+			res, err := j.Wait(nil)
+			if err != nil {
+				t.Fatalf("batch=%d job %d: %v", batch, ji, err)
+			}
+			got := res.Output.([]float32)
+			if len(got) != batch*DemoClasses {
+				t.Fatalf("batch=%d job %d: %d outputs, want %d", batch, ji, len(got), batch*DemoClasses)
+			}
+			if res.Stats.Time.Execute <= 0 {
+				t.Errorf("batch=%d job %d: no modeled execute time attributed", batch, ji)
+			}
+			for k, v := range got {
+				w := want[(ji*batch)*DemoClasses+k]
+				if math.Float32bits(v) != math.Float32bits(w) {
+					t.Fatalf("batch=%d job %d out %d: %g != %g (must be bit-identical)", batch, ji, k, v, w)
+				}
+			}
+		}
+		st := q.Stats()
+		if st.Completed != uint64(len(jobs)) {
+			t.Fatalf("batch=%d: %d completed, want %d", batch, st.Completed, len(jobs))
+		}
+		if st.ModeledMakespan() <= 0 {
+			t.Errorf("batch=%d: zero modeled makespan", batch)
+		}
+		q.Close()
+		svc.Close()
+	}
+}
+
+// TestServiceInputValidation pins submit-time validation.
+func TestServiceInputValidation(t *testing.T) {
+	q, err := sched.OpenQueue(sched.Config{Devices: 1, Device: core.Config{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	svc, err := NewService(DemoLeNetFloat32(1), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Infer(nil, make([]float32, 3)); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := svc.Infer(nil, make([]int32, DemoShape.N())); err == nil {
+		t.Error("int input accepted by float model")
+	}
+	if _, err := svc.InferBatch(nil, make([]float32, DemoShape.N()), 0); err == nil {
+		t.Error("zero count accepted")
+	}
+}

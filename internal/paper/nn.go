@@ -1,0 +1,356 @@
+package paper
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"glescompute/internal/armtime"
+	"glescompute/internal/core"
+	"glescompute/internal/nn"
+	"glescompute/internal/sched"
+)
+
+// ---- N1: neural-network inference (workload, not a paper artifact) ----
+//
+// The mobile-GPU inference literature the paper's related work grew into
+// (CNNdroid; Lee et al., On-Device Neural Net Inference with Mobile GPUs)
+// runs CNNs on exactly the class of device this repo simulates. N1 runs a
+// LeNet-scale MNIST-style CNN through internal/nn — every layer a
+// fragment kernel, the whole network one device-resident pipeline — and
+// reports, per layer and whole-network, modeled VideoCore IV time against
+// the modeled ARM1176 scalar baseline, plus a serving sweep pushing
+// inference requests through the sched.Queue device pool solo
+// (one image per launch) and batched (B images coalesced into one
+// batch-B network execution).
+//
+// Validation is differential at every layer boundary: the integer
+// configuration (requantized through Rescale layers, paper §IV-C's exact
+// 24-bit window) must be bit-identical to internal/refcpu; the float
+// configuration must stay inside the codec tolerance budget derived from
+// the paper's ~15-mantissa-bit precision (P1).
+
+// NNLayer is one row of the per-layer table (float configuration,
+// batch 1).
+type NNLayer struct {
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"`
+	OutShape string  `json:"out_shape"`
+	GPUUS    float64 `json:"gpu_model_us"` // modeled vc4 time of the layer's passes
+	CPUUS    float64 `json:"cpu_model_us"` // modeled ARM1176 time of the refcpu baseline
+	SpeedupX float64 `json:"speedup_x"`
+	MaxErr   float64 `json:"max_err"` // worst hybrid error vs refcpu (abs for softmax)
+}
+
+// NNServePoint is one configuration of the queue sweep.
+type NNServePoint struct {
+	Devices int `json:"devices"`
+	Batch   int `json:"batch"` // images per launch (1 = solo)
+
+	ModelMS        float64 `json:"model_ms"` // modeled pool makespan
+	WallMS         float64 `json:"wall_ms"`
+	ModelInfPerSec float64 `json:"model_inf_per_sec"`
+	WallInfPerSec  float64 `json:"wall_inf_per_sec"`
+	Launches       uint64  `json:"launches"`
+	Validated      bool    `json:"validated"`
+	// CompileShareP is the share of total device busy time spent
+	// compiling — the residual cold start the warm-up did not absorb
+	// (weight uploads are booked under Upload and are not separable from
+	// the per-request image uploads here).
+	CompileShareP float64 `json:"compile_share_pct"`
+}
+
+// NNResult is the whole N1 experiment.
+type NNResult struct {
+	InShape  string `json:"in_shape"`
+	Requests int    `json:"requests"`
+	Batch    int    `json:"batch"`
+
+	Layers []NNLayer `json:"layers"`
+
+	// Whole-network figures (batch 1, including the input upload and
+	// output readback, per the paper's wall-time methodology; weights are
+	// device-resident and kernels cached, so neither is re-paid).
+	NetGPUUS      float64 `json:"net_gpu_model_us"`
+	NetCPUUS      float64 `json:"net_cpu_model_us"`
+	ModelSpeedupX float64 `json:"model_speedup_x"`
+
+	Points []NNServePoint `json:"points"`
+	// BatchModelSpeedupX compares batched against solo modeled makespan at
+	// the largest pool (launch fixed costs amortized across the batch).
+	BatchModelSpeedupX float64 `json:"batch_model_speedup_x"`
+
+	// FloatValidated: every float layer within tolerance. IntValidated:
+	// every integer layer bit-identical. IntLayers counts them.
+	FloatValidated bool `json:"float_validated"`
+	IntValidated   bool `json:"int_validated"`
+	IntLayers      int  `json:"int_layers"`
+}
+
+// validateNNFloat runs the float network with every layer tapped and
+// fills the per-layer table.
+func validateNNFloat(res *NNResult) error {
+	dev, err := core.Open(deviceConfig())
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+
+	m := nn.DemoLeNetFloat32(20160316)
+	x := nn.DemoInputFloat32(7, 1)
+	refs, counts, err := m.Reference(x, 1)
+	if err != nil {
+		return err
+	}
+	net, err := m.Build(dev, 1, true)
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+	run, err := net.Run(x)
+	if err != nil {
+		return err
+	}
+	if run.Stats.HostUploadBytes != 0 || run.Stats.HostReadbackBytes != 0 {
+		return fmt.Errorf("paper: nn: network moved %d/%d host bytes between layers, want 0",
+			run.Stats.HostUploadBytes, run.Stats.HostReadbackBytes)
+	}
+
+	cpuModel := armtime.DefaultModel()
+	res.FloatValidated = true
+	for i, l := range m.Layers() {
+		row := NNLayer{
+			Name: l.Name, Kind: l.Kind, OutShape: l.Out.String(),
+			GPUUS: float64(run.LayerTimes[i].Total().Nanoseconds()) / 1000,
+			CPUUS: float64(cpuModel.Time(counts[i]).Nanoseconds()) / 1000,
+		}
+		if row.GPUUS > 0 {
+			row.SpeedupX = row.CPUUS / row.GPUUS
+		}
+		tol := nn.FloatTol
+		if l.Kind == nn.KindSoftmax {
+			row.MaxErr = nn.MaxAbsErr(run.Taps[i], refs[i])
+			tol = nn.SoftmaxAbsTol
+		} else {
+			row.MaxErr = nn.MaxHybridErr(run.Taps[i], refs[i])
+		}
+		if row.MaxErr > tol {
+			res.FloatValidated = false
+			return fmt.Errorf("paper: nn: layer %s error %.3g exceeds tolerance %.3g", l.Name, row.MaxErr, tol)
+		}
+		res.Layers = append(res.Layers, row)
+		res.NetCPUUS += row.CPUUS
+	}
+
+	// Whole-network end-to-end time on a warm network: input upload +
+	// every layer + final readback (tap readbacks excluded — rebuild
+	// without taps).
+	e2e, err := m.Build(dev, 1, false)
+	if err != nil {
+		return err
+	}
+	defer e2e.Close()
+	if _, err := e2e.Run(x); err != nil { // warm-up (kernels already cached; pool warmed)
+		return err
+	}
+	dev.ResetTimeline()
+	if _, err := e2e.Run(x); err != nil {
+		return err
+	}
+	res.NetGPUUS = float64(dev.Timeline().Total().Nanoseconds()) / 1000
+	if res.NetGPUUS > 0 {
+		res.ModelSpeedupX = res.NetCPUUS / res.NetGPUUS
+	}
+	return nil
+}
+
+// validateNNInt runs the integer network with every layer tapped and
+// asserts bit-identity.
+func validateNNInt(res *NNResult) error {
+	dev, err := core.Open(deviceConfig())
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+	m := nn.DemoLeNetInt32(20160316)
+	x := nn.DemoInputInt32(11, 1)
+	refs, _, err := m.Reference(x, 1)
+	if err != nil {
+		return err
+	}
+	net, err := m.Build(dev, 1, true)
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+	run, err := net.Run(x)
+	if err != nil {
+		return err
+	}
+	res.IntLayers = len(m.Layers())
+	for i, l := range m.Layers() {
+		if !nn.Int32Equal(run.Taps[i], refs[i]) {
+			return fmt.Errorf("paper: nn: int32 layer %s not bit-identical to refcpu", l.Name)
+		}
+	}
+	res.IntValidated = true
+	return nil
+}
+
+// runNNServePoint pushes `requests` inferences through one queue
+// configuration, `batch` images per submission.
+func runNNServePoint(m *nn.Model, images []float32, want []float32,
+	requests, batch, devices int) (NNServePoint, error) {
+	pt := NNServePoint{Devices: devices, Batch: batch}
+	q, err := sched.OpenQueue(sched.Config{Devices: devices, Device: core.Config{Workers: 1}})
+	if err != nil {
+		return pt, err
+	}
+	svc, err := nn.NewService(m, q)
+	if err != nil {
+		q.Close()
+		return pt, err
+	}
+	// LIFO: the queue must drain and close (stopping every worker) before
+	// the service frees the per-device networks those workers run on.
+	defer svc.Close()
+	defer q.Close()
+
+	per := nn.DemoShape.N()
+
+	// Warm the pool before timing: one batch-b job per device builds the
+	// device's network (kernel compiles + the one-time weight upload),
+	// then the stats window resets so the sweep measures steady-state
+	// serving, not cold start. ColdStartShareP reports what remains.
+	if batch*devices <= requests {
+		for i := 0; i < devices; i++ {
+			if _, err := svc.InferBatch(context.Background(), images[:batch*per], batch); err != nil {
+				return pt, err
+			}
+		}
+		q.Drain()
+		q.ResetStats()
+	}
+
+	start := time.Now()
+	var jobs []*sched.Job
+	var jobN []int
+	for off := 0; off < requests; off += batch {
+		n := batch
+		if off+n > requests {
+			n = requests - off
+		}
+		j, err := svc.InferBatch(context.Background(), images[off*per:(off+n)*per], n)
+		if err != nil {
+			return pt, err
+		}
+		jobs = append(jobs, j)
+		jobN = append(jobN, n)
+	}
+	q.Drain()
+	wall := time.Since(start)
+
+	pt.Validated = true
+	off := 0
+	for ji, j := range jobs {
+		r, err := j.Wait(nil)
+		if err != nil {
+			return pt, fmt.Errorf("inference job %d: %w", ji, err)
+		}
+		got := r.Output.([]float32)
+		for k := range got {
+			if got[k] != want[off*nn.DemoClasses+k] {
+				pt.Validated = false
+				return pt, fmt.Errorf("paper: nn: serve output (job %d, element %d) %g != solo reference %g — not bit-identical",
+					ji, k, got[k], want[off*nn.DemoClasses+k])
+			}
+		}
+		off += jobN[ji]
+	}
+
+	st := q.Stats()
+	modeled := st.ModeledMakespan()
+	pt.Launches = st.Launches
+	pt.ModelMS = float64(modeled.Microseconds()) / 1000
+	pt.WallMS = float64(wall.Microseconds()) / 1000
+	if modeled > 0 {
+		pt.ModelInfPerSec = float64(requests) / modeled.Seconds()
+		// After warm-up no compilation should remain in the measured
+		// window; a non-zero share flags cold start leaking into the
+		// steady-state numbers.
+		busy := st.ModeledBusy()
+		pt.CompileShareP = 100 * float64(busy.Compile) / float64(busy.Total())
+	}
+	if wall > 0 {
+		pt.WallInfPerSec = float64(requests) / wall.Seconds()
+	}
+	return pt, nil
+}
+
+// RunNN executes N1: per-layer and whole-network validation + modeled
+// times, then the queue sweep over devicesList × {solo, batch}. batch
+// must be ≥ 2; devicesList defaults to {1, 2}.
+func RunNN(requests, batch int, devicesList []int) (NNResult, error) {
+	res := NNResult{InShape: nn.DemoShape.String(), Requests: requests, Batch: batch}
+	if requests <= 0 || batch < 2 || requests%batch != 0 {
+		return res, fmt.Errorf("paper: nn: need requests >= 1, batch >= 2, requests divisible by batch")
+	}
+	if len(devicesList) == 0 {
+		devicesList = []int{1, 2}
+	}
+	if err := validateNNFloat(&res); err != nil {
+		return res, err
+	}
+	if err := validateNNInt(&res); err != nil {
+		return res, err
+	}
+
+	// Solo reference outputs for the sweep, computed on a standalone
+	// device (bit-identical is the bar: batching never changes bits).
+	m := nn.DemoLeNetFloat32(20160316)
+	images := nn.DemoInputFloat32(23, requests)
+	dev, err := core.Open(deviceConfig())
+	if err != nil {
+		return res, err
+	}
+	ref, err := m.Build(dev, 1, false)
+	if err != nil {
+		dev.Close()
+		return res, err
+	}
+	per := nn.DemoShape.N()
+	want := make([]float32, 0, requests*nn.DemoClasses)
+	for r := 0; r < requests; r++ {
+		out, err := ref.Run(images[r*per : (r+1)*per])
+		if err != nil {
+			dev.Close()
+			return res, err
+		}
+		want = append(want, out.Output.([]float32)...)
+	}
+	ref.Close()
+	dev.Close()
+
+	for _, d := range devicesList {
+		for _, b := range []int{1, batch} {
+			pt, err := runNNServePoint(m, images, want, requests, b, d)
+			if err != nil {
+				return res, err
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	solo := res.Points[len(res.Points)-2]
+	batched := res.Points[len(res.Points)-1]
+	if batched.ModelMS > 0 {
+		res.BatchModelSpeedupX = solo.ModelMS / batched.ModelMS
+	}
+	// Deterministic invariant: coalescing B whole-network executions into
+	// one batch-B pipeline strictly removes per-launch fixed costs under
+	// the vc4 model.
+	if requests >= 2*batch && res.BatchModelSpeedupX <= 1 {
+		return res, fmt.Errorf("paper: nn: batched modeled makespan %.3fms not better than solo %.3fms",
+			batched.ModelMS, solo.ModelMS)
+	}
+	return res, nil
+}

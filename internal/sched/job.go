@@ -42,6 +42,17 @@ type JobSpec struct {
 	// changes the arithmetic, so outputs stay bit-identical. Every input
 	// must then be exactly OutN elements long.
 	Batchable bool
+	// Direct, when non-nil, bypasses the kernel machinery entirely: the
+	// job runs this function on the worker's goroutine-pinned device (the
+	// GL single-thread invariant holds by construction, as for kernel
+	// jobs). This is how whole device-resident workloads — internal/nn's
+	// multi-layer networks, say — flow through the queue's device pool,
+	// sharing its sharding, backpressure and per-device timeline
+	// accounting. Callers keeping per-device state (compiled pipelines,
+	// resident weights) key it off the *core.Device they are handed.
+	// Direct jobs never coalesce; Kernel, Inputs, OutN, MatrixN, Uniforms
+	// and Batchable must be zero.
+	Direct func(dev *core.Device) (out interface{}, run core.RunStats, err error)
 }
 
 // Job is an in-flight compute request.
@@ -151,6 +162,17 @@ func outElem(spec core.KernelSpec) codec.ElemType {
 
 // newJob validates a spec and builds the queued job.
 func newJob(ctx context.Context, spec JobSpec) (*Job, error) {
+	if spec.Direct != nil {
+		if spec.Batchable {
+			return nil, fmt.Errorf("sched: direct jobs cannot batch")
+		}
+		if spec.Kernel.Name != "" || spec.Kernel.Source != "" ||
+			len(spec.Kernel.Inputs) > 0 || len(spec.Kernel.Outputs) > 0 || len(spec.Kernel.Uniforms) > 0 ||
+			len(spec.Inputs) > 0 || spec.OutN != 0 || spec.MatrixN != 0 || len(spec.Uniforms) > 0 {
+			return nil, fmt.Errorf("sched: direct job: Kernel/Inputs/OutN/MatrixN/Uniforms must be unset")
+		}
+		return &Job{spec: spec, ctx: ctx, enq: time.Now(), doneCh: make(chan struct{})}, nil
+	}
 	if len(spec.Kernel.Outputs) > 1 {
 		return nil, fmt.Errorf("sched: kernel %q has %d outputs; the queue executes single-output kernels (use Device.BuildKernel for multi-output)",
 			spec.Kernel.Name, len(spec.Kernel.Outputs))

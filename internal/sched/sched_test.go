@@ -601,3 +601,92 @@ func TestConcurrentSubmitters(t *testing.T) {
 		t.Fatalf("completed %d, want %d (%+v)", st.Completed, submitters*perSubmitter, st)
 	}
 }
+
+// TestDirectJobs pins the Direct escape hatch: the function runs on the
+// worker's pinned device, its output and stats flow back through Job.Wait,
+// and the launch is charged to the device's modeled timeline.
+func TestDirectJobs(t *testing.T) {
+	q, err := OpenQueue(Config{Devices: 2, Device: core.Config{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	const jobs = 8
+	handles := make([]*Job, jobs)
+	for i := 0; i < jobs; i++ {
+		i := i
+		handles[i], err = q.Submit(nil, JobSpec{
+			Direct: func(dev *core.Device) (interface{}, core.RunStats, error) {
+				// Real device work, so the timeline moves: a tiny kernel run.
+				k, err := dev.BuildKernelCached(core.KernelSpec{
+					Name:   "direct-fill",
+					Source: `float gc_kernel(float idx) { return idx; }`,
+				})
+				if err != nil {
+					return nil, core.RunStats{}, err
+				}
+				out, err := dev.NewBuffer(codec.Float32, 4)
+				if err != nil {
+					return nil, core.RunStats{}, err
+				}
+				defer out.Free()
+				rs, err := k.Run1(out, nil, nil)
+				if err != nil {
+					return nil, core.RunStats{}, err
+				}
+				vals, err := out.ReadFloat32()
+				if err != nil {
+					return nil, core.RunStats{}, err
+				}
+				return []float32{vals[int(i)%4]}, rs, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, j := range handles {
+		res, err := j.Wait(nil)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		got := res.Output.([]float32)
+		if len(got) != 1 || got[0] != float32(i%4) {
+			t.Fatalf("job %d: output %v, want [%d]", i, got, i%4)
+		}
+		if res.Stats.Device < 0 || res.Stats.Time.Total() <= 0 {
+			t.Fatalf("job %d: stats not attributed: %+v", i, res.Stats)
+		}
+	}
+	if st := q.Stats(); st.ModeledMakespan() <= 0 {
+		t.Error("direct launches not charged to the pool timeline")
+	}
+}
+
+// TestDirectJobValidation rejects direct specs mixing in kernel fields.
+func TestDirectJobValidation(t *testing.T) {
+	q, err := OpenQueue(Config{Devices: 1, Device: core.Config{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	direct := func(dev *core.Device) (interface{}, core.RunStats, error) {
+		return nil, core.RunStats{}, nil
+	}
+	if _, err := q.Submit(nil, JobSpec{Direct: direct, Batchable: true}); err == nil {
+		t.Error("batchable direct job accepted")
+	}
+	if _, err := q.Submit(nil, JobSpec{Direct: direct, Kernel: sumSpec, Inputs: []interface{}{[]float32{1}, []float32{1}}}); err == nil {
+		t.Error("direct job with kernel fields accepted")
+	}
+	if _, err := q.Submit(nil, JobSpec{Direct: direct, OutN: 4}); err == nil {
+		t.Error("direct job with OutN accepted")
+	}
+	if _, err := q.Submit(nil, JobSpec{Direct: direct, Kernel: core.KernelSpec{Name: "x"}}); err == nil {
+		t.Error("direct job with a named kernel accepted")
+	}
+	if _, err := q.Submit(nil, JobSpec{Direct: direct, Kernel: core.KernelSpec{Outputs: []core.OutputSpec{{Name: "a"}, {Name: "b"}}}}); err == nil {
+		t.Error("direct job with kernel outputs accepted")
+	}
+}

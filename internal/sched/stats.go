@@ -125,3 +125,18 @@ func (s QueueStats) Report() string {
 	}
 	return b.String()
 }
+
+// ResetStats zeroes the queue's counters, launch tallies and per-device
+// timelines, and restarts the Elapsed clock. Services use it to exclude a
+// warm-up window — first-launch kernel compiles, one-time weight uploads —
+// from steady-state throughput measurement. Jobs in flight keep running;
+// their completions are counted against the fresh window.
+func (q *Queue) ResetStats() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.counts.submitted, q.counts.completed, q.counts.failed, q.counts.canceled = 0, 0, 0, 0
+	for _, w := range q.workers {
+		w.st = DeviceStats{}
+	}
+	q.opened = time.Now()
+}

@@ -128,6 +128,9 @@ func (w *worker) execSolo(j *Job) {
 
 func (w *worker) runSolo(j *Job) (interface{}, core.RunStats, error) {
 	var rs core.RunStats
+	if j.spec.Direct != nil {
+		return j.spec.Direct(w.dev)
+	}
 	k, err := w.dev.BuildKernelCached(j.spec.Kernel)
 	if err != nil {
 		return nil, rs, err

@@ -1,0 +1,85 @@
+package nn_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"glescompute"
+	"glescompute/nn"
+)
+
+// TestPublicNNAPI exercises the documented workflow through the public
+// packages only: build a small model, compile it onto a device, run it,
+// and serve it through a queue.
+func TestPublicNNAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rf := func(n int) []float32 {
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = rng.Float32()*0.4 - 0.2
+		}
+		return out
+	}
+	in := nn.Shape{H: 8, W: 8, C: 1}
+	m := nn.NewModel(glescompute.Float32, in).
+		Conv2D("conv", 3, 3, 4, 1, rf(9*4), rf(4)).
+		ReLU("relu").
+		MaxPool("pool", 2, 2, 2).
+		Dense("fc", 5, rf(36*5), rf(5)).
+		Softmax("softmax")
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Layers()); got != 5 {
+		t.Fatalf("%d layers, want 5", got)
+	}
+
+	dev, err := glescompute.Open(glescompute.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	net, err := m.Build(dev, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	image := rf(in.N())
+	res, err := net.Run(image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := res.Output.([]float32)
+	sum := float32(0)
+	for _, p := range probs {
+		sum += p
+	}
+	if len(probs) != 5 || sum < 0.99 || sum > 1.01 {
+		t.Fatalf("probabilities %v do not sum to 1", probs)
+	}
+
+	q, err := glescompute.OpenQueue(glescompute.QueueConfig{Devices: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	svc, err := nn.NewService(m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	job, err := svc.Infer(nil, image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := job.Wait(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Output.([]float32)
+	for i := range probs {
+		if got[i] != probs[i] {
+			t.Fatalf("served output %v differs from direct run %v", got, probs)
+		}
+	}
+}
