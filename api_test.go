@@ -249,7 +249,7 @@ func TestPublicAPIPipeline(t *testing.T) {
 	}
 
 	p := dev.NewPipeline()
-	defer p.Free()
+	defer p.Close()
 	x := p.Input(glescompute.Float32, n)
 	p.Output(p.Reduce(p.Stage(square, nil, x), glescompute.ReduceAdd))
 	if err := p.Err(); err != nil {

@@ -16,7 +16,12 @@
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_BASELINE.json -current BENCH_PR4.json [-max-regress 0.10]
+//	benchgate -baseline BENCH_BASELINE.json -current BENCH_PR5.json [-max-regress 0.10] [-update]
+//
+// Improvements are reported (and counted) alongside regressions. With
+// -update, the baseline file is rewritten from the capture after the
+// comparison: differences in either direction are printed and accepted,
+// which is how a PR lands an intentional baseline refresh honestly.
 package main
 
 import (
@@ -37,12 +42,14 @@ var gatedKeys = map[string]bool{
 	"model_inf_per_sec":         true,
 	"batch_model_speedup_x":     true,
 	"occupancy_jobs_per_launch": true,
+	"fusion_speedup_x":          true,
 }
 
 // isValidatedKey matches boolean leaves that must hold in the current
 // report.
 func isValidatedKey(key string) bool {
-	return key == "validated" || key == "int_validated" || key == "float_validated"
+	return key == "validated" || key == "int_validated" || key == "float_validated" ||
+		key == "fusion_validated"
 }
 
 // walk flattens a JSON tree into path→value for float and bool leaves.
@@ -133,6 +140,16 @@ func compare(base, cur map[string]interface{}, maxRegress float64) (failures, in
 	return failures, info
 }
 
+// updateBaseline rewrites the baseline file with the capture's exact
+// bytes (the capture is already valid JSON by the time this runs).
+func updateBaseline(baselinePath, currentPath string) error {
+	raw, err := os.ReadFile(currentPath)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(baselinePath, raw, 0o644)
+}
+
 func readReport(path string) (map[string]interface{}, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -149,6 +166,7 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_BASELINE.json", "committed baseline paperbench -json report")
 	current := flag.String("current", "", "freshly captured paperbench -json report")
 	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional regression per gated metric")
+	update := flag.Bool("update", false, "rewrite the baseline file from the capture after reporting (differences are reported, then accepted)")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
@@ -167,6 +185,24 @@ func main() {
 	failures, info := compare(base, cur, *maxRegress)
 	for _, line := range info {
 		fmt.Println("  " + line)
+	}
+	if len(info) > 0 {
+		fmt.Printf("benchgate: %d metric(s) improved vs %s\n", len(info), *baseline)
+	}
+	if *update {
+		// Refreshing the baseline is explicitly allowed to move metrics in
+		// both directions — the point of -update is landing a new baseline
+		// honestly, with every accepted change in the log.
+		for _, f := range failures {
+			fmt.Println("  accepted: " + f)
+		}
+		if err := updateBaseline(*baseline, *current); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: baseline %s rewritten from %s (%d improvement(s), %d accepted regression(s))\n",
+			*baseline, *current, len(info), len(failures))
+		return
 	}
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) against %s:\n", len(failures), *baseline)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -79,5 +80,40 @@ func TestGateReportsImprovements(t *testing.T) {
 	}
 	if len(info) != 1 || !strings.Contains(info[0], "sum-int.model_speedup_x") {
 		t.Fatalf("info = %v, want one improvement line", info)
+	}
+}
+
+func TestGateFusionKeys(t *testing.T) {
+	const fusionBase = `{"nn": {"fusion_speedup_x": 1.3, "fusion_validated": true}}`
+	cur := report(t, `{"nn": {"fusion_speedup_x": 1.0, "fusion_validated": false}}`)
+	failures, _ := compare(report(t, fusionBase), cur, 0.10)
+	joined := strings.Join(failures, "\n")
+	for _, want := range []string{"nn.fusion_speedup_x: 1.3 -> 1", "nn.fusion_validated: false"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("failures missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestUpdateBaselineRewritesFile(t *testing.T) {
+	dir := t.TempDir()
+	basePath := dir + "/base.json"
+	curPath := dir + "/cur.json"
+	if err := os.WriteFile(basePath, []byte(`{"old": true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"nn": {"fusion_speedup_x": 1.3}}`
+	if err := os.WriteFile(curPath, []byte(want), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := updateBaseline(basePath, curPath); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatalf("baseline after update = %s, want %s", got, want)
 	}
 }

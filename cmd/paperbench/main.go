@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|sum-int|sum-float|sgemm-int|sgemm-float|
-//	            precision|int24|fig1|fig2|sfu-sweep|halffloat|codec-overhead|
-//	            pipeline|serve|nn|<comma-separated list>]
+//	paperbench [-exp all|list|<comma-separated experiment names>]
 //	           [-sum-n N] [-sum-exec N] [-sgemm-n N] [-pipeline-n N]
 //	           [-serve-jobs N] [-serve-n N] [-nn-requests N] [-nn-batch N]
 //	           [-json]
+//
+// `-exp list` prints the experiment index; an unknown experiment name
+// exits non-zero instead of silently running nothing.
 //
 // With -json, results are emitted as a single machine-readable JSON
 // object on stdout (for capturing benchmark trajectories as BENCH_*.json)
@@ -84,10 +85,51 @@ func main() {
 
 	report := map[string]interface{}{}
 
+	// The experiment index, in run order. `-exp list` prints it; an
+	// unknown -exp name is an error, not a silent no-op.
+	index := []struct{ name, desc string }{
+		{"sum-int", "T1.1 vector sum speedup, int32 (paper §V)"},
+		{"sum-float", "T1.2 vector sum speedup, float32 (paper §V)"},
+		{"sgemm-int", "T1.3 dense matrix multiply speedup, int32 (paper §V)"},
+		{"sgemm-float", "T1.4 dense matrix multiply speedup, float32 (paper §V)"},
+		{"precision", "P1 float codec accuracy (paper: ~15 mantissa bits)"},
+		{"int24", "P2 integer precision window (paper §IV-C: 24-bit)"},
+		{"fig1", "F1 addressing trace (paper Fig. 1)"},
+		{"fig2", "F2 codec shader dump (paper Fig. 2)"},
+		{"sfu-sweep", "A2 SFU precision sweep behind the 15-bit figure"},
+		{"halffloat", "A4 fp16 extension vs the paper's codec"},
+		{"pipeline", "P3 device-resident pipeline vs host round-trip chaining"},
+		{"serve", "S1 concurrent compute service (queue, batching, devices)"},
+		{"nn", "N1 neural-network inference + kernel-fusion on/off"},
+		{"codec-overhead", "A1 pack/unpack share of kernel cycles"},
+	}
+
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
 		if name = strings.TrimSpace(name); name != "" {
 			selected[name] = true
+		}
+	}
+	if selected["list"] {
+		fmt.Println("experiments (-exp name[,name...] | all):")
+		for _, e := range index {
+			fmt.Printf("  %-14s %s\n", e.name, e.desc)
+		}
+		fmt.Printf("  %-14s run every experiment\n", "all")
+		return
+	}
+	valid := map[string]bool{"all": true}
+	for _, e := range index {
+		valid[e.name] = true
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "paperbench: -exp selects no experiment (use -exp list)")
+		os.Exit(2)
+	}
+	for name := range selected {
+		if !valid[name] {
+			fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (use -exp list)\n", name)
+			os.Exit(2)
 		}
 	}
 	run := func(name string, fn func() error) {
@@ -376,6 +418,10 @@ func main() {
 		}
 		fmt.Printf("  batched vs solo at %d devices: %.2fx modeled; all outputs bit-identical to solo: %v\n",
 			res.Points[len(res.Points)-1].Devices, res.BatchModelSpeedupX, allIdentical)
+		fmt.Printf("  kernel fusion (planner %v): %d passes vs %d unfused — net %.0fµs vs %.0fµs, %.2fx; int32 fused bit-identical: %v\n",
+			res.FusionEnabled, res.FusedPasses, res.UnfusedPasses,
+			res.NetGPUUS, res.UnfusedNetGPUUS, res.FusionSpeedupX, res.FusionValidated)
+		fmt.Printf("  fused passes: %s\n", strings.Join(res.FusedStages, ", "))
 		return nil
 	})
 

@@ -74,7 +74,7 @@ func main() {
 	// k-selection) and its on-device min (the nearest distance), where
 	// the reduction samples the distance texture the map pass rendered.
 	p := dev.NewPipeline()
-	defer p.Free()
+	defer p.Close()
 	pLat := p.Input(glescompute.Float32, n)
 	pLng := p.Input(glescompute.Float32, n)
 	dists := p.Stage(kern, nil, pLat, pLng)

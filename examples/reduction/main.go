@@ -44,7 +44,7 @@ func main() {
 	// The whole tree is one pipeline: ceil(log2 n) pairwise-sum passes
 	// ping-ponging through pooled intermediate textures.
 	p := dev.NewPipeline()
-	defer p.Free()
+	defer p.Close()
 	p.Output(p.Reduce(p.Input(glescompute.Float32, n), glescompute.ReduceAdd))
 	if err := p.Err(); err != nil {
 		log.Fatal(err)

@@ -90,9 +90,14 @@ type (
 	ElemType = codec.ElemType
 	// Pipeline chains kernels device-resident: each stage's output
 	// texture feeds the next stage's sampler with no host round-trip.
+	// Its fusion planner merges chains of element-wise stages and
+	// declared epilogues into single fragment passes (DESIGN.md §6d);
+	// disable per pipeline with SetFusion(false) or process-wide with
+	// the GLESCOMPUTE_NO_FUSION environment variable.
 	Pipeline = core.Pipeline
 	// PipelineStats reports one pipeline execution, including the
-	// host-traffic counters proving the chain stayed on-device.
+	// host-traffic counters proving the chain stayed on-device and the
+	// fusion accounting (FusedStages, ExecStages, FusionFallbacks).
 	PipelineStats = core.PipelineStats
 	// Ref names a data slot (input or stage output) inside a Pipeline.
 	Ref = core.Ref

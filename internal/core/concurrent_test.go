@@ -211,7 +211,7 @@ func concurrencyCorpus() []corpusEntry {
 		}},
 		{"reduce-pipeline", func(dev *Device) ([]uint32, error) {
 			p := dev.NewPipeline()
-			defer p.Free()
+			defer p.Close()
 			p.Output(p.Reduce(p.Input(codec.Float32, n), ReduceAdd))
 			if err := p.Err(); err != nil {
 				return nil, err

@@ -1,0 +1,705 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"glescompute/internal/codec"
+)
+
+// ewSpec builds a single-input element-wise kernel spec.
+func ewSpec(name string, elem codec.ElemType, uniforms []string, body string) KernelSpec {
+	return KernelSpec{
+		Name:        name,
+		Inputs:      []Param{{Name: "x", Type: elem}},
+		Outputs:     []OutputSpec{{Name: "out", Type: elem}},
+		Uniforms:    uniforms,
+		Source:      "float gc_kernel(float idx) {\n\treturn " + body + ";\n}\n",
+		ElementWise: true,
+	}
+}
+
+func mustKernel(t *testing.T, d *Device, spec KernelSpec) *Kernel {
+	t.Helper()
+	k, err := d.BuildKernelCached(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func int32sEqual(t *testing.T, label string, want, got []int32) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: element %d: got %d, want %d (must be bit-identical)", label, i, got[i], want[i])
+		}
+	}
+}
+
+// runChainPipeline builds in→stages→out on fresh pipelines with fusion on
+// or off and returns the output ints plus stats.
+func runFusionChainInt(t *testing.T, d *Device, fuse bool, xs []int32,
+	build func(p *Pipeline, x Ref) Ref) ([]int32, PipelineStats) {
+	t.Helper()
+	n := len(xs)
+	p := d.NewPipeline()
+	defer p.Close()
+	p.SetFusion(fuse)
+	x := p.Input(codec.Int32, n)
+	p.Output(build(p, x))
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	in, _ := d.NewBuffer(codec.Int32, n)
+	out, _ := d.NewBuffer(codec.Int32, n)
+	defer in.Free()
+	defer out.Free()
+	if err := in.WriteInt32(xs); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Run([]*Buffer{out}, []*Buffer{in}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.ReadInt32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, stats
+}
+
+// TestFusionEpilogueChainInt32 fuses two element-wise epilogues (requant,
+// relu) into a gather producer: one fragment pass, bit-identical to the
+// unfused three-pass chain, with the intermediates never allocated.
+func TestFusionEpilogueChainInt32(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	const n = 517
+	reverse := mustKernel(t, d, KernelSpec{ // gather: not element-wise, but can host epilogues
+		Name:            "reverse",
+		Inputs:          []Param{{Name: "x", Type: codec.Int32}},
+		Outputs:         []OutputSpec{{Name: "out", Type: codec.Int32}},
+		Uniforms:        []string{"u_n"},
+		Source:          "float gc_kernel(float idx) {\n\treturn gc_x(u_n - 1.0 - idx);\n}\n",
+		FusableEpilogue: true,
+	})
+	requant := mustKernel(t, d, ewSpec("requant", codec.Int32, []string{"u_s"}, "floor(gc_x(idx) / u_s)"))
+	relu := mustKernel(t, d, ewSpec("relu", codec.Int32, nil, "max(gc_x(idx), 0.0)"))
+
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]int32, n)
+	for i := range xs {
+		xs[i] = int32(rng.Intn(1<<20) - 1<<19)
+	}
+	build := func(p *Pipeline, x Ref) Ref {
+		a := p.Stage(reverse, map[string]float32{"u_n": n}, x)
+		p.Label("rev")
+		b := p.Stage(requant, map[string]float32{"u_s": 8}, a)
+		p.Label("requant")
+		c := p.Stage(relu, nil, b)
+		p.Label("relu")
+		return c
+	}
+
+	want, su := runFusionChainInt(t, d, false, xs, build)
+	got, sf := runFusionChainInt(t, d, true, xs, build)
+	int32sEqual(t, "fused vs unfused", want, got)
+
+	if su.Passes != 3 || sf.Passes != 1 {
+		t.Errorf("passes: unfused %d (want 3), fused %d (want 1)", su.Passes, sf.Passes)
+	}
+	if sf.FusedStages != 2 {
+		t.Errorf("FusedStages = %d, want 2", sf.FusedStages)
+	}
+	if len(sf.ExecStages) != 1 || sf.ExecStages[0] != "rev+requant+relu" {
+		t.Errorf("ExecStages = %v, want [rev+requant+relu]", sf.ExecStages)
+	}
+	if sf.PoolAllocs != 0 {
+		t.Errorf("fused chain allocated %d intermediates, want 0 (all eliminated)", sf.PoolAllocs)
+	}
+	if sf.FusionFallbacks != 0 {
+		t.Errorf("FusionFallbacks = %d, want 0", sf.FusionFallbacks)
+	}
+	// Per-stage attribution: the fused pass is charged to the chain head,
+	// fused-away members report zero, entries sum to the whole-chain time.
+	if len(sf.StageTimes) != 3 {
+		t.Fatalf("StageTimes has %d entries, want 3 (one per builder stage)", len(sf.StageTimes))
+	}
+	if sf.StageTimes[0].Execute <= 0 || sf.StageTimes[1].Total() != 0 || sf.StageTimes[2].Total() != 0 {
+		t.Errorf("StageTimes = %+v, want all time on the chain head", sf.StageTimes)
+	}
+	var sum Timeline
+	for _, st := range sf.StageTimes {
+		sum = sum.Add(st)
+	}
+	if sum != sf.Time {
+		t.Errorf("stage times sum to %+v, chain is %+v", sum, sf.Time)
+	}
+}
+
+// TestFusionPlannedPasses pins the planner's refusals: gather consumers,
+// multi-consumer producers, Output-marked intermediates and reductions
+// must never fuse.
+func TestFusionPlannedPasses(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	const n = 64
+	relu := mustKernel(t, d, ewSpec("relu", codec.Float32, nil, "max(gc_x(idx), 0.0)"))
+	gather := mustKernel(t, d, KernelSpec{
+		Name:   "shiftadd",
+		Inputs: []Param{{Name: "x", Type: codec.Float32}},
+		Source: "float gc_kernel(float idx) {\n\treturn gc_x(idx) + gc_x(idx + 1.0);\n}\n",
+		// Deliberately not ElementWise: it reads a neighbour.
+	})
+
+	// Gather consumer after an element-wise producer: must stay 2 passes
+	// (only element-wise consumers fuse).
+	p := d.NewPipeline()
+	defer p.Close()
+	x := p.Input(codec.Float32, n)
+	p.Output(p.Stage(gather, nil, p.Stage(relu, nil, x)))
+	passes, err := p.PlannedPasses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) != 2 {
+		t.Errorf("relu→gather planned %v, want 2 passes", passes)
+	}
+
+	// Multi-consumer producer: both readers materialize it.
+	p2 := d.NewPipeline()
+	defer p2.Close()
+	x2 := p2.Input(codec.Float32, n)
+	a := p2.Stage(relu, nil, x2)
+	b := p2.Stage(relu, nil, a)
+	c := p2.Stage(relu, nil, a) // second consumer of a
+	p2.Output(b)
+	p2.Output(c)
+	passes2, err := p2.PlannedPasses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes2) != 3 {
+		t.Errorf("multi-consumer chain planned %v, want 3 passes", passes2)
+	}
+
+	// Output-marked intermediate: must materialize even with one consumer.
+	p3 := d.NewPipeline()
+	defer p3.Close()
+	x3 := p3.Input(codec.Float32, n)
+	mid := p3.Stage(relu, nil, x3)
+	p3.Output(mid)
+	p3.Output(p3.Stage(relu, nil, mid))
+	passes3, err := p3.PlannedPasses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes3) != 2 {
+		t.Errorf("tapped chain planned %v, want 2 passes", passes3)
+	}
+
+	// Reduce: fold passes read pairs, never fusable.
+	p4 := d.NewPipeline()
+	defer p4.Close()
+	x4 := p4.Input(codec.Float32, 32)
+	p4.Output(p4.Reduce(x4, ReduceAdd))
+	passes4, err := p4.PlannedPasses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes4) != 5 {
+		t.Errorf("reduce(32) planned %v, want 5 passes", passes4)
+	}
+
+	// A producer/consumer output-length mismatch breaks the per-index
+	// correspondence: no fusion. (A producer that merely SHRINKS the
+	// domain relative to its own input is fine — the fused pass renders
+	// the consumer's grid — so the guard is on output lengths.)
+	head := mustKernel(t, d, KernelSpec{
+		Name:            "head",
+		Inputs:          []Param{{Name: "x", Type: codec.Float32}},
+		Source:          "float gc_kernel(float idx) {\n\treturn gc_x(idx);\n}\n",
+		FusableEpilogue: true,
+	})
+	p5 := d.NewPipeline()
+	defer p5.Close()
+	x5 := p5.Input(codec.Float32, n)
+	h := p5.Stage(head, nil, x5)            // n elements
+	p5.Output(p5.StageN(relu, n/2, nil, h)) // truncating "element-wise" use
+	passes5, err := p5.PlannedPasses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes5) != 2 {
+		t.Errorf("length-mismatched chain planned %v, want 2 passes", passes5)
+	}
+	// While a domain-shrinking producer with matching outputs does fuse:
+	p6 := d.NewPipeline()
+	defer p6.Close()
+	x6 := p6.Input(codec.Float32, n)
+	h6 := p6.StageN(head, n/2, nil, x6)
+	p6.Output(p6.Stage(relu, nil, h6))
+	passes6, err := p6.PlannedPasses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes6) != 1 {
+		t.Errorf("matching-output chain planned %v, want 1 fused pass", passes6)
+	}
+}
+
+// TestFusionSharedExternalInput dedups a weight slot read by two members
+// of one fused chain: the fused pass binds it once and stays
+// bit-identical.
+func TestFusionSharedExternalInput(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	const n = 129
+	addw := mustKernel(t, d, KernelSpec{
+		Name:        "addw",
+		Inputs:      []Param{{Name: "x", Type: codec.Int32}, {Name: "w", Type: codec.Int32}},
+		Outputs:     []OutputSpec{{Name: "out", Type: codec.Int32}},
+		Source:      "float gc_kernel(float idx) {\n\treturn gc_x(idx) + gc_w(idx);\n}\n",
+		ElementWise: true,
+	})
+	mulw := mustKernel(t, d, KernelSpec{
+		Name:        "mulw",
+		Inputs:      []Param{{Name: "y", Type: codec.Int32}, {Name: "w", Type: codec.Int32}},
+		Outputs:     []OutputSpec{{Name: "out", Type: codec.Int32}},
+		Source:      "float gc_kernel(float idx) {\n\treturn gc_y(idx) * gc_w(idx);\n}\n",
+		ElementWise: true,
+	})
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]int32, n)
+	ws := make([]int32, n)
+	for i := range xs {
+		xs[i] = int32(rng.Intn(2000) - 1000)
+		ws[i] = int32(rng.Intn(64) - 32)
+	}
+	run := func(fuse bool) ([]int32, PipelineStats) {
+		p := d.NewPipeline()
+		defer p.Close()
+		p.SetFusion(fuse)
+		x := p.Input(codec.Int32, n)
+		w := p.Input(codec.Int32, n)
+		p.Output(p.Stage(mulw, nil, p.Stage(addw, nil, x, w), w))
+		if err := p.Err(); err != nil {
+			t.Fatal(err)
+		}
+		bx, _ := d.NewBuffer(codec.Int32, n)
+		bw, _ := d.NewBuffer(codec.Int32, n)
+		bo, _ := d.NewBuffer(codec.Int32, n)
+		defer bx.Free()
+		defer bw.Free()
+		defer bo.Free()
+		if err := bx.WriteInt32(xs); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.WriteInt32(ws); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := p.Run([]*Buffer{bo}, []*Buffer{bx, bw}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := bo.ReadInt32()
+		return got, stats
+	}
+	want, _ := run(false)
+	got, sf := run(true)
+	int32sEqual(t, "shared-input fusion", want, got)
+	if sf.Passes != 1 {
+		t.Errorf("fused passes = %d, want 1", sf.Passes)
+	}
+}
+
+// TestFusionHazardCopy fuses a chain whose marked output lands in the
+// pipeline's own input buffer: the hazard detour must still fire and the
+// result must match the unfused path bit for bit.
+func TestFusionHazardCopy(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	const n = 97
+	relu := mustKernel(t, d, ewSpec("relu", codec.Int32, nil, "max(gc_x(idx), 0.0)"))
+	dbl := mustKernel(t, d, ewSpec("dbl", codec.Int32, nil, "gc_x(idx) * 2.0"))
+	rng := rand.New(rand.NewSource(13))
+	xs := make([]int32, n)
+	for i := range xs {
+		xs[i] = int32(rng.Intn(4000) - 2000)
+	}
+	run := func(fuse bool) ([]int32, PipelineStats) {
+		p := d.NewPipeline()
+		defer p.Close()
+		p.SetFusion(fuse)
+		x := p.Input(codec.Int32, n)
+		p.Output(p.Stage(dbl, nil, p.Stage(relu, nil, x)))
+		in, _ := d.NewBuffer(codec.Int32, n)
+		defer in.Free()
+		if err := in.WriteInt32(xs); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := p.Run([]*Buffer{in}, []*Buffer{in}, nil) // in-place
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := in.ReadInt32()
+		return got, stats
+	}
+	want, _ := run(false)
+	got, sf := run(true)
+	int32sEqual(t, "fused in-place", want, got)
+	if sf.HazardCopies != 1 {
+		t.Errorf("HazardCopies = %d, want 1", sf.HazardCopies)
+	}
+	if sf.Passes != 2 { // one fused pass + one hazard copy
+		t.Errorf("Passes = %d, want 2", sf.Passes)
+	}
+}
+
+// TestFusionUniformNamespace fuses two stages sharing a uniform NAME with
+// different fixed values: each member must see its own value.
+func TestFusionUniformNamespace(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	const n = 40
+	scale := mustKernel(t, d, ewSpec("iscale", codec.Int32, []string{"u_s"}, "gc_x(idx) * u_s"))
+	xs := make([]int32, n)
+	for i := range xs {
+		xs[i] = int32(i - 20)
+	}
+	build := func(p *Pipeline, x Ref) Ref {
+		a := p.Stage(scale, map[string]float32{"u_s": 3}, x)
+		return p.Stage(scale, map[string]float32{"u_s": 5}, a)
+	}
+	want, _ := runFusionChainInt(t, d, false, xs, build)
+	got, sf := runFusionChainInt(t, d, true, xs, build)
+	int32sEqual(t, "uniform namespace", want, got)
+	if sf.Passes != 1 {
+		t.Errorf("Passes = %d, want 1", sf.Passes)
+	}
+	// Run-level uniform resolution must also reach fused members.
+	p := d.NewPipeline()
+	defer p.Close()
+	x := p.Input(codec.Int32, n)
+	p.Output(p.Stage(scale, nil, p.Stage(scale, map[string]float32{"u_s": 3}, x)))
+	in, _ := d.NewBuffer(codec.Int32, n)
+	out, _ := d.NewBuffer(codec.Int32, n)
+	defer in.Free()
+	defer out.Free()
+	if err := in.WriteInt32(xs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run([]*Buffer{out}, []*Buffer{in}, nil); err == nil {
+		t.Error("fused Run without the second stage's uniform succeeded, want error")
+	}
+	if _, err := p.Run([]*Buffer{out}, []*Buffer{in}, map[string]float32{"u_s": 7}); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := out.ReadInt32()
+	for i, v := range xs {
+		if want := v * 3 * 7; got2[i] != want {
+			t.Fatalf("element %d: got %d, want %d (stage uniform 3, run uniform 7)", i, got2[i], want)
+		}
+	}
+}
+
+// TestFusionFallbackOnBadCompose pins the safety valve: when the composed
+// shader fails to build (here: both members define the same helper
+// function, which the textual composer does not rename), the group runs
+// unfused and the pipeline still produces correct results.
+func TestFusionFallbackOnBadCompose(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	const n = 32
+	mk := func(name string, mul float32) *Kernel {
+		return mustKernel(t, d, KernelSpec{
+			Name:    name,
+			Inputs:  []Param{{Name: "x", Type: codec.Int32}},
+			Outputs: []OutputSpec{{Name: "out", Type: codec.Int32}},
+			Source: "float helper(float v) { return v * " + fmtFloat(mul) + "; }\n" +
+				"float gc_kernel(float idx) {\n\treturn helper(gc_x(idx));\n}\n",
+			ElementWise: true,
+		})
+	}
+	k2, k3 := mk("mul2", 2), mk("mul3", 3)
+	xs := make([]int32, n)
+	for i := range xs {
+		xs[i] = int32(i)
+	}
+	build := func(p *Pipeline, x Ref) Ref {
+		return p.Stage(k3, nil, p.Stage(k2, nil, x))
+	}
+	want, _ := runFusionChainInt(t, d, false, xs, build)
+	got, sf := runFusionChainInt(t, d, true, xs, build)
+	int32sEqual(t, "fallback chain", want, got)
+	if sf.FusionFallbacks != 1 {
+		t.Errorf("FusionFallbacks = %d, want 1", sf.FusionFallbacks)
+	}
+	if sf.Passes != 2 {
+		t.Errorf("Passes = %d, want 2 (group ran unfused)", sf.Passes)
+	}
+}
+
+// fmtFloat renders a GLSL ES 1.00 float literal (needs a decimal point).
+func fmtFloat(v float32) string {
+	return strconv.FormatFloat(float64(v), 'f', 1, 32)
+}
+
+// TestFusionMixedTypeChain fuses a chain that changes element type
+// mid-stream (int32 ops → convert-to-float → float ops): the conversion
+// stage declares its own output type, the fused pass encodes only the
+// final float result, and both paths stay within codec tolerance of the
+// float64 reference. (int→float boundaries are exact either way — the
+// int codec round-trips integral values exactly — while a float→int
+// boundary would floor a quantized vs unquantized value and is covered
+// by the tolerance regime, not bit-identity.)
+func TestFusionMixedTypeChain(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	const n = 201
+	addc := mustKernel(t, d, ewSpec("iadd", codec.Int32, []string{"u_c"}, "gc_x(idx) + u_c"))
+	toF := mustKernel(t, d, KernelSpec{
+		Name:        "tofloat",
+		Inputs:      []Param{{Name: "x", Type: codec.Int32}},
+		Outputs:     []OutputSpec{{Name: "out", Type: codec.Float32}},
+		Uniforms:    []string{"u_s"},
+		Source:      "float gc_kernel(float idx) {\n\treturn gc_x(idx) / u_s;\n}\n",
+		ElementWise: true,
+	})
+	fscale := mustKernel(t, d, ewSpec("fscale", codec.Float32, []string{"u_m"}, "gc_x(idx) * u_m + 1.0"))
+
+	rng := rand.New(rand.NewSource(77))
+	xs := make([]int32, n)
+	for i := range xs {
+		xs[i] = int32(rng.Intn(4000) - 2000)
+	}
+	run := func(fuse bool) ([]float32, PipelineStats) {
+		p := d.NewPipeline()
+		defer p.Close()
+		p.SetFusion(fuse)
+		x := p.Input(codec.Int32, n)
+		a := p.Stage(addc, map[string]float32{"u_c": 17}, x)
+		f := p.Stage(toF, map[string]float32{"u_s": 8}, a)
+		p.Output(p.Stage(fscale, map[string]float32{"u_m": 1.5}, f))
+		if err := p.Err(); err != nil {
+			t.Fatal(err)
+		}
+		in, _ := d.NewBuffer(codec.Int32, n)
+		out, _ := d.NewBuffer(codec.Float32, n)
+		defer in.Free()
+		defer out.Free()
+		if err := in.WriteInt32(xs); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := p.Run([]*Buffer{out}, []*Buffer{in}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := out.ReadFloat32()
+		return got, stats
+	}
+	want, su := run(false)
+	got, sf := run(true)
+	if sf.Passes != 1 || su.Passes != 3 {
+		t.Errorf("passes fused=%d unfused=%d, want 1 and 3", sf.Passes, su.Passes)
+	}
+	const tol = 1.0 / (1 << 10)
+	for i, x := range xs {
+		ref := (float64(x)+17)/8*1.5 + 1
+		for _, res := range []struct {
+			label string
+			vals  []float32
+		}{{"fused", got}, {"unfused", want}} {
+			err := math.Abs(float64(res.vals[i]) - ref)
+			if rel := err / math.Max(math.Abs(ref), 1e-3); rel > tol {
+				t.Fatalf("%s element %d: %g vs reference %g", res.label, i, res.vals[i], ref)
+			}
+		}
+	}
+}
+
+// TestFusionCacheKeyFlags pins that fusion metadata participates in the
+// compile-once cache key: identical sources with different flags are
+// distinct kernels.
+func TestFusionCacheKeyFlags(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	base := ewSpec("same", codec.Float32, nil, "gc_x(idx)")
+	plain := base
+	plain.ElementWise = false
+	epi := base
+	epi.ElementWise = false
+	epi.FusableEpilogue = true
+	if base.CacheKey() == plain.CacheKey() || base.CacheKey() == epi.CacheKey() || plain.CacheKey() == epi.CacheKey() {
+		t.Fatal("fusion flags do not separate CacheKeys")
+	}
+	k1 := mustKernel(t, d, base)
+	k2 := mustKernel(t, d, plain)
+	if k1 == k2 {
+		t.Fatal("flagged and unflagged specs shared a cached kernel")
+	}
+}
+
+// TestFusionPropertyRandomChains is the differential property test:
+// random element-wise chains (2–6 stages, both element types) must be
+// bit-identical fused vs unfused for int32, and within codec tolerance
+// of the float64 reference for float32 (fusion deletes quantization
+// steps, so fused and unfused may legitimately differ — both must stay
+// near the true value).
+func TestFusionPropertyRandomChains(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	type op struct {
+		body string // uses gc_x(idx) and u_c
+		c    float32
+		fn   func(x, c float64) float64
+	}
+	rng := rand.New(rand.NewSource(2016))
+	intOps := func() op {
+		switch rng.Intn(4) {
+		case 0:
+			c := float32(rng.Intn(100))
+			return op{"gc_x(idx) + u_c", c, func(x, c float64) float64 { return x + c }}
+		case 1:
+			c := float32(1 + rng.Intn(3))
+			return op{"gc_x(idx) * u_c", c, func(x, c float64) float64 { return x * c }}
+		case 2:
+			return op{"max(gc_x(idx), 0.0)", 0, func(x, c float64) float64 { return math.Max(x, 0) }}
+		default:
+			c := float32(int32(1) << uint(1+rng.Intn(3)))
+			return op{"floor(gc_x(idx) / u_c)", c, func(x, c float64) float64 { return math.Floor(x / c) }}
+		}
+	}
+	floatOps := func() op {
+		switch rng.Intn(4) {
+		case 0:
+			c := rng.Float32() * 2
+			return op{"gc_x(idx) + u_c", c, func(x, c float64) float64 { return x + c }}
+		case 1:
+			c := 0.5 + rng.Float32()*1.5
+			return op{"gc_x(idx) * u_c", c, func(x, c float64) float64 { return x * c }}
+		case 2:
+			return op{"max(gc_x(idx), 0.0)", 0, func(x, c float64) float64 { return math.Max(x, 0) }}
+		default:
+			c := 1 + rng.Float32()
+			return op{"gc_x(idx) / u_c", c, func(x, c float64) float64 { return x / c }}
+		}
+	}
+
+	for trial := 0; trial < 12; trial++ {
+		isInt := trial%2 == 0
+		elem := codec.Float32
+		if isInt {
+			elem = codec.Int32
+		}
+		depth := 2 + rng.Intn(5)
+		ops := make([]op, depth)
+		for i := range ops {
+			if isInt {
+				ops[i] = intOps()
+			} else {
+				ops[i] = floatOps()
+			}
+		}
+		n := 33 + rng.Intn(300)
+
+		build := func(p *Pipeline, x Ref) Ref {
+			cur := x
+			for i, o := range ops {
+				k := mustKernel(t, d, ewSpec("prop-op", elem, []string{"u_c"}, o.body))
+				cur = p.Stage(k, map[string]float32{"u_c": o.c}, cur)
+				_ = i
+			}
+			return cur
+		}
+		runPipe := func(fuse bool, write func(*Buffer) error, read func(*Buffer) (interface{}, error)) (interface{}, PipelineStats) {
+			p := d.NewPipeline()
+			defer p.Close()
+			p.SetFusion(fuse)
+			x := p.Input(elem, n)
+			p.Output(build(p, x))
+			if err := p.Err(); err != nil {
+				t.Fatal(err)
+			}
+			in, _ := d.NewBuffer(elem, n)
+			out, _ := d.NewBuffer(elem, n)
+			defer in.Free()
+			defer out.Free()
+			if err := write(in); err != nil {
+				t.Fatal(err)
+			}
+			stats, err := p.Run([]*Buffer{out}, []*Buffer{in}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := read(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v, stats
+		}
+
+		if isInt {
+			xs := make([]int32, n)
+			for i := range xs {
+				xs[i] = int32(rng.Intn(2000) - 1000)
+			}
+			w := func(b *Buffer) error { return b.WriteInt32(xs) }
+			r := func(b *Buffer) (interface{}, error) { return b.ReadInt32() }
+			want, su := runPipe(false, w, r)
+			got, sf := runPipe(true, w, r)
+			int32sEqual(t, "property int chain", want.([]int32), got.([]int32))
+			if sf.Passes != 1 || su.Passes != depth {
+				t.Fatalf("trial %d: passes fused=%d unfused=%d, want 1 and %d", trial, sf.Passes, su.Passes, depth)
+			}
+			// CPU reference: the exact chain in float64 (all values stay
+			// integral and inside the 2^24 window).
+			for i, x := range xs {
+				v := float64(x)
+				for _, o := range ops {
+					v = o.fn(v, float64(o.c))
+				}
+				if int32(v) != got.([]int32)[i] {
+					t.Fatalf("trial %d: element %d: fused %d != CPU %d", trial, i, got.([]int32)[i], int32(v))
+				}
+			}
+		} else {
+			xs := make([]float32, n)
+			for i := range xs {
+				xs[i] = rng.Float32() * 8
+			}
+			w := func(b *Buffer) error { return b.WriteFloat32(xs) }
+			r := func(b *Buffer) (interface{}, error) { return b.ReadFloat32() }
+			want, su := runPipe(false, w, r)
+			got, sf := runPipe(true, w, r)
+			if sf.Passes != 1 || su.Passes != depth {
+				t.Fatalf("trial %d: passes fused=%d unfused=%d, want 1 and %d", trial, sf.Passes, su.Passes, depth)
+			}
+			// Positive monotone ops: relative tolerance 2^-10 comfortably
+			// covers per-stage codec quantization (~2^-15 each).
+			const tol = 1.0 / (1 << 10)
+			for i, x := range xs {
+				v := float64(x)
+				for _, o := range ops {
+					v = o.fn(v, float64(o.c))
+				}
+				for _, res := range []struct {
+					label string
+					vals  []float32
+				}{{"fused", got.([]float32)}, {"unfused", want.([]float32)}} {
+					err := math.Abs(float64(res.vals[i]) - v)
+					if rel := err / math.Max(math.Abs(v), 1e-3); rel > tol {
+						t.Fatalf("trial %d: %s element %d: %g vs reference %g (rel %.3g > %.3g)",
+							trial, res.label, i, res.vals[i], v, rel, tol)
+					}
+				}
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"glescompute/internal/codec"
 	"glescompute/internal/gles"
@@ -43,6 +44,25 @@ type KernelSpec struct {
 	Outputs  []OutputSpec
 	Uniforms []string // names of user float uniforms
 	Source   string
+
+	// ElementWise declares fusion safety (DESIGN.md §6d): the kernel has a
+	// single output whose element i depends only on its inputs at linear
+	// index i — every gc_<in>() call passes the kernel's own idx unchanged
+	// — and whose length always equals every input's length. Pipeline's
+	// fusion planner may merge such a stage into the fragment pass of the
+	// stage producing its input, skipping the intermediate texture and its
+	// encode/decode round trip. Declaring this on a kernel that reads
+	// neighbours (gather), folds (reduce), or uses gc_<in>_at/_dims breaks
+	// the fused/unfused equivalence guarantee.
+	ElementWise bool
+
+	// FusableEpilogue declares that this kernel's body may be inlined into
+	// a consumer's fragment pass as the head of a fused chain: the kernel
+	// is a pure function of its output index (true for every gc_kernel, it
+	// only opts in to the planner considering it) with a single output.
+	// GEMM, convolution and pooling kernels set it so element-wise
+	// epilogues (ReLU, requantization, bias/scale) fuse into their pass.
+	FusableEpilogue bool
 }
 
 // normalized returns the spec with defaults applied.
@@ -88,7 +108,20 @@ func (s KernelSpec) CacheKey() string {
 		b.WriteString(u)
 		b.WriteByte(0)
 	}
+	// Fusion metadata is part of the content key: the planner reads these
+	// flags back off cached kernels, so a fused-safe and a fused-unsafe
+	// spec that happen to share source must not collide in the cache.
+	b.WriteString("f:")
+	b.WriteByte(flagByte(s.ElementWise))
+	b.WriteByte(flagByte(s.FusableEpilogue))
 	return b.String()
+}
+
+func flagByte(v bool) byte {
+	if v {
+		return '1'
+	}
+	return '0'
 }
 
 // kernelPass is one compiled shader pass producing one output.
@@ -106,11 +139,26 @@ type kernelPass struct {
 }
 
 // Kernel is a compiled compute kernel (one GL program per output pass).
+//
+// A Kernel is driven from its device's goroutine like every other device
+// object, with one concession to service shutdown: Close may race a Run
+// from another goroutine — the two serialize on an internal mutex, so the
+// loser of the race sees either a completed Run or ErrClosed, never a
+// draw against deleted programs.
 type Kernel struct {
 	dev    *Device
 	spec   KernelSpec
 	passes []kernelPass
+
+	mu     sync.Mutex // serializes Close against Run
 	closed bool
+}
+
+// isClosed reports the closed flag under the lifecycle lock.
+func (k *Kernel) isClosed() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.closed
 }
 
 // BuildKernel compiles a kernel specification into executable passes.
@@ -161,7 +209,7 @@ func (d *Device) BuildKernelCached(spec KernelSpec) (*Kernel, error) {
 		return nil, err
 	}
 	key := spec.CacheKey()
-	if k, ok := d.kernelCache[key]; ok && !k.closed {
+	if k, ok := d.kernelCache[key]; ok && !k.isClosed() {
 		return k, nil
 	}
 	k, err := d.BuildKernel(spec)
@@ -177,8 +225,11 @@ func (d *Device) BuildKernelCached(spec KernelSpec) (*Kernel, error) {
 
 // Close deletes the kernel's GL programs and shaders. A closed kernel's
 // Run returns ErrClosed. Closing after the owning device has closed is a
-// no-op (the context's objects are already gone); Close is idempotent.
+// no-op (the context's objects are already gone); Close is idempotent and
+// may race a concurrent Run (they serialize; see the Kernel doc).
 func (k *Kernel) Close() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	if k.closed {
 		return nil
 	}
@@ -325,6 +376,8 @@ func checkOutputAliasing(kernel string, out *Buffer, outName string, ins []*Buff
 // uniforms by name.
 func (k *Kernel) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float32) (RunStats, error) {
 	var stats RunStats
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	if err := k.dev.checkOpen("Kernel.Run"); err != nil {
 		return stats, err
 	}

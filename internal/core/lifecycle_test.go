@@ -55,6 +55,111 @@ float gc_kernel_q(float idx) { return gc_x(idx) * 2.0; }`,
 	}
 }
 
+// TestKernelConcurrentCloseVsRun pins the one cross-goroutine concession
+// the lifecycle makes: Close may race an in-flight Run (a service
+// shutting down while a request executes). The two serialize — the Run
+// either completes normally or observes ErrClosed; no draw ever touches
+// deleted programs. Run with -race in CI.
+func TestKernelConcurrentCloseVsRun(t *testing.T) {
+	dev, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	k, err := dev.BuildKernel(lcSumSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := dev.NewBuffer(codec.Float32, 64)
+	b, _ := dev.NewBuffer(codec.Float32, 64)
+	out, _ := dev.NewBuffer(codec.Float32, 64)
+	if err := a.WriteFloat32(make([]float32, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteFloat32(make([]float32, 64)); err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		for {
+			if _, err := k.Run1(out, []*Buffer{a, b}, nil); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	<-started
+	for i := 0; i < 3; i++ { // concurrent double-Close is also legal
+		if err := k.Close(); err != nil {
+			t.Errorf("Close %d: %v", i, err)
+		}
+	}
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("racing Run ended with %v, want ErrClosed", err)
+	}
+	if _, err := k.Run1(out, []*Buffer{a, b}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after concurrent Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestPipelineConcurrentCloseVsRun is the pipeline variant: Close must
+// never free the pool under an executing chain.
+func TestPipelineConcurrentCloseVsRun(t *testing.T) {
+	dev, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	k, err := dev.BuildKernel(lcSumSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := dev.NewPipeline()
+	x := p.Input(codec.Float32, 64)
+	y := p.Input(codec.Float32, 64)
+	s := p.Stage(k, nil, x, y)
+	p.Output(p.Stage(k, nil, s, s))
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := dev.NewBuffer(codec.Float32, 64)
+	b, _ := dev.NewBuffer(codec.Float32, 64)
+	out, _ := dev.NewBuffer(codec.Float32, 64)
+	if err := a.WriteFloat32(make([]float32, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteFloat32(make([]float32, 64)); err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		for {
+			if _, err := p.Run([]*Buffer{out}, []*Buffer{a, b}, nil); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	<-started
+	for i := 0; i < 3; i++ {
+		if err := p.Close(); err != nil {
+			t.Errorf("Close %d: %v", i, err)
+		}
+	}
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("racing Run ended with %v, want ErrClosed", err)
+	}
+	if _, err := p.Run([]*Buffer{out}, []*Buffer{a, b}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after concurrent Close: %v, want ErrClosed", err)
+	}
+}
+
 // TestBuildKernelFailureLeaksNothing pins that a spec whose later output
 // fails to compile releases the programs and shaders already built for
 // earlier outputs — a long-running service retrying a bad kernel must
@@ -137,7 +242,7 @@ func TestDeviceCloseErrClosed(t *testing.T) {
 	// Free after device close must be a harmless no-op.
 	buf.Free()
 	buf2.Free()
-	p.Free()
+	p.Close()
 }
 
 // TestDeviceCloseLeakHook checks the leak census: silent when everything

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"glescompute/internal/codec"
 	"glescompute/internal/gles"
@@ -18,9 +19,10 @@ type pipeSlot struct {
 	elem codec.ElemType
 	n    int
 
-	inputIdx  int // >=0: filled from ins[inputIdx] at Run
-	outputIdx int // >=0: rendered into outs[outputIdx] at Run
-	lastUse   int // index of the last stage reading this slot (-1: never read)
+	inputIdx  int  // >=0: filled from ins[inputIdx] at Run
+	outputIdx int  // >=0: rendered into outs[outputIdx] at Run
+	lastUse   int  // index of the last exec stage reading this slot (-1: never read)
+	fusedAway bool // eliminated by fusion: never materialized as a texture
 }
 
 // pipeStage is one kernel invocation inside the pipeline.
@@ -29,6 +31,8 @@ type pipeStage struct {
 	ins      []Ref
 	outs     []Ref
 	uniforms map[string]float32 // fixed at build; override Run uniforms
+	label    string             // stage name for fusion/stats reporting
+	inline   []int              // input indices hinted for inline-producer fusion
 }
 
 // Pipeline chains kernels entirely on the device: each stage's output
@@ -53,22 +57,108 @@ type Pipeline struct {
 	outputs []Ref
 	pool    *BufferPool
 
+	fusion bool  // merge eligible stage chains into single passes
+	plan   *plan // execution schedule, frozen by the first Run
+
 	err    error // first builder error, surfaced at Run
+	mu     sync.Mutex
 	closed bool
 }
 
-// NewPipeline creates an empty pipeline on the device.
+// NewPipeline creates an empty pipeline on the device. Automatic kernel
+// fusion is enabled unless the EnvDisableFusion environment variable is
+// set; SetFusion overrides either default.
 func (d *Device) NewPipeline() *Pipeline {
-	return &Pipeline{dev: d, pool: NewBufferPool(d)}
+	return &Pipeline{dev: d, pool: NewBufferPool(d), fusion: !fusionEnvDisabled()}
 }
 
 // Err returns the first builder error, if any.
 func (p *Pipeline) Err() error { return p.err }
 
+// SetFusion enables or disables the automatic kernel-fusion planner for
+// this pipeline. It must be called before the first Run (the plan is
+// frozen there); calling it later records a builder error.
+func (p *Pipeline) SetFusion(on bool) {
+	if p.plan != nil {
+		p.fail("SetFusion after the pipeline compiled (call it before the first Run)")
+		return
+	}
+	p.fusion = on
+}
+
+// FusionEnabled reports whether the planner may fuse this pipeline's
+// stages.
+func (p *Pipeline) FusionEnabled() bool { return p.fusion }
+
+// Label names the most recently added stage for fusion and stats
+// reporting ("conv1", "softmax/lse"); unlabeled stages report their
+// kernel's spec name. Fused passes join their member labels with "+".
+func (p *Pipeline) Label(name string) {
+	if p.err != nil || len(p.stages) == 0 {
+		return
+	}
+	p.stages[len(p.stages)-1].label = name
+}
+
+// InlineInput hints the planner that input i of the most recently added
+// stage may be fused by RECOMPUTATION: instead of materializing the
+// producing stage's output texture, every gc_<input>(j) fetch evaluates
+// the producer's kernel at j inline. Unlike element-wise fusion this
+// imposes no length or access-pattern restriction on the consumer — the
+// caller asserts the trade is profitable, i.e. the consumer fetches each
+// producer element at most about once (a stride-2 2×2 max-pool over a
+// GEMM, a tiny per-row statistic), because an amplifying access pattern
+// recomputes the producer per fetch. All other safety rules still apply
+// (sole consumer, not a pipeline output, producer's body declared
+// inlinable via FusableEpilogue/ElementWise, no raster-state reads);
+// results are bit-identical for int32 either way, and the hint is
+// ignored whenever a rule fails.
+func (p *Pipeline) InlineInput(i int) {
+	if p.err != nil || len(p.stages) == 0 {
+		return
+	}
+	st := &p.stages[len(p.stages)-1]
+	if i < 0 || i >= len(st.ins) {
+		p.fail("InlineInput: stage %q has no input %d", st.label, i)
+		return
+	}
+	st.inline = append(st.inline, i)
+}
+
+// PlannedPasses compiles the execution plan (freezing the builder) and
+// returns one label per planned pass group, post-fusion — "conv1+relu1"
+// for a fused chain. Multi-output kernels contribute one entry covering
+// all their passes.
+func (p *Pipeline) PlannedPasses() ([]string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return nil, p.err
+	}
+	if err := p.dev.checkOpen("Pipeline.PlannedPasses"); err != nil {
+		return nil, err
+	}
+	if p.closed {
+		return nil, fmt.Errorf("core: pipeline: PlannedPasses: %w", ErrClosed)
+	}
+	if err := p.compile(); err != nil {
+		return nil, err
+	}
+	labels := make([]string, len(p.plan.exec))
+	for i := range p.plan.exec {
+		labels[i] = p.plan.exec[i].label
+	}
+	return labels, nil
+}
+
 // Close releases the pipeline's pooled intermediate buffers and marks the
 // pipeline closed: further Runs return ErrClosed. The kernels wired into
-// stages are not closed (the pipeline does not own them). Idempotent.
+// stages are not closed (the pipeline does not own them). Idempotent, and
+// safe against a concurrent Run (they serialize, so the pool is never
+// freed under a pass).
 func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return nil
 	}
@@ -76,10 +166,6 @@ func (p *Pipeline) Close() error {
 	p.pool.FreeAll()
 	return nil
 }
-
-// Free releases the pipeline's pooled intermediate buffers; equivalent to
-// Close (kept as the historical name).
-func (p *Pipeline) Free() { p.Close() }
 
 func (p *Pipeline) fail(format string, args ...interface{}) Ref {
 	if p.err == nil {
@@ -98,6 +184,9 @@ func (p *Pipeline) validRef(r Ref) bool { return r >= 0 && int(r) < len(p.slots)
 // Input declares an external input slot of n elements; the matching
 // buffer is supplied positionally to Run.
 func (p *Pipeline) Input(elem codec.ElemType, n int) Ref {
+	if p.plan != nil {
+		return p.fail("Input added after the pipeline compiled (build fully before the first Run)")
+	}
 	if n <= 0 {
 		return p.fail("Input: non-positive length %d", n)
 	}
@@ -138,6 +227,10 @@ func (p *Pipeline) StageMulti(k *Kernel, outNs []int, uniforms map[string]float3
 	if p.err != nil {
 		return nil
 	}
+	if p.plan != nil {
+		p.fail("stage %q added after the pipeline compiled (build fully before the first Run)", k.spec.Name)
+		return nil
+	}
 	if len(outNs) != len(k.passes) {
 		p.fail("StageMulti %q: kernel has %d outputs, got %d lengths", k.spec.Name, len(k.passes), len(outNs))
 		return nil
@@ -159,7 +252,7 @@ func (p *Pipeline) StageMulti(k *Kernel, outNs []int, uniforms map[string]float3
 		}
 		p.slots[r].lastUse = si
 	}
-	st := pipeStage{kernel: k, ins: append([]Ref(nil), ins...), uniforms: uniforms}
+	st := pipeStage{kernel: k, ins: append([]Ref(nil), ins...), uniforms: uniforms, label: k.spec.Name}
 	for i, out := range k.spec.Outputs {
 		if outNs[i] <= 0 {
 			p.fail("stage %q: non-positive output length %d", k.spec.Name, outNs[i])
@@ -272,6 +365,10 @@ func (p *Pipeline) Output(r Ref) {
 	if p.err != nil {
 		return
 	}
+	if p.plan != nil {
+		p.fail("Output marked after the pipeline compiled (build fully before the first Run)")
+		return
+	}
 	if !p.validRef(r) {
 		p.fail("Output: invalid ref")
 		return
@@ -308,15 +405,34 @@ type PipelineStats struct {
 	// builder stage in order (hazard-copy passes are charged to the stage
 	// that flushed them). Multi-stage workloads — a neural network pricing
 	// its layers, say — aggregate these into per-phase breakdowns without
-	// re-running the chain stage by stage.
+	// re-running the chain stage by stage. A stage fused into a
+	// predecessor's pass reports a zero Timeline; the whole fused pass is
+	// charged to the chain's first member, so the entries still sum to
+	// Time.
 	StageTimes []Timeline
+
+	// FusedStages counts builder stages the fusion planner merged into a
+	// predecessor's fragment pass (each one is a draw plus an RGBA8
+	// encode→texture→decode round trip that never happened).
+	FusedStages int
+	// ExecStages labels the executed pass groups in order, a fused chain
+	// reporting its members joined with "+" ("conv1+relu1").
+	ExecStages []string
+	// FusionFallbacks counts fused groups whose generated shader failed
+	// to build and ran unfused instead (0 in healthy pipelines).
+	FusionFallbacks int
 }
 
 // Run executes the pipeline. ins feed the declared Input slots in order;
 // outs receive the marked Output slots in order. uniforms supplies
-// kernel uniforms not fixed at build time (stage uniforms win).
+// kernel uniforms not fixed at build time (stage uniforms win). The
+// first Run freezes the builder and compiles the execution plan —
+// fusing eligible stage chains into single fragment passes — which every
+// later Run reuses.
 func (p *Pipeline) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float32) (PipelineStats, error) {
 	var stats PipelineStats
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.err != nil {
 		return stats, p.err
 	}
@@ -328,6 +444,9 @@ func (p *Pipeline) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float3
 	}
 	if len(p.stages) == 0 {
 		return stats, fmt.Errorf("core: pipeline: no stages")
+	}
+	if err := p.compile(); err != nil {
+		return stats, err
 	}
 	if len(ins) != len(p.inputs) {
 		return stats, fmt.Errorf("core: pipeline: %d inputs declared, got %d buffers", len(p.inputs), len(ins))
@@ -398,22 +517,29 @@ func (p *Pipeline) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float3
 	}
 	var pending []pendingCopy
 
-	stats.StageTimes = make([]Timeline, 0, len(p.stages))
-	for si := range p.stages {
-		st := &p.stages[si]
+	stats.StageTimes = make([]Timeline, len(p.stages))
+	stats.FusedStages = p.plan.fusedStages
+	stats.FusionFallbacks = p.plan.fallbacks
+	stats.ExecStages = make([]string, len(p.plan.exec))
+	for ei := range p.plan.exec {
+		es := &p.plan.exec[ei]
+		stats.ExecStages[ei] = es.label
 		stageT0 := p.dev.Timeline()
-		stageIns := make([]*Buffer, len(st.ins))
-		for i, r := range st.ins {
+		stageIns := make([]*Buffer, len(es.ins))
+		for i, r := range es.ins {
+			if p.slots[r].fusedAway {
+				return stats, fmt.Errorf("core: pipeline: internal: fused-away slot %d bound as an input of %q", r, es.label)
+			}
 			stageIns[i] = bind[r]
 		}
 
 		// Resolve render targets. A user-owned target is unsafe while
 		// any live slot still awaiting readers shares its texture: that
-		// covers both the GL hazard (this stage samples it) and the data
-		// hazard (a later stage samples it). Render into a pooled
+		// covers both the GL hazard (this pass samples it) and the data
+		// hazard (a later pass samples it). Render into a pooled
 		// stand-in and defer the copy until the last such reader ran.
-		stageOuts := make([]*Buffer, len(st.outs))
-		for i, r := range st.outs {
+		stageOuts := make([]*Buffer, len(es.outs))
+		for i, r := range es.outs {
 			s := &p.slots[r]
 			var target *Buffer
 			if s.outputIdx >= 0 {
@@ -421,12 +547,12 @@ func (p *Pipeline) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float3
 				readyAfter := -1
 				for r2 := range p.slots {
 					s2 := &p.slots[r2]
-					if Ref(r2) != r && bind[r2] != nil && s2.lastUse >= si &&
+					if Ref(r2) != r && bind[r2] != nil && s2.lastUse >= ei &&
 						bind[r2].tex == target.tex && s2.lastUse > readyAfter {
 						readyAfter = s2.lastUse
 					}
 				}
-				if readyAfter >= si {
+				if readyAfter >= ei {
 					tmp, err := acquire(s.elem, s.n, target.grid)
 					if err != nil {
 						return stats, err
@@ -448,25 +574,33 @@ func (p *Pipeline) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float3
 			stageOuts[i] = target
 		}
 
-		merged := uniforms
-		if len(st.uniforms) > 0 {
-			merged = make(map[string]float32, len(uniforms)+len(st.uniforms))
-			for k, v := range uniforms {
-				merged[k] = v
+		var merged map[string]float32
+		if es.uniBinds != nil {
+			var err error
+			if merged, err = p.resolveFusedUniforms(es, uniforms); err != nil {
+				return stats, err
 			}
-			for k, v := range st.uniforms {
-				merged[k] = v
+		} else {
+			merged = uniforms
+			if st := &p.stages[es.members[0]]; len(st.uniforms) > 0 {
+				merged = make(map[string]float32, len(uniforms)+len(st.uniforms))
+				for k, v := range uniforms {
+					merged[k] = v
+				}
+				for k, v := range st.uniforms {
+					merged[k] = v
+				}
 			}
 		}
 
-		rs, err := st.kernel.Run(stageOuts, stageIns, merged)
+		rs, err := es.kernel.Run(stageOuts, stageIns, merged)
 		if err != nil {
-			return stats, fmt.Errorf("stage %d (%s): %w", si, st.kernel.spec.Name, err)
+			return stats, fmt.Errorf("stage %d (%s): %w", ei, es.label, err)
 		}
 		stats.Draw.Add(&rs.Draw)
-		stats.Passes += len(st.kernel.passes)
+		stats.Passes += len(es.kernel.passes)
 
-		for i, r := range st.outs {
+		for i, r := range es.outs {
 			s := &p.slots[r]
 			if s.outputIdx < 0 && s.lastUse < 0 {
 				// Produced but never read and not exposed: back to the
@@ -478,12 +612,12 @@ func (p *Pipeline) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float3
 		}
 
 		// Retire intermediates whose last reader has now run: their
-		// textures go back to the pool for the next stage (ping-pong).
-		// Deduplicate — a Ref wired into two params of one stage must
+		// textures go back to the pool for the next pass (ping-pong).
+		// Deduplicate — a Ref wired into two params of one pass must
 		// release its buffer exactly once.
-		for _, r := range st.ins {
+		for _, r := range es.ins {
 			s := &p.slots[r]
-			if s.lastUse == si && s.inputIdx < 0 && s.outputIdx < 0 && bind[r] != nil {
+			if s.lastUse == ei && s.inputIdx < 0 && s.outputIdx < 0 && bind[r] != nil {
 				release(bind[r])
 				bind[r] = nil
 			}
@@ -492,7 +626,7 @@ func (p *Pipeline) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float3
 		// Flush hazard copies whose aliased readers have all run.
 		kept := pending[:0]
 		for _, pc := range pending {
-			if pc.readyAfter > si {
+			if pc.readyAfter > ei {
 				kept = append(kept, pc)
 				continue
 			}
@@ -506,7 +640,10 @@ func (p *Pipeline) Run(outs []*Buffer, ins []*Buffer, uniforms map[string]float3
 			release(pc.src)
 		}
 		pending = kept
-		stats.StageTimes = append(stats.StageTimes, p.dev.Timeline().Sub(stageT0))
+		// The whole pass — fused members included — is charged to the
+		// chain's first builder stage; fused-away members keep a zero
+		// Timeline so the per-stage entries still sum to Time.
+		stats.StageTimes[es.members[0]] = stats.StageTimes[es.members[0]].Add(p.dev.Timeline().Sub(stageT0))
 	}
 
 	tr1 := p.dev.ctx.Transfers()

@@ -106,7 +106,7 @@ func TestPipelineMatchesNaiveSequentialRun(t *testing.T) {
 
 	// Pipeline path: intermediates stay pooled and device-resident.
 	p := d.NewPipeline()
-	defer p.Free()
+	defer p.Close()
 	x := p.Input(codec.Float32, n)
 	s1 := p.Stage(scale, nil, x)
 	s2 := p.Stage(shift, nil, s1)
@@ -154,7 +154,7 @@ func TestPipelinePoolPingPong(t *testing.T) {
 	_, shift := buildPipeKernels(t, d)
 
 	p := d.NewPipeline()
-	defer p.Free()
+	defer p.Close()
 	x := p.Input(codec.Float32, n)
 	cur := x
 	for i := 0; i < 6; i++ {
@@ -246,7 +246,7 @@ func TestPipelineReduceMatchesHandRolledLoop(t *testing.T) {
 			t.Fatal(err)
 		}
 		bitsEqual(t, "reduce vs hand-rolled", want, got[:1])
-		p.Free()
+		p.Close()
 	}
 }
 
@@ -267,7 +267,7 @@ func TestPipelineReduceMinOddTail(t *testing.T) {
 		}
 	}
 	p := d.NewPipeline()
-	defer p.Free()
+	defer p.Close()
 	x := p.Input(codec.Int32, n)
 	p.Output(p.Reduce(x, ReduceMin))
 	in, _ := d.NewBuffer(codec.Int32, n)
@@ -312,7 +312,7 @@ func TestPipelineHazardCopyResolution(t *testing.T) {
 
 	// In-place via pipeline: out buffer == in buffer.
 	p := d.NewPipeline()
-	defer p.Free()
+	defer p.Close()
 	x := p.Input(codec.Float32, n)
 	p.Output(p.Stage(scale, nil, x))
 	if err := in.WriteFloat32(xs); err != nil {
@@ -362,7 +362,7 @@ float gc_kernel_dd(float idx) { return gc_a(idx) - gc_b(idx); }
 	_, shift := buildPipeKernels(t, d)
 
 	p := d.NewPipeline()
-	defer p.Free()
+	defer p.Close()
 	a := p.Input(codec.Float32, n)
 	b := p.Input(codec.Float32, n)
 	outs := p.StageMulti(k, []int{n, n}, nil, a, b)
@@ -519,7 +519,7 @@ func TestPipelineDuplicateRefStageInput(t *testing.T) {
 	// Pipeline: b = (x*1+1)^2 feeds two branches that must not share a
 	// texture after b's buffer is retired.
 	p := d.NewPipeline()
-	defer p.Free()
+	defer p.Close()
 	x := p.Input(codec.Float32, n)
 	a := p.Stage(scale, map[string]float32{"u_scale": 1}, x)
 	b := p.Stage(mul, nil, a, a) // same Ref twice
@@ -572,7 +572,7 @@ func TestPipelineOutputAliasesLaterReadInput(t *testing.T) {
 	wantZ, _ := rz.ReadFloat32()
 
 	p := d.NewPipeline()
-	defer p.Free()
+	defer p.Close()
 	x := p.Input(codec.Float32, n)
 	a := p.Stage(scale, one, x)
 	y := p.Stage(scale, one, a)
@@ -626,7 +626,7 @@ float gc_kernel_dd(float idx) { return gc_a(idx) - gc_b(idx); }
 	// Only the sum branch is consumed; the diff output has no readers
 	// and is not marked — it must be recycled, not leaked.
 	p := d.NewPipeline()
-	defer p.Free()
+	defer p.Close()
 	a := p.Input(codec.Float32, n)
 	b := p.Input(codec.Float32, n)
 	outs := p.StageMulti(k, []int{n, n}, nil, a, b)
@@ -659,7 +659,7 @@ float gc_kernel_dd(float idx) { return gc_a(idx) - gc_b(idx); }
 	// Error mid-run (missing uniform for the second stage) must release
 	// the first stage's checked-out intermediates.
 	p2 := d.NewPipeline()
-	defer p2.Free()
+	defer p2.Close()
 	a2 := p2.Input(codec.Float32, n)
 	p2.Output(p2.Stage(scale, nil, p2.Stage(scale, map[string]float32{"u_scale": 1}, a2)))
 	if _, err := p2.Run([]*Buffer{bo}, []*Buffer{ba}, nil); err == nil {
@@ -704,7 +704,7 @@ float gc_kernel_dd(float idx) { return gc_a(idx) - gc_b(idx); }
 	}
 
 	p := d.NewPipeline()
-	defer p.Free()
+	defer p.Close()
 	a := p.Input(codec.Float32, n)
 	b := p.Input(codec.Float32, n)
 	outs := p.StageMulti(k, []int{n, n}, nil, a, b)
@@ -724,7 +724,7 @@ func TestPipelineReduceSingleElement(t *testing.T) {
 	d := openTest(t)
 	defer d.Close()
 	p := d.NewPipeline()
-	defer p.Free()
+	defer p.Close()
 	p.Output(p.Reduce(p.Input(codec.Float32, 1), ReduceAdd))
 	if err := p.Err(); err != nil {
 		t.Fatalf("Reduce over 1 element rejected: %v", err)
@@ -782,8 +782,8 @@ func TestReduceKernelCachedPerDevice(t *testing.T) {
 	if tr1 := d.GL().Transfers().CompileCount; tr1 != tr0 {
 		t.Errorf("building two reduce pipelines compiled %d new shaders, want 0 (device cache)", tr1-tr0)
 	}
-	p1.Free()
-	p2.Free()
+	p1.Close()
+	p2.Close()
 }
 
 // TestPipelineStageTimes pins the per-stage timing hook: one Timeline per

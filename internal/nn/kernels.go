@@ -113,6 +113,15 @@ float gc_kernel(float idx) {
 }
 `
 
+// relu and rescale are declared ElementWise: they read their input only
+// at the fragment's own index, so the pipeline's fusion planner folds
+// them into the producing pass (GEMM, depthwise, pooling — all declared
+// FusableEpilogue) instead of paying a full launch plus an RGBA8
+// encode→texture→decode round trip for a single max() or floor(). Int32
+// semantics are unaffected (max and the exact power-of-two floor-divide
+// are bit-identical with or without the intermediate codec round trip);
+// float32 results get closer to the real-arithmetic value.
+
 // rescaleIntSource is the exact fixed-point requantization: x is an
 // integer-valued float ≤ 2^24 and u_scale a power of two, so the division
 // and floor are both exact — bit-identical to x >> shift on the CPU.
@@ -128,56 +137,54 @@ float gc_kernel(float idx) {
 }
 `
 
-// Softmax lowers to four passes, each a per-row scan so it works for any
-// batch size (core.Pipeline's Reduce folds whole slots, not rows).
-const rowMaxSource = `
+// Softmax lowers to two passes, each a per-row scan so it works for any
+// batch size (core.Pipeline's Reduce folds whole slots, not rows). Pass 1
+// computes the per-row log-sum-exp L(b) = m + log(Σ exp(x - m)) with the
+// row max m folded into the same kernel (two sequential bounded loops);
+// pass 2 normalizes each element as exp(x - L). This is the classic
+// stable softmax rewritten as exp(x - m)/Σ = exp(x - m - log Σ), which
+// halves the pass count of the old max/exp/sum/div lowering and deletes
+// two whole-row codec round trips — the exp values never materialize.
+const lseSource = `
 float gc_kernel(float idx) {
-	float acc = gc_x(idx * u_n);
+	float m = gc_x(idx * u_n);
 	for (float k = 1.0; k < 4096.0; k += 1.0) {
 		if (k >= u_n) { break; }
-		acc = max(acc, gc_x(idx * u_n + k));
+		m = max(m, gc_x(idx * u_n + k));
 	}
-	return acc;
-}
-`
-
-const expSubSource = `
-float gc_kernel(float idx) {
-	float b = floor((idx + 0.5) / u_n);
-	return exp(gc_x(idx) - gc_m(b));
-}
-`
-
-const rowSumSource = `
-float gc_kernel(float idx) {
-	float acc = 0.0;
+	float s = 0.0;
 	for (float k = 0.0; k < 4096.0; k += 1.0) {
 		if (k >= u_n) { break; }
-		acc += gc_x(idx * u_n + k);
+		s += exp(gc_x(idx * u_n + k) - m);
 	}
-	return acc;
+	return m + log(s);
 }
 `
 
-const rowDivSource = `
+const smNormSource = `
 float gc_kernel(float idx) {
 	float b = floor((idx + 0.5) / u_n);
-	return gc_x(idx) / gc_s(b);
+	return exp(gc_x(idx) - gc_l(b));
 }
 `
 
 // kernelFor compiles (through the device's compile-once cache) one nn
-// kernel for the given element type.
-func kernelFor(dev *core.Device, name string, elem codec.ElemType, inputs []string, uniforms []string, src string) (*core.Kernel, error) {
+// kernel for the given element type. ew and epilogue are the fusion
+// declarations forwarded to core.KernelSpec (see DESIGN.md §6d): ew marks
+// strict element-wise kernels (fusable as chain members), epilogue marks
+// kernels whose body may host fused element-wise epilogues.
+func kernelFor(dev *core.Device, name string, elem codec.ElemType, inputs []string, uniforms []string, src string, ew, epilogue bool) (*core.Kernel, error) {
 	params := make([]core.Param, len(inputs))
 	for i, in := range inputs {
 		params[i] = core.Param{Name: in, Type: elem}
 	}
 	return dev.BuildKernelCached(core.KernelSpec{
-		Name:     name,
-		Inputs:   params,
-		Outputs:  []core.OutputSpec{{Name: "out", Type: elem}},
-		Uniforms: uniforms,
-		Source:   src,
+		Name:            name,
+		Inputs:          params,
+		Outputs:         []core.OutputSpec{{Name: "out", Type: elem}},
+		Uniforms:        uniforms,
+		Source:          src,
+		ElementWise:     ew,
+		FusableEpilogue: epilogue,
 	})
 }

@@ -103,8 +103,12 @@ func (m *Model) Build(dev *core.Device, batch int, tapAll bool) (*Network, error
 	curShape := m.in
 	var layerRefs []core.Ref
 	for li, l := range m.layers {
-		stage := func(r core.Ref) core.Ref { // record stage->layer ownership
+		// stage records stage->layer ownership and labels the stage with
+		// the layer name, so fused passes report as "conv1+relu1" and
+		// PipelineStats attribution maps back to layers.
+		stage := func(label string, r core.Ref) core.Ref {
 			net.stageOf = append(net.stageOf, li)
+			net.p.Label(label)
 			return r
 		}
 		f := func(v int) float32 { return float32(v) }
@@ -117,12 +121,12 @@ func (m *Model) Build(dev *core.Device, batch int, tapAll bool) (*Network, error
 				return nil, err
 			}
 			im2colK, err := kernelFor(dev, "nn-im2col", m.elem, []string{"x"},
-				[]string{"u_kk", "u_ohw", "u_ow", "u_kwic", "u_ic", "u_stride", "u_inh", "u_inw"}, im2colSource)
+				[]string{"u_kk", "u_ohw", "u_ow", "u_kwic", "u_ic", "u_stride", "u_inh", "u_inw"}, im2colSource, false, true)
 			if err != nil {
 				return nil, err
 			}
 			gemmK, err := kernelFor(dev, "nn-gemm", m.elem, []string{"x", "w", "bias"},
-				[]string{"u_cols", "u_k"}, gemmSource)
+				[]string{"u_cols", "u_k"}, gemmSource, false, true)
 			if err != nil {
 				return nil, err
 			}
@@ -134,18 +138,18 @@ func (m *Model) Build(dev *core.Device, batch int, tapAll bool) (*Network, error
 			if err != nil {
 				return nil, err
 			}
-			patches := stage(net.p.StageN(im2colK, rows*cs.K(), map[string]float32{
+			patches := stage(l.name+"/im2col", net.p.StageN(im2colK, rows*cs.K(), map[string]float32{
 				"u_kk": f(cs.K()), "u_ohw": f(cs.OutH() * cs.OutW()), "u_ow": f(cs.OutW()),
 				"u_kwic": f(cs.KW * cs.InC), "u_ic": f(cs.InC), "u_stride": f(cs.Stride),
 				"u_inh": f(cs.InH), "u_inw": f(cs.InW),
 			}, cur))
-			out = stage(net.p.StageN(gemmK, rows*cs.OutC, map[string]float32{
+			out = stage(l.name, net.p.StageN(gemmK, rows*cs.OutC, map[string]float32{
 				"u_cols": f(cs.OutC), "u_k": f(cs.K()),
 			}, patches, wRef, bRef))
 		case KindDW:
 			ds := l.dw
 			dwK, err := kernelFor(dev, "nn-dwconv", m.elem, []string{"x", "w", "bias"},
-				[]string{"u_on", "u_owc", "u_c", "u_taps", "u_kw", "u_stride", "u_inh", "u_inw"}, dwSource)
+				[]string{"u_on", "u_owc", "u_c", "u_taps", "u_kw", "u_stride", "u_inh", "u_inw"}, dwSource, false, true)
 			if err != nil {
 				return nil, err
 			}
@@ -157,31 +161,39 @@ func (m *Model) Build(dev *core.Device, batch int, tapAll bool) (*Network, error
 			if err != nil {
 				return nil, err
 			}
-			out = stage(net.p.StageN(dwK, batch*l.outShape.N(), map[string]float32{
+			out = stage(l.name, net.p.StageN(dwK, batch*l.outShape.N(), map[string]float32{
 				"u_on": f(l.outShape.N()), "u_owc": f(l.outShape.W * ds.C), "u_c": f(ds.C),
 				"u_taps": f(ds.KH * ds.KW), "u_kw": f(ds.KW), "u_stride": f(ds.Stride),
 				"u_inh": f(ds.InH), "u_inw": f(ds.InW),
 			}, cur, wRef, bRef))
 		case KindPool:
 			poolK, err := kernelFor(dev, "nn-maxpool", m.elem, []string{"x"},
-				[]string{"u_on", "u_owc", "u_c", "u_taps", "u_pw", "u_stride", "u_inh", "u_inw"}, poolSource)
+				[]string{"u_on", "u_owc", "u_c", "u_taps", "u_pw", "u_stride", "u_inh", "u_inw"}, poolSource, false, true)
 			if err != nil {
 				return nil, err
 			}
-			out = stage(net.p.StageN(poolK, batch*l.outShape.N(), map[string]float32{
+			out = stage(l.name, net.p.StageN(poolK, batch*l.outShape.N(), map[string]float32{
 				"u_on": f(l.outShape.N()), "u_owc": f(l.outShape.W * curShape.C), "u_c": f(curShape.C),
 				"u_taps": f(l.ph * l.pw), "u_pw": f(l.pw), "u_stride": f(l.stride),
 				"u_inh": f(curShape.H), "u_inw": f(curShape.W),
 			}, cur))
+			if l.stride >= l.ph && l.stride >= l.pw {
+				// Non-overlapping windows (stride clears the window in
+				// both axes) read each producer element at most once:
+				// fusing the producing GEMM into the pooling pass deletes
+				// its draw and codec round trip with zero recompute
+				// amplification.
+				net.p.InlineInput(0)
+			}
 		case KindReLU:
-			reluK, err := kernelFor(dev, "nn-relu", m.elem, []string{"x"}, nil, reluSource)
+			reluK, err := kernelFor(dev, "nn-relu", m.elem, []string{"x"}, nil, reluSource, true, false)
 			if err != nil {
 				return nil, err
 			}
-			out = stage(net.p.Stage(reluK, nil, cur))
+			out = stage(l.name, net.p.Stage(reluK, nil, cur))
 		case KindDense:
 			gemmK, err := kernelFor(dev, "nn-gemm", m.elem, []string{"x", "w", "bias"},
-				[]string{"u_cols", "u_k"}, gemmSource)
+				[]string{"u_cols", "u_k"}, gemmSource, false, true)
 			if err != nil {
 				return nil, err
 			}
@@ -193,42 +205,40 @@ func (m *Model) Build(dev *core.Device, batch int, tapAll bool) (*Network, error
 			if err != nil {
 				return nil, err
 			}
-			out = stage(net.p.StageN(gemmK, batch*l.out, map[string]float32{
+			out = stage(l.name, net.p.StageN(gemmK, batch*l.out, map[string]float32{
 				"u_cols": f(l.out), "u_k": f(l.in),
 			}, cur, wRef, bRef))
 		case KindSoftmax:
 			n := curShape.N()
-			rowMaxK, err := kernelFor(dev, "nn-rowmax", m.elem, []string{"x"}, []string{"u_n"}, rowMaxSource)
+			// lse opts into body inlining (FusableEpilogue) so the
+			// normalize pass can absorb it for small rows.
+			lseK, err := kernelFor(dev, "nn-logsumexp", m.elem, []string{"x"}, []string{"u_n"}, lseSource, false, true)
 			if err != nil {
 				return nil, err
 			}
-			expSubK, err := kernelFor(dev, "nn-expsub", m.elem, []string{"x", "m"}, []string{"u_n"}, expSubSource)
-			if err != nil {
-				return nil, err
-			}
-			rowSumK, err := kernelFor(dev, "nn-rowsum", m.elem, []string{"x"}, []string{"u_n"}, rowSumSource)
-			if err != nil {
-				return nil, err
-			}
-			rowDivK, err := kernelFor(dev, "nn-rowdiv", m.elem, []string{"x", "s"}, []string{"u_n"}, rowDivSource)
+			normK, err := kernelFor(dev, "nn-smnorm", m.elem, []string{"x", "l"}, []string{"u_n"}, smNormSource, false, false)
 			if err != nil {
 				return nil, err
 			}
 			uni := map[string]float32{"u_n": f(n)}
-			rowMax := stage(net.p.StageN(rowMaxK, batch, uni, cur))
-			exps := stage(net.p.StageN(expSubK, batch*n, uni, cur, rowMax))
-			sums := stage(net.p.StageN(rowSumK, batch, uni, exps))
-			out = stage(net.p.StageN(rowDivK, batch*n, uni, exps, sums))
+			lse := stage(l.name+"/lse", net.p.StageN(lseK, batch, uni, cur))
+			out = stage(l.name, net.p.StageN(normK, batch*n, uni, cur, lse))
+			if n <= 64 {
+				// Each normalize fragment recomputes its row's
+				// log-sum-exp: n extra row scans of length n per row
+				// beats a whole extra launch while n² stays trivial.
+				net.p.InlineInput(1)
+			}
 		case KindRescale:
 			src, name := rescaleFloatSource, "nn-rescale"
 			if m.elem == codec.Int32 {
 				src, name = rescaleIntSource, "nn-rescale-int"
 			}
-			rescaleK, err := kernelFor(dev, name, m.elem, []string{"x"}, []string{"u_scale"}, src)
+			rescaleK, err := kernelFor(dev, name, m.elem, []string{"x"}, []string{"u_scale"}, src, true, false)
 			if err != nil {
 				return nil, err
 			}
-			out = stage(net.p.Stage(rescaleK, map[string]float32{"u_scale": f(1 << l.shift)}, cur))
+			out = stage(l.name, net.p.Stage(rescaleK, map[string]float32{"u_scale": f(1 << l.shift)}, cur))
 		default:
 			return nil, fmt.Errorf("nn: Build: unknown layer kind %q", l.kind)
 		}
@@ -268,6 +278,24 @@ func (m *Model) Build(dev *core.Device, batch int, tapAll bool) (*Network, error
 	ok = true
 	return net, nil
 }
+
+// SetFusion enables or disables the pipeline's automatic kernel fusion
+// for this network; call it between Build and the first Run. The default
+// follows core's fusion default (on unless core.EnvDisableFusion is set).
+// With fusion on, element-wise layers (ReLU, Rescale) merge into the pass
+// of the layer producing their input, non-overlapping pools absorb their
+// producing GEMM chain, and the softmax normalize absorbs its row scan —
+// a LeNet-scale float network drops from 15 builder stages to 8 fragment
+// passes — with int32 outputs bit-identical either way.
+func (n *Network) SetFusion(on bool) { n.p.SetFusion(on) }
+
+// FusionEnabled reports whether the network's pipeline may fuse stages.
+func (n *Network) FusionEnabled() bool { return n.p.FusionEnabled() }
+
+// PlannedPasses reports the pipeline's planned fragment passes
+// post-fusion (labels like "conv1+relu1"); it freezes the plan exactly
+// as the first Run would.
+func (n *Network) PlannedPasses() ([]string, error) { return n.p.PlannedPasses() }
 
 // Batch returns the batch size the network was built for.
 func (n *Network) Batch() int { return n.batch }

@@ -288,7 +288,9 @@ func TestBatchedMatchesSolo(t *testing.T) {
 }
 
 // TestLayerTimesCoverChain pins the per-layer time attribution: one entry
-// per layer, summing to the whole-chain modeled time.
+// per layer, summing to the whole-chain modeled time. With fusion on
+// (the default), a layer fused into its producer's pass (the ReLUs)
+// reports zero — its cost is charged to the fused chain's head.
 func TestLayerTimesCoverChain(t *testing.T) {
 	dev := openTest(t)
 	defer dev.Close()
@@ -307,7 +309,8 @@ func TestLayerTimesCoverChain(t *testing.T) {
 	}
 	var sum core.Timeline
 	for i, lt := range res.LayerTimes {
-		if lt.Execute <= 0 {
+		kind := m.Layers()[i].Kind
+		if kind != KindReLU && kind != KindPool && lt.Execute <= 0 {
 			t.Errorf("layer %d (%s): non-positive modeled execute time", i, m.Layers()[i].Name)
 		}
 		sum = sum.Add(lt)
@@ -315,6 +318,124 @@ func TestLayerTimesCoverChain(t *testing.T) {
 	if sum != res.Stats.Time {
 		t.Fatalf("layer times sum to %+v, chain is %+v", sum, res.Stats.Time)
 	}
+	// relu1..relu4, pool1, pool2 and the softmax lse scan all merge into
+	// neighbouring passes.
+	if res.Stats.FusedStages != 7 {
+		t.Errorf("FusedStages = %d, want 7", res.Stats.FusedStages)
+	}
+
+	// Unfused reference path: every layer keeps its own pass and time.
+	net2, err := m.Build(dev, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net2.Close()
+	net2.SetFusion(false)
+	res2, err := net2.Run(DemoInputFloat32(7, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, lt := range res2.LayerTimes {
+		if lt.Execute <= 0 {
+			t.Errorf("unfused layer %d (%s): non-positive modeled execute time", i, m.Layers()[i].Name)
+		}
+	}
+}
+
+// TestLeNetFusedPassCounts pins the acceptance bar of the fusion planner:
+// the float LeNet executes in ≤ 11 fragment passes (actually 8 from 15
+// builder stages: ReLUs fuse into their GEMM producers as epilogues,
+// non-overlapping pools absorb the fused GEMM chain by inlining, and the
+// softmax normalize absorbs the log-sum-exp scan), the integer LeNet in
+// ≤ 9 (Rescales fold in too), and the fused passes carry the
+// layer-joined labels.
+func TestLeNetFusedPassCounts(t *testing.T) {
+	dev := openTest(t)
+	defer dev.Close()
+
+	mf := DemoLeNetFloat32(20160316)
+	netF, err := mf.Build(dev, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netF.Close()
+	passesF, err := netF.PlannedPasses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passesF) > 11 {
+		t.Errorf("float LeNet planned %d passes %v, want <= 11", len(passesF), passesF)
+	}
+	found := false
+	for _, l := range passesF {
+		if l == "conv1+relu1+pool1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("planned passes %v missing fused label conv1+relu1+pool1", passesF)
+	}
+
+	mi := DemoLeNetInt32(20160316)
+	netI, err := mi.Build(dev, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netI.Close()
+	passesI, err := netI.PlannedPasses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passesI) > 9 {
+		t.Errorf("int LeNet planned %d passes %v, want <= 9", len(passesI), passesI)
+	}
+
+	// Tapping every layer forces materialization: no cross-layer fusion
+	// in tap mode (only the intra-layer softmax lse scan, which is not a
+	// tapped layer output, still fuses: 15 stages → 14 passes).
+	netT, err := mf.Build(dev, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netT.Close()
+	passesT, err := netT.PlannedPasses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passesT) != 14 {
+		t.Errorf("tapped float LeNet planned %d passes, want 14 (every layer output materialized)", len(passesT))
+	}
+}
+
+// TestLeNetIntFusedBitIdentical pins the fusion correctness obligation on
+// the real workload: the fused integer network's output is bit-identical
+// to the unfused path and to the refcpu reference.
+func TestLeNetIntFusedBitIdentical(t *testing.T) {
+	dev := openTest(t)
+	defer dev.Close()
+	m := DemoLeNetInt32(20160316)
+	x := DemoInputInt32(11, 2)
+	want, _, err := m.Reference(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(fuse bool) []int32 {
+		net, err := m.Build(dev, 2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer net.Close()
+		net.SetFusion(fuse)
+		res, err := net.Run(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Output.([]int32)
+	}
+	fused, unfused := run(true), run(false)
+	checkInt32Exact(t, "fused vs refcpu", fused, want[len(want)-1])
+	checkInt32Exact(t, "fused vs unfused", fused, unfused)
 }
 
 // TestModelBuilderErrors pins the deferred-error discipline.

@@ -854,7 +854,7 @@ func RunPipelineChain(n int) (PipelineChain, error) {
 
 	// Device-resident pipeline: upload once, fold on-device, read 1 element.
 	p := dev.NewPipeline()
-	defer p.Free()
+	defer p.Close()
 	p.Output(p.Reduce(p.Input(codec.Float32, n), core.ReduceAdd))
 	if err := p.Err(); err != nil {
 		return res, err

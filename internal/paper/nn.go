@@ -85,6 +85,24 @@ type NNResult struct {
 	FloatValidated bool `json:"float_validated"`
 	IntValidated   bool `json:"int_validated"`
 	IntLayers      int  `json:"int_layers"`
+
+	// Fusion on/off experiment (whole float network, batch 1, warm): the
+	// automatic kernel-fusion planner merges element-wise layers into
+	// their producers' fragment passes, so the same 15-stage LeNet
+	// executes in FusedPasses (≤ 11) instead of UnfusedPasses, deleting
+	// both the per-launch fixed costs and the RGBA8 codec round trips of
+	// the eliminated intermediates. FusionValidated: the fused integer
+	// network's output is bit-identical to the unfused path and to
+	// refcpu. When fusion is disabled (core.EnvDisableFusion), the
+	// comparison degenerates (FusionEnabled records it) and the planner
+	// bars are not asserted.
+	FusionEnabled   bool     `json:"fusion_enabled"`
+	FusedPasses     int      `json:"fused_passes"`
+	UnfusedPasses   int      `json:"unfused_passes"`
+	UnfusedNetGPUUS float64  `json:"unfused_net_gpu_model_us"`
+	FusionSpeedupX  float64  `json:"fusion_speedup_x"`
+	FusedStages     []string `json:"fused_stages"` // executed pass labels, fused chains joined with "+"
+	FusionValidated bool     `json:"fusion_validated"`
 }
 
 // validateNNFloat runs the float network with every layer tapped and
@@ -144,22 +162,64 @@ func validateNNFloat(res *NNResult) error {
 
 	// Whole-network end-to-end time on a warm network: input upload +
 	// every layer + final readback (tap readbacks excluded — rebuild
-	// without taps).
+	// without taps). The default path runs with the fusion planner (on
+	// unless core.EnvDisableFusion); an explicitly unfused build prices
+	// the same chain pass-per-stage for the fusion on/off comparison.
 	e2e, err := m.Build(dev, 1, false)
 	if err != nil {
 		return err
 	}
 	defer e2e.Close()
+	res.FusionEnabled = e2e.FusionEnabled()
 	if _, err := e2e.Run(x); err != nil { // warm-up (kernels already cached; pool warmed)
 		return err
 	}
 	dev.ResetTimeline()
-	if _, err := e2e.Run(x); err != nil {
+	fusedRun, err := e2e.Run(x)
+	if err != nil {
 		return err
 	}
 	res.NetGPUUS = float64(dev.Timeline().Total().Nanoseconds()) / 1000
 	if res.NetGPUUS > 0 {
 		res.ModelSpeedupX = res.NetCPUUS / res.NetGPUUS
+	}
+	res.FusedPasses = fusedRun.Stats.Passes
+	res.FusedStages = fusedRun.Stats.ExecStages
+
+	unfused, err := m.Build(dev, 1, false)
+	if err != nil {
+		return err
+	}
+	defer unfused.Close()
+	unfused.SetFusion(false)
+	if _, err := unfused.Run(x); err != nil { // warm-up
+		return err
+	}
+	dev.ResetTimeline()
+	unfusedRun, err := unfused.Run(x)
+	if err != nil {
+		return err
+	}
+	res.UnfusedNetGPUUS = float64(dev.Timeline().Total().Nanoseconds()) / 1000
+	res.UnfusedPasses = unfusedRun.Stats.Passes
+	if res.NetGPUUS > 0 {
+		res.FusionSpeedupX = res.UnfusedNetGPUUS / res.NetGPUUS
+	}
+	if res.FusionEnabled {
+		// Deterministic planner bars (vc4 model, fixed demo network):
+		// the fused chain must hit the pass budget and must strictly
+		// beat the unfused chain — fewer launches, no codec work for
+		// the eliminated intermediates.
+		if res.FusedPasses > 11 {
+			return fmt.Errorf("paper: nn: fused LeNet ran %d passes, want <= 11", res.FusedPasses)
+		}
+		if fusedRun.Stats.FusionFallbacks != 0 {
+			return fmt.Errorf("paper: nn: %d fusion fallbacks, want 0", fusedRun.Stats.FusionFallbacks)
+		}
+		if res.FusionSpeedupX < 1.2 {
+			return fmt.Errorf("paper: nn: fusion speedup %.3fx, want >= 1.2x (unfused %.0fµs, fused %.0fµs)",
+				res.FusionSpeedupX, res.UnfusedNetGPUUS, res.NetGPUUS)
+		}
 	}
 	return nil
 }
@@ -194,6 +254,27 @@ func validateNNInt(res *NNResult) error {
 		}
 	}
 	res.IntValidated = true
+
+	// The fusion correctness obligation, asserted on the real workload:
+	// the fused integer network (ReLUs and Rescales folded into their
+	// producers' passes) must produce the exact bits of the unfused path
+	// — which the tapped run above already proved identical to refcpu.
+	fused, err := m.Build(dev, 1, false)
+	if err != nil {
+		return err
+	}
+	defer fused.Close()
+	fusedRun, err := fused.Run(x)
+	if err != nil {
+		return err
+	}
+	if !nn.Int32Equal(fusedRun.Output, refs[len(refs)-1]) {
+		return fmt.Errorf("paper: nn: fused int32 network not bit-identical to the unfused path / refcpu")
+	}
+	// Only claim the fusion equivalence was validated when fusion actually
+	// ran: with core.EnvDisableFusion set the comparison above degenerates
+	// to unfused-vs-unfused and proves nothing about the planner.
+	res.FusionValidated = fused.FusionEnabled()
 	return nil
 }
 
