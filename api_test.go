@@ -1,8 +1,10 @@
 package glescompute_test
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"glescompute"
 )
@@ -225,6 +227,115 @@ func TestPublicAPIQueue(t *testing.T) {
 	}
 	if _, err := q.Submit(nil, glescompute.JobSpec{Kernel: sum, Inputs: []interface{}{[]int32{1}, []int32{2}}}); err != glescompute.ErrQueueClosed {
 		t.Fatalf("Submit after Close: %v, want ErrQueueClosed", err)
+	}
+}
+
+// TestPublicAPIErrClosed pins that errors.Is(err, glescompute.ErrClosed)
+// holds through every public entry point once the owning object is
+// closed — device methods, buffer I/O, kernel and pipeline runs, and
+// queue submission (ErrQueueClosed wraps ErrClosed).
+func TestPublicAPIErrClosed(t *testing.T) {
+	dev, err := glescompute.Open(glescompute.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := dev.NewBuffer(glescompute.Int32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := glescompute.KernelSpec{
+		Name:    "id",
+		Inputs:  []glescompute.Param{{Name: "x", Type: glescompute.Int32}},
+		Outputs: []glescompute.OutputSpec{{Name: "out", Type: glescompute.Int32}},
+		Source:  "float gc_kernel(float idx) { return gc_x(idx); }",
+	}
+	k, err := dev.BuildKernel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := dev.NewPipeline()
+	p.Output(p.Stage(k, nil, p.Input(glescompute.Int32, 8)))
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	checks := []struct {
+		label string
+		err   error
+	}{
+		{"NewBuffer", func() error { _, err := dev.NewBuffer(glescompute.Int32, 8); return err }()},
+		{"BuildKernel", func() error { _, err := dev.BuildKernel(spec); return err }()},
+		{"Buffer.WriteInt32", buf.WriteInt32(make([]int32, 8))},
+		{"Buffer.ReadInt32", func() error { _, err := buf.ReadInt32(); return err }()},
+		{"Kernel.Run1", func() error { _, err := k.Run1(buf, []*glescompute.Buffer{buf}, nil); return err }()},
+		{"Pipeline.Run", func() error {
+			_, err := p.Run([]*glescompute.Buffer{buf}, []*glescompute.Buffer{buf}, nil)
+			return err
+		}()},
+	}
+	for _, c := range checks {
+		if !errors.Is(c.err, glescompute.ErrClosed) {
+			t.Errorf("%s on closed device: err = %v, want errors.Is ErrClosed", c.label, c.err)
+		}
+	}
+
+	q, err := glescompute.OpenQueue(glescompute.QueueConfig{Devices: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = q.Submit(nil, glescompute.JobSpec{Kernel: spec, Inputs: []interface{}{[]int32{1}}})
+	if !errors.Is(err, glescompute.ErrQueueClosed) || !errors.Is(err, glescompute.ErrClosed) {
+		t.Errorf("Submit after Close: err = %v, want errors.Is ErrQueueClosed and ErrClosed", err)
+	}
+}
+
+// TestPublicAPIFaultSurface exercises the fault-tolerance surface through
+// the public package: retry policy and deadline on JobSpec, the retryable
+// sentinels, and per-device health in the stats.
+func TestPublicAPIFaultSurface(t *testing.T) {
+	q, err := glescompute.OpenQueue(glescompute.QueueConfig{Devices: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	// A job failing with a retryable sentinel is retried Max times.
+	runs := 0
+	j, err := q.Submit(nil, glescompute.JobSpec{
+		Retry: glescompute.RetryPolicy{Max: 2, Backoff: 100 * time.Microsecond},
+		Direct: func(dev *glescompute.Device) (interface{}, glescompute.RunStats, error) {
+			runs++
+			return nil, glescompute.RunStats{}, glescompute.ErrDeviceLost
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Wait(nil)
+	if !errors.Is(err, glescompute.ErrDeviceLost) {
+		t.Fatalf("Wait: err = %v, want errors.Is ErrDeviceLost", err)
+	}
+	if runs != 3 || res.Stats.Attempts != 3 {
+		t.Fatalf("runs = %d, Attempts = %d, want 3 executions (1 + 2 retries)", runs, res.Stats.Attempts)
+	}
+
+	st := q.Stats()
+	if st.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", st.Retries)
+	}
+	if st.HealthyDevices != 1 || st.Degraded() {
+		t.Errorf("healthy = %d, degraded = %v, want 1 healthy, not degraded", st.HealthyDevices, st.Degraded())
+	}
+	for _, d := range st.Devices {
+		if d.Health != glescompute.DeviceHealthy {
+			t.Errorf("device %d health = %v, want %v", d.Device, d.Health, glescompute.DeviceHealthy)
+		}
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // gatedKeys are the higher-is-better modeled metrics.
@@ -46,10 +47,13 @@ var gatedKeys = map[string]bool{
 }
 
 // isValidatedKey matches boolean leaves that must hold in the current
-// report.
+// report: `validated` itself plus any `*_validated` differential check
+// (int_validated, fusion_validated, chaos_validated, ...). Matching by
+// suffix means a new experiment's validation flag is gated the moment it
+// appears in a capture — forgetting to enumerate it here can't silently
+// exempt it.
 func isValidatedKey(key string) bool {
-	return key == "validated" || key == "int_validated" || key == "float_validated" ||
-		key == "fusion_validated"
+	return key == "validated" || strings.HasSuffix(key, "_validated")
 }
 
 // walk flattens a JSON tree into path→value for float and bool leaves.
@@ -124,7 +128,7 @@ func compare(base, cur map[string]interface{}, maxRegress float64) (failures, in
 	sort.Strings(vpaths)
 	for _, p := range vpaths {
 		if isValidatedKey(leafKey(p)) && !cBools[p] {
-			failures = append(failures, fmt.Sprintf("%s: false (validation must hold)", p))
+			failures = append(failures, fmt.Sprintf("%s: false — a differential validation check failed; this is a correctness regression, not a performance one (no -max-regress budget applies)", p))
 		}
 	}
 	// A baseline validation flag vanishing from the current report means a

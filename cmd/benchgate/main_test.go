@@ -95,6 +95,24 @@ func TestGateFusionKeys(t *testing.T) {
 	}
 }
 
+func TestGateChaosValidationBySuffix(t *testing.T) {
+	// chaos_validated was never enumerated anywhere — the *_validated
+	// suffix rule must gate it (and any future experiment's flag) both
+	// when it flips false and when it vanishes from the capture.
+	const chaosBase = `{"chaos": {"chaos_validated": true, "zero_lost": true}}`
+	cur := report(t, `{"chaos": {"chaos_validated": false, "zero_lost": false}}`)
+	failures, _ := compare(report(t, chaosBase), cur, 0.10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "chaos.chaos_validated: false") {
+		t.Fatalf("failures = %v, want one on chaos.chaos_validated", failures)
+	}
+
+	gone := report(t, `{"chaos": {"zero_lost": true}}`)
+	failures, _ = compare(report(t, chaosBase), gone, 0.10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "chaos.chaos_validated: validated in baseline, missing") {
+		t.Fatalf("failures = %v, want one on missing chaos.chaos_validated", failures)
+	}
+}
+
 func TestUpdateBaselineRewritesFile(t *testing.T) {
 	dir := t.TempDir()
 	basePath := dir + "/base.json"

@@ -8,10 +8,15 @@
 //	paperbench [-exp all|list|<comma-separated experiment names>]
 //	           [-sum-n N] [-sum-exec N] [-sgemm-n N] [-pipeline-n N]
 //	           [-serve-jobs N] [-serve-n N] [-nn-requests N] [-nn-batch N]
+//	           [-chaos-jobs N] [-chaos-seed S] [-chaos-devices N]
 //	           [-json]
 //
 // `-exp list` prints the experiment index; an unknown experiment name
 // exits non-zero instead of silently running nothing.
+//
+// The chaos experiment's fault schedule seed may also be set through the
+// GLESCOMPUTE_FAULT_SEED environment variable (the -chaos-seed flag wins
+// when both are given), so CI can sweep seeds without editing workflows.
 //
 // With -json, results are emitted as a single machine-readable JSON
 // object on stdout (for capturing benchmark trajectories as BENCH_*.json)
@@ -24,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"glescompute/internal/codec"
@@ -80,8 +86,28 @@ func main() {
 	serveN := flag.Int("serve-n", 8, "serve: elements per small sum request")
 	nnRequests := flag.Int("nn-requests", 24, "nn: inference requests in the serve sweep")
 	nnBatch := flag.Int("nn-batch", 8, "nn: images coalesced per batched launch")
+	chaosJobs := flag.Int("chaos-jobs", 10000, "chaos: requests in the faulted stream")
+	chaosSeed := flag.Int64("chaos-seed", 20160316, "chaos: fault schedule seed (env GLESCOMPUTE_FAULT_SEED also sets it; the flag wins)")
+	chaosDevices := flag.Int("chaos-devices", 4, "chaos: device pool width")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
+
+	if env := os.Getenv("GLESCOMPUTE_FAULT_SEED"); env != "" {
+		flagSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "chaos-seed" {
+				flagSet = true
+			}
+		})
+		if !flagSet {
+			seed, err := strconv.ParseInt(env, 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: GLESCOMPUTE_FAULT_SEED=%q: %v\n", env, err)
+				os.Exit(2)
+			}
+			*chaosSeed = seed
+		}
+	}
 
 	report := map[string]interface{}{}
 
@@ -101,6 +127,7 @@ func main() {
 		{"pipeline", "P3 device-resident pipeline vs host round-trip chaining"},
 		{"serve", "S1 concurrent compute service (queue, batching, devices)"},
 		{"nn", "N1 neural-network inference + kernel-fusion on/off"},
+		{"chaos", "R1 fault-tolerant serving under a seeded fault schedule"},
 		{"codec-overhead", "A1 pack/unpack share of kernel cycles"},
 	}
 
@@ -422,6 +449,33 @@ func main() {
 			res.FusionEnabled, res.FusedPasses, res.UnfusedPasses,
 			res.NetGPUUS, res.UnfusedNetGPUUS, res.FusionSpeedupX, res.FusionValidated)
 		fmt.Printf("  fused passes: %s\n", strings.Join(res.FusedStages, ", "))
+		return nil
+	})
+
+	run("chaos", func() error {
+		res, err := paper.RunChaos(*chaosJobs, *serveN, *chaosSeed, *chaosDevices)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			report["chaos"] = res
+		} else {
+			fmt.Println()
+			fmt.Printf("R1 — fault-tolerant serving (%d requests over %d devices, fault seed %d):\n",
+				res.Jobs, res.Devices, res.Seed)
+			fmt.Printf("  injected: %d context losses, %d corrupted readbacks, %d transient OOMs, %d stalls\n",
+				res.Injected.ContextLost, res.Injected.CorruptReadbacks, res.Injected.OutOfMemory, res.Injected.Stalls)
+			fmt.Printf("  handled:  %d retries, %d device faults, %d device replacements, worst request took %d attempts\n",
+				res.Retries, res.Faults, res.Reopens, res.MaxAttempts)
+			fmt.Printf("  zero lost jobs: %v (failed: %d); bit-identical to fault-free reference: %v\n",
+				res.ZeroLost, res.FailedJobs, res.BitIdentical)
+			fmt.Printf("  recovered to full capacity: %v (%d/%d devices healthy); wall %.0fms\n",
+				res.Recovered, res.Healthy, res.Devices, res.WallMS)
+		}
+		if !res.ChaosValidated {
+			return fmt.Errorf("chaos validation failed: zero_lost=%v bit_identical=%v recovered=%v faults_injected=%v",
+				res.ZeroLost, res.BitIdentical, res.Recovered, res.FaultsInjected)
+		}
 		return nil
 	})
 

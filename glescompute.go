@@ -54,6 +54,13 @@
 //	res, _ := job.Wait(ctx)
 //	sums, _ := res.Float32()
 //
+// The queue is fault-tolerant: a device whose context is lost (or whose
+// job panics) is quarantined and replaced, with its kernels recompiled
+// from their cache keys; jobs that opt in via JobSpec.Retry are
+// resubmitted to a healthy device with exponential backoff, and
+// JobSpec.Deadline bounds a job's total time in the service. See
+// DESIGN.md §6e for the fault model and health state machine.
+//
 // The glescompute/nn subpackage builds neural-network inference on this
 // stack: conv/pool/dense layers as fragment kernels, whole CNNs compiled
 // into one device-resident pipeline, and inference serving over Queue.
@@ -126,6 +133,20 @@ type (
 	QueueStats = sched.QueueStats
 	// QueueDeviceStats is one pooled device's share of the work.
 	QueueDeviceStats = sched.DeviceStats
+	// RetryPolicy opts a job into automatic resubmission after a
+	// retryable device fault (ErrDeviceLost, ErrOutOfMemory), with
+	// exponential backoff. Jobs must be idempotent to use it.
+	RetryPolicy = sched.RetryPolicy
+	// DeviceHealth is a pooled device's position in the health state
+	// machine: healthy, quarantined (being replaced), or dead.
+	DeviceHealth = sched.DeviceHealth
+)
+
+// Health states reported in QueueDeviceStats.Health.
+const (
+	DeviceHealthy     = sched.DeviceHealthy
+	DeviceQuarantined = sched.DeviceQuarantined
+	DeviceDead        = sched.DeviceDead
 )
 
 // Sentinel errors.
@@ -133,8 +154,16 @@ var (
 	// ErrClosed is wrapped by operations on a closed Device, Kernel or
 	// Pipeline.
 	ErrClosed = core.ErrClosed
-	// ErrQueueClosed is returned by Queue.Submit after Queue.Close.
+	// ErrQueueClosed is returned by Queue.Submit after Queue.Close. It
+	// wraps ErrClosed, so errors.Is(err, ErrClosed) holds for it too.
 	ErrQueueClosed = sched.ErrQueueClosed
+	// ErrDeviceLost is wrapped by operations that died with the GL
+	// context (context loss, mid-job device failure, a panicking job).
+	// Retryable: pair with JobSpec.Retry to resubmit to a healthy device.
+	ErrDeviceLost = core.ErrDeviceLost
+	// ErrOutOfMemory is wrapped by operations that hit a (possibly
+	// transient) GL_OUT_OF_MEMORY. Retryable.
+	ErrOutOfMemory = core.ErrOutOfMemory
 )
 
 // Built-in reduction operators for Pipeline.Reduce.

@@ -34,6 +34,18 @@ import (
 // instead of a crash.
 var ErrClosed = errors.New("device is closed")
 
+// ErrDeviceLost is wrapped by operations that failed because the GL
+// context died — context loss (GL_CONTEXT_LOST), detected readback
+// corruption, or a panic on the device goroutine. The device cannot
+// recover; schedulers quarantine it and replace it with a fresh one.
+var ErrDeviceLost = errors.New("device lost")
+
+// ErrOutOfMemory is wrapped by operations that failed with
+// GL_OUT_OF_MEMORY. On low-end mobile GPUs allocation failure is often
+// transient (memory pressure from other processes), so schedulers may
+// retry the work without replacing the device.
+var ErrOutOfMemory = errors.New("GL out of memory")
+
 // Config configures a compute device.
 type Config struct {
 	// MaxGridWidth bounds texture width used for buffer layout; 0 means
@@ -117,6 +129,7 @@ type Device struct {
 	kernelCache map[string]*Kernel
 
 	closed   bool
+	lost     bool // a CONTEXT_LOST error was observed; the device is dead
 	leakHook func(gles.ObjectCounts)
 }
 
@@ -258,10 +271,29 @@ func (d *Device) Timeline() Timeline {
 	}
 }
 
-// checkGL converts a pending GL error into a Go error.
+// checkGL converts pending GL errors into a Go error. It drains the
+// context completely — a multi-step operation can queue errors behind the
+// first — so no latent error is left to surface against an innocent later
+// call, and classifies the first (oldest) error onto the matching
+// sentinel: CONTEXT_LOST → ErrDeviceLost, OUT_OF_MEMORY → ErrOutOfMemory.
 func (d *Device) checkGL(op string) error {
-	if e := d.ctx.GetError(); e != gles.NO_ERROR {
-		return fmt.Errorf("core: %s: GL error 0x%04x: %s", op, e, d.ctx.LastErrorDetail())
+	e := d.ctx.GetError()
+	if e == gles.NO_ERROR {
+		return nil
 	}
-	return nil
+	detail := d.ctx.LastErrorDetail()
+	for d.ctx.GetError() != gles.NO_ERROR {
+	}
+	switch e {
+	case gles.CONTEXT_LOST:
+		d.lost = true
+		return fmt.Errorf("core: %s: GL error 0x%04x: %s: %w", op, e, detail, ErrDeviceLost)
+	case gles.OUT_OF_MEMORY:
+		return fmt.Errorf("core: %s: GL error 0x%04x: %s: %w", op, e, detail, ErrOutOfMemory)
+	}
+	return fmt.Errorf("core: %s: GL error 0x%04x: %s", op, e, detail)
 }
+
+// Lost reports whether the device has observed a context-loss error. A
+// lost device never works again; close it and open a replacement.
+func (d *Device) Lost() bool { return d.lost }

@@ -1,0 +1,315 @@
+// Package fault provides deterministic, schedule-driven fault injection
+// for the simulated GL stack. A Plan is seeded once and then hands out one
+// Injector per device-context incarnation (slot 0's first context, slot
+// 0's replacement after a loss, ...); each injector carries a fixed fault
+// schedule keyed by per-class operation counts, so a given seed replays
+// the exact same faults at the exact same operations every run.
+//
+// The injected fault kinds model the normal operating conditions of
+// low-end mobile GPUs the paper targets:
+//
+//   - context loss (GPU reset / kernel preemption): the victim operation
+//     and everything after it on that context fails with CONTEXT_LOST;
+//   - transient GL_OUT_OF_MEMORY: exactly one operation fails, the
+//     context stays healthy;
+//   - stalls: one operation takes a thermal-throttle latency spike;
+//   - corrupted readback: one ReadPixels returns flipped bits AND marks
+//     the context lost, modeling corruption detected via a robustness
+//     reset status — the corrupt bytes never escape to a caller that
+//     checks errors, which internal/core always does after readback.
+//
+// Each faulty incarnation carries at most one terminal (context-killing)
+// event, alternating deterministically between plain loss and corrupted
+// readback, plus early stall and OOM events guaranteed to fire before the
+// terminal one. Only the first Options.FaultyIncarnations incarnations of
+// each slot are faulty; every later replacement runs clean, so a pool with
+// a bounded-replacement policy always recovers to full capacity.
+package fault
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"glescompute/internal/gles"
+)
+
+// Kind enumerates injectable fault kinds.
+type Kind int
+
+// Fault kinds.
+const (
+	// ContextLost kills the context at the victim draw call.
+	ContextLost Kind = iota
+	// OutOfMemory fails one texture upload with GL_OUT_OF_MEMORY.
+	OutOfMemory
+	// Stall sleeps Options.StallFor before one draw call.
+	Stall
+	// CorruptReadback flips bits in one ReadPixels result and marks the
+	// context lost (detected corruption, KHR_robustness style).
+	CorruptReadback
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case ContextLost:
+		return "context-lost"
+	case OutOfMemory:
+		return "out-of-memory"
+	case Stall:
+		return "stall"
+	case CorruptReadback:
+		return "corrupt-readback"
+	}
+	return "unknown"
+}
+
+// Stats counts faults that actually fired.
+type Stats struct {
+	ContextLost      uint64 `json:"context_lost"`
+	OutOfMemory      uint64 `json:"out_of_memory"`
+	Stalls           uint64 `json:"stalls"`
+	CorruptReadbacks uint64 `json:"corrupt_readbacks"`
+}
+
+// Total is the number of faults fired across all kinds.
+func (s Stats) Total() uint64 {
+	return s.ContextLost + s.OutOfMemory + s.Stalls + s.CorruptReadbacks
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.ContextLost += o.ContextLost
+	s.OutOfMemory += o.OutOfMemory
+	s.Stalls += o.Stalls
+	s.CorruptReadbacks += o.CorruptReadbacks
+}
+
+func (s *Stats) note(k Kind) {
+	switch k {
+	case ContextLost:
+		s.ContextLost++
+	case OutOfMemory:
+		s.OutOfMemory++
+	case Stall:
+		s.Stalls++
+	case CorruptReadback:
+		s.CorruptReadbacks++
+	}
+}
+
+// Options sizes a Plan's per-incarnation fault schedules. The zero value
+// gives the defaults noted on each field.
+type Options struct {
+	// StallsPerIncarnation and OOMsPerIncarnation count the early
+	// (non-terminal) events of each faulty incarnation; they are scheduled
+	// in the first quarter of the operation horizon so they fire before
+	// the terminal event. Defaults: 2 and 2.
+	StallsPerIncarnation int
+	OOMsPerIncarnation   int
+	// OpHorizon spreads events over each class's first OpHorizon
+	// operations: early events land in [1, OpHorizon/4], the terminal
+	// event in [OpHorizon/2, OpHorizon]. The incarnation must perform that
+	// many operations for the schedule to fully fire. Default 256.
+	OpHorizon uint64
+	// StallFor is the injected stall duration. Default 200µs.
+	StallFor time.Duration
+	// FaultyIncarnations is how many context incarnations per device slot
+	// carry faults before the slot goes permanently clean. Default 2.
+	FaultyIncarnations int
+	// NoTerminal drops the context-killing events, leaving only transient
+	// faults (stalls, OOM). Useful for harnesses that want retries
+	// without device replacement.
+	NoTerminal bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.StallsPerIncarnation == 0 {
+		o.StallsPerIncarnation = 2
+	}
+	if o.OOMsPerIncarnation == 0 {
+		o.OOMsPerIncarnation = 2
+	}
+	if o.OpHorizon == 0 {
+		o.OpHorizon = 256
+	}
+	if o.StallFor == 0 {
+		o.StallFor = 200 * time.Microsecond
+	}
+	if o.FaultyIncarnations == 0 {
+		o.FaultyIncarnations = 2
+	}
+	return o
+}
+
+// event is one scheduled fault: kind fires when the injector's counter for
+// op reaches seq.
+type eventKey struct {
+	op  gles.FaultOp
+	seq uint64
+}
+
+// Plan is a seeded fault schedule for a whole device pool.
+type Plan struct {
+	seed int64
+	opts Options
+
+	mu           sync.Mutex
+	incarnations map[int]int
+	injectors    []*Injector
+}
+
+// NewPlan builds a plan. The same (seed, opts) pair always produces the
+// same schedules.
+func NewPlan(seed int64, opts Options) *Plan {
+	return &Plan{seed: seed, opts: opts.withDefaults(), incarnations: map[int]int{}}
+}
+
+// Injector returns the injector for device slot's next context
+// incarnation and advances the incarnation counter. Harnesses call it from
+// a sched.Config.OpenDevice hook, attaching the result to the fresh
+// context via Device.GL().SetFaultInjector.
+func (p *Plan) Injector(slot int) *Injector {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inc := p.incarnations[slot]
+	p.incarnations[slot] = inc + 1
+	inj := &Injector{
+		stallFor: p.opts.StallFor,
+		events:   map[eventKey]Kind{},
+	}
+	if inc < p.opts.FaultyIncarnations {
+		p.schedule(inj, slot, inc)
+	}
+	p.injectors = append(p.injectors, inj)
+	return inj
+}
+
+// schedule fills one faulty incarnation's event table. Early events (draw
+// stalls, upload OOMs) land in the first quarter of the horizon; the
+// single terminal event — context loss on a draw, or corrupted readback on
+// a read, alternating by slot+incarnation parity — lands in the second
+// half, after the early events have fired.
+func (p *Plan) schedule(inj *Injector, slot, inc int) {
+	rng := rand.New(rand.NewSource(p.seed ^ int64(slot)*0x9E3779B9 ^ int64(inc)*0x85EBCA77))
+	h := p.opts.OpHorizon
+	early := h / 4
+	if early == 0 {
+		early = 1
+	}
+	place := func(op gles.FaultOp, lo, span uint64, k Kind) {
+		for {
+			key := eventKey{op: op, seq: lo + rng.Uint64()%span}
+			if _, taken := inj.events[key]; !taken {
+				inj.events[key] = k
+				return
+			}
+		}
+	}
+	for i := 0; i < p.opts.StallsPerIncarnation; i++ {
+		place(gles.FaultOpDraw, 1, early, Stall)
+	}
+	for i := 0; i < p.opts.OOMsPerIncarnation; i++ {
+		place(gles.FaultOpUpload, 1, early, OutOfMemory)
+	}
+	if !p.opts.NoTerminal {
+		lo := h / 2
+		if lo == 0 {
+			lo = 1
+		}
+		if (slot+inc)%2 == 0 {
+			place(gles.FaultOpDraw, lo, h-lo+1, ContextLost)
+		} else {
+			place(gles.FaultOpRead, lo, h-lo+1, CorruptReadback)
+		}
+	}
+}
+
+// Stats aggregates fired-fault counts across every injector handed out so
+// far.
+func (p *Plan) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var s Stats
+	for _, inj := range p.injectors {
+		s.Add(inj.Stats())
+	}
+	return s
+}
+
+// Incarnations reports how many injectors have been handed out for slot —
+// 1 for a device that never faulted, 1+N after N replacements.
+func (p *Plan) Incarnations(slot int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.incarnations[slot]
+}
+
+// Injector implements gles.FaultInjector for one context incarnation. It
+// is internally locked: the context drives it from the device goroutine
+// while Plan.Stats reads fired counts from anywhere.
+type Injector struct {
+	stallFor time.Duration
+	events   map[eventKey]Kind
+
+	mu     sync.Mutex
+	counts [faultOpCount]uint64
+	lost   bool
+	stats  Stats
+}
+
+const faultOpCount = 3 // draw, read, upload
+
+// FaultBefore implements gles.FaultInjector. Once a terminal event fires
+// the injector is sticky-lost: every later operation is dropped with
+// CONTEXT_LOST and stops counting toward the schedule, exactly like a dead
+// real context.
+func (i *Injector) FaultBefore(op gles.FaultOp) gles.FaultAction {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.lost {
+		return gles.FaultAction{DropOp: true, ErrCode: gles.CONTEXT_LOST, Detail: "context is lost"}
+	}
+	i.counts[op]++
+	k, ok := i.events[eventKey{op: op, seq: i.counts[op]}]
+	if !ok {
+		return gles.FaultAction{}
+	}
+	i.stats.note(k)
+	switch k {
+	case ContextLost:
+		i.lost = true
+		return gles.FaultAction{DropOp: true, ErrCode: gles.CONTEXT_LOST, Detail: "injected context loss"}
+	case OutOfMemory:
+		return gles.FaultAction{DropOp: true, ErrCode: gles.OUT_OF_MEMORY, Detail: "injected transient allocation failure"}
+	case Stall:
+		return gles.FaultAction{Stall: i.stallFor}
+	case CorruptReadback:
+		i.lost = true
+		return gles.FaultAction{CorruptOut: true, ErrCode: gles.CONTEXT_LOST, Detail: "injected readback corruption (reset detected)"}
+	}
+	return gles.FaultAction{}
+}
+
+// FaultCorrupt implements gles.FaultInjector: a deterministic bit-flip
+// pattern over the readback bytes.
+func (i *Injector) FaultCorrupt(data []byte) {
+	for n, j := 0, 0; j < len(data) && n < 64; n, j = n+1, j+7 {
+		data[j] ^= 0xA5
+	}
+}
+
+// Lost reports whether a terminal event has fired on this incarnation.
+func (i *Injector) Lost() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.lost
+}
+
+// Stats returns this incarnation's fired-fault counts.
+func (i *Injector) Stats() Stats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}

@@ -113,7 +113,9 @@ type Context struct {
 	caps Caps
 
 	err     uint32 // first pending GL error
-	lastMsg string // human-readable detail for the pending error
+	lastMsg string // human-readable detail for the most recent error
+
+	fault FaultInjector // nil (the default) injects nothing
 
 	textures   map[uint32]*Texture
 	nextTexID  uint32
@@ -251,12 +253,13 @@ func (c *Context) setErr(code uint32, format string, args ...interface{}) {
 func (c *Context) GetError() uint32 {
 	e := c.err
 	c.err = NO_ERROR
-	c.lastMsg = ""
 	return e
 }
 
-// LastErrorDetail is a debug extension: the message attached to the pending
-// error (empty when none). Real GL buries this in driver logs.
+// LastErrorDetail is a debug extension: the message attached to the most
+// recently recorded error (empty when none was ever recorded). It survives
+// the GetError that returned the error, so error paths can report it. Real
+// GL buries this in driver logs.
 func (c *Context) LastErrorDetail() string { return c.lastMsg }
 
 // Caps returns the implementation limits.

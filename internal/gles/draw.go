@@ -81,6 +81,11 @@ func decodeIndices(data []byte, offset, count int, typ uint32) ([]int, bool) {
 
 // draw runs the full pipeline for the given vertex indices.
 func (c *Context) draw(mode uint32, indices []int) {
+	if c.fault != nil {
+		if _, ok := c.faultEnter(FaultOpDraw); !ok {
+			return
+		}
+	}
 	switch mode {
 	case TRIANGLES, TRIANGLE_STRIP, TRIANGLE_FAN, POINTS:
 	case LINES, LINE_STRIP, LINE_LOOP:

@@ -17,6 +17,10 @@ const (
 	INVALID_OPERATION             = 0x0502
 	OUT_OF_MEMORY                 = 0x0505
 	INVALID_FRAMEBUFFER_OPERATION = 0x0506
+	// CONTEXT_LOST follows KHR_robustness: the context died (GPU reset,
+	// kernel preemption) and every subsequent operation is a no-op that
+	// keeps reporting this code until the context is replaced.
+	CONTEXT_LOST = 0x0507
 
 	// Primitive types.
 	POINTS         = 0x0000

@@ -1,0 +1,92 @@
+package gles
+
+import "time"
+
+// FaultOp classifies the instrumented operations a FaultInjector observes.
+// Each class has its own operation counter inside schedule-driven
+// injectors, so a fault can be pinned to e.g. "the 37th draw call of this
+// context's life" deterministically.
+type FaultOp int
+
+// Instrumented operation classes.
+const (
+	FaultOpDraw   FaultOp = iota // DrawArrays / DrawElements
+	FaultOpRead                  // ReadPixels
+	FaultOpUpload                // TexImage2D / TexSubImage2D
+	faultOpCount
+)
+
+// String names the operation class.
+func (op FaultOp) String() string {
+	switch op {
+	case FaultOpDraw:
+		return "draw"
+	case FaultOpRead:
+		return "read"
+	case FaultOpUpload:
+		return "upload"
+	}
+	return "unknown"
+}
+
+// FaultAction tells the context what to inject around one operation. The
+// zero value injects nothing.
+type FaultAction struct {
+	// Stall sleeps the calling goroutine before the operation — a thermal
+	// throttle or bus-contention latency spike.
+	Stall time.Duration
+	// ErrCode, when non-zero, is recorded as a pending GL error (with
+	// Detail as its message) after the operation.
+	ErrCode uint32
+	Detail  string
+	// DropOp skips the operation entirely, as a dead context would.
+	DropOp bool
+	// CorruptOut asks the context to pass the operation's output bytes
+	// (ReadPixels only) to the injector's FaultCorrupt before returning.
+	CorruptOut bool
+}
+
+// FaultInjector is the hook a deterministic fault harness implements (see
+// internal/fault). The context consults it around every instrumented
+// operation; it is called on the context's own goroutine.
+type FaultInjector interface {
+	// FaultBefore is called before each instrumented operation and returns
+	// the action to inject around it.
+	FaultBefore(op FaultOp) FaultAction
+	// FaultCorrupt mutates an operation's output bytes in place; called
+	// only when the matching FaultBefore returned CorruptOut.
+	FaultCorrupt(data []byte)
+}
+
+// SetFaultInjector installs (nil removes) the context's fault injector.
+// With no injector installed — the default — the hook is a single nil
+// check per instrumented call and behavior is bit-identical to a build
+// without the hook.
+func (c *Context) SetFaultInjector(f FaultInjector) { c.fault = f }
+
+// faultEnter runs the injector's pre-op action and reports whether the
+// operation should proceed. Callers must hold c.fault != nil.
+func (c *Context) faultEnter(op FaultOp) (FaultAction, bool) {
+	act := c.fault.FaultBefore(op)
+	if act.Stall > 0 {
+		time.Sleep(act.Stall)
+	}
+	if act.DropOp {
+		if act.ErrCode != NO_ERROR {
+			c.setErr(act.ErrCode, "injected fault (%s): %s", op, act.Detail)
+		}
+		return act, false
+	}
+	return act, true
+}
+
+// faultExit applies the post-op part of an action: output corruption, then
+// the pending error. Callers must hold c.fault != nil.
+func (c *Context) faultExit(op FaultOp, act FaultAction, out []byte) {
+	if act.CorruptOut && len(out) > 0 {
+		c.fault.FaultCorrupt(out)
+	}
+	if act.ErrCode != NO_ERROR {
+		c.setErr(act.ErrCode, "injected fault (%s): %s", op, act.Detail)
+	}
+}

@@ -365,6 +365,13 @@ func (c *Context) convertChannel(f float32) byte {
 // paper's output transformations target byte-quantized color (challenge #7:
 // there is no texture readback API at all).
 func (c *Context) ReadPixels(x, y, width, height int, format, typ uint32, dst []byte) {
+	var act FaultAction
+	if c.fault != nil {
+		var ok bool
+		if act, ok = c.faultEnter(FaultOpRead); !ok {
+			return
+		}
+	}
 	if format != RGBA || typ != UNSIGNED_BYTE {
 		c.setErr(INVALID_ENUM, "ReadPixels: ES 2.0 guarantees only RGBA/UNSIGNED_BYTE readback")
 		return
@@ -400,4 +407,7 @@ func (c *Context) ReadPixels(x, y, width, height int, format, typ uint32, dst []
 	}
 	c.transfers.ReadPixelsBytes += uint64(width * height * 4)
 	c.transfers.ReadPixelsCalls++
+	if c.fault != nil {
+		c.faultExit(FaultOpRead, act, dst[:width*height*4])
+	}
 }

@@ -149,6 +149,11 @@ func bytesPerPixel(format, typ uint32) int {
 // uninitialized storage. Only level-0 2D uploads with byte-sized formats
 // are accepted (ES 2.0 core, no extensions).
 func (c *Context) TexImage2D(target uint32, level int, internalFormat uint32, width, height int, border int, format, typ uint32, data []byte) {
+	if c.fault != nil {
+		if _, ok := c.faultEnter(FaultOpUpload); !ok {
+			return
+		}
+	}
 	if target != TEXTURE_2D {
 		c.setErr(INVALID_ENUM, "TexImage2D: only TEXTURE_2D is supported, got 0x%04x", target)
 		return
@@ -204,6 +209,11 @@ func (c *Context) TexImage2D(target uint32, level int, internalFormat uint32, wi
 
 // TexSubImage2D mirrors glTexSubImage2D.
 func (c *Context) TexSubImage2D(target uint32, level, xoff, yoff, width, height int, format, typ uint32, data []byte) {
+	if c.fault != nil {
+		if _, ok := c.faultEnter(FaultOpUpload); !ok {
+			return
+		}
+	}
 	if target != TEXTURE_2D {
 		c.setErr(INVALID_ENUM, "TexSubImage2D: only TEXTURE_2D is supported")
 		return

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"glescompute/internal/codec"
 	"glescompute/internal/core"
@@ -22,10 +23,22 @@ import (
 // execution, amortizing each pass's fixed launch costs across the batch —
 // model-level request batching, the CNNdroid regime. Outputs are
 // bit-identical either way (see TestBatchedMatchesSolo).
+// Requests inherit the queue's fault tolerance: configure SetRetry and the
+// service resubmits faulted inferences to a healthy device (inference is
+// idempotent — a pure function of the input image — so retried requests
+// return bit-identical outputs). Per-request attempt counts surface in the
+// completed job's Stats().Attempts. When the scheduler replaces a dead
+// device, the fresh *core.Device keys a new cache slot, so weights are
+// re-uploaded and pipelines rebuilt on first use — exactly the cold-start
+// path a new pool device takes.
 type Service struct {
 	model *Model
 	q     *sched.Queue
 	nets  sync.Map // netKey -> *Network
+
+	mu       sync.Mutex
+	retry    sched.RetryPolicy
+	deadline time.Duration
 }
 
 type netKey struct {
@@ -39,6 +52,23 @@ func NewService(m *Model, q *sched.Queue) (*Service, error) {
 		return nil, err
 	}
 	return &Service{model: m, q: q}, nil
+}
+
+// SetRetry opts every subsequent request into the queue's automatic retry
+// with the given policy. Safe to call concurrently with submissions;
+// in-flight requests keep the policy they were submitted with.
+func (s *Service) SetRetry(p sched.RetryPolicy) {
+	s.mu.Lock()
+	s.retry = p
+	s.mu.Unlock()
+}
+
+// SetDeadline bounds every subsequent request's total time in the
+// service; 0 removes the bound.
+func (s *Service) SetDeadline(d time.Duration) {
+	s.mu.Lock()
+	s.deadline = d
+	s.mu.Unlock()
 }
 
 // netFor returns the device's network for the batch size, building it on
@@ -79,7 +109,12 @@ func (s *Service) InferBatch(ctx context.Context, images interface{}, count int)
 	if got, want := hostLen(images), count*s.model.in.N(); got != want {
 		return nil, fmt.Errorf("nn: InferBatch: %d elements for %d images, want %d", got, count, want)
 	}
+	s.mu.Lock()
+	retry, deadline := s.retry, s.deadline
+	s.mu.Unlock()
 	return s.q.Submit(ctx, sched.JobSpec{
+		Retry:    retry,
+		Deadline: deadline,
 		Direct: func(dev *core.Device) (interface{}, core.RunStats, error) {
 			net, err := s.netFor(dev, count)
 			if err != nil {

@@ -3,8 +3,10 @@ package nn
 import (
 	"math"
 	"testing"
+	"time"
 
 	"glescompute/internal/core"
+	"glescompute/internal/fault"
 	"glescompute/internal/sched"
 )
 
@@ -103,4 +105,101 @@ func TestServiceInputValidation(t *testing.T) {
 	if _, err := svc.InferBatch(nil, make([]float32, DemoShape.N()), 0); err == nil {
 		t.Error("zero count accepted")
 	}
+}
+
+// TestServiceRetryThroughFaults injects context losses under the serving
+// pool and checks the service inherits the queue's fault tolerance: every
+// request completes bit-identical to the fault-free run, attempt counts
+// surface per request, and the pool recovers to full health.
+func TestServiceRetryThroughFaults(t *testing.T) {
+	const requests = 12
+	m := DemoLeNetFloat32(20160316)
+	xs := DemoInputFloat32(7, requests)
+	per := DemoShape.N()
+
+	dev := openTest(t)
+	net, err := m.Build(dev, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float32, 0, requests*DemoClasses)
+	for r := 0; r < requests; r++ {
+		res, err := net.Run(xs[r*per : (r+1)*per])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res.Output.([]float32)...)
+	}
+	net.Close()
+	dev.Close()
+
+	// A fused network run is only a handful of draws, so the horizon is
+	// tight enough for the terminal loss to fire a couple of requests in.
+	plan := fault.NewPlan(20160316, fault.Options{
+		OpHorizon:            12,
+		FaultyIncarnations:   1,
+		StallsPerIncarnation: 1,
+		OOMsPerIncarnation:   1,
+		StallFor:             time.Microsecond,
+	})
+	cfg := sched.Config{Devices: 2, Device: core.Config{Workers: 1}}
+	cfg.OpenDevice = func(slot int, dcfg core.Config) (*core.Device, error) {
+		d, err := core.Open(dcfg)
+		if err != nil {
+			return nil, err
+		}
+		d.GL().SetFaultInjector(plan.Injector(slot))
+		return d, nil
+	}
+	q, err := sched.OpenQueue(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.SetRetry(sched.RetryPolicy{Max: 6, Backoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond})
+
+	var jobs []*sched.Job
+	for r := 0; r < requests; r++ {
+		j, err := svc.Infer(nil, xs[r*per:(r+1)*per])
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	var maxAttempts int
+	for ji, j := range jobs {
+		res, err := j.Wait(nil)
+		if err != nil {
+			t.Fatalf("request %d: %v", ji, err)
+		}
+		if res.Stats.Attempts < 1 {
+			t.Fatalf("request %d: Attempts = %d, want >= 1", ji, res.Stats.Attempts)
+		}
+		if res.Stats.Attempts > maxAttempts {
+			maxAttempts = res.Stats.Attempts
+		}
+		got := res.Output.([]float32)
+		for k, v := range got {
+			w := want[ji*DemoClasses+k]
+			if math.Float32bits(v) != math.Float32bits(w) {
+				t.Fatalf("request %d out %d: %g != %g (must be bit-identical)", ji, k, v, w)
+			}
+		}
+	}
+	if fs := plan.Stats(); fs.ContextLost+fs.CorruptReadbacks == 0 {
+		t.Fatalf("no terminal fault fired: %+v", fs)
+	}
+	if maxAttempts < 2 {
+		t.Fatalf("maxAttempts = %d; no request was actually retried", maxAttempts)
+	}
+	st := q.Stats()
+	if st.HealthyDevices != 2 || st.Failed != 0 {
+		t.Fatalf("pool did not recover cleanly: %d healthy, %d failed\n%s",
+			st.HealthyDevices, st.Failed, st.Report())
+	}
+	q.Close()
+	svc.Close()
 }

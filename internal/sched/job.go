@@ -53,15 +53,72 @@ type JobSpec struct {
 	// Direct jobs never coalesce; Kernel, Inputs, OutN, MatrixN, Uniforms
 	// and Batchable must be zero.
 	Direct func(dev *core.Device) (out interface{}, run core.RunStats, err error)
+	// Deadline bounds the job's total time in the service, from Submit to
+	// completion; 0 means none. It is enforced at scheduling checkpoints
+	// (dispatch, execution start, retry), not mid-launch — a launch
+	// already running when the deadline passes still finishes, and its
+	// result is still delivered. Deadline expiry completes the job with an
+	// error wrapping context.DeadlineExceeded and is never retried.
+	Deadline time.Duration
+	// Retry opts the job into automatic resubmission when it fails with a
+	// retryable fault: a lost device (core.ErrDeviceLost — context loss,
+	// detected readback corruption, a panic on the device goroutine) or a
+	// transient allocation failure (core.ErrOutOfMemory). The queue waits
+	// an exponential backoff, then requeues the job for dispatch to a
+	// healthy device. Only opt in idempotent jobs: kernel jobs always are
+	// (pure functions of their inputs); Direct jobs must be made so by
+	// their author. The zero value never retries.
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds automatic resubmission of a failed job.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt; 0 disables
+	// retrying.
+	Max int
+	// Backoff is the delay before the first retry, doubling on each
+	// subsequent one; 0 means 1ms when Max > 0.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling; 0 means 100ms.
+	MaxBackoff time.Duration
+}
+
+// delay returns the backoff before retry number n (1-based), with the
+// policy's defaults applied.
+func (p RetryPolicy) delay(n int) time.Duration {
+	d := p.Backoff
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 100 * time.Millisecond
+	}
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		d = max
+	}
+	return d
 }
 
 // Job is an in-flight compute request.
 type Job struct {
 	spec   JobSpec
 	ctx    context.Context
-	key    string // batch grouping key (batchable jobs only)
+	cancel context.CancelFunc // non-nil when spec.Deadline wrapped ctx
+	key    string             // batch grouping key (batchable jobs only)
 	enq    time.Time
 	doneCh chan struct{}
+
+	// attempts counts executions so far. Touched only by the goroutine
+	// currently executing the job (workers hand the job off through the
+	// queue between attempts, never run it concurrently).
+	attempts int
 
 	// Written by the executing worker before doneCh closes.
 	out   interface{}
@@ -87,6 +144,10 @@ type JobStats struct {
 	// the launch; Service is the host wall-clock of the launch itself.
 	QueueWait time.Duration
 	Service   time.Duration
+	// Attempts is how many times the job was executed — 1 for the normal
+	// case, higher when JobSpec.Retry resubmitted it after device faults
+	// (0 when it never reached a device).
+	Attempts int
 }
 
 // Result is a completed job's output.
@@ -162,6 +223,19 @@ func outElem(spec core.KernelSpec) codec.ElemType {
 
 // newJob validates a spec and builds the queued job.
 func newJob(ctx context.Context, spec JobSpec) (*Job, error) {
+	build := func(spec JobSpec) *Job {
+		j := &Job{spec: spec, ctx: ctx, enq: time.Now(), doneCh: make(chan struct{})}
+		if spec.Deadline > 0 {
+			j.ctx, j.cancel = context.WithTimeout(ctx, spec.Deadline)
+		}
+		return j
+	}
+	if spec.Retry.Max < 0 {
+		return nil, fmt.Errorf("sched: Retry.Max must be >= 0, got %d", spec.Retry.Max)
+	}
+	if spec.Deadline < 0 {
+		return nil, fmt.Errorf("sched: Deadline must be >= 0, got %v", spec.Deadline)
+	}
 	if spec.Direct != nil {
 		if spec.Batchable {
 			return nil, fmt.Errorf("sched: direct jobs cannot batch")
@@ -171,7 +245,7 @@ func newJob(ctx context.Context, spec JobSpec) (*Job, error) {
 			len(spec.Inputs) > 0 || spec.OutN != 0 || spec.MatrixN != 0 || len(spec.Uniforms) > 0 {
 			return nil, fmt.Errorf("sched: direct job: Kernel/Inputs/OutN/MatrixN/Uniforms must be unset")
 		}
-		return &Job{spec: spec, ctx: ctx, enq: time.Now(), doneCh: make(chan struct{})}, nil
+		return build(spec), nil
 	}
 	if len(spec.Kernel.Outputs) > 1 {
 		return nil, fmt.Errorf("sched: kernel %q has %d outputs; the queue executes single-output kernels (use Device.BuildKernel for multi-output)",
@@ -226,7 +300,7 @@ func newJob(ctx context.Context, spec JobSpec) (*Job, error) {
 			}
 		}
 	}
-	j := &Job{spec: spec, ctx: ctx, enq: time.Now(), doneCh: make(chan struct{})}
+	j := build(spec)
 	if spec.Batchable {
 		j.key = batchKey(spec)
 	}

@@ -50,8 +50,10 @@ import (
 	"glescompute/internal/core"
 )
 
-// ErrQueueClosed is returned by Submit after Close.
-var ErrQueueClosed = errors.New("sched: queue is closed")
+// ErrQueueClosed is returned by Submit after Close. It wraps
+// core.ErrClosed, so errors.Is(err, core.ErrClosed) — the library-wide
+// "this resource is shut down" sentinel — matches it too.
+var ErrQueueClosed = fmt.Errorf("sched: queue is closed: %w", core.ErrClosed)
 
 // Config configures a compute queue.
 type Config struct {
@@ -68,14 +70,27 @@ type Config struct {
 	MaxBatch int
 	// DisableBatching forces every job to run as its own launch.
 	DisableBatching bool
+	// OpenDevice, when non-nil, overrides how pooled devices are opened;
+	// slot is the pool index. The queue calls it for the initial pool and
+	// again for each replacement after a device dies, so fault-injection
+	// harnesses use it to attach per-incarnation injectors (via
+	// Device.GL().SetFaultInjector). nil means core.Open(Device).
+	OpenDevice func(slot int, cfg core.Config) (*core.Device, error)
+	// MaxReopens bounds device replacements per pool slot; once spent the
+	// slot is dead and excluded from scheduling (graceful degradation —
+	// the queue keeps serving on the remaining devices). 0 means 4;
+	// negative means never replace (a faulted slot dies immediately).
+	MaxReopens int
 }
 
 // Queue is an asynchronous compute service over a pool of devices.
 type Queue struct {
-	cfg     Config
-	pending chan *Job
-	workers []*worker
-	opened  time.Time
+	cfg        Config
+	deviceCfg  core.Config // resolved per-device config (worker split applied)
+	maxReopens int         // resolved replacement budget per slot
+	pending    chan *Job
+	workers    []*worker
+	opened     time.Time
 
 	dispatchDone chan struct{}
 
@@ -85,7 +100,17 @@ type Queue struct {
 	inFlight int
 	counts   struct {
 		submitted, completed, failed, canceled uint64
+		retries, panics                        uint64
 	}
+}
+
+// openDevice opens the device for a pool slot, through Config.OpenDevice
+// when set.
+func (q *Queue) openDevice(slot int) (*core.Device, error) {
+	if q.cfg.OpenDevice != nil {
+		return q.cfg.OpenDevice(slot, q.deviceCfg)
+	}
+	return core.Open(q.deviceCfg)
 }
 
 // OpenQueue opens a device pool and starts its scheduler.
@@ -110,15 +135,23 @@ func OpenQueue(cfg Config) (*Queue, error) {
 			dcfg.Workers = 1
 		}
 	}
+	maxReopens := cfg.MaxReopens
+	if maxReopens == 0 {
+		maxReopens = 4
+	} else if maxReopens < 0 {
+		maxReopens = 0
+	}
 	q := &Queue{
 		cfg:          cfg,
+		deviceCfg:    dcfg,
+		maxReopens:   maxReopens,
 		pending:      make(chan *Job, cfg.MaxPending),
 		opened:       time.Now(),
 		dispatchDone: make(chan struct{}),
 	}
 	q.cond = sync.NewCond(&q.mu)
 	for i := 0; i < cfg.Devices; i++ {
-		dev, err := core.Open(dcfg)
+		dev, err := q.openDevice(i)
 		if err != nil {
 			for _, w := range q.workers {
 				w.dev.Close()
@@ -159,6 +192,9 @@ func (q *Queue) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 	case q.pending <- j:
 		return j, nil
 	case <-ctx.Done():
+		if j.cancel != nil {
+			j.cancel()
+		}
 		q.mu.Lock()
 		q.inFlight--
 		q.counts.submitted--
@@ -204,6 +240,9 @@ func (q *Queue) Close() error {
 // finishJob publishes a job's outcome and wakes Drain/Close when the
 // queue empties.
 func (q *Queue) finishJob(j *Job, out interface{}, st JobStats, err error) {
+	if j.cancel != nil {
+		j.cancel() // release the deadline timer
+	}
 	j.out, j.stats, j.err = out, st, err
 	close(j.doneCh)
 	q.mu.Lock()
@@ -219,6 +258,58 @@ func (q *Queue) finishJob(j *Job, out interface{}, st JobStats, err error) {
 	if q.inFlight == 0 {
 		q.cond.Broadcast()
 	}
+	q.mu.Unlock()
+}
+
+// retryable reports whether a failure may be cured by resubmission to a
+// healthy device: the device died under the job, or a transient
+// allocation failure.
+func retryable(err error) bool {
+	return errors.Is(err, core.ErrDeviceLost) || errors.Is(err, core.ErrOutOfMemory)
+}
+
+// completeJob routes an execution outcome: a retryable failure of a job
+// with remaining retry budget and a live context is re-queued after an
+// exponential backoff (to be dispatched to a healthy device); everything
+// else is published via finishJob.
+func (q *Queue) completeJob(j *Job, out interface{}, st JobStats, err error) {
+	if err == nil || j.spec.Retry.Max <= 0 || !retryable(err) ||
+		j.attempts > j.spec.Retry.Max || j.ctx.Err() != nil {
+		q.finishJob(j, out, st, err)
+		return
+	}
+	retry := j.attempts // 1-based retry number about to happen
+	if retry < 1 {
+		retry = 1 // bounced off a dead device without executing
+	}
+	q.mu.Lock()
+	q.counts.retries++
+	q.mu.Unlock()
+	// Back off on a fresh goroutine — never on the worker, which must keep
+	// draining its channel, and never synchronously into q.pending, which
+	// could deadlock a full queue. The job still counts as in-flight, so
+	// Close cannot close q.pending underneath the re-enqueue.
+	go func() {
+		t := time.NewTimer(j.spec.Retry.delay(retry))
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-j.ctx.Done():
+			q.finishJob(j, nil, st, fmt.Errorf("sched: job cancelled during retry backoff (last error: %v): %w", err, j.ctx.Err()))
+			return
+		}
+		select {
+		case q.pending <- j:
+		case <-j.ctx.Done():
+			q.finishJob(j, nil, st, fmt.Errorf("sched: job cancelled while re-queuing (last error: %v): %w", err, j.ctx.Err()))
+		}
+	}()
+}
+
+// notePanic counts one recovered job panic.
+func (q *Queue) notePanic() {
+	q.mu.Lock()
+	q.counts.panics++
 	q.mu.Unlock()
 }
 
@@ -239,13 +330,30 @@ func (q *Queue) dispatch() {
 	groups := map[string][]*Job{}
 	buffered := 0
 	rr := 0
+	// assign hands a unit to the least-loaded live device. Dead devices
+	// are skipped (graceful degradation); when the whole pool is dead the
+	// unit's jobs fail with ErrDeviceLost — retrying cannot cure a job no
+	// device can run.
 	assign := func(u *workUnit) {
 		best := q.workers[rr%len(q.workers)]
 		rr++
+		if best.dead.Load() {
+			best = nil
+		}
 		for _, w := range q.workers {
-			if len(w.ch) < len(best.ch) {
+			if w.dead.Load() {
+				continue
+			}
+			if best == nil || len(w.ch) < len(best.ch) {
 				best = w
 			}
+		}
+		if best == nil {
+			for _, j := range u.jobs {
+				q.finishJob(j, nil, JobStats{Device: -1, Attempts: j.attempts},
+					fmt.Errorf("sched: every pooled device is dead: %w", core.ErrDeviceLost))
+			}
+			return
 		}
 		best.ch <- u
 	}

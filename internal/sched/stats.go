@@ -8,6 +8,32 @@ import (
 	"glescompute/internal/core"
 )
 
+// DeviceHealth is a pooled device slot's position in the health state
+// machine: Healthy → (fault) → Quarantined → reopened Healthy, or Dead
+// once the replacement budget (Config.MaxReopens) is spent or a
+// replacement fails to open.
+type DeviceHealth int
+
+// Health states.
+const (
+	DeviceHealthy DeviceHealth = iota
+	DeviceQuarantined
+	DeviceDead
+)
+
+// String names the health state.
+func (h DeviceHealth) String() string {
+	switch h {
+	case DeviceHealthy:
+		return "healthy"
+	case DeviceQuarantined:
+		return "quarantined"
+	case DeviceDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
 // DeviceStats is the per-device share of the service's work.
 type DeviceStats struct {
 	// Device is the pool index.
@@ -21,6 +47,13 @@ type DeviceStats struct {
 	// launches; BusyWall is the host wall-clock spent executing them.
 	Busy     core.Timeline
 	BusyWall time.Duration
+	// Health is the slot's current health state. Faults counts the times
+	// the slot's device died under it (context loss, corruption, panic);
+	// Reopens counts successful replacements. Faults with no matching
+	// Reopen means the slot went Dead.
+	Health  DeviceHealth
+	Faults  uint64
+	Reopens uint64
 }
 
 // QueueStats is a service-level snapshot: totals plus the per-device vc4
@@ -31,11 +64,24 @@ type QueueStats struct {
 	// Launch aggregates across the pool.
 	Launches, Batches, BatchedJobs uint64
 
+	// Fault-tolerance aggregates. Retries counts executions re-queued
+	// after retryable failures; Panics counts jobs that panicked on a
+	// device goroutine (recovered, completed as device-lost failures);
+	// Faults and Reopens aggregate the per-device health counters.
+	Retries, Panics uint64
+	Faults, Reopens uint64
+	// HealthyDevices and DeadDevices split the pool by current health
+	// (quarantined devices — mid-replacement — count in neither).
+	HealthyDevices, DeadDevices int
+
 	// Elapsed is the host wall-clock since the queue opened.
 	Elapsed time.Duration
 
 	Devices []DeviceStats
 }
+
+// Degraded reports whether the pool has permanently lost capacity.
+func (s QueueStats) Degraded() bool { return s.DeadDevices > 0 }
 
 // Stats returns a point-in-time snapshot of the queue's counters.
 func (q *Queue) Stats() QueueStats {
@@ -46,6 +92,8 @@ func (q *Queue) Stats() QueueStats {
 		Completed: q.counts.completed,
 		Failed:    q.counts.failed,
 		Cancelled: q.counts.canceled,
+		Retries:   q.counts.retries,
+		Panics:    q.counts.panics,
 		Elapsed:   time.Since(q.opened),
 	}
 	for _, w := range q.workers {
@@ -55,6 +103,14 @@ func (q *Queue) Stats() QueueStats {
 		s.Launches += d.Launches
 		s.Batches += d.Batches
 		s.BatchedJobs += d.BatchedJobs
+		s.Faults += d.Faults
+		s.Reopens += d.Reopens
+		switch d.Health {
+		case DeviceHealthy:
+			s.HealthyDevices++
+		case DeviceDead:
+			s.DeadDevices++
+		}
 	}
 	return s
 }
@@ -116,12 +172,20 @@ func (s QueueStats) Report() string {
 		s.Submitted, s.Completed, s.Failed, s.Cancelled, s.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "launches: %d (%d batches carrying %d jobs, occupancy %.2f jobs/launch)\n",
 		s.Launches, s.Batches, s.BatchedJobs, s.Occupancy())
+	if s.Faults > 0 || s.Retries > 0 || s.Panics > 0 || s.DeadDevices > 0 {
+		fmt.Fprintf(&b, "faults: %d device faults, %d reopens, %d retries, %d panics; %d/%d devices healthy (%d dead)\n",
+			s.Faults, s.Reopens, s.Retries, s.Panics, s.HealthyDevices, len(s.Devices), s.DeadDevices)
+	}
 	fmt.Fprintf(&b, "modeled makespan across pool: %v (total device-time %v)\n",
 		s.ModeledMakespan().Round(time.Microsecond), s.ModeledBusy().Total().Round(time.Microsecond))
 	for _, d := range s.Devices {
-		fmt.Fprintf(&b, "  device %d: %5d jobs in %5d launches, modeled busy %10v, wall busy %10v (%.0f%% util)\n",
+		fmt.Fprintf(&b, "  device %d: %5d jobs in %5d launches, modeled busy %10v, wall busy %10v (%.0f%% util)",
 			d.Device, d.Jobs, d.Launches, d.Busy.Total().Round(time.Microsecond),
 			d.BusyWall.Round(time.Microsecond), 100*s.Utilization(d.Device))
+		if d.Faults > 0 || d.Health != DeviceHealthy {
+			fmt.Fprintf(&b, " [%s, %d faults, %d reopens]", d.Health, d.Faults, d.Reopens)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -135,8 +199,9 @@ func (q *Queue) ResetStats() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.counts.submitted, q.counts.completed, q.counts.failed, q.counts.canceled = 0, 0, 0, 0
+	q.counts.retries, q.counts.panics = 0, 0
 	for _, w := range q.workers {
-		w.st = DeviceStats{}
+		w.st = DeviceStats{Health: w.st.Health}
 	}
 	q.opened = time.Now()
 }

@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"glescompute/internal/codec"
@@ -28,6 +30,19 @@ type worker struct {
 	done chan struct{}
 	pool *core.BufferPool
 
+	// specs records every KernelSpec compiled on this slot, keyed by
+	// CacheKey, so a replacement device can be warmed by recompiling them
+	// all before it takes traffic. Touched only on the worker goroutine.
+	specs map[string]core.KernelSpec
+
+	// lostDevice is set while executing a unit when the device died under
+	// it (context loss, corruption, panic); maybeRecover consumes it.
+	lostDevice bool
+
+	// dead mirrors st.Health == DeviceDead for the dispatcher's lock-free
+	// routing check.
+	dead atomic.Bool
+
 	st DeviceStats // guarded by q.mu
 }
 
@@ -35,12 +50,13 @@ func newWorker(q *Queue, id int, dev *core.Device) *worker {
 	pool := core.NewBufferPool(dev)
 	pool.SetLimit(8, 128)
 	return &worker{
-		q:    q,
-		id:   id,
-		dev:  dev,
-		ch:   make(chan *workUnit, 2),
-		done: make(chan struct{}),
-		pool: pool,
+		q:     q,
+		id:    id,
+		dev:   dev,
+		ch:    make(chan *workUnit, 2),
+		done:  make(chan struct{}),
+		pool:  pool,
+		specs: map[string]core.KernelSpec{},
 	}
 }
 
@@ -59,7 +75,7 @@ func (w *worker) exec(u *workUnit) {
 	live := u.jobs[:0]
 	for _, j := range u.jobs {
 		if err := j.ctx.Err(); err != nil {
-			w.q.finishJob(j, nil, JobStats{Device: w.id}, fmt.Errorf("sched: job cancelled: %w", err))
+			w.q.finishJob(j, nil, JobStats{Device: w.id, Attempts: j.attempts}, fmt.Errorf("sched: job cancelled: %w", err))
 			continue
 		}
 		live = append(live, j)
@@ -67,12 +83,88 @@ func (w *worker) exec(u *workUnit) {
 	if len(live) == 0 {
 		return
 	}
-	if len(live) > 1 && w.execBatch(live) {
+	if w.dead.Load() {
+		// A unit can race the slot's death (assigned before the dispatcher
+		// saw the dead flag). Bounce its jobs back through completeJob so
+		// retryable ones reach a healthy device.
+		for _, j := range live {
+			w.q.completeJob(j, nil, JobStats{Device: w.id, Attempts: j.attempts},
+				fmt.Errorf("sched: device %d is dead: %w", w.id, core.ErrDeviceLost))
+		}
 		return
 	}
-	for _, j := range live {
-		w.execSolo(j)
+	if len(live) > 1 && w.execBatch(live) {
+		w.maybeRecover()
+		return
 	}
+	for i, j := range live {
+		w.execSolo(j)
+		if w.lostDevice {
+			// The device died under job i; bounce the rest of the unit
+			// (unexecuted, so no retry budget consumed) instead of feeding
+			// them to a dead context.
+			for _, jj := range live[i+1:] {
+				w.q.completeJob(jj, nil, JobStats{Device: w.id, Attempts: jj.attempts},
+					fmt.Errorf("sched: device %d lost mid-unit: %w", w.id, core.ErrDeviceLost))
+			}
+			break
+		}
+	}
+	w.maybeRecover()
+}
+
+// maybeRecover drives the health state machine after a unit whose device
+// died: quarantine the slot, tear the broken device down, and — while the
+// replacement budget lasts — open a fresh device on this same goroutine
+// (the GL single-thread invariant holds through replacement) and warm it
+// by recompiling every kernel the slot had built. Jobs queued behind the
+// fault wait out the replacement and then run normally; if the budget is
+// spent or the replacement fails, the slot goes Dead and its queued jobs
+// bounce to the surviving devices.
+func (w *worker) maybeRecover() {
+	if !w.lostDevice {
+		return
+	}
+	w.lostDevice = false
+	w.q.mu.Lock()
+	w.st.Health = DeviceQuarantined
+	w.st.Faults++
+	reopens := w.st.Reopens
+	w.q.mu.Unlock()
+	w.pool.FreeAll()
+	w.dev.Close()
+	if reopens >= uint64(w.q.maxReopens) {
+		w.die()
+		return
+	}
+	dev, err := w.q.openDevice(w.id)
+	if err != nil {
+		w.die()
+		return
+	}
+	for _, spec := range w.specs {
+		if _, err := dev.BuildKernelCached(spec); err != nil {
+			dev.Close()
+			w.die()
+			return
+		}
+	}
+	w.dev = dev
+	w.pool = core.NewBufferPool(dev)
+	w.pool.SetLimit(8, 128)
+	w.q.mu.Lock()
+	w.st.Health = DeviceHealthy
+	w.st.Reopens++
+	w.q.mu.Unlock()
+}
+
+// die marks the slot permanently dead. Its device is already closed; the
+// run loop keeps draining the channel so racing units bounce elsewhere.
+func (w *worker) die() {
+	w.dead.Store(true)
+	w.q.mu.Lock()
+	w.st.Health = DeviceDead
+	w.q.mu.Unlock()
 }
 
 // note folds one launch into the per-device statistics.
@@ -87,6 +179,19 @@ func (w *worker) note(jobs int, batched bool, dt core.Timeline, wall time.Durati
 	w.st.Busy = w.st.Busy.Add(dt)
 	w.st.BusyWall += wall
 	w.q.mu.Unlock()
+}
+
+// buildKernel compiles (or fetches) a kernel through the device's
+// compile-once cache, recording the spec so a replacement device after a
+// fault can be rebuilt to the same warm state.
+func (w *worker) buildKernel(spec core.KernelSpec) (*core.Kernel, error) {
+	k, err := w.dev.BuildKernelCached(spec)
+	if err == nil {
+		if key := spec.CacheKey(); w.specs[key].Source == "" {
+			w.specs[key] = spec
+		}
+	}
+	return k, err
 }
 
 // jobBuffer acquires a buffer shaped for one job array: exact matrix
@@ -110,20 +215,48 @@ func (w *worker) jobBuffer(elem codec.ElemType, n, matrixN int) (*core.Buffer, e
 
 // execSolo runs one job as its own launch.
 func (w *worker) execSolo(j *Job) {
+	j.attempts++
 	start := time.Now()
 	t0 := w.dev.Timeline()
-	out, rs, err := w.runSolo(j)
+	out, rs, err := w.runSoloGuarded(j)
 	dt := w.dev.Timeline().Sub(t0)
 	wall := time.Since(start)
 	w.note(1, false, dt, wall)
-	w.q.finishJob(j, out, JobStats{
+	w.noteLost(err)
+	w.q.completeJob(j, out, JobStats{
 		Device:    w.id,
 		BatchSize: 1,
 		Run:       rs,
 		Time:      dt,
 		QueueWait: start.Sub(j.enq),
 		Service:   wall,
+		Attempts:  j.attempts,
 	}, err)
+}
+
+// noteLost flags the device for recovery when an execution error (or the
+// device's own lost marker) says the context died under it.
+func (w *worker) noteLost(err error) {
+	if w.lostDevice {
+		return
+	}
+	if w.dev.Lost() || errors.Is(err, core.ErrDeviceLost) {
+		w.lostDevice = true
+	}
+}
+
+// runSoloGuarded is runSolo behind a panic guard: a panicking job — a
+// broken Direct closure, a bug tickled by one request's shape — completes
+// as a device-lost failure instead of crashing the process, and the
+// device is replaced (the panic may have left GL state mid-operation).
+func (w *worker) runSoloGuarded(j *Job) (out interface{}, rs core.RunStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.q.notePanic()
+			err = fmt.Errorf("sched: job panicked on device %d: %v: %w", w.id, r, core.ErrDeviceLost)
+		}
+	}()
+	return w.runSolo(j)
 }
 
 func (w *worker) runSolo(j *Job) (interface{}, core.RunStats, error) {
@@ -131,7 +264,7 @@ func (w *worker) runSolo(j *Job) (interface{}, core.RunStats, error) {
 	if j.spec.Direct != nil {
 		return j.spec.Direct(w.dev)
 	}
-	k, err := w.dev.BuildKernelCached(j.spec.Kernel)
+	k, err := w.buildKernel(j.spec.Kernel)
 	if err != nil {
 		return nil, rs, err
 	}
@@ -183,12 +316,16 @@ func (w *worker) execBatch(jobs []*Job) bool {
 	if err != nil {
 		return false // too large to share one texture: run solo
 	}
+	for _, j := range jobs {
+		j.attempts++
+	}
 	start := time.Now()
 	t0 := w.dev.Timeline()
-	outs, rs, err := w.runBatch(jobs, spec, grid, offs)
+	outs, rs, err := w.runBatchGuarded(jobs, spec, grid, offs)
 	dt := w.dev.Timeline().Sub(t0)
 	wall := time.Since(start)
 	w.note(len(jobs), true, dt, wall)
+	w.noteLost(err)
 	for i, j := range jobs {
 		st := JobStats{
 			Device:    w.id,
@@ -198,19 +335,33 @@ func (w *worker) execBatch(jobs []*Job) bool {
 			Time:      dt,
 			QueueWait: start.Sub(j.enq),
 			Service:   wall,
+			Attempts:  j.attempts,
 		}
 		if err != nil {
-			w.q.finishJob(j, nil, st, err)
+			w.q.completeJob(j, nil, st, err)
 		} else {
-			w.q.finishJob(j, outs[i], st, nil)
+			w.q.completeJob(j, outs[i], st, nil)
 		}
 	}
 	return true
 }
 
+// runBatchGuarded is runBatch behind the same panic guard as solo
+// execution; a panic fails the whole batch as device-lost.
+func (w *worker) runBatchGuarded(jobs []*Job, spec JobSpec, grid layout.Grid, offs []int) (outs []interface{}, rs core.RunStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.q.notePanic()
+			outs = nil
+			err = fmt.Errorf("sched: batch panicked on device %d: %v: %w", w.id, r, core.ErrDeviceLost)
+		}
+	}()
+	return w.runBatch(jobs, spec, grid, offs)
+}
+
 func (w *worker) runBatch(jobs []*Job, spec JobSpec, grid layout.Grid, offs []int) ([]interface{}, core.RunStats, error) {
 	var rs core.RunStats
-	k, err := w.dev.BuildKernelCached(spec.Kernel)
+	k, err := w.buildKernel(spec.Kernel)
 	if err != nil {
 		return nil, rs, err
 	}
