@@ -44,6 +44,7 @@ var gatedKeys = map[string]bool{
 	"batch_model_speedup_x":     true,
 	"occupancy_jobs_per_launch": true,
 	"fusion_speedup_x":          true,
+	"n1_vec4_speedup_x":         true,
 }
 
 // isValidatedKey matches boolean leaves that must hold in the current

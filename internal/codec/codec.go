@@ -46,10 +46,6 @@ func (t ElemType) String() string {
 	return "unknown"
 }
 
-// TexelsPerElement returns how many RGBA texels one element occupies
-// (always 1: 32-bit types use all four channels, byte types use R only).
-func (t ElemType) TexelsPerElement() int { return 1 }
-
 // Delta is δ from the paper's eq. (3): the gap between the 1/255
 // quantization of texture values and 1/256 byte steps,
 // δ = 1/256 − 1/255 = −1/65280.

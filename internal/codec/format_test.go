@@ -1,0 +1,210 @@
+package codec
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFormatLanesAndTexels(t *testing.T) {
+	cases := []struct {
+		f     Format
+		lanes int
+		elem  ElemType
+	}{
+		{FmtUint8, 1, Uint8},
+		{FmtInt8, 1, Int8},
+		{FmtUint32, 1, Uint32},
+		{FmtInt32, 1, Int32},
+		{FmtFloat32, 1, Float32},
+		{FmtInt8x4, 4, Int8},
+		{FmtFloat16x2, 2, Float32},
+	}
+	for _, c := range cases {
+		if got := c.f.Lanes(); got != c.lanes {
+			t.Errorf("%v lanes = %d, want %d", c.f, got, c.lanes)
+		}
+		if got := c.f.Elem(); got != c.elem {
+			t.Errorf("%v elem = %v, want %v", c.f, got, c.elem)
+		}
+		if (c.lanes > 1) != c.f.Packed() {
+			t.Errorf("%v packed = %v", c.f, c.f.Packed())
+		}
+	}
+	// Texel count = ceil(n/lanes): the relation that replaces the old
+	// TexelsPerElement()==1 stub.
+	for n := 0; n <= 9; n++ {
+		if got, want := FmtInt8x4.TexelsFor(n), (n+3)/4; got != want {
+			t.Errorf("int8x4 TexelsFor(%d) = %d, want %d", n, got, want)
+		}
+		if got, want := FmtFloat16x2.TexelsFor(n), (n+1)/2; got != want {
+			t.Errorf("float16x2 TexelsFor(%d) = %d, want %d", n, got, want)
+		}
+		if got := FmtInt32.TexelsFor(n); got != n {
+			t.Errorf("int32 TexelsFor(%d) = %d", n, got)
+		}
+	}
+	for _, tt := range []ElemType{Uint8, Int8, Uint32, Int32, Float32} {
+		if FormatOf(tt).Elem() != tt || FormatOf(tt).Lanes() != 1 {
+			t.Errorf("FormatOf(%v) = %v", tt, FormatOf(tt))
+		}
+		if FmtAuto.Resolve(tt) != FormatOf(tt) {
+			t.Errorf("Resolve(%v) mismatch", tt)
+		}
+	}
+	if FmtInt8x4.Resolve(Float32) != FmtInt8x4 {
+		t.Error("Resolve must not override an explicit format")
+	}
+}
+
+// TestInt8x4RoundTripProperty: random int8 slices of every tail residue
+// survive Pack→Unpack bit-exactly, and the CPU byte codec matches the
+// packed bytes lane for lane.
+func TestInt8x4RoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		// Cover lane boundaries and tails: n%4 ∈ {0,1,2,3} all appear.
+		n := 1 + rng.Intn(70)
+		if trial < 8 {
+			n = trial + 1 // pin tiny sizes incl. n < lanes
+		}
+		src := make([]int8, n)
+		for i := range src {
+			src[i] = int8(rng.Intn(256) - 128)
+		}
+		// Always include the extremes somewhere.
+		src[0] = -128
+		if n > 1 {
+			src[1] = 127
+		}
+		texels := FmtInt8x4.TexelsFor(n)
+		raw := make([]byte, texels*4)
+		if err := PackInt8x4(raw, src); err != nil {
+			t.Fatalf("pack n=%d: %v", n, err)
+		}
+		for i, v := range src {
+			if raw[i] != CPUEncodeInt8x4(v) {
+				t.Fatalf("n=%d lane %d: byte %d != CPU encode %d", n, i, raw[i], CPUEncodeInt8x4(v))
+			}
+			if CPUDecodeInt8x4(raw[i]) != v {
+				t.Fatalf("n=%d lane %d: CPU decode mismatch", n, i)
+			}
+		}
+		// Tail lanes of the last texel must encode value 0 (byte 128).
+		for i := n; i < texels*4; i++ {
+			if raw[i] != 128 {
+				t.Fatalf("n=%d tail byte %d = %d, want 128", n, i, raw[i])
+			}
+		}
+		got := make([]int8, n)
+		if err := UnpackInt8x4(got, raw); err != nil {
+			t.Fatalf("unpack n=%d: %v", n, err)
+		}
+		for i := range src {
+			if got[i] != src[i] {
+				t.Fatalf("n=%d round trip lane %d: %d != %d", n, i, got[i], src[i])
+			}
+		}
+	}
+}
+
+// TestFloat16x2RoundTripProperty: pack→unpack equals fp16 quantization for
+// random values, is idempotent, and is exact for fp16-representable values
+// including ±0 and fp16 denormals.
+func TestFloat16x2RoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(33) // tails n%2 ∈ {0,1}
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = float32(rng.NormFloat64()) * float32(math.Pow(2, float64(rng.Intn(24)-12)))
+		}
+		texels := FmtFloat16x2.TexelsFor(n)
+		raw := make([]byte, texels*4)
+		if err := PackFloat16x2(raw, src); err != nil {
+			t.Fatalf("pack n=%d: %v", n, err)
+		}
+		got := make([]float32, n)
+		if err := UnpackFloat16x2(got, raw); err != nil {
+			t.Fatalf("unpack n=%d: %v", n, err)
+		}
+		for i := range src {
+			if CPUDecodeFloat16x2(CPUEncodeFloat16x2(src[i])) != got[i] {
+				t.Fatalf("CPU mirror disagrees with Pack/Unpack at lane %d", i)
+			}
+			// Idempotence: a second trip through the format is exact.
+			if again := CPUDecodeFloat16x2(CPUEncodeFloat16x2(got[i])); again != got[i] {
+				t.Fatalf("round trip not idempotent: %g -> %g", got[i], again)
+			}
+			// Within fp16 normal range the error is bounded by half an
+			// fp16 ULP (11 significant bits, comfortably inside the
+			// paper's 15-mantissa-bit budget for the f32 codec).
+			af := math.Abs(float64(src[i]))
+			if af >= math.Pow(2, -14) && af < 65504 {
+				ulp := math.Pow(2, math.Floor(math.Log2(af))-10)
+				if math.Abs(float64(got[i]-src[i])) > ulp/2+1e-30 {
+					t.Fatalf("lane %d: %g -> %g exceeds half ULP %g", i, src[i], got[i], ulp)
+				}
+			}
+		}
+	}
+
+	// Float specials: ±0 keeps its sign, fp16 denormals round-trip exactly.
+	pz := CPUDecodeFloat16x2(CPUEncodeFloat16x2(0))
+	nz := CPUDecodeFloat16x2(CPUEncodeFloat16x2(float32(math.Copysign(0, -1))))
+	if math.Signbit(float64(pz)) || !math.Signbit(float64(nz)) || pz != 0 || nz != 0 {
+		t.Errorf("±0 not preserved: +0 -> %g (signbit %v), -0 -> %g (signbit %v)",
+			pz, math.Signbit(float64(pz)), nz, math.Signbit(float64(nz)))
+	}
+	for d := uint16(1); d < 0x400; d += 37 {
+		for _, s := range []uint16{0, 0x8000} {
+			v := HalfBitsToFloat32(s | d) // fp16 denormal: d·2⁻²⁴
+			if got := CPUDecodeFloat16x2(CPUEncodeFloat16x2(v)); got != v {
+				t.Fatalf("denormal bits %#x: %g -> %g", s|d, v, got)
+			}
+		}
+	}
+	// Smallest denormal and the normal/denormal boundary.
+	for _, v := range []float32{
+		HalfBitsToFloat32(0x0001),          // 2⁻²⁴
+		HalfBitsToFloat32(0x03FF),          // largest denormal
+		HalfBitsToFloat32(0x0400),          // smallest normal 2⁻¹⁴
+		float32(math.Pow(2, -25)),          // below: rounds to even → 0
+		float32(math.Pow(2, -24) * 1.4999), // rounds down to 2⁻²⁴... area
+	} {
+		got := CPUDecodeFloat16x2(CPUEncodeFloat16x2(v))
+		if again := CPUDecodeFloat16x2(CPUEncodeFloat16x2(got)); again != got {
+			t.Fatalf("boundary value %g not stable: %g -> %g", v, got, again)
+		}
+	}
+	if got := CPUDecodeFloat16x2(CPUEncodeFloat16x2(float32(math.Pow(2, -25)))); got != 0 {
+		t.Errorf("2^-25 should round to zero, got %g", got)
+	}
+	if got := CPUDecodeFloat16x2(CPUEncodeFloat16x2(1e9)); !math.IsInf(float64(got), 1) {
+		t.Errorf("overflow should saturate to +Inf, got %g", got)
+	}
+}
+
+// TestPackedGLSLSourcesWellFormed pins the generated packed codec GLSL.
+func TestPackedGLSLSourcesWellFormed(t *testing.T) {
+	dec := GLSLDecoderInt8x4("dec4")
+	if want := "vec4 dec4(vec4 t)"; !contains(dec, want) {
+		t.Errorf("int8x4 decoder missing %q:\n%s", want, dec)
+	}
+	enc := GLSLEncoderInt8x4("enc4", EncodeRobust)
+	if want := "vec4 enc4(vec4 v)"; !contains(enc, want) {
+		t.Errorf("int8x4 encoder missing %q:\n%s", want, enc)
+	}
+	if !contains(enc, "0.25") {
+		t.Error("int8x4 encoder missing robust bias")
+	}
+	decF := GLSLDecoderFloat16x2("decf")
+	for _, want := range []string{"vec2 decf(vec4 t)", "decf_lane", "exp2(-24.0)"} {
+		if !contains(decF, want) {
+			t.Errorf("float16x2 decoder missing %q:\n%s", want, decF)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -16,6 +16,7 @@ import (
 // (challenge #7).
 type Buffer struct {
 	dev  *Device
+	fmt  codec.Format // texel layout: element type + lane width
 	elem codec.ElemType
 	n    int
 	grid layout.Grid
@@ -24,16 +25,28 @@ type Buffer struct {
 	fbo uint32 // lazily created for readback / render target use
 }
 
-// NewBuffer allocates a device buffer of n elements of type t.
+// NewBuffer allocates a device buffer of n elements of type t in the
+// scalar (one value per texel) format.
 func (d *Device) NewBuffer(t codec.ElemType, n int) (*Buffer, error) {
+	return d.NewBufferFmt(codec.FormatOf(t), n)
+}
+
+// NewBufferFmt allocates a device buffer of n logical elements in an
+// explicit texel format; packed formats store Lanes values per texel, so
+// the texture covers ceil(n/lanes) texels (the tail lanes of the last
+// texel are padding).
+func (d *Device) NewBufferFmt(f codec.Format, n int) (*Buffer, error) {
 	if err := d.checkOpen("NewBuffer"); err != nil {
 		return nil, err
 	}
-	g, err := layout.ForLength(n, d.cfg.MaxGridWidth)
+	if f == codec.FmtAuto {
+		return nil, fmt.Errorf("core: NewBufferFmt: format must be explicit")
+	}
+	g, err := layout.ForLengthLanes(n, f.Lanes(), d.cfg.MaxGridWidth)
 	if err != nil {
 		return nil, err
 	}
-	return d.newBufferWithGrid(t, n, g)
+	return d.newBufferWithGrid(f, n, g)
 }
 
 // NewBufferWithGrid allocates a buffer of n logical elements over an
@@ -48,10 +61,10 @@ func (d *Device) NewBufferWithGrid(t codec.ElemType, n int, g layout.Grid) (*Buf
 		g.Height > d.ctx.Caps().MaxTextureSize {
 		return nil, fmt.Errorf("core: NewBufferWithGrid: grid %dx%d out of range", g.Width, g.Height)
 	}
-	if n <= 0 || n > g.Texels() {
+	if n <= 0 || n > g.Texels()*g.LaneCount() {
 		return nil, fmt.Errorf("core: NewBufferWithGrid: %d elements do not fit %dx%d texels", n, g.Width, g.Height)
 	}
-	return d.newBufferWithGrid(t, n, g)
+	return d.newBufferWithGrid(codec.FormatOf(t), n, g)
 }
 
 // NewMatrixBuffer allocates a buffer holding an n×n row-major matrix with
@@ -67,10 +80,10 @@ func (d *Device) NewMatrixBuffer(t codec.ElemType, n int) (*Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return d.newBufferWithGrid(t, n*n, g)
+	return d.newBufferWithGrid(codec.FormatOf(t), n*n, g)
 }
 
-func (d *Device) newBufferWithGrid(t codec.ElemType, n int, g layout.Grid) (*Buffer, error) {
+func (d *Device) newBufferWithGrid(f codec.Format, n int, g layout.Grid) (*Buffer, error) {
 	ctx := d.ctx
 	prev := uint32(ctx.GetIntegerv(gles.TEXTURE_BINDING_2D)[0])
 	tex := ctx.CreateTexture()
@@ -87,11 +100,14 @@ func (d *Device) newBufferWithGrid(t codec.ElemType, n int, g layout.Grid) (*Buf
 	if err := d.checkGL("NewBuffer"); err != nil {
 		return nil, err
 	}
-	return &Buffer{dev: d, elem: t, n: n, grid: g, tex: tex}, nil
+	return &Buffer{dev: d, fmt: f, elem: f.Elem(), n: n, grid: g, tex: tex}, nil
 }
 
-// Elem returns the element type.
+// Elem returns the logical element type.
 func (b *Buffer) Elem() codec.ElemType { return b.elem }
+
+// Format returns the texel format.
+func (b *Buffer) Format() codec.Format { return b.fmt }
 
 // Len returns the element count.
 func (b *Buffer) Len() int { return b.n }
@@ -192,9 +208,9 @@ func (b *Buffer) checkElem(op string, t codec.ElemType) error {
 	return nil
 }
 
-// WriteFloat32 uploads float data (packed per the paper's Fig. 2 byte
-// re-arrangement — the "partial bit re-arrangements ... on the CPU" whose
-// cost the paper's wall times include).
+// WriteFloat32 uploads float data. Scalar buffers pack per the paper's
+// Fig. 2 byte re-arrangement; Float16x2 buffers quantize two fp16 lanes
+// into each texel (half the upload bytes).
 func (b *Buffer) WriteFloat32(src []float32) error {
 	if err := b.checkElem("WriteFloat32", codec.Float32); err != nil {
 		return err
@@ -202,8 +218,12 @@ func (b *Buffer) WriteFloat32(src []float32) error {
 	if err := b.checkLen("WriteFloat32", len(src)); err != nil {
 		return err
 	}
-	buf := make([]byte, len(src)*4)
-	if err := codec.PackFloat32(buf, src); err != nil {
+	buf := make([]byte, b.fmt.TexelsFor(len(src))*4)
+	if b.fmt == codec.FmtFloat16x2 {
+		if err := codec.PackFloat16x2(buf, src); err != nil {
+			return err
+		}
+	} else if err := codec.PackFloat32(buf, src); err != nil {
 		return err
 	}
 	return b.upload(buf)
@@ -219,6 +239,12 @@ func (b *Buffer) ReadFloat32() ([]float32, error) {
 		return nil, err
 	}
 	out := make([]float32, b.n)
+	if b.fmt == codec.FmtFloat16x2 {
+		if err := codec.UnpackFloat16x2(out, texels); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	if err := codec.UnpackFloat32(out, texels[:b.n*4]); err != nil {
 		return nil, err
 	}
@@ -318,7 +344,9 @@ func (b *Buffer) ReadUint8() ([]uint8, error) {
 	return out, nil
 }
 
-// WriteInt8 uploads signed byte data (paper §IV-B).
+// WriteInt8 uploads signed byte data: §IV-B two's complement one value
+// per texel for scalar buffers, excess-128 four lanes per texel for
+// Int8x4 buffers (a quarter of the texels and upload bytes).
 func (b *Buffer) WriteInt8(src []int8) error {
 	if err := b.checkElem("WriteInt8", codec.Int8); err != nil {
 		return err
@@ -326,8 +354,12 @@ func (b *Buffer) WriteInt8(src []int8) error {
 	if err := b.checkLen("WriteInt8", len(src)); err != nil {
 		return err
 	}
-	buf := make([]byte, len(src)*4)
-	if err := codec.PackInt8(buf, src); err != nil {
+	buf := make([]byte, b.fmt.TexelsFor(len(src))*4)
+	if b.fmt == codec.FmtInt8x4 {
+		if err := codec.PackInt8x4(buf, src); err != nil {
+			return err
+		}
+	} else if err := codec.PackInt8(buf, src); err != nil {
 		return err
 	}
 	return b.upload(buf)
@@ -343,6 +375,12 @@ func (b *Buffer) ReadInt8() ([]int8, error) {
 		return nil, err
 	}
 	out := make([]int8, b.n)
+	if b.fmt == codec.FmtInt8x4 {
+		if err := codec.UnpackInt8x4(out, texels); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	if err := codec.UnpackInt8(out, texels[:b.n*4]); err != nil {
 		return nil, err
 	}

@@ -63,6 +63,17 @@ const EnvDisableFusion = "GLESCOMPUTE_NO_FUSION"
 // fusionEnvDisabled reports whether EnvDisableFusion suppresses fusion.
 func fusionEnvDisabled() bool { return os.Getenv(EnvDisableFusion) != "" }
 
+// EnvDisableVec4 is the environment variable that, when set non-empty,
+// steers consumers that pick a lane width by default (nn.Model.Build)
+// to the scalar lanes=1 lowering — the vec4 analogue of
+// EnvDisableFusion, so CI can smoke the scalar path. Core itself never
+// reads it when a caller asks for 4-wide kernels explicitly.
+const EnvDisableVec4 = "GLESCOMPUTE_NO_VEC4"
+
+// Vec4EnvDisabled reports whether EnvDisableVec4 suppresses the default
+// 4-wide path.
+func Vec4EnvDisabled() bool { return os.Getenv(EnvDisableVec4) != "" }
+
 // uniBind maps one uniform of the fused program back to the member stage
 // whose source it came from: at Run, the value is resolved exactly as the
 // member's standalone pass would have resolved its original name (stage
@@ -168,9 +179,13 @@ func composeFusedSpec(members []fuseMember) (KernelSpec, []uniBind, []Ref, error
 		slotPar  = map[Ref]string{}
 		allEW    = true
 	)
+	lanes := members[0].spec.Lanes
 	for j, m := range members {
 		if len(m.spec.Outputs) != 1 {
 			return spec, nil, nil, fmt.Errorf("core: fuse: member %q has %d outputs", m.label, len(m.spec.Outputs))
+		}
+		if m.spec.Lanes != lanes {
+			return spec, nil, nil, fmt.Errorf("core: fuse: member %q is %d-wide in a %d-wide chain", m.label, m.spec.Lanes, lanes)
 		}
 		if !m.spec.ElementWise {
 			allEW = false
@@ -183,7 +198,20 @@ func composeFusedSpec(members []fuseMember) (KernelSpec, []uniBind, []Ref, error
 				if mentionsIdent(body, "gc_"+in.Name+"_at") || mentionsIdent(body, "gc_"+in.Name+"_dims") {
 					return spec, nil, nil, fmt.Errorf("core: fuse: member %q reads texture machinery of fused input %q", m.label, in.Name)
 				}
-				body = renameIdent(body, "gc_"+in.Name, fmt.Sprintf("gc_fk%d", j-1))
+				if lanes == 4 {
+					// 4-wide chains compose through the whole-texel
+					// accessor: gc_<in>4(tidx) becomes the previous
+					// member's vec4 kernel function. The scalar
+					// lane-select accessor has no fused counterpart —
+					// serving it would recompute the producer's full
+					// vec4 per lane — so its use blocks the fusion.
+					body = renameIdent(body, "gc_"+in.Name+"4", fmt.Sprintf("gc_fk%d", j-1))
+					if mentionsIdent(body, "gc_"+in.Name) {
+						return spec, nil, nil, fmt.Errorf("core: fuse: member %q reads fused 4-wide input %q through the scalar accessor", m.label, in.Name)
+					}
+				} else {
+					body = renameIdent(body, "gc_"+in.Name, fmt.Sprintf("gc_fk%d", j-1))
+				}
 				continue
 			}
 			slot := m.ins[i]
@@ -191,11 +219,12 @@ func composeFusedSpec(members []fuseMember) (KernelSpec, []uniBind, []Ref, error
 			if !ok {
 				pname = fmt.Sprintf("fin%d", len(spec.Inputs))
 				slotPar[slot] = pname
-				spec.Inputs = append(spec.Inputs, Param{Name: pname, Type: in.Type})
+				spec.Inputs = append(spec.Inputs, Param{Name: pname, Type: in.Type, Fmt: in.Fmt})
 				extSlots = append(extSlots, slot)
 			}
 			body = renameIdent(body, "gc_"+in.Name+"_at", "gc_"+pname+"_at")
 			body = renameIdent(body, "gc_"+in.Name+"_dims", "gc_"+pname+"_dims")
+			body = renameIdent(body, "gc_"+in.Name+"4", "gc_"+pname+"4")
 			body = renameIdent(body, "gc_"+in.Name, "gc_"+pname)
 		}
 		for _, u := range m.spec.Uniforms {
@@ -218,15 +247,21 @@ func composeFusedSpec(members []fuseMember) (KernelSpec, []uniBind, []Ref, error
 		}
 		fmt.Fprintf(&src, "// ---- fused member %d: %s ----\n%s\n", j, m.label, body)
 	}
-	fmt.Fprintf(&src, "float gc_kernel(float idx) { return gc_fk%d(idx); }\n", len(members)-1)
+	if lanes == 4 {
+		fmt.Fprintf(&src, "vec4 gc_kernel(float tidx) { return gc_fk%d(tidx); }\n", len(members)-1)
+	} else {
+		fmt.Fprintf(&src, "float gc_kernel(float idx) { return gc_fk%d(idx); }\n", len(members)-1)
+	}
 
 	labels := make([]string, len(members))
 	for j, m := range members {
 		labels[j] = m.label
 	}
 	base := members[0].spec
+	last := members[len(members)-1].spec.Outputs[0]
 	spec.Name = strings.Join(labels, "+")
-	spec.Outputs = []OutputSpec{{Name: "out", Type: members[len(members)-1].spec.Outputs[0].Type}}
+	spec.Outputs = []OutputSpec{{Name: "out", Type: last.Type, Fmt: last.Fmt}}
+	spec.Lanes = lanes
 	spec.Source = src.String()
 	spec.ElementWise = allEW
 	spec.FusableEpilogue = base.FusableEpilogue || base.ElementWise
@@ -322,6 +357,15 @@ func (p *Pipeline) compile() error {
 				outN := p.slots[st.outs[0]].n
 				ewJoin := st.kernel.spec.ElementWise && p.slots[r].n == outN
 				if !ewJoin && !inlineHint(i) {
+					continue
+				}
+				// Lane widths must agree across a fused edge: a scalar
+				// consumer expects `float f(idx)` where a 4-wide producer
+				// defines `vec4 f(tidx)` (and vice versa) — the value
+				// crossing the edge changes shape. Cross-width chains
+				// materialize the slot; Device.BuildRepackKernel converts
+				// it in an explicit (never-fused) pass.
+				if st.kernel.spec.Lanes != p.stages[g.tail].kernel.spec.Lanes {
 					continue
 				}
 				// Every member that reads gc_out_n must have the chain's

@@ -5,10 +5,11 @@ import (
 	"glescompute/internal/layout"
 )
 
-// poolKey identifies interchangeable buffers: same element type and same
-// texel grid (a buffer's texture storage is its grid).
+// poolKey identifies interchangeable buffers: same texel format and same
+// texel grid (a buffer's texture storage is its grid; the format decides
+// how many logical values each texel carries).
 type poolKey struct {
-	elem codec.ElemType
+	fmt  codec.Format
 	grid layout.Grid
 }
 
@@ -57,10 +58,16 @@ func (p *BufferPool) SetLimit(perKey, total int) {
 // grid (e.g. reduction tails); the logical length is rewritten on
 // checkout.
 func (p *BufferPool) Acquire(elem codec.ElemType, n int, grid layout.Grid) (*Buffer, error) {
+	return p.AcquireFmt(codec.FormatOf(elem), n, grid)
+}
+
+// AcquireFmt is Acquire for an explicit texel format (packed intermediates
+// of 4-wide pipelines).
+func (p *BufferPool) AcquireFmt(f codec.Format, n int, grid layout.Grid) (*Buffer, error) {
 	if err := p.dev.checkOpen("BufferPool.Acquire"); err != nil {
 		return nil, err
 	}
-	key := poolKey{elem: elem, grid: grid}
+	key := poolKey{fmt: f, grid: grid}
 	if list := p.free[key]; len(list) > 0 {
 		b := list[len(list)-1]
 		p.free[key] = list[:len(list)-1]
@@ -69,7 +76,7 @@ func (p *BufferPool) Acquire(elem codec.ElemType, n int, grid layout.Grid) (*Buf
 		p.reuses++
 		return b, nil
 	}
-	b, err := p.dev.newBufferWithGrid(elem, n, grid)
+	b, err := p.dev.newBufferWithGrid(f, n, grid)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +88,7 @@ func (p *BufferPool) Acquire(elem codec.ElemType, n int, grid layout.Grid) (*Buf
 // Release returns a buffer acquired from this pool to its free list, or
 // frees it outright when a retention cap is exceeded.
 func (p *BufferPool) Release(b *Buffer) {
-	key := poolKey{elem: b.elem, grid: b.grid}
+	key := poolKey{fmt: b.fmt, grid: b.grid}
 	if (p.perKeyLimit > 0 && len(p.free[key]) >= p.perKeyLimit) ||
 		(p.totalLimit > 0 && p.freeCount >= p.totalLimit) {
 		p.dropAndFree(b)

@@ -16,17 +16,22 @@ import (
 // rows are read and the span sliced out host-side).
 
 // packAny encodes a typed host slice into texel bytes for a buffer of
-// element type t, returning the element count.
-func packAny(t codec.ElemType, src interface{}) (int, []byte, error) {
+// format f, returning the element count. Packed formats produce
+// ceil(n/lanes) texels.
+func packAny(f codec.Format, src interface{}) (int, []byte, error) {
+	t := f.Elem()
 	mismatch := func(got string) (int, []byte, error) {
-		return 0, nil, fmt.Errorf("buffer holds %s, source is %s", t, got)
+		return 0, nil, fmt.Errorf("buffer holds %s, source is %s", f, got)
 	}
 	switch s := src.(type) {
 	case []float32:
 		if t != codec.Float32 {
 			return mismatch("[]float32")
 		}
-		buf := make([]byte, len(s)*4)
+		buf := make([]byte, f.TexelsFor(len(s))*4)
+		if f == codec.FmtFloat16x2 {
+			return len(s), buf, codec.PackFloat16x2(buf, s)
+		}
 		return len(s), buf, codec.PackFloat32(buf, s)
 	case []int32:
 		if t != codec.Int32 {
@@ -44,7 +49,10 @@ func packAny(t codec.ElemType, src interface{}) (int, []byte, error) {
 		if t != codec.Int8 {
 			return mismatch("[]int8")
 		}
-		buf := make([]byte, len(s)*4)
+		buf := make([]byte, f.TexelsFor(len(s))*4)
+		if f == codec.FmtInt8x4 {
+			return len(s), buf, codec.PackInt8x4(buf, s)
+		}
 		return len(s), buf, codec.PackInt8(buf, s)
 	case []uint8:
 		if t != codec.Uint8 {
@@ -57,22 +65,30 @@ func packAny(t codec.ElemType, src interface{}) (int, []byte, error) {
 	}
 }
 
-// unpackAny decodes n elements of type t from texel bytes into a freshly
-// allocated typed slice.
-func unpackAny(t codec.ElemType, texels []byte, n int) (interface{}, error) {
-	switch t {
-	case codec.Float32:
+// unpackAny decodes n elements of format f from texel bytes into a freshly
+// allocated typed slice. For packed formats, texels must start at the byte
+// of the first requested LANE (lanes are byte-addressable: 1 byte/lane for
+// Int8x4, 2 for Float16x2), which lets ReadRange serve unaligned spans.
+func unpackAny(f codec.Format, texels []byte, n int) (interface{}, error) {
+	switch f {
+	case codec.FmtFloat32:
 		out := make([]float32, n)
 		return out, codec.UnpackFloat32(out, texels[:n*4])
-	case codec.Int32:
+	case codec.FmtFloat16x2:
+		out := make([]float32, n)
+		return out, codec.UnpackFloat16x2(out, texels)
+	case codec.FmtInt32:
 		out := make([]int32, n)
 		return out, codec.UnpackInt32(out, texels[:n*4])
-	case codec.Uint32:
+	case codec.FmtUint32:
 		out := make([]uint32, n)
 		return out, codec.UnpackUint32(out, texels[:n*4])
-	case codec.Int8:
+	case codec.FmtInt8:
 		out := make([]int8, n)
 		return out, codec.UnpackInt8(out, texels[:n*4])
+	case codec.FmtInt8x4:
+		out := make([]int8, n)
+		return out, codec.UnpackInt8x4(out, texels)
 	default:
 		out := make([]uint8, n)
 		return out, codec.UnpackUint8(out, texels[:n*4])
@@ -106,7 +122,7 @@ func (b *Buffer) WriteRange(off int, src interface{}) error {
 	if err := b.dev.checkOpen("WriteRange"); err != nil {
 		return err
 	}
-	count, texels, err := packAny(b.elem, src)
+	count, texels, err := packAny(b.fmt, src)
 	if err != nil {
 		return fmt.Errorf("core: WriteRange: %w", err)
 	}
@@ -114,16 +130,25 @@ func (b *Buffer) WriteRange(off int, src interface{}) error {
 		return nil
 	}
 	w := b.grid.Width
+	lanes := b.fmt.Lanes()
 	if off < 0 || off+count > b.n {
 		return fmt.Errorf("core: WriteRange: [%d,%d) outside buffer of %d elements", off, off+count, b.n)
 	}
-	if off%w != 0 {
+	if off%lanes != 0 {
+		return fmt.Errorf("core: WriteRange: offset %d not on a texel boundary (%d lanes/texel)", off, lanes)
+	}
+	if count%lanes != 0 && off+count != b.n {
+		return fmt.Errorf("core: WriteRange: %d elements from %d end mid-texel (%d lanes/texel) before the buffer tail", count, off, lanes)
+	}
+	texOff := off / lanes
+	texCount := b.fmt.TexelsFor(count)
+	if texOff%w != 0 {
 		return fmt.Errorf("core: WriteRange: offset %d not on a row boundary (width %d)", off, w)
 	}
-	if count%w != 0 && off+count != b.n {
+	if texCount%w != 0 && off+count != b.n {
 		return fmt.Errorf("core: WriteRange: %d elements from %d neither cover whole rows (width %d) nor reach the buffer tail", count, off, w)
 	}
-	rows := (count + w - 1) / w
+	rows := (texCount + w - 1) / w
 	padded := texels
 	if len(padded) < rows*w*4 {
 		padded = make([]byte, rows*w*4)
@@ -132,7 +157,7 @@ func (b *Buffer) WriteRange(off int, src interface{}) error {
 	ctx := b.dev.ctx
 	prev := uint32(ctx.GetIntegerv(gles.TEXTURE_BINDING_2D)[0])
 	ctx.BindTexture(gles.TEXTURE_2D, b.tex)
-	ctx.TexSubImage2D(gles.TEXTURE_2D, 0, 0, off/w, w, rows, gles.RGBA, gles.UNSIGNED_BYTE, padded)
+	ctx.TexSubImage2D(gles.TEXTURE_2D, 0, 0, texOff/w, w, rows, gles.RGBA, gles.UNSIGNED_BYTE, padded)
 	ctx.BindTexture(gles.TEXTURE_2D, prev)
 	return b.dev.checkGL("WriteRange")
 }
@@ -152,8 +177,11 @@ func (b *Buffer) ReadRange(off, count int) (interface{}, error) {
 		return nil, err
 	}
 	w := b.grid.Width
-	startRow := off / w
-	rows := (off+count-1)/w - startRow + 1
+	lanes := b.fmt.Lanes()
+	texOff := off / lanes
+	texEnd := (off + count - 1) / lanes
+	startRow := texOff / w
+	rows := texEnd/w - startRow + 1
 	ctx := b.dev.ctx
 	prev := uint32(ctx.GetIntegerv(gles.FRAMEBUFFER_BINDING)[0])
 	ctx.BindFramebuffer(gles.FRAMEBUFFER, fbo)
@@ -163,8 +191,10 @@ func (b *Buffer) ReadRange(off, count int) (interface{}, error) {
 	if err := b.dev.checkGL("ReadRange"); err != nil {
 		return nil, err
 	}
-	skip := (off - startRow*w) * 4
-	out, err := unpackAny(b.elem, texels[skip:], count)
+	// Byte offset of the first requested lane: whole texels, then lanes
+	// within the first texel (4 bytes/texel ÷ lanes bytes/lane).
+	skip := (texOff-startRow*w)*4 + (off-texOff*lanes)*(4/lanes)
+	out, err := unpackAny(b.fmt, texels[skip:], count)
 	if err != nil {
 		return nil, fmt.Errorf("core: ReadRange: %w", err)
 	}

@@ -49,6 +49,20 @@ func MaxAbsErr(got, want interface{}) float64 {
 	return worst
 }
 
+// Int8Equal reports whether two []int8 slices are bit-identical.
+func Int8Equal(got, want interface{}) bool {
+	g, w := got.([]int8), want.([]int8)
+	if len(g) != len(w) {
+		return false
+	}
+	for i := range w {
+		if g[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Int32Equal reports whether two []int32 slices are bit-identical.
 func Int32Equal(got, want interface{}) bool {
 	g, w := got.([]int32), want.([]int32)

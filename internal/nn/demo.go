@@ -102,6 +102,58 @@ func DemoLeNetInt32(seed int64) *Model {
 		Dense("fc3", DemoClasses, w(84*DemoClasses), b(DemoClasses))
 }
 
+// DemoLeNetInt8 builds the quantized LeNet-scale model: the int32
+// topology with int8 weights and a Rescale requantization folded after
+// every matmul, keeping each layer's output inside int8. Weights are
+// uniform in [-2, 2], biases in [-8, 8]; inputs must be in [0, 15]
+// (DemoInputInt8).
+//
+// Post-shift worst-case bounds (input ≤ 15, |w| ≤ 2, |bias| ≤ 8):
+//
+//	conv1 ≤ 25·15·2+8 = 758      ≫4 → 47
+//	conv2 ≤ 150·47·2+8 = 14108   ≫7 → 110
+//	fc1   ≤ 256·110·2+8 = 56328  ≫9 → 110
+//	fc2   ≤ 120·110·2+8 = 26408  ≫8 → 103
+//	fc3   ≤ 84·103·2+8 = 17312   ≫8 → 67
+//
+// Every post-shift value fits int8 and every accumulator stays far
+// inside the exact ±2^24 window, so GPU inference is bit-identical to
+// the CPU reference in both the scalar and the vec4-packed lowering.
+func DemoLeNetInt8(seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	w := func(n int) []int8 {
+		out := make([]int8, n)
+		for i := range out {
+			out[i] = int8(rng.Intn(5) - 2)
+		}
+		return out
+	}
+	b := func(n int) []int8 {
+		out := make([]int8, n)
+		for i := range out {
+			out[i] = int8(rng.Intn(17) - 8)
+		}
+		return out
+	}
+	return NewModel(codec.Int8, DemoShape).
+		Conv2D("conv1", 5, 5, 6, 1, w(25*6), b(6)).
+		Rescale("requant1", 4).
+		ReLU("relu1").
+		MaxPool("pool1", 2, 2, 2).
+		Conv2D("conv2", 5, 5, 16, 1, w(150*16), b(16)).
+		Rescale("requant2", 7).
+		ReLU("relu2").
+		MaxPool("pool2", 2, 2, 2).
+		Dense("fc1", 120, w(256*120), b(120)).
+		Rescale("requant3", 9).
+		ReLU("relu3").
+		Dense("fc2", 84, w(120*84), b(84)).
+		Rescale("requant4", 8).
+		ReLU("relu4").
+		Dense("fc3", DemoClasses, w(84*DemoClasses), b(DemoClasses)).
+		Rescale("requant5", 8)
+}
+
 // DemoInputFloat32 generates batch seeded pseudo-images in [0, 1).
 func DemoInputFloat32(seed int64, batch int) []float32 {
 	rng := rand.New(rand.NewSource(seed))
@@ -119,6 +171,17 @@ func DemoInputInt32(seed int64, batch int) []int32 {
 	out := make([]int32, batch*DemoShape.N())
 	for i := range out {
 		out[i] = int32(rng.Intn(16))
+	}
+	return out
+}
+
+// DemoInputInt8 generates batch seeded pseudo-images in [0, 15] for the
+// quantized model (same intensity range and budget as DemoInputInt32).
+func DemoInputInt8(seed int64, batch int) []int8 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int8, batch*DemoShape.N())
+	for i := range out {
+		out[i] = int8(rng.Intn(16))
 	}
 	return out
 }

@@ -80,12 +80,16 @@ type Model struct {
 	err    error
 }
 
-// NewModel starts a model over elem (Float32 or Int32) activations with
-// the given input image shape.
+// NewModel starts a model over elem (Float32, Int32 or Int8) activations
+// with the given input image shape. Int8 is the quantized configuration:
+// weights and activations are []int8, and every Conv2D/Dense/
+// DepthwiseConv layer must be immediately followed by a Rescale
+// requantization (Build folds the pair into one kernel — the pre-requant
+// accumulator exceeds int8 and can never materialize in an int8 tensor).
 func NewModel(elem codec.ElemType, in Shape) *Model {
 	m := &Model{elem: elem, in: in}
-	if elem != codec.Float32 && elem != codec.Int32 {
-		m.fail("element type %s not supported (use Float32 or Int32)", elem)
+	if elem != codec.Float32 && elem != codec.Int32 && elem != codec.Int8 {
+		m.fail("element type %s not supported (use Float32, Int32 or Int8)", elem)
 	}
 	if in.H <= 0 || in.W <= 0 || in.C <= 0 {
 		m.fail("non-positive input shape %v", in)
@@ -133,6 +137,12 @@ func (m *Model) checkWeights(layer, param string, w interface{}, want int) {
 	case []int32:
 		if m.elem != codec.Int32 {
 			m.fail("%s: %s is []int32, model is %s", layer, param, m.elem)
+			return
+		}
+		n = len(s)
+	case []int8:
+		if m.elem != codec.Int8 {
+			m.fail("%s: %s is []int8, model is %s", layer, param, m.elem)
 			return
 		}
 		n = len(s)
@@ -329,6 +339,9 @@ func (m *Model) Reference(input interface{}, batch int) ([]interface{}, []armtim
 	if got, want := hostLen(input), batch*m.in.N(); got != want {
 		return nil, nil, fmt.Errorf("nn: Reference: input has %d elements, want %d", got, want)
 	}
+	if m.elem == codec.Int8 {
+		return m.referenceInt8(input.([]int8), batch)
+	}
 	outs := make([]interface{}, 0, len(m.layers))
 	counts := make([]armtime.OpCounts, 0, len(m.layers))
 	cur := input
@@ -388,14 +401,121 @@ func (m *Model) Reference(input interface{}, batch int) ([]interface{}, []armtim
 	return outs, counts, nil
 }
 
-// hostLen returns the length of a []float32 / []int32 host slice, -1
-// otherwise.
+// hostLen returns the length of a []float32 / []int32 / []int8 host
+// slice, -1 otherwise.
 func hostLen(src interface{}) int {
 	switch s := src.(type) {
 	case []float32:
 		return len(s)
 	case []int32:
 		return len(s)
+	case []int8:
+		return len(s)
 	}
 	return -1
+}
+
+// matmulKind reports whether a layer kind accumulates a matmul (and so
+// needs a folded Rescale in the int8 configuration).
+func matmulKind(kind string) bool {
+	return kind == KindConv || kind == KindDense || kind == KindDW
+}
+
+// int8FoldCheck validates the int8 folding invariant: every matmul layer
+// is immediately followed by Rescale, and Rescale appears nowhere else.
+func (m *Model) int8FoldCheck() error {
+	for i, l := range m.layers {
+		if matmulKind(l.kind) {
+			if i+1 >= len(m.layers) || m.layers[i+1].kind != KindRescale {
+				return fmt.Errorf("nn: int8 layer %q (%s) must be immediately followed by Rescale (the requant folds into its kernel)", l.name, l.kind)
+			}
+		}
+		if l.kind == KindRescale && (i == 0 || !matmulKind(m.layers[i-1].kind)) {
+			return fmt.Errorf("nn: int8 Rescale %q must immediately follow a conv/dense/dwconv layer", l.name)
+		}
+		if l.kind == KindSoftmax {
+			return fmt.Errorf("nn: int8 layer %q: softmax unsupported (argmax raw logits instead)", l.name)
+		}
+	}
+	return nil
+}
+
+// clampInt8 saturates an int32 to the int8 range — the CPU mirror of the
+// kernels' clamp(floor(acc/2^s), -128, 127).
+func clampInt8(v int32) int8 {
+	if v > 127 {
+		return 127
+	}
+	if v < -128 {
+		return -128
+	}
+	return int8(v)
+}
+
+func widenInt8(x []int8) []int32 {
+	out := make([]int32, len(x))
+	for i, v := range x {
+		out[i] = int32(v)
+	}
+	return out
+}
+
+func narrowInt32(x []int32) []int8 {
+	out := make([]int8, len(x))
+	for i, v := range x {
+		out[i] = clampInt8(v)
+	}
+	return out
+}
+
+// referenceInt8 is Reference's int8 arm: the int32 refcpu primitives run
+// the widened arithmetic, and each matmul+Rescale pair collapses to one
+// requantized []int8 tensor — both layers of the pair report the SAME
+// slice, mirroring the folded GPU lowering where the pre-requant
+// accumulator never materializes.
+func (m *Model) referenceInt8(input []int8, batch int) ([]interface{}, []armtime.OpCounts, error) {
+	if err := m.int8FoldCheck(); err != nil {
+		return nil, nil, err
+	}
+	outs := make([]interface{}, len(m.layers))
+	counts := make([]armtime.OpCounts, len(m.layers))
+	cur := widenInt8(input)
+	curShape := m.in
+	for li := 0; li < len(m.layers); li++ {
+		l := m.layers[li]
+		var acc []int32
+		var c armtime.OpCounts
+		switch l.kind {
+		case KindConv:
+			acc, c = refcpu.Conv2DInt32(cur, widenInt8(l.w.([]int8)), widenInt8(l.bias.([]int8)), batch, l.conv)
+		case KindDW:
+			acc, c = refcpu.DepthwiseConvInt32(cur, widenInt8(l.w.([]int8)), widenInt8(l.bias.([]int8)), batch, l.dw)
+		case KindDense:
+			acc, c = refcpu.DenseInt32(cur, widenInt8(l.w.([]int8)), widenInt8(l.bias.([]int8)), batch, l.in, l.out)
+		case KindPool:
+			acc, c = refcpu.MaxPoolInt32(cur, batch, curShape.H, curShape.W, curShape.C, l.ph, l.pw, l.stride)
+		case KindReLU:
+			acc, c = refcpu.ReLUInt32(cur)
+		default:
+			return nil, nil, fmt.Errorf("nn: Reference: layer %q (%s) unsupported for %s", l.name, l.kind, m.elem)
+		}
+		if matmulKind(l.kind) {
+			// Fold the following Rescale: requantize and clamp, charge the
+			// shift to the rescale layer, and report the folded tensor for
+			// both layers.
+			rl := m.layers[li+1]
+			shifted, rc := refcpu.RescaleInt32(acc, rl.shift)
+			narrowed := narrowInt32(shifted)
+			outs[li], counts[li] = narrowed, c
+			outs[li+1], counts[li+1] = narrowed, rc
+			cur = widenInt8(narrowed)
+			curShape = rl.outShape
+			li++
+			continue
+		}
+		outs[li], counts[li] = narrowInt32(acc), c
+		cur = acc
+		curShape = l.outShape
+	}
+	return outs, counts, nil
 }

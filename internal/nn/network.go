@@ -33,6 +33,16 @@ type Network struct {
 	tapAll     bool
 	stageOf    []int // pipeline stage index -> layer index
 	closed     bool
+
+	// Int8 lowering state. lanes is 1 for every float32/int32 network;
+	// the 4-wide int8 lowering pads all channel dimensions to multiples
+	// of 4 (C4 layout), so it tracks the padded shapes for input padding
+	// and readback stripping. tapBuf maps layer index -> outBufs index
+	// (folded matmul+Rescale pairs share one buffer).
+	lanes  int
+	padIn  Shape
+	padOut []Shape
+	tapBuf []int
 }
 
 // Result is one Network.Run execution.
@@ -53,7 +63,21 @@ type Result struct {
 // Build compiles the model for the device at a fixed batch size. With
 // tapAll every layer's output is marked as a pipeline output (the
 // validation mode N1 uses); otherwise only the final layer is read back.
+// Int8 models default to the 4-wide (vec4-packed) lowering unless
+// core.EnvDisableVec4 is set; float32/int32 models are always scalar.
 func (m *Model) Build(dev *core.Device, batch int, tapAll bool) (*Network, error) {
+	lanes := 1
+	if m.elem == codec.Int8 && !core.Vec4EnvDisabled() {
+		lanes = 4
+	}
+	return m.BuildLanes(dev, batch, tapAll, lanes)
+}
+
+// BuildLanes is Build with an explicit lane width: 1 for the scalar
+// lowering (any element type), 4 for the packed int8x4 lowering (int8
+// models only). The two int8 lowerings are bit-identical after padding
+// is stripped — the N1 experiment's differential asserts it.
+func (m *Model) BuildLanes(dev *core.Device, batch int, tapAll bool, lanes int) (*Network, error) {
 	if m.err != nil {
 		return nil, m.err
 	}
@@ -63,7 +87,21 @@ func (m *Model) Build(dev *core.Device, batch int, tapAll bool) (*Network, error
 	if batch <= 0 {
 		return nil, fmt.Errorf("nn: Build: non-positive batch %d", batch)
 	}
-	net := &Network{dev: dev, model: m, batch: batch, p: dev.NewPipeline(), tapAll: tapAll}
+	if lanes != 1 && lanes != 4 {
+		return nil, fmt.Errorf("nn: Build: lane width %d not supported (1 or 4)", lanes)
+	}
+	if lanes == 4 && m.elem != codec.Int8 {
+		return nil, fmt.Errorf("nn: Build: 4-wide lowering requires an int8 model, got %s", m.elem)
+	}
+	if m.elem == codec.Int8 {
+		return m.buildInt8(dev, batch, tapAll, lanes)
+	}
+	return m.buildStd(dev, batch, tapAll)
+}
+
+// buildStd is the scalar float32/int32 lowering.
+func (m *Model) buildStd(dev *core.Device, batch int, tapAll bool) (*Network, error) {
+	net := &Network{dev: dev, model: m, batch: batch, p: dev.NewPipeline(), tapAll: tapAll, lanes: 1}
 	ok := false
 	defer func() {
 		if !ok {
@@ -254,6 +292,10 @@ func (m *Model) Build(dev *core.Device, batch int, tapAll bool) (*Network, error
 	marked := layerRefs[len(layerRefs)-1:]
 	if tapAll {
 		marked = layerRefs
+		net.tapBuf = make([]int, len(m.layers))
+		for i := range net.tapBuf {
+			net.tapBuf[i] = i
+		}
 	}
 	for i, r := range marked {
 		net.p.Output(r)
@@ -300,6 +342,9 @@ func (n *Network) PlannedPasses() ([]string, error) { return n.p.PlannedPasses()
 // Batch returns the batch size the network was built for.
 func (n *Network) Batch() int { return n.batch }
 
+// Lanes returns the lowering's lane width: 1 (scalar) or 4 (int8x4).
+func (n *Network) Lanes() int { return n.lanes }
+
 // Model returns the model the network was built from.
 func (n *Network) Model() *Model { return n.model }
 
@@ -313,7 +358,13 @@ func (n *Network) Run(input interface{}) (*Result, error) {
 	if got, want := hostLen(input), n.batch*n.model.in.N(); got != want {
 		return nil, fmt.Errorf("nn: Run: input has %d elements, want %d", got, want)
 	}
-	if err := n.imgBuf.WriteRange(0, input); err != nil {
+	up := input
+	if n.lanes == 4 {
+		// The 4-wide lowering runs on the C4-padded layout: widen the
+		// input host-side (pad channels with zeros) before upload.
+		up = padTensorInt8(input.([]int8), n.batch, n.model.in, n.padIn)
+	}
+	if err := n.imgBuf.WriteRange(0, up); err != nil {
 		return nil, err
 	}
 	ins := append([]*core.Buffer{n.imgBuf}, n.weightBufs...)
@@ -327,17 +378,40 @@ func (n *Network) Run(input interface{}) (*Result, error) {
 			res.LayerTimes[li] = res.LayerTimes[li].Add(stats.StageTimes[si])
 		}
 	}
-	for i, b := range n.outBufs {
-		out, err := b.ReadRange(0, b.Len())
+	// Read each marked buffer once, stripping C4 padding on the 4-wide
+	// path; layers folded into one pass (int8 matmul+Rescale) alias the
+	// same host data.
+	read := make([]interface{}, len(n.outBufs))
+	readFor := func(bi, li int) (interface{}, error) {
+		if read[bi] != nil {
+			return read[bi], nil
+		}
+		out, err := n.outBufs[bi].ReadRange(0, n.outBufs[bi].Len())
 		if err != nil {
 			return nil, err
 		}
-		if n.tapAll {
-			res.Taps = append(res.Taps, out)
+		if n.lanes == 4 {
+			out = stripPadInt8(out.([]int8), n.batch, n.model.layers[li].outShape, n.padOut[li])
 		}
-		if i == len(n.outBufs)-1 {
-			res.Output = out
+		read[bi] = out
+		return out, nil
+	}
+	if n.tapAll {
+		res.Taps = make([]interface{}, len(n.model.layers))
+		for li := range n.model.layers {
+			out, err := readFor(n.tapBuf[li], li)
+			if err != nil {
+				return nil, err
+			}
+			res.Taps[li] = out
 		}
+		res.Output = res.Taps[len(res.Taps)-1]
+	} else {
+		out, err := readFor(0, len(n.model.layers)-1)
+		if err != nil {
+			return nil, err
+		}
+		res.Output = out
 	}
 	return res, nil
 }

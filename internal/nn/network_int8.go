@@ -1,0 +1,410 @@
+package nn
+
+import (
+	"fmt"
+
+	"glescompute/internal/codec"
+	"glescompute/internal/core"
+)
+
+// network_int8.go is the quantized lowering: activations and weights
+// live in int8 tensors and every matmul requantizes on the way out
+// (clamp(floor(acc/2^shift), -128, 127), folded from the following
+// Rescale layer — int8FoldCheck guarantees it exists).
+//
+// Two variants share this builder:
+//
+//   - lanes=1: FmtInt8 buffers (one value per texel), the same linear
+//     lowering as the float/int32 path with requant folded in;
+//   - lanes=4: FmtInt8x4 buffers (four values per texel) with every
+//     channel dimension padded to a multiple of 4 — the PHWC4-style C4
+//     layout. The padding buys the alignment invariant the 4-wide
+//     kernels assume: four consecutive logical indices always share a
+//     texel, so receptive-field gathers, GEMM row walks and weight
+//     fetches all decode four values per texture access. Padded weight
+//     entries are zero, so padded channels carry exact zeros through
+//     conv (0·x = 0), requant (floor(0) = 0), relu and pool — after
+//     stripping, the two lowerings are bit-identical.
+//
+// Host-side padding/stripping happens once per Run at the input and
+// readback boundaries; between layers everything stays padded on the
+// device.
+
+// ceil4 rounds up to a multiple of 4 (the C4 channel padding).
+func ceil4(n int) int { return (n + 3) &^ 3 }
+
+// padShape widens a shape's channel dimension to the C4 layout.
+func padShape(s Shape) Shape { return Shape{H: s.H, W: s.W, C: ceil4(s.C)} }
+
+// padTensorInt8 re-lays a logical HWC tensor into the padded layout,
+// zero-filling the padded channels.
+func padTensorInt8(x []int8, batch int, logical, padded Shape) []int8 {
+	if logical == padded {
+		return x
+	}
+	out := make([]int8, batch*padded.N())
+	pix := batch * logical.H * logical.W
+	for p := 0; p < pix; p++ {
+		copy(out[p*padded.C:p*padded.C+logical.C], x[p*logical.C:(p+1)*logical.C])
+	}
+	return out
+}
+
+// stripPadInt8 is the inverse: drop the padded channels.
+func stripPadInt8(x []int8, batch int, logical, padded Shape) []int8 {
+	if logical == padded {
+		return x
+	}
+	out := make([]int8, batch*logical.N())
+	pix := batch * logical.H * logical.W
+	for p := 0; p < pix; p++ {
+		copy(out[p*logical.C:(p+1)*logical.C], x[p*padded.C:p*padded.C+logical.C])
+	}
+	return out
+}
+
+// padBiasInt8 widens a bias vector with zeros.
+func padBiasInt8(b []int8, c4 int) []int8 {
+	if len(b) == c4 {
+		return b
+	}
+	out := make([]int8, c4)
+	copy(out, b)
+	return out
+}
+
+// padConvWeightsKInt8 re-lays conv weights [kReal][outC] into
+// [kPad][outC4], zero-filling the padded tail rows and output columns.
+// The row index keeps the logical (ky, kx, ic) order — the K dimension
+// is padded as a whole rather than per-channel, so narrow inputs don't
+// inflate the GEMM's inner loop (see im2col4Source).
+func padConvWeightsKInt8(w []int8, kReal, kPad, outC, outC4 int) []int8 {
+	if kReal == kPad && outC == outC4 {
+		return w
+	}
+	out := make([]int8, kPad*outC4)
+	for k := 0; k < kReal; k++ {
+		copy(out[k*outC4:k*outC4+outC], w[k*outC:(k+1)*outC])
+	}
+	return out
+}
+
+// padDWWeightsInt8 re-lays depthwise weights [taps][C] into [taps][C4].
+func padDWWeightsInt8(w []int8, taps, c, c4 int) []int8 {
+	if c == c4 {
+		return w
+	}
+	out := make([]int8, taps*c4)
+	for t := 0; t < taps; t++ {
+		copy(out[t*c4:t*c4+c], w[t*c:(t+1)*c])
+	}
+	return out
+}
+
+// padDenseWeightsInt8 re-lays dense weights [in][out] (in = the
+// flattened logical input shape) into [inPadded][out4], where the input
+// index follows the padded HWC layout of the producing layer.
+func padDenseWeightsInt8(w []int8, logical, padded Shape, outN, out4 int) []int8 {
+	if logical == padded && outN == out4 {
+		return w
+	}
+	out := make([]int8, padded.N()*out4)
+	pix := logical.H * logical.W
+	for p := 0; p < pix; p++ {
+		for c := 0; c < logical.C; c++ {
+			src := (p*logical.C + c) * outN
+			dst := (p*padded.C + c) * out4
+			for o := 0; o < outN; o++ {
+				out[dst+o] = w[src+o]
+			}
+		}
+	}
+	return out
+}
+
+// buildInt8 compiles an int8 model. See the file comment for the
+// lanes=1 / lanes=4 split.
+func (m *Model) buildInt8(dev *core.Device, batch int, tapAll bool, lanes int) (*Network, error) {
+	if err := m.int8FoldCheck(); err != nil {
+		return nil, err
+	}
+	packed := lanes == 4
+	fmtAct := codec.FmtInt8
+	if packed {
+		fmtAct = codec.FmtInt8x4
+	}
+	pad := func(s Shape) Shape {
+		if packed {
+			return padShape(s)
+		}
+		return s
+	}
+	net := &Network{dev: dev, model: m, batch: batch, p: dev.NewPipeline(), tapAll: tapAll, lanes: lanes}
+	net.padIn = pad(m.in)
+	net.padOut = make([]Shape, len(m.layers))
+	for li, l := range m.layers {
+		net.padOut[li] = pad(l.outShape)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			net.Close()
+		}
+	}()
+
+	checkN := func(what string, n int) error {
+		if n >= exactWindow {
+			return fmt.Errorf("nn: Build: %s has %d elements, beyond the exact fp32 index window (2^24)", what, n)
+		}
+		return nil
+	}
+	// Worst-case int8 matmul accumulator: K·128·128 + 128 must stay
+	// inside the exact window for the requant to be bit-exact.
+	checkAcc := func(layer string, k int) error {
+		if k*16384+128 >= exactWindow {
+			return fmt.Errorf("nn: Build: %s inner dimension %d can overflow the exact fp32 accumulator window with int8 operands", layer, k)
+		}
+		return nil
+	}
+	if err := checkN("input tensor", batch*net.padIn.N()); err != nil {
+		return nil, err
+	}
+
+	kern := func(name, scalarSrc, packedSrc string, inputs, uniforms []string, ew, epilogue bool) (*core.Kernel, error) {
+		src := scalarSrc
+		if packed {
+			name, src = name+"4", packedSrc
+		}
+		return kernelFmt(dev, name, fmtAct, inputs, uniforms, src, ew, epilogue, lanes)
+	}
+	weightInput := func(layer, param string, w []int8) (core.Ref, error) {
+		if err := checkN(layer+" "+param, len(w)); err != nil {
+			return -1, err
+		}
+		b, err := dev.NewBufferFmt(fmtAct, len(w))
+		if err != nil {
+			return -1, err
+		}
+		net.weightBufs = append(net.weightBufs, b)
+		if err := b.WriteRange(0, w); err != nil {
+			return -1, err
+		}
+		return net.p.InputFmt(fmtAct, len(w)), nil
+	}
+
+	cur := net.p.InputFmt(fmtAct, batch*net.padIn.N())
+	curPad := net.padIn
+	layerRefs := make([]core.Ref, len(m.layers))
+	for li := 0; li < len(m.layers); li++ {
+		l := m.layers[li]
+		stage := func(label string, r core.Ref) core.Ref {
+			net.stageOf = append(net.stageOf, li)
+			net.p.Label(label)
+			return r
+		}
+		f := func(v int) float32 { return float32(v) }
+		outPad := net.padOut[li]
+		var out core.Ref
+		switch l.kind {
+		case KindConv:
+			cs := l.conv
+			outC := net.padOut[li+1].C // == pad(outShape).C; via the folded Rescale
+			kReal := cs.KH * cs.KW * cs.InC
+			k := kReal // patch-matrix inner dimension
+			if packed {
+				k = ceil4(kReal)
+			}
+			rows := batch * cs.OutH() * cs.OutW()
+			scale := f(1 << m.layers[li+1].shift)
+			if err := checkN(l.name+" im2col matrix", rows*k); err != nil {
+				return nil, err
+			}
+			if err := checkAcc(l.name, k); err != nil {
+				return nil, err
+			}
+			// The two im2col lowerings have different interfaces: the packed
+			// gather pads K (not channels) and needs both the logical and the
+			// C4 channel strides of the input it walks.
+			var im2colK *core.Kernel
+			var imVals map[string]float32
+			var err error
+			if packed {
+				im2colK, err = kernelFmt(dev, "nn-im2col-i84", fmtAct, []string{"x"},
+					[]string{"u_kk", "u_ohw", "u_ow", "u_ic", "u_ic4", "u_kw", "u_stride", "u_inh", "u_inw"},
+					im2col4Source, false, true, lanes)
+				imVals = map[string]float32{
+					"u_kk": f(k), "u_ohw": f(cs.OutH() * cs.OutW()), "u_ow": f(cs.OutW()),
+					"u_ic": f(cs.InC), "u_ic4": f(curPad.C), "u_kw": f(cs.KW),
+					"u_stride": f(cs.Stride), "u_inh": f(cs.InH), "u_inw": f(cs.InW),
+				}
+			} else {
+				im2colK, err = kernelFmt(dev, "nn-im2col-i8", fmtAct, []string{"x"},
+					[]string{"u_kk", "u_ohw", "u_ow", "u_kwic", "u_ic", "u_stride", "u_inh", "u_inw"},
+					im2colSource, false, true, lanes)
+				imVals = map[string]float32{
+					"u_kk": f(k), "u_ohw": f(cs.OutH() * cs.OutW()), "u_ow": f(cs.OutW()),
+					"u_kwic": f(cs.KW * cs.InC), "u_ic": f(cs.InC), "u_stride": f(cs.Stride),
+					"u_inh": f(cs.InH), "u_inw": f(cs.InW),
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+			gemmK, err := kern("nn-gemm-rq", gemmRequantSource, gemm4RequantSource, []string{"x", "w", "bias"},
+				[]string{"u_cols", "u_k", "u_scale"}, false, true)
+			if err != nil {
+				return nil, err
+			}
+			wRef, err := weightInput(l.name, "weights",
+				padConvWeightsKInt8(l.w.([]int8), kReal, k, cs.OutC, outC))
+			if err != nil {
+				return nil, err
+			}
+			bRef, err := weightInput(l.name, "bias", padBiasInt8(l.bias.([]int8), outC))
+			if err != nil {
+				return nil, err
+			}
+			patches := stage(l.name+"/im2col", net.p.StageN(im2colK, rows*k, imVals, cur))
+			out = stage(l.name, net.p.StageN(gemmK, rows*outC, map[string]float32{
+				"u_cols": f(outC), "u_k": f(k), "u_scale": scale,
+			}, patches, wRef, bRef))
+		case KindDense:
+			k := curPad.N()
+			outC := net.padOut[li+1].C
+			scale := f(1 << m.layers[li+1].shift)
+			if err := checkAcc(l.name, k); err != nil {
+				return nil, err
+			}
+			if k > maxInner {
+				return nil, fmt.Errorf("nn: Build: %s padded input size %d exceeds kernel loop bound %d", l.name, k, maxInner)
+			}
+			gemmK, err := kern("nn-gemm-rq", gemmRequantSource, gemm4RequantSource, []string{"x", "w", "bias"},
+				[]string{"u_cols", "u_k", "u_scale"}, false, true)
+			if err != nil {
+				return nil, err
+			}
+			// curShape is the logical shape feeding this layer; its padded
+			// counterpart defines the weight row indexing.
+			logIn := m.in
+			if li > 0 {
+				logIn = m.layers[li-1].outShape
+			}
+			wRef, err := weightInput(l.name, "weights",
+				padDenseWeightsInt8(l.w.([]int8), logIn, curPad, l.out, outC))
+			if err != nil {
+				return nil, err
+			}
+			bRef, err := weightInput(l.name, "bias", padBiasInt8(l.bias.([]int8), outC))
+			if err != nil {
+				return nil, err
+			}
+			out = stage(l.name, net.p.StageN(gemmK, batch*outC, map[string]float32{
+				"u_cols": f(outC), "u_k": f(k), "u_scale": scale,
+			}, cur, wRef, bRef))
+		case KindDW:
+			ds := l.dw
+			c := curPad.C
+			if err := checkAcc(l.name, ds.KH*ds.KW); err != nil {
+				return nil, err
+			}
+			// The requant scale is baked into the source (uniform budget —
+			// see dwRequantSourceTmpl).
+			dwSrc := dwRequantSrc(m.layers[li+1].shift, packed)
+			dwK, err := kern("nn-dwconv-rq", dwSrc, dwSrc, []string{"x", "w", "bias"},
+				[]string{"u_on", "u_owc", "u_c", "u_taps", "u_kw", "u_stride", "u_inh", "u_inw"}, false, true)
+			if err != nil {
+				return nil, err
+			}
+			wRef, err := weightInput(l.name, "weights",
+				padDWWeightsInt8(l.w.([]int8), ds.KH*ds.KW, ds.C, c))
+			if err != nil {
+				return nil, err
+			}
+			bRef, err := weightInput(l.name, "bias", padBiasInt8(l.bias.([]int8), c))
+			if err != nil {
+				return nil, err
+			}
+			on := l.outShape.H * l.outShape.W * c
+			out = stage(l.name, net.p.StageN(dwK, batch*on, map[string]float32{
+				"u_on": f(on), "u_owc": f(l.outShape.W * c), "u_c": f(c),
+				"u_taps": f(ds.KH * ds.KW), "u_kw": f(ds.KW), "u_stride": f(ds.Stride),
+				"u_inh": f(ds.InH), "u_inw": f(ds.InW),
+			}, cur, wRef, bRef))
+		case KindPool:
+			c := curPad.C
+			poolK, err := kern("nn-maxpool-i8", poolSource, pool4Source, []string{"x"},
+				[]string{"u_on", "u_owc", "u_c", "u_taps", "u_pw", "u_stride", "u_inh", "u_inw"}, false, true)
+			if err != nil {
+				return nil, err
+			}
+			on := outPad.H * outPad.W * c
+			out = stage(l.name, net.p.StageN(poolK, batch*on, map[string]float32{
+				"u_on": f(on), "u_owc": f(outPad.W * c), "u_c": f(c),
+				"u_taps": f(l.ph * l.pw), "u_pw": f(l.pw), "u_stride": f(l.stride),
+				"u_inh": f(curPad.H), "u_inw": f(curPad.W),
+			}, cur))
+			if l.stride >= l.ph && l.stride >= l.pw {
+				// Non-overlapping windows: same inline-fusion opportunity as
+				// the float path (channel groups never overlap either).
+				net.p.InlineInput(0)
+			}
+		case KindReLU:
+			reluK, err := kern("nn-relu-i8", reluSource, relu4Source, []string{"x"}, nil, true, false)
+			if err != nil {
+				return nil, err
+			}
+			out = stage(l.name, net.p.Stage(reluK, nil, cur))
+		default:
+			return nil, fmt.Errorf("nn: Build: layer kind %q unsupported for int8", l.kind)
+		}
+		if err := checkN(l.name+" output", batch*outPad.N()); err != nil {
+			return nil, err
+		}
+		layerRefs[li] = out
+		if matmulKind(l.kind) {
+			// The following Rescale is folded into the pass just built:
+			// it owns the same slot and gets no stage of its own.
+			layerRefs[li+1] = out
+			li++
+		}
+		cur = out
+		curPad = net.padOut[li]
+	}
+
+	// Mark outputs: one buffer per distinct slot (folded matmul+Rescale
+	// pairs share), holding the padded tensor; Run strips on readback.
+	mark := func(li int) error {
+		net.p.Output(layerRefs[li])
+		b, err := dev.NewBufferFmt(fmtAct, batch*net.padOut[li].N())
+		if err != nil {
+			return err
+		}
+		net.outBufs = append(net.outBufs, b)
+		return nil
+	}
+	if tapAll {
+		net.tapBuf = make([]int, len(m.layers))
+		for li := range m.layers {
+			if li > 0 && layerRefs[li] == layerRefs[li-1] {
+				net.tapBuf[li] = net.tapBuf[li-1]
+				continue
+			}
+			if err := mark(li); err != nil {
+				return nil, err
+			}
+			net.tapBuf[li] = len(net.outBufs) - 1
+		}
+	} else if err := mark(len(m.layers) - 1); err != nil {
+		return nil, err
+	}
+	if err := net.p.Err(); err != nil {
+		return nil, err
+	}
+	imgBuf, err := dev.NewBufferFmt(fmtAct, batch*net.padIn.N())
+	if err != nil {
+		return nil, err
+	}
+	net.imgBuf = imgBuf
+	ok = true
+	return net, nil
+}

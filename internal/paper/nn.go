@@ -103,6 +103,23 @@ type NNResult struct {
 	FusionSpeedupX  float64  `json:"fusion_speedup_x"`
 	FusedStages     []string `json:"fused_stages"` // executed pass labels, fused chains joined with "+"
 	FusionValidated bool     `json:"fusion_validated"`
+
+	// Quantized int8 path with vec4 texel packing (DESIGN.md §6f): the
+	// same LeNet topology quantized to int8, lowered once per lane width.
+	// The lanes=4 lowering packs 4 values per RGBA8 texel, so every
+	// element-wise pass reads/writes a quarter of the texels and the GEMM
+	// inner loop retires 16 MACs per 5 texture fetches. Int8Lanes records
+	// the width this run exercised (1 when -lanes 1 or GLESCOMPUTE_NO_VEC4
+	// forces the scalar smoke path — the vec4 figures are then omitted).
+	// Vec4Validated holds only when every layer of BOTH lowerings is
+	// bit-identical to the int8 CPU reference AND the vec4 network's
+	// modeled time beats the scalar one by ≥ 2x.
+	Int8Lanes     int     `json:"int8_lanes,omitempty"`
+	Int8Layers    int     `json:"int8_layers,omitempty"`
+	Int8ScalarUS  float64 `json:"n1_int8_scalar_us,omitempty"`
+	Int8Vec4US    float64 `json:"n1_int8_vec4_us,omitempty"`
+	Vec4SpeedupX  float64 `json:"n1_vec4_speedup_x,omitempty"`
+	Vec4Validated bool    `json:"vec4_validated,omitempty"`
 }
 
 // validateNNFloat runs the float network with every layer tapped and
@@ -278,6 +295,93 @@ func validateNNInt(res *NNResult) error {
 	return nil
 }
 
+// vec4Batch is the batch the int8 lane-width comparison times. Fixed
+// (independent of -nn-batch) so n1_vec4_speedup_x is one deterministic
+// number the benchmark gate can pin.
+const vec4Batch = 4
+
+// validateNNInt8 runs the quantized int8 network and fills the vec4
+// section. lanes=4 compares the packed lowering against the scalar one
+// (bit-identity per layer against refcpu, then a warm modeled-time
+// race); lanes=1 smokes the scalar lowering only.
+func validateNNInt8(res *NNResult, lanes int) error {
+	dev, err := core.Open(deviceConfig())
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+	m := nn.DemoLeNetInt8(20160316)
+	res.Int8Lanes = lanes
+	res.Int8Layers = len(m.Layers())
+
+	// Per-layer bit-identity of every exercised lowering against refcpu
+	// (which also proves the lowerings identical to each other).
+	refs, _, err := m.Reference(nn.DemoInputInt8(11, 1), 1)
+	if err != nil {
+		return err
+	}
+	widths := []int{1}
+	if lanes == 4 {
+		widths = []int{1, 4}
+	}
+	for _, w := range widths {
+		net, err := m.BuildLanes(dev, 1, true, w)
+		if err != nil {
+			return err
+		}
+		run, err := net.Run(nn.DemoInputInt8(11, 1))
+		if err != nil {
+			net.Close()
+			return err
+		}
+		for i, l := range m.Layers() {
+			if !nn.Int8Equal(run.Taps[i], refs[i]) {
+				net.Close()
+				return fmt.Errorf("paper: nn: int8 lanes=%d layer %s not bit-identical to refcpu", w, l.Name)
+			}
+		}
+		net.Close()
+	}
+
+	// Warm modeled-time race at a fixed batch, untapped (the serving
+	// configuration: one readback at the end).
+	imgs := nn.DemoInputInt8(13, vec4Batch)
+	times := map[int]float64{}
+	for _, w := range widths {
+		net, err := m.BuildLanes(dev, vec4Batch, false, w)
+		if err != nil {
+			return err
+		}
+		if _, err := net.Run(imgs); err != nil { // warm-up
+			net.Close()
+			return err
+		}
+		run, err := net.Run(imgs)
+		if err != nil {
+			net.Close()
+			return err
+		}
+		times[w] = float64(run.Stats.Time.Total().Nanoseconds()) / 1000
+		net.Close()
+	}
+	res.Int8ScalarUS = times[1]
+	if lanes != 4 {
+		return nil
+	}
+	res.Int8Vec4US = times[4]
+	if times[4] > 0 {
+		res.Vec4SpeedupX = times[1] / times[4]
+	}
+	// The tentpole bar: packing must at least halve the modeled int8
+	// inference time (deterministic under the vc4 model).
+	if res.Vec4SpeedupX < 2 {
+		return fmt.Errorf("paper: nn: vec4 packing speedup %.3fx, want >= 2x (scalar %.0fµs, vec4 %.0fµs)",
+			res.Vec4SpeedupX, times[1], times[4])
+	}
+	res.Vec4Validated = true
+	return nil
+}
+
 // runNNServePoint pushes `requests` inferences through one queue
 // configuration, `batch` images per submission.
 func runNNServePoint(m *nn.Model, images []float32, want []float32,
@@ -369,12 +473,23 @@ func runNNServePoint(m *nn.Model, images []float32, want []float32,
 }
 
 // RunNN executes N1: per-layer and whole-network validation + modeled
-// times, then the queue sweep over devicesList × {solo, batch}. batch
-// must be ≥ 2; devicesList defaults to {1, 2}.
-func RunNN(requests, batch int, devicesList []int) (NNResult, error) {
+// times, the int8 lane-width comparison, then the queue sweep over
+// devicesList × {solo, batch}. batch must be ≥ 2; devicesList defaults
+// to {1, 2}. lanes selects the int8 lowering width (1 or 4; 0 defaults
+// to 4); GLESCOMPUTE_NO_VEC4 forces 1 — the scalar smoke path CI runs.
+func RunNN(requests, batch int, devicesList []int, lanes int) (NNResult, error) {
 	res := NNResult{InShape: nn.DemoShape.String(), Requests: requests, Batch: batch}
 	if requests <= 0 || batch < 2 || requests%batch != 0 {
 		return res, fmt.Errorf("paper: nn: need requests >= 1, batch >= 2, requests divisible by batch")
+	}
+	if lanes == 0 {
+		lanes = 4
+	}
+	if lanes != 1 && lanes != 4 {
+		return res, fmt.Errorf("paper: nn: lanes must be 1 or 4, got %d", lanes)
+	}
+	if core.Vec4EnvDisabled() {
+		lanes = 1
 	}
 	if len(devicesList) == 0 {
 		devicesList = []int{1, 2}
@@ -383,6 +498,9 @@ func RunNN(requests, batch int, devicesList []int) (NNResult, error) {
 		return res, err
 	}
 	if err := validateNNInt(&res); err != nil {
+		return res, err
+	}
+	if err := validateNNInt8(&res, lanes); err != nil {
 		return res, err
 	}
 
