@@ -12,7 +12,10 @@
 // model_inf_per_sec, batch_model_speedup_x or occupancy_jobs_per_launch.
 // Every gated metric present in the baseline must exist in the current
 // report at ≥ (1 - max-regress) of the baseline value; booleans named
-// *validated must be true in the current report.
+// *validated must be true in the current report. The serve-model latency
+// quantiles (s1_p50/p95/p99_modeled_us) are gated the other way — lower
+// is better — with the same budget mirrored. A top-level "schema" number
+// is tolerated and reported, never gated.
 //
 // Usage:
 //
@@ -45,6 +48,15 @@ var gatedKeys = map[string]bool{
 	"occupancy_jobs_per_launch": true,
 	"fusion_speedup_x":          true,
 	"n1_vec4_speedup_x":         true,
+}
+
+// lowerGatedKeys are the lower-is-better modeled metrics: the serve-model
+// latency quantiles, which regress by going UP. The same -max-regress
+// budget applies, mirrored.
+var lowerGatedKeys = map[string]bool{
+	"s1_p50_modeled_us": true,
+	"s1_p95_modeled_us": true,
+	"s1_p99_modeled_us": true,
 }
 
 // isValidatedKey matches boolean leaves that must hold in the current
@@ -97,19 +109,43 @@ func compare(base, cur map[string]interface{}, maxRegress float64) (failures, in
 	walk("", base, bNums, bBools)
 	walk("", cur, cNums, cBools)
 
+	// The report schema version is tolerated in either report and surfaced
+	// informationally; a mismatch is worth a line, not a failure.
+	bs, bok := bNums["schema"]
+	cs, cok := cNums["schema"]
+	if bok || cok {
+		if bok && cok && bs != cs {
+			info = append(info, fmt.Sprintf("schema: baseline %g, current %g (layouts differ — gated keys still compared by name)", bs, cs))
+		} else if cok && !bok {
+			info = append(info, fmt.Sprintf("schema: current report declares schema %g (baseline predates schema versioning)", cs))
+		}
+	}
+
 	paths := make([]string, 0, len(bNums))
 	for p := range bNums {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
 	for _, p := range paths {
-		if !gatedKeys[leafKey(p)] {
+		lower := lowerGatedKeys[leafKey(p)]
+		if !gatedKeys[leafKey(p)] && !lower {
 			continue
 		}
 		bv := bNums[p]
 		cv, ok := cNums[p]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: present in baseline (%.4g), missing from current report", p, bv))
+			continue
+		}
+		if lower {
+			ceil := bv * (1 + maxRegress)
+			switch {
+			case cv > ceil:
+				failures = append(failures, fmt.Sprintf("%s: %.4g -> %.4g (%.1f%% regression — lower is better, budget %.0f%%)",
+					p, bv, cv, 100*(cv/bv-1), 100*maxRegress))
+			case cv < bv*0.999:
+				info = append(info, fmt.Sprintf("%s: %.4g -> %.4g (improved %.1f%% — lower is better)", p, bv, cv, 100*(1-cv/bv)))
+			}
 			continue
 		}
 		floor := bv * (1 - maxRegress)

@@ -135,3 +135,61 @@ func TestUpdateBaselineRewritesFile(t *testing.T) {
 		t.Fatalf("baseline after update = %s, want %s", got, want)
 	}
 }
+
+const latencyJSON = `{
+	"schema": 1,
+	"serve-model": {"s1_p50_modeled_us": 100.0, "s1_p95_modeled_us": 200.0, "s1_p99_modeled_us": 900.0, "s1_mean_modeled_us": 150.0, "validated": true}
+}`
+
+func TestGateLowerIsBetterKeys(t *testing.T) {
+	// p99 rising 50% must fail; the ungated mean rising must not.
+	cur := report(t, strings.ReplaceAll(strings.ReplaceAll(latencyJSON,
+		"\"s1_p99_modeled_us\": 900.0", "\"s1_p99_modeled_us\": 1350.0"),
+		"\"s1_mean_modeled_us\": 150.0", "\"s1_mean_modeled_us\": 400.0"))
+	failures, _ := compare(report(t, latencyJSON), cur, 0.10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "serve-model.s1_p99_modeled_us") {
+		t.Fatalf("failures = %v, want one on serve-model.s1_p99_modeled_us", failures)
+	}
+	// A drop is an improvement, not a failure.
+	cur = report(t, strings.ReplaceAll(latencyJSON, "\"s1_p99_modeled_us\": 900.0", "\"s1_p99_modeled_us\": 500.0"))
+	failures, info := compare(report(t, latencyJSON), cur, 0.10)
+	if len(failures) != 0 {
+		t.Fatalf("latency improvement tripped the gate: %v", failures)
+	}
+	found := false
+	for _, line := range info {
+		if strings.Contains(line, "s1_p99_modeled_us") && strings.Contains(line, "improved") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("latency improvement not reported: %v", info)
+	}
+	// Vanishing from the current report still fails.
+	cur = report(t, `{"schema": 1, "serve-model": {"s1_p50_modeled_us": 100.0, "s1_p95_modeled_us": 200.0, "validated": true}}`)
+	failures, _ = compare(report(t, latencyJSON), cur, 0.10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing from current report") {
+		t.Fatalf("failures = %v, want one missing-metric failure", failures)
+	}
+}
+
+func TestGateToleratesAndReportsSchema(t *testing.T) {
+	// Baseline without schema vs current with it: informational only.
+	failures, info := compare(report(t, baseJSON),
+		report(t, `{"schema": 2, "sum-int": {"model_speedup_x": 7.0, "gpu_us": 100, "validated": true},
+			"nn": {"model_speedup_x": 3.8, "batch_model_speedup_x": 1.5, "int_validated": true, "points": [
+				{"model_inf_per_sec": 180.0, "wall_inf_per_sec": 3.0, "validated": true},
+				{"model_inf_per_sec": 550.0, "wall_inf_per_sec": 3.1, "validated": true}]}}`), 0.10)
+	if len(failures) != 0 {
+		t.Fatalf("schema introduction tripped the gate: %v", failures)
+	}
+	found := false
+	for _, line := range info {
+		if strings.Contains(line, "schema") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("schema not reported: %v", info)
+	}
+}

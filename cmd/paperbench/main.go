@@ -9,10 +9,17 @@
 //	           [-sum-n N] [-sum-exec N] [-sgemm-n N] [-pipeline-n N]
 //	           [-serve-jobs N] [-serve-n N] [-nn-requests N] [-nn-batch N]
 //	           [-lanes 1|4] [-chaos-jobs N] [-chaos-seed S] [-chaos-devices N]
-//	           [-json]
+//	           [-trace FILE] [-metrics] [-json]
 //
 // `-exp list` prints the experiment index; an unknown experiment name
 // exits non-zero instead of silently running nothing.
+//
+// With -trace FILE, the experiment queues record per-job spans and the
+// run's Chrome trace-event JSON is written to FILE (load it in Perfetto
+// or chrome://tracing). With -metrics, the queues register their
+// counters/gauges/histograms and a Prometheus-text dump is printed after
+// the run (to stderr under -json, keeping stdout machine-readable).
+// Both attach to the serve capture pass, the nn sweep and the chaos run.
 //
 // The chaos experiment's fault schedule seed may also be set through the
 // GLESCOMPUTE_FAULT_SEED environment variable (the -chaos-seed flag wins
@@ -33,6 +40,7 @@ import (
 	"strings"
 
 	"glescompute/internal/codec"
+	"glescompute/internal/obs"
 	"glescompute/internal/paper"
 )
 
@@ -90,6 +98,8 @@ func main() {
 	chaosJobs := flag.Int("chaos-jobs", 10000, "chaos: requests in the faulted stream")
 	chaosSeed := flag.Int64("chaos-seed", 20160316, "chaos: fault schedule seed (env GLESCOMPUTE_FAULT_SEED also sets it; the flag wins)")
 	chaosDevices := flag.Int("chaos-devices", 4, "chaos: device pool width")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the experiment queues to this file")
+	metricsOut := flag.Bool("metrics", false, "print a Prometheus-text metrics dump after the run (stderr under -json)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
 
@@ -110,7 +120,25 @@ func main() {
 		}
 	}
 
-	report := map[string]interface{}{}
+	// schema versions the -json report layout so downstream consumers
+	// (benchgate, trajectory tooling) can detect incompatible changes.
+	report := map[string]interface{}{"schema": 1}
+
+	// Shared observability backends: one tracer and one registry span
+	// every experiment queue the run opens, so the exported trace holds
+	// every workload on its own device tracks. The tracer is branded with
+	// the fault seed — the one knob that changes the chaos run's shape —
+	// so a trace names the schedule that produced it.
+	var ob *paper.Obs
+	if *traceFile != "" || *metricsOut {
+		ob = &paper.Obs{}
+		if *traceFile != "" {
+			ob.Tracer = obs.NewTracer(*chaosSeed)
+		}
+		if *metricsOut {
+			ob.Metrics = obs.NewRegistry()
+		}
+	}
 
 	// The experiment index, in run order. `-exp list` prints it; an
 	// unknown -exp name is an error, not a silent no-op.
@@ -127,6 +155,7 @@ func main() {
 		{"halffloat", "A4 fp16 extension vs the paper's codec"},
 		{"pipeline", "P3 device-resident pipeline vs host round-trip chaining"},
 		{"serve", "S1 concurrent compute service (queue, batching, devices)"},
+		{"serve-model", "S2 deterministic modeled per-request latency quantiles of the S1 stream"},
 		{"nn", "N1 neural-network inference + kernel-fusion on/off"},
 		{"chaos", "R1 fault-tolerant serving under a seeded fault schedule"},
 		{"codec-overhead", "A1 pack/unpack share of kernel cycles"},
@@ -353,7 +382,7 @@ func main() {
 	})
 
 	run("serve", func() error {
-		res, err := paper.RunServe(*serveJobs, *serveN, nil)
+		res, err := paper.RunServe(*serveJobs, *serveN, nil, ob)
 		if err != nil {
 			return err
 		}
@@ -411,8 +440,25 @@ func main() {
 		return nil
 	})
 
+	run("serve-model", func() error {
+		res, err := paper.RunServeModel(*serveJobs, *serveN)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			report["serve-model"] = res
+			return nil
+		}
+		fmt.Println()
+		fmt.Printf("S2 — modeled per-request latency of the S1 stream (%d requests, %d distinct payloads, solo launches):\n",
+			res.Jobs, res.DistinctPayloads)
+		fmt.Printf("  p50 %.0fµs   p95 %.0fµs   p99 %.0fµs   mean %.0fµs (exact order statistics, deterministic under the vc4 model)\n",
+			res.P50ModeledUS, res.P95ModeledUS, res.P99ModeledUS, res.MeanModeledUS)
+		return nil
+	})
+
 	run("nn", func() error {
-		res, err := paper.RunNN(*nnRequests, *nnBatch, nil, *nnLanes)
+		res, err := paper.RunNN(*nnRequests, *nnBatch, nil, *nnLanes, ob)
 		if err != nil {
 			return err
 		}
@@ -461,7 +507,7 @@ func main() {
 	})
 
 	run("chaos", func() error {
-		res, err := paper.RunChaos(*chaosJobs, *serveN, *chaosSeed, *chaosDevices)
+		res, err := paper.RunChaos(*chaosJobs, *serveN, *chaosSeed, *chaosDevices, ob)
 		if err != nil {
 			return err
 		}
@@ -512,5 +558,35 @@ func main() {
 			fmt.Fprintf(os.Stderr, "paperbench: encoding JSON: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := ob.Tracer.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: wrote %d trace events to %s (load in Perfetto or chrome://tracing)\n",
+			ob.Tracer.Len(), *traceFile)
+	}
+	if *metricsOut {
+		// Under -json, stdout carries the machine-readable report; the
+		// human-readable metrics dump moves to stderr.
+		out := os.Stdout
+		if *jsonOut {
+			out = os.Stderr
+		}
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "# metrics (Prometheus text exposition; obs.Handler serves the same over HTTP)")
+		ob.Metrics.WritePrometheus(out)
 	}
 }

@@ -2,24 +2,32 @@
 // ES 2.0 devices behind an asynchronous queue, fed a stream of small
 // requests from concurrent clients. Submissions return immediately;
 // same-kernel requests are coalesced into shared fragment passes; the
-// final report shows per-device sharding, batching occupancy, and the
-// modeled service throughput.
+// final report shows per-device sharding, batching occupancy, modeled
+// service throughput and the latency quantiles the queue's histograms
+// collected. The run's spans are written as serve_trace.json — load it
+// in Perfetto or chrome://tracing to see each job travel queue → device.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
 	"glescompute"
+	"glescompute/obs"
 )
 
 func main() {
+	tracer := obs.NewTracer(0)
+	metrics := obs.NewRegistry()
 	q, err := glescompute.OpenQueue(glescompute.QueueConfig{
 		Devices:  2,
 		MaxBatch: 16,
+		Tracer:   tracer,
+		Metrics:  metrics,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -98,5 +106,31 @@ func main() {
 	wg.Wait()
 	fmt.Printf("\n%d jobs from %d clients in %v (all results verified)\n\n",
 		clients*perClient, clients, time.Since(start).Round(time.Millisecond))
-	fmt.Print(q.Stats().Report())
+	st := q.Stats()
+	fmt.Print(st.Report())
+
+	// Latency quantiles from the queue's always-on histograms: end-to-end
+	// (submit → result) and time spent waiting for a device slot.
+	fmt.Printf("\n%-12s %10s %10s %10s\n", "latency", "p50", "p95", "p99")
+	fmt.Printf("%-12s %10v %10v %10v\n", "end-to-end",
+		st.LatencyP50.Round(time.Microsecond),
+		st.LatencyP95.Round(time.Microsecond),
+		st.LatencyP99.Round(time.Microsecond))
+	fmt.Printf("%-12s %10v %10v %10v\n", "queue-wait",
+		st.QueueWaitP50.Round(time.Microsecond),
+		st.QueueWaitP95.Round(time.Microsecond),
+		st.QueueWaitP99.Round(time.Microsecond))
+	fmt.Printf("max pending seen: %d\n", st.MaxPendingSeen)
+
+	f, err := os.Create("serve_trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %d trace events to serve_trace.json — open it at https://ui.perfetto.dev\n", tracer.Len())
 }

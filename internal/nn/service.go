@@ -3,11 +3,13 @@ package nn
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"glescompute/internal/codec"
 	"glescompute/internal/core"
+	"glescompute/internal/obs"
 	"glescompute/internal/sched"
 )
 
@@ -112,10 +114,15 @@ func (s *Service) InferBatch(ctx context.Context, images interface{}, count int)
 	s.mu.Lock()
 	retry, deadline := s.retry, s.deadline
 	s.mu.Unlock()
+	// lastStats carries the most recent attempt's pipeline statistics from
+	// the Direct closure to the Trace hook. Both run sequentially on the
+	// executing device's goroutine, so no locking is needed.
+	var lastStats *core.PipelineStats
 	return s.q.Submit(ctx, sched.JobSpec{
 		Retry:    retry,
 		Deadline: deadline,
 		Direct: func(dev *core.Device) (interface{}, core.RunStats, error) {
+			lastStats = nil
 			net, err := s.netFor(dev, count)
 			if err != nil {
 				return nil, core.RunStats{}, err
@@ -124,9 +131,36 @@ func (s *Service) InferBatch(ctx context.Context, images interface{}, count int)
 			if err != nil {
 				return nil, core.RunStats{}, err
 			}
+			lastStats = &res.Stats
 			return res.Output, core.RunStats{Draw: res.Stats.Draw}, nil
 		},
+		Trace: func(sp *obs.Span) {
+			if lastStats != nil {
+				attachPassSpans(sp, *lastStats)
+			}
+		},
 	})
+}
+
+// attachPassSpans records one child span per executed pipeline pass under
+// the launch span, laid out sequentially on the modeled timeline — the
+// per-layer breakdown the scheduler cannot see inside a Direct closure. A
+// fused pass ("conv1+relu1+pool1") is one child, as it was one draw; its
+// modeled time sits on its first member's StageTimes entry (the others
+// are zero by the charging rule, so the children still sum to Time).
+func attachPassSpans(sp *obs.Span, st core.PipelineStats) {
+	off := sp.Start()
+	head := 0
+	for _, pass := range st.ExecStages {
+		members := strings.Count(pass, "+") + 1
+		if head >= len(st.StageTimes) {
+			break
+		}
+		d := st.StageTimes[head].Total()
+		sp.ChildSpan("pass:"+pass, off, d)
+		off = off.Add(d)
+		head += members
+	}
 }
 
 // Infer submits a single-image inference.

@@ -1,12 +1,16 @@
 package nn
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
 	"glescompute/internal/core"
 	"glescompute/internal/fault"
+	"glescompute/internal/obs"
 	"glescompute/internal/sched"
 )
 
@@ -82,6 +86,74 @@ func TestServiceSoloAndBatched(t *testing.T) {
 		q.Close()
 		svc.Close()
 	}
+}
+
+// TestServicePassSpans: a traced inference launch carries one child span
+// per executed pipeline pass, so the per-layer breakdown the scheduler
+// cannot see inside a Direct closure still reaches the trace. Fused
+// chains appear as single "pass:a+b" children.
+func TestServicePassSpans(t *testing.T) {
+	m := DemoLeNetFloat32(20160316)
+	tr := obs.NewTracer(20160316)
+	q, err := sched.OpenQueue(sched.Config{Devices: 1, Device: core.Config{Workers: 1}, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := svc.Infer(nil, DemoInputFloat32(99, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(nil); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	svc.Close()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	passes, fused := 0, 0
+	for _, e := range doc.TraceEvents {
+		name, _ := e["name"].(string)
+		if strings.HasPrefix(name, "pass:") {
+			passes++
+			if strings.Contains(name, "+") {
+				fused++
+			}
+		}
+	}
+	if passes == 0 {
+		t.Fatal("no pass:<stage> child spans in the trace")
+	}
+	// The demo LeNet fuses element-wise successors into their producers,
+	// so at least one child must carry a fused "a+b" label.
+	if fused == 0 {
+		t.Fatal("no fused pass:a+b child span — fusion structure lost in the trace")
+	}
+	if got := countTraceEvents(doc.TraceEvents, "launch:direct"); got != 1 {
+		t.Fatalf("launch:direct spans = %d, want 1", got)
+	}
+}
+
+func countTraceEvents(events []map[string]interface{}, prefix string) int {
+	n := 0
+	for _, e := range events {
+		if name, _ := e["name"].(string); strings.HasPrefix(name, prefix) {
+			n++
+		}
+	}
+	return n
 }
 
 // TestServiceInputValidation pins submit-time validation.

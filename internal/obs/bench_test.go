@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSpanDisabled is the hot-path no-op guarantee: the full span +
+// histogram + counter sequence a traced job pays, against nil receivers.
+// CI smokes it with -benchmem; 0 B/op and ~1ns/op is the contract.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	var h *Histogram
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(0, "job")
+		sp.Arg("attempt", 1)
+		run := sp.Child("run")
+		run.End()
+		sp.End()
+		h.ObserveDuration(time.Millisecond)
+		c.Inc()
+	}
+}
+
+// BenchmarkSpanEnabled prices the enabled path for comparison.
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTracer(0)
+	tr.SetMaxEvents(1 << 30)
+	h := NewHistogram("lat", "", nil)
+	c := &Counter{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(0, "job")
+		sp.Arg("attempt", 1)
+		run := sp.Child("run")
+		run.End()
+		sp.End()
+		h.ObserveDuration(time.Millisecond)
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve prices the always-on latency accounting the
+// queue performs per job even when tracing and metrics are detached.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram("lat", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 10000))
+	}
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// the chrome://tracing and Perfetto UIs load). Field order follows the
+// spec's examples; args is a map so encoding/json emits its keys sorted,
+// keeping exports byte-stable.
+type chromeEvent struct {
+	Name  string                 `json:"name"`
+	Phase string                 `json:"ph"`
+	TS    float64                `json:"ts"`
+	Dur   *float64               `json:"dur,omitempty"`
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+
+	// sort keys, not exported
+	track int
+	seq   uint64
+}
+
+// chromeTrace is the JSON object form of the format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent          `json:"traceEvents"`
+	DisplayTimeUnit string                 `json:"displayTimeUnit"`
+	OtherData       map[string]interface{} `json:"otherData"`
+}
+
+// tid maps a track to a Chrome thread id: device slot k renders as
+// thread k+1 so the TrackQueue pseudo-track can keep thread 0.
+func tid(track int) int { return track + 1 }
+
+// WriteChromeTrace exports every ended span and every instant event as a
+// Chrome trace-event JSON object, loadable in chrome://tracing and
+// Perfetto. One thread ("track") per device slot plus the queue
+// pseudo-track; events are emitted in a stable order (timestamp, then
+// track, then record sequence), timestamps are microseconds since the
+// tracer's epoch, and dropped-event counts — the recording cap is never
+// silent — land in otherData.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms","otherData":{"enabled":false}}`)
+		return err
+	}
+	t.mu.Lock()
+	epoch := t.epoch
+	spans := append([]*Span(nil), t.spans...)
+	insts := append([]instant(nil), t.insts...)
+	tracks := make(map[int]string, len(t.tracks))
+	for k, v := range t.tracks {
+		tracks[k] = v
+	}
+	dropped := t.dropped
+	seed := t.seed
+	t.mu.Unlock()
+
+	us := func(at time.Time) float64 {
+		return float64(at.Sub(epoch).Nanoseconds()) / 1e3
+	}
+
+	var evs []chromeEvent
+	seen := map[int]bool{}
+	for _, s := range spans {
+		s.mu.Lock()
+		if !s.ended {
+			s.mu.Unlock()
+			continue
+		}
+		ev := chromeEvent{
+			Name:  s.name,
+			Phase: "X",
+			TS:    us(s.start),
+			PID:   0,
+			TID:   tid(s.track),
+			track: s.track,
+			seq:   s.id,
+		}
+		d := us(s.end) - ev.TS
+		ev.Dur = &d
+		if len(s.args) > 0 || s.parent != 0 {
+			ev.Args = map[string]interface{}{}
+			for _, a := range s.args {
+				ev.Args[a.key] = a.val
+			}
+			if s.parent != 0 {
+				ev.Args["parent"] = s.parent
+			}
+			ev.Args["id"] = s.id
+		}
+		seen[s.track] = true
+		s.mu.Unlock()
+		evs = append(evs, ev)
+	}
+	for i, in := range insts {
+		evs = append(evs, chromeEvent{
+			Name:  in.name,
+			Phase: "i",
+			TS:    us(in.at),
+			PID:   0,
+			TID:   tid(in.track),
+			Scope: "t",
+			Args:  map[string]interface{}{"detail": in.detail},
+			track: in.track,
+			seq:   uint64(i),
+		})
+		seen[in.track] = true
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].TS != evs[j].TS {
+			return evs[i].TS < evs[j].TS
+		}
+		if evs[i].track != evs[j].track {
+			return evs[i].track < evs[j].track
+		}
+		return evs[i].seq < evs[j].seq
+	})
+
+	// Thread-name metadata first: one per track that has a name or an
+	// event, in track order.
+	var ids []int
+	for k := range tracks {
+		seen[k] = true
+	}
+	for k := range seen {
+		ids = append(ids, k)
+	}
+	sort.Ints(ids)
+	meta := make([]chromeEvent, 0, len(ids))
+	for _, k := range ids {
+		name := tracks[k]
+		if name == "" {
+			if k == TrackQueue {
+				name = "queue"
+			} else {
+				name = "device " + itoa(k)
+			}
+		}
+		meta = append(meta, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   0,
+			TID:   tid(k),
+			Args:  map[string]interface{}{"name": name},
+		})
+	}
+
+	out := chromeTrace{
+		TraceEvents:     append(meta, evs...),
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]interface{}{
+			"trace_id":       seed,
+			"dropped_events": dropped,
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("obs: encoding chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files from current output")
+
+// TestChromeTraceGolden pins the Chrome trace export byte-for-byte: a
+// deterministic span scenario (stepped fake clock, fixed seed) must
+// always serialize to the same file — stable event ordering, stable arg
+// key order, stable track naming. Regenerate with -update-golden after
+// an intentional format change.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := NewTracer(20160316)
+	tr.SetClock(stepClock(100 * time.Microsecond))
+	tr.NameTrack(0, "device 0")
+	tr.NameTrack(1, "device 1")
+
+	// A job that runs clean on device 0, with modeled phases.
+	j0 := tr.Start(TrackQueue, "job:sum")
+	j0.Arg("kernel", "sum")
+	j0.SetTrack(0)
+	j0.ChildSpan("queue-wait", j0.Start(), 150*time.Microsecond)
+	run := j0.Child("run")
+	run.Arg("attempt", 1)
+	run.Arg("modeled_us", int64(240))
+	run.ChildSpan("model:upload", run.Start(), 80*time.Microsecond)
+	run.ChildSpan("model:execute", run.Start().Add(80*time.Microsecond), 120*time.Microsecond)
+	run.ChildSpan("model:readback", run.Start().Add(200*time.Microsecond), 40*time.Microsecond)
+	run.End()
+	j0.Arg("status", "ok")
+	j0.End()
+
+	// A job that faults on device 1, retries, and an instant health event.
+	j1 := tr.Start(TrackQueue, "job:sgemm")
+	j1.SetTrack(1)
+	j1.Event("fault", "injected context loss")
+	j1.Event("retry", "attempt 1 failed: device lost")
+	tr.Instant(1, "quarantine", "device 1 replaced (reopen 1)")
+	j1.Arg("status", "ok")
+	j1.Arg("attempts", 2)
+	j1.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("export is not valid JSON:\n%s", buf.String())
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("export differs from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.String(), string(want))
+	}
+
+	// Determinism: the identical scenario must produce identical bytes.
+	tr2 := NewTracer(20160316)
+	tr2.SetClock(stepClock(100 * time.Microsecond))
+	tr2.NameTrack(0, "device 0")
+	tr2.NameTrack(1, "device 1")
+	k0 := tr2.Start(TrackQueue, "job:sum")
+	k0.Arg("kernel", "sum")
+	k0.SetTrack(0)
+	k0.ChildSpan("queue-wait", k0.Start(), 150*time.Microsecond)
+	run2 := k0.Child("run")
+	run2.Arg("attempt", 1)
+	run2.Arg("modeled_us", int64(240))
+	run2.ChildSpan("model:upload", run2.Start(), 80*time.Microsecond)
+	run2.ChildSpan("model:execute", run2.Start().Add(80*time.Microsecond), 120*time.Microsecond)
+	run2.ChildSpan("model:readback", run2.Start().Add(200*time.Microsecond), 40*time.Microsecond)
+	run2.End()
+	k0.Arg("status", "ok")
+	k0.End()
+	k1 := tr2.Start(TrackQueue, "job:sgemm")
+	k1.SetTrack(1)
+	k1.Event("fault", "injected context loss")
+	k1.Event("retry", "attempt 1 failed: device lost")
+	tr2.Instant(1, "quarantine", "device 1 replaced (reopen 1)")
+	k1.Arg("status", "ok")
+	k1.Arg("attempts", 2)
+	k1.End()
+	var buf2 bytes.Buffer
+	if err := tr2.WriteChromeTrace(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two identical scenarios produced different exports")
+	}
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeHTTP makes a Registry an http.Handler serving the Prometheus text
+// exposition (any path), so a registry can be mounted directly:
+//
+//	http.ListenAndServe(":9100", registry)
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if r == nil {
+		return
+	}
+	r.WritePrometheus(w)
+}
+
+// Handler builds the full live observability surface on one mux:
+//
+//	/metrics          Prometheus text exposition of reg
+//	/trace.json       Chrome trace-event snapshot of t (so far)
+//	/debug/pprof/...  net/http/pprof profiles of the host process
+//
+// Either argument may be nil: a nil registry serves an empty exposition,
+// a nil tracer serves an empty trace.
+func Handler(reg *Registry, t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

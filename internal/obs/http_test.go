@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("glescompute_jobs_total", "jobs").Add(42)
+	tr := NewTracer(1)
+	tr.Start(0, "job:sum").End()
+
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "glescompute_jobs_total 42") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+
+	code, body = get("/trace.json")
+	if code != 200 || !json.Valid([]byte(body)) || !strings.Contains(body, "job:sum") {
+		t.Errorf("/trace.json = %d:\n%s", code, body)
+	}
+
+	code, _ = get("/debug/pprof/")
+	if code != 200 {
+		t.Errorf("/debug/pprof/ = %d, want 200", code)
+	}
+}
+
+func TestHandlerNil(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/trace.json"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s with nil backends = %d, want 200", path, resp.StatusCode)
+		}
+		if path == "/trace.json" && !json.Valid(body) {
+			t.Errorf("%s with nil tracer is not valid JSON", path)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. All operations are a
+// single atomic add; a nil *Counter is a no-op.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. A nil *Gauge is a no-op.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Max raises the gauge to n if n is larger — a lock-free high-water mark.
+func (g *Gauge) Max(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution: observations land in the
+// first bucket whose upper bound is ≥ the value (the last bucket is
+// unbounded), each a single atomic add. Quantiles are extracted by
+// rank-walking the buckets with linear interpolation inside the matched
+// bucket — the standard Prometheus-histogram estimate, deterministic for
+// a deterministic observation stream. A nil *Histogram is a no-op.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // ascending upper bounds; overflow bucket implicit
+	buckets    []atomic.Uint64
+	count      atomic.Uint64
+	sum        atomic.Uint64 // total of observed values, rounded
+}
+
+// NewHistogram creates a standalone histogram (Registry.Histogram
+// registers one for export). bounds must be ascending; nil means
+// DurationBuckets, the µs-scale latency ladder.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DurationBuckets()
+	}
+	return &Histogram{
+		name:    name,
+		help:    help,
+		bounds:  bounds,
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// DurationBuckets is the default latency bucket ladder, in microseconds:
+// a 1-2-5 progression from 1µs to 10s. Fine enough that p50/p95/p99
+// interpolation stays within a bucket's ~2x span at every scale a launch
+// or a queued job can land.
+func DurationBuckets() []float64 {
+	return []float64{
+		1, 2, 5, 10, 20, 50, 100, 200, 500,
+		1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5,
+		1e6, 2e6, 5e6, 1e7,
+	}
+}
+
+// Observe records one value (clamped at 0).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v + 0.5))
+}
+
+// ObserveDuration records a duration in microseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d.Nanoseconds()) / 1e3)
+}
+
+// Count returns how many observations have been recorded.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Reset zeroes the histogram (best-effort under concurrent observers;
+// the queue uses it for ResetStats warm-up exclusion).
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of the observed
+// distribution, in the histogram's unit. With no observations it returns
+// 0; ranks landing in the unbounded overflow bucket return the last
+// finite bound (the estimate saturates rather than invents a tail).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]uint64, len(h.buckets))
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			return lower + (h.bounds[i]-lower)*(rank-cum)/float64(c)
+		}
+		cum += float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// QuantileDuration is Quantile for µs-unit histograms, as a Duration.
+func (h *Histogram) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q) * 1e3)
+}
+
+// metric is anything the registry can export.
+type metric interface {
+	metricName() string
+	writeProm(w io.Writer)
+}
+
+func (c *Counter) metricName() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+func (g *Gauge) metricName() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+func (h *Histogram) metricName() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+func promHeader(w io.Writer, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+func (c *Counter) writeProm(w io.Writer) {
+	promHeader(w, c.name, c.help, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.name, c.Value())
+}
+
+func (g *Gauge) writeProm(w io.Writer) {
+	promHeader(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %d\n", g.name, g.Value())
+}
+
+func (h *Histogram) writeProm(w io.Writer) {
+	promHeader(w, h.name, h.help, "histogram")
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %d\n", h.name, h.sum.Load())
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
+	for _, q := range [...]struct {
+		suffix string
+		q      float64
+	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+		fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %s\n",
+			h.name, q.suffix, h.name, q.suffix,
+			strconv.FormatFloat(h.Quantile(q.q), 'f', 3, 64))
+	}
+}
+
+// Registry is a named collection of metrics with Prometheus-text export.
+// Registration is idempotent by name (the existing metric is returned),
+// so several queue instances in one process can share one registry. A
+// nil *Registry hands out nil metrics, making the whole chain a no-op.
+type Registry struct {
+	mu      sync.Mutex
+	ordered []metric
+	byName  map[string]metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]metric{}}
+}
+
+// Counter registers (or returns the existing) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		c, _ := m.(*Counter)
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.byName[name] = c
+	r.ordered = append(r.ordered, c)
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		g, _ := m.(*Gauge)
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.byName[name] = g
+	r.ordered = append(r.ordered, g)
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram; nil bounds
+// means DurationBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		h, _ := m.(*Histogram)
+		return h
+	}
+	h := NewHistogram(name, help, bounds)
+	r.byName[name] = h
+	r.ordered = append(r.ordered, h)
+	return h
+}
+
+// Register adds an externally created metric (a queue's always-on
+// latency histograms, say) to the registry's export. Idempotent by name;
+// a name collision with a different metric keeps the first registration.
+func (r *Registry) Register(m metric) {
+	if r == nil || m == nil || m.metricName() == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[m.metricName()]; ok {
+		return
+	}
+	r.byName[m.metricName()] = m
+	r.ordered = append(r.ordered, m)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, in name order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	ms := append([]metric(nil), r.ordered...)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].metricName() < ms[j].metricName() })
+	for _, m := range ms {
+		m.writeProm(w)
+	}
+}

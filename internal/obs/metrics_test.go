@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("jobs_total", "jobs"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("pending", "depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	g.Max(3)
+	if g.Value() != 5 {
+		t.Fatal("Max lowered the gauge")
+	}
+	g.Max(11)
+	if g.Value() != 11 {
+		t.Fatalf("Max did not raise the gauge: %d", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram("lat", "latency", nil)
+	// 100 observations, uniformly 1..100 µs: p50 ≈ 50, p95 ≈ 95, p99 ≈ 99.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+		tol  float64
+	}{
+		{0.50, 50, 15}, // bucket [20,50] / [50,100] boundary: coarse but sane
+		{0.95, 95, 10},
+		{0.99, 99, 10},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%g) = %g, want %g ± %g", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	// Quantile order must hold.
+	if !(h.Quantile(0.5) <= h.Quantile(0.95) && h.Quantile(0.95) <= h.Quantile(0.99)) {
+		t.Error("quantiles are not monotone")
+	}
+	// Duration round trip.
+	h2 := NewHistogram("lat2", "", nil)
+	h2.ObserveDuration(3 * time.Millisecond)
+	got := h2.QuantileDuration(0.5)
+	if got < 2*time.Millisecond || got > 5*time.Millisecond {
+		t.Errorf("QuantileDuration = %v, want ~3ms", got)
+	}
+	h2.Reset()
+	if h2.Count() != 0 || h2.Quantile(0.5) != 0 {
+		t.Error("Reset did not clear the histogram")
+	}
+}
+
+func TestHistogramOverflowSaturates(t *testing.T) {
+	h := NewHistogram("lat", "", []float64{1, 10})
+	h.Observe(1e9) // overflow bucket
+	if got := h.Quantile(0.99); got != 10 {
+		t.Fatalf("overflow quantile = %g, want saturation at last bound 10", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("glescompute_jobs_total", "completed jobs").Add(3)
+	r.Gauge("glescompute_queue_pending", "queue depth").Set(2)
+	h := r.Histogram("glescompute_latency_us", "end-to-end latency", nil)
+	h.Observe(150)
+	standalone := NewHistogram("glescompute_wait_us", "queue wait", nil)
+	standalone.Observe(10)
+	r.Register(standalone)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE glescompute_jobs_total counter",
+		"glescompute_jobs_total 3",
+		"# TYPE glescompute_queue_pending gauge",
+		"glescompute_queue_pending 2",
+		"# TYPE glescompute_latency_us histogram",
+		`glescompute_latency_us_bucket{le="+Inf"} 1`,
+		"glescompute_latency_us_count 1",
+		"glescompute_latency_us_p50",
+		"glescompute_latency_us_p95",
+		"glescompute_latency_us_p99",
+		"glescompute_wait_us_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Name-ordered output: jobs_total before latency_us before pending.
+	if strings.Index(out, "glescompute_jobs_total") > strings.Index(out, "glescompute_latency_us 0") && strings.Index(out, "glescompute_latency_us") > strings.Index(out, "glescompute_queue_pending") {
+		t.Error("exposition not in name order")
+	}
+}

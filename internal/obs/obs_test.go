@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stepClock returns a deterministic clock starting at a fixed instant and
+// advancing step per call — the tool that makes exports byte-stable.
+func stepClock(step time.Duration) func() time.Time {
+	at := time.Unix(0, 0)
+	return func() time.Time {
+		now := at
+		at = at.Add(step)
+		return now
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	tr := NewTracer(7)
+	tr.SetClock(stepClock(time.Millisecond))
+	sp := tr.Start(TrackQueue, "job:sum")
+	sp.Arg("kernel", "sum")
+	sp.SetTrack(2)
+	child := sp.Child("run")
+	child.End()
+	sp.ChildSpan("model:execute", sp.Start(), 42*time.Microsecond)
+	sp.Event("retry", "device lost")
+	sp.End()
+	if tr.Len() != 4 { // 3 spans + 1 instant
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.TraceID() != 7 {
+		t.Fatalf("TraceID = %d, want 7", tr.TraceID())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("export is not valid JSON:\n%s", buf.String())
+	}
+	for _, want := range []string{`"job:sum"`, `"run"`, `"model:execute"`, `"retry"`, `"thread_name"`, `"device 2"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("export missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestUnendedSpanOmitted(t *testing.T) {
+	tr := NewTracer(0)
+	tr.SetClock(stepClock(time.Millisecond))
+	tr.Start(0, "never-ended")
+	tr.Start(0, "ended").End()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "never-ended") {
+		t.Error("unended span leaked into the export")
+	}
+	if !strings.Contains(buf.String(), `"ended"`) {
+		t.Error("ended span missing from the export")
+	}
+}
+
+func TestEventCap(t *testing.T) {
+	tr := NewTracer(0)
+	tr.SetMaxEvents(3)
+	for i := 0; i < 10; i++ {
+		tr.Start(0, "s").End()
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (capped)", tr.Len())
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want 7", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"dropped_events": 7`) {
+		t.Errorf("dropped count not reported in otherData:\n%s", buf.String())
+	}
+}
+
+// TestNilSafety drives the whole API through nil receivers: everything
+// must no-op without panicking.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports Enabled")
+	}
+	sp := tr.Start(0, "x")
+	if sp != nil {
+		t.Fatal("nil tracer handed out a non-nil span")
+	}
+	sp.Arg("k", 1)
+	sp.SetTrack(3)
+	sp.Event("e", "d")
+	c := sp.Child("c")
+	if c != nil {
+		t.Fatal("nil span handed out a non-nil child")
+	}
+	sp.ChildSpan("m", time.Time{}, 0)
+	sp.End()
+	tr.Instant(0, "i", "d")
+	tr.NameTrack(0, "t")
+	tr.SetClock(time.Now)
+	tr.SetMaxEvents(10)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.TraceID() != 0 {
+		t.Error("nil tracer recorded something")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("nil tracer export is not valid JSON")
+	}
+
+	var reg *Registry
+	cnt := reg.Counter("c", "")
+	cnt.Inc()
+	cnt.Add(5)
+	if cnt.Value() != 0 {
+		t.Error("nil counter counted")
+	}
+	g := reg.Gauge("g", "")
+	g.Set(3)
+	g.Add(1)
+	g.Max(9)
+	if g.Value() != 0 {
+		t.Error("nil gauge held a value")
+	}
+	h := reg.Histogram("h", "", nil)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.QuantileDuration(0.99) != 0 {
+		t.Error("nil histogram observed")
+	}
+	reg.Register(h)
+	reg.WritePrometheus(&buf)
+}
+
+// TestDisabledPathAllocates asserts the disabled (nil) hot path performs
+// zero allocations — the "no overhead when off" guarantee.
+func TestDisabledPathAllocates(t *testing.T) {
+	var tr *Tracer
+	var h *Histogram
+	var c *Counter
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start(0, "job")
+		sp.Arg("k", 1)
+		run := sp.Child("run")
+		run.End()
+		sp.End()
+		h.ObserveDuration(time.Millisecond)
+		c.Inc()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f per op, want 0", allocs)
+	}
+}

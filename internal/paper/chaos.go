@@ -59,8 +59,11 @@ type ChaosResult struct {
 
 // RunChaos executes R1: `jobs` requests of the S1 stream (sums of n
 // elements, every 16th an 8×8 sgemm) through a `devices`-wide pool whose
-// GL contexts carry the seeded fault schedule.
-func RunChaos(jobs, n int, seed int64, devices int) (ChaosResult, error) {
+// GL contexts carry the seeded fault schedule. ob, when carrying a tracer
+// or registry, attaches directly to the (single) chaos queue — the
+// exported trace then shows faults, retries and device replacements as
+// they landed.
+func RunChaos(jobs, n int, seed int64, devices int, ob *Obs) (ChaosResult, error) {
 	if devices <= 0 {
 		devices = 4
 	}
@@ -84,7 +87,7 @@ func RunChaos(jobs, n int, seed int64, devices int) (ChaosResult, error) {
 		OOMsPerIncarnation:   2,
 		StallFor:             200 * time.Microsecond,
 	})
-	q, err := sched.OpenQueue(sched.Config{
+	cfg := sched.Config{
 		Devices:  devices,
 		MaxBatch: 32,
 		Device:   core.Config{Workers: 1},
@@ -96,7 +99,9 @@ func RunChaos(jobs, n int, seed int64, devices int) (ChaosResult, error) {
 			dev.GL().SetFaultInjector(plan.Injector(slot))
 			return dev, nil
 		},
-	})
+	}
+	ob.apply(&cfg)
+	q, err := sched.OpenQueue(cfg)
 	if err != nil {
 		return res, err
 	}

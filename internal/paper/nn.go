@@ -385,9 +385,11 @@ func validateNNInt8(res *NNResult, lanes int) error {
 // runNNServePoint pushes `requests` inferences through one queue
 // configuration, `batch` images per submission.
 func runNNServePoint(m *nn.Model, images []float32, want []float32,
-	requests, batch, devices int) (NNServePoint, error) {
+	requests, batch, devices int, ob *Obs) (NNServePoint, error) {
 	pt := NNServePoint{Devices: devices, Batch: batch}
-	q, err := sched.OpenQueue(sched.Config{Devices: devices, Device: core.Config{Workers: 1}})
+	cfg := sched.Config{Devices: devices, Device: core.Config{Workers: 1}}
+	ob.apply(&cfg)
+	q, err := sched.OpenQueue(cfg)
 	if err != nil {
 		return pt, err
 	}
@@ -477,7 +479,10 @@ func runNNServePoint(m *nn.Model, images []float32, want []float32,
 // devicesList × {solo, batch}. batch must be ≥ 2; devicesList defaults
 // to {1, 2}. lanes selects the int8 lowering width (1 or 4; 0 defaults
 // to 4); GLESCOMPUTE_NO_VEC4 forces 1 — the scalar smoke path CI runs.
-func RunNN(requests, batch int, devicesList []int, lanes int) (NNResult, error) {
+// ob, when carrying a tracer or registry, attaches to the sweep's queues
+// (the sweep is small, so its wall numbers are not asserted); the trace
+// then shows per-pass children inside each inference launch.
+func RunNN(requests, batch int, devicesList []int, lanes int, ob *Obs) (NNResult, error) {
 	res := NNResult{InShape: nn.DemoShape.String(), Requests: requests, Batch: batch}
 	if requests <= 0 || batch < 2 || requests%batch != 0 {
 		return res, fmt.Errorf("paper: nn: need requests >= 1, batch >= 2, requests divisible by batch")
@@ -532,7 +537,7 @@ func RunNN(requests, batch int, devicesList []int, lanes int) (NNResult, error) 
 
 	for _, d := range devicesList {
 		for _, b := range []int{1, batch} {
-			pt, err := runNNServePoint(m, images, want, requests, b, d)
+			pt, err := runNNServePoint(m, images, want, requests, b, d, ob)
 			if err != nil {
 				return res, err
 			}

@@ -1,6 +1,12 @@
 package paper
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"glescompute/internal/obs"
+)
 
 // TestRunServeQuick runs a scaled-down S1 sweep and pins the acceptance
 // properties that are robust at small scale: every job bit-identical to
@@ -9,7 +15,7 @@ import "testing"
 // time. (The wall-clock speedup is asserted only at full scale by
 // `paperbench -exp serve`; at test sizes it is noise-dominated.)
 func TestRunServeQuick(t *testing.T) {
-	res, err := RunServe(240, 128, []int{1, 2})
+	res, err := RunServe(240, 128, []int{1, 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,4 +49,48 @@ func TestRunServeQuick(t *testing.T) {
 	}
 	t.Logf("S1 quick: model %.1fx, wall %.1fx, batched occupancy %.1f",
 		res.ModelSpeedupX, res.WallSpeedupX, res.Points[len(res.Points)-1].Occupancy)
+}
+
+// TestRunServeModelDeterministic: S2's percentiles are ordered, non-zero
+// and bit-identical across two runs — the property that lets benchgate
+// gate them with no noise margin.
+func TestRunServeModelDeterministic(t *testing.T) {
+	a, err := RunServeModel(480, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunServeModel(480, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Validated {
+		t.Fatalf("not validated: %+v", a)
+	}
+	if a.P50ModeledUS <= 0 || a.P50ModeledUS > a.P95ModeledUS || a.P95ModeledUS > a.P99ModeledUS {
+		t.Fatalf("degenerate percentiles: %+v", a)
+	}
+	if a != b {
+		t.Fatalf("serve-model is not deterministic:\n  run 1: %+v\n  run 2: %+v", a, b)
+	}
+}
+
+// TestRunServeTraced: the dedicated capture pass records job spans and
+// metrics without perturbing the sweep's validated results.
+func TestRunServeTraced(t *testing.T) {
+	ob := &Obs{Tracer: obs.NewTracer(1), Metrics: obs.NewRegistry()}
+	res, err := RunServe(120, 64, []int{1}, ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Validated {
+		t.Fatal("traced sweep lost bit-identity")
+	}
+	if ob.Tracer.Len() == 0 {
+		t.Fatal("capture pass recorded no trace events")
+	}
+	var prom bytes.Buffer
+	ob.Metrics.WritePrometheus(&prom)
+	if !strings.Contains(prom.String(), "glescompute_jobs_completed_total 120") {
+		t.Fatalf("capture pass metrics missing completions:\n%s", prom.String())
+	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"glescompute/internal/codec"
 	"glescompute/internal/core"
+	"glescompute/internal/obs"
 )
 
 // JobSpec describes one compute request: a kernel plus host-side input
@@ -60,6 +61,14 @@ type JobSpec struct {
 	// result is still delivered. Deadline expiry completes the job with an
 	// error wrapping context.DeadlineExceeded and is never retried.
 	Deadline time.Duration
+	// Trace, when non-nil, is called on the executing device's goroutine
+	// after each execution attempt, with the attempt's launch span — the
+	// hook submitters use to attach workload-specific child spans (the nn
+	// service records one child per fused pipeline pass from
+	// PipelineStats.StageTimes). It is only called when the queue has a
+	// Tracer and the launch span was recorded; the span is never nil.
+	// Direct jobs use it to surface structure the scheduler cannot see.
+	Trace func(sp *obs.Span)
 	// Retry opts the job into automatic resubmission when it fails with a
 	// retryable fault: a lost device (core.ErrDeviceLost — context loss,
 	// detected readback corruption, a panic on the device goroutine) or a
@@ -114,6 +123,7 @@ type Job struct {
 	key    string             // batch grouping key (batchable jobs only)
 	enq    time.Time
 	doneCh chan struct{}
+	span   *obs.Span // job span, nil when the queue has no tracer
 
 	// attempts counts executions so far. Touched only by the goroutine
 	// currently executing the job (workers hand the job off through the

@@ -1,0 +1,229 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"glescompute/internal/core"
+	"glescompute/internal/obs"
+)
+
+// queueMetrics mirrors the queue's counters into an obs.Registry when
+// Config.Metrics is set. Every field is nil otherwise, and every obs
+// operation on a nil metric is a no-op, so the hot path pays a nil check
+// when metrics are off.
+type queueMetrics struct {
+	submitted, completed, failed, cancelled *obs.Counter
+	retries, panics, faults, reopens        *obs.Counter
+	pending, pendingMax                     *obs.Gauge
+
+	// Per-device-slot gauges: modeled busy time (the occupancy the vc4
+	// model prices) and health (1 healthy, 0 quarantined/dead).
+	devBusyUS  []*obs.Gauge
+	devHealthy []*obs.Gauge
+	devJobs    []*obs.Counter
+}
+
+// initObs sets up the queue's observability: the always-on latency
+// histograms, plus registry-backed counters/gauges when cfg.Metrics is
+// set. Called once from OpenQueue after the worker pool exists.
+func (q *Queue) initObs() {
+	q.tracer = q.cfg.Tracer
+	q.waitHist = obs.NewHistogram("glescompute_queue_wait_us",
+		"job queue-wait latency (Submit to launch start), microseconds", nil)
+	q.e2eHist = obs.NewHistogram("glescompute_job_latency_us",
+		"job end-to-end latency (Submit to completion), microseconds", nil)
+	r := q.cfg.Metrics
+	if r == nil {
+		return
+	}
+	r.Register(q.waitHist)
+	r.Register(q.e2eHist)
+	q.met.submitted = r.Counter("glescompute_jobs_submitted_total", "jobs accepted by Submit")
+	q.met.completed = r.Counter("glescompute_jobs_completed_total", "jobs completed successfully")
+	q.met.failed = r.Counter("glescompute_jobs_failed_total", "jobs completed with a non-cancellation error")
+	q.met.cancelled = r.Counter("glescompute_jobs_cancelled_total", "jobs completed by cancellation or deadline")
+	q.met.retries = r.Counter("glescompute_retries_total", "executions re-queued after retryable faults")
+	q.met.panics = r.Counter("glescompute_panics_total", "jobs that panicked on a device goroutine (recovered)")
+	q.met.faults = r.Counter("glescompute_device_faults_total", "device deaths observed (context loss, corruption, panic)")
+	q.met.reopens = r.Counter("glescompute_device_reopens_total", "successful device replacements")
+	q.met.pending = r.Gauge("glescompute_queue_pending", "jobs buffered in the submission queue")
+	q.met.pendingMax = r.Gauge("glescompute_queue_pending_max", "high-water mark of the submission queue depth")
+	for i := range q.workers {
+		slot := "glescompute_device" + itoa(i)
+		q.met.devBusyUS = append(q.met.devBusyUS,
+			r.Gauge(slot+"_busy_modeled_us", "accumulated modeled vc4 busy time of the slot, microseconds"))
+		q.met.devHealthy = append(q.met.devHealthy,
+			r.Gauge(slot+"_healthy", "1 while the slot's device is healthy, 0 quarantined or dead"))
+		q.met.devJobs = append(q.met.devJobs,
+			r.Counter(slot+"_jobs_total", "jobs executed on the slot"))
+		q.met.devHealthy[i].Set(1)
+	}
+}
+
+// itoa avoids strconv imports sprinkling call sites.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// Slot accessors: the per-device metric slices are empty when no
+// Registry is attached, and the nil metrics they then return no-op.
+func (m *queueMetrics) slotBusy(id int) *obs.Gauge {
+	if id < len(m.devBusyUS) {
+		return m.devBusyUS[id]
+	}
+	return nil
+}
+
+func (m *queueMetrics) slotHealthy(id int) *obs.Gauge {
+	if id < len(m.devHealthy) {
+		return m.devHealthy[id]
+	}
+	return nil
+}
+
+func (m *queueMetrics) slotJobs(id int) *obs.Counter {
+	if id < len(m.devJobs) {
+		return m.devJobs[id]
+	}
+	return nil
+}
+
+// notePending refreshes the queue-depth gauge and its high-water mark
+// from the submission channel's current length.
+func (q *Queue) notePending() {
+	d := int64(len(q.pending))
+	for {
+		hw := q.pendingHW.Load()
+		if d <= hw || q.pendingHW.CompareAndSwap(hw, d) {
+			break
+		}
+	}
+	q.met.pending.Set(d)
+	q.met.pendingMax.Max(d)
+}
+
+// launchName labels a job's work for span names.
+func launchName(j *Job) string {
+	if j.spec.Direct != nil {
+		return "direct"
+	}
+	return j.spec.Kernel.Name
+}
+
+// startJobSpan opens the job's span on the queue pseudo-track at submit
+// time; the executing worker moves it to the device track. No-op (nil
+// span) when tracing is off.
+func (q *Queue) startJobSpan(j *Job) {
+	if !q.tracer.Enabled() {
+		return
+	}
+	j.span = q.tracer.Start(obs.TrackQueue, "job:"+launchName(j))
+	if j.spec.Batchable {
+		j.span.Arg("batchable", true)
+	}
+}
+
+// jobStatus classifies a completion error for span args and metrics.
+func jobStatus(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	default:
+		return "failed"
+	}
+}
+
+// noteLatency folds one completed job into the latency histograms (and
+// ends its span). Queue-wait is recorded only for jobs that reached a
+// device; end-to-end only for successes, so failures and cancellations
+// cannot skew the service latency quantiles.
+func (q *Queue) noteLatency(j *Job, st JobStats, err error) {
+	if err == nil {
+		q.e2eHist.ObserveDuration(time.Since(j.enq))
+		if st.Device >= 0 {
+			q.waitHist.ObserveDuration(st.QueueWait)
+		}
+	}
+	if j.span != nil {
+		if err != nil {
+			j.span.Event("error", err.Error())
+		}
+		j.span.Arg("status", jobStatus(err))
+		j.span.Arg("attempts", st.Attempts)
+		j.span.End()
+	}
+}
+
+// launchSpan opens the span for one launch on the worker's device track
+// and moves every member job's span there. Returns nil when tracing is
+// off.
+func (w *worker) launchSpan(jobs []*Job, name string) *obs.Span {
+	if !w.q.tracer.Enabled() {
+		return nil
+	}
+	label := "launch:" + name
+	if len(jobs) > 1 {
+		label += "[x" + itoa(len(jobs)) + "]"
+	}
+	sp := w.q.tracer.Start(w.id, label)
+	for _, j := range jobs {
+		j.span.SetTrack(w.id)
+		if j.attempts == 1 && j.span != nil {
+			// First attempt: the queue-wait interval becomes visible as a
+			// child laid from enqueue to launch start.
+			j.span.ChildSpan("queue-wait", j.enq, time.Since(j.enq))
+		}
+	}
+	return sp
+}
+
+// finishLaunchSpan closes a launch span with its accounting: modeled vc4
+// phase children (compile/upload/execute/readback laid sequentially from
+// launch start — modeled durations beside the measured wall interval),
+// member count and the modeled total, then the members' Trace hooks.
+func (w *worker) finishLaunchSpan(sp *obs.Span, jobs []*Job, start time.Time, dt core.Timeline, err error) {
+	if sp == nil {
+		return
+	}
+	off := start
+	for _, ph := range [...]struct {
+		name string
+		d    time.Duration
+	}{
+		{"model:compile", dt.Compile},
+		{"model:upload", dt.Upload},
+		{"model:execute", dt.Execute},
+		{"model:readback", dt.Readback},
+	} {
+		if ph.d > 0 {
+			sp.ChildSpan(ph.name, off, ph.d)
+			off = off.Add(ph.d)
+		}
+	}
+	sp.Arg("jobs", len(jobs))
+	sp.Arg("modeled_us", dt.Total().Microseconds())
+	sp.Arg("device", w.id)
+	if err != nil {
+		sp.Arg("error", err.Error())
+	}
+	sp.End()
+	for _, j := range jobs {
+		if j.spec.Trace != nil {
+			j.spec.Trace(sp)
+		}
+	}
+}

@@ -45,9 +45,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"glescompute/internal/core"
+	"glescompute/internal/obs"
 )
 
 // ErrQueueClosed is returned by Submit after Close. It wraps
@@ -81,6 +83,18 @@ type Config struct {
 	// the queue keeps serving on the remaining devices). 0 means 4;
 	// negative means never replace (a faulted slot dies immediately).
 	MaxReopens int
+	// Tracer, when non-nil, records a span for every job — submit →
+	// enqueue → launch → completion, moved to the executing device's
+	// track, with modeled vc4 phase children per launch and instant
+	// annotations for faults, retries and health transitions. Export with
+	// Tracer.WriteChromeTrace. nil means no tracing and no overhead
+	// beyond a nil check.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, registers the queue's counters, gauges and
+	// latency histograms for Prometheus-text export (obs.Handler serves
+	// them over HTTP). The latency quantiles in QueueStats are computed
+	// regardless; Metrics only controls external exposure.
+	Metrics *obs.Registry
 }
 
 // Queue is an asynchronous compute service over a pool of devices.
@@ -91,6 +105,17 @@ type Queue struct {
 	pending    chan *Job
 	workers    []*worker
 	opened     time.Time
+
+	// Observability. tracer is nil when tracing is off (every obs call is
+	// then a nil-check no-op). The two histograms are always on — two
+	// atomic adds per completed job — so QueueStats can report latency
+	// quantiles without opt-in; met mirrors counters into a Registry when
+	// Config.Metrics is set (all-nil otherwise).
+	tracer    *obs.Tracer
+	waitHist  *obs.Histogram // Submit → launch start, µs
+	e2eHist   *obs.Histogram // Submit → completion, µs
+	met       queueMetrics
+	pendingHW atomic.Int64 // high-water mark of submission-queue depth
 
 	dispatchDone chan struct{}
 
@@ -160,6 +185,7 @@ func OpenQueue(cfg Config) (*Queue, error) {
 		}
 		q.workers = append(q.workers, newWorker(q, i, dev))
 	}
+	q.initObs() // after the pool exists: per-slot gauges index q.workers
 	for _, w := range q.workers {
 		go w.run()
 	}
@@ -188,8 +214,11 @@ func (q *Queue) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 	q.inFlight++
 	q.counts.submitted++
 	q.mu.Unlock()
+	q.startJobSpan(j)
 	select {
 	case q.pending <- j:
+		q.met.submitted.Inc()
+		q.notePending()
 		return j, nil
 	case <-ctx.Done():
 		if j.cancel != nil {
@@ -202,6 +231,10 @@ func (q *Queue) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 			q.cond.Broadcast()
 		}
 		q.mu.Unlock()
+		if j.span != nil {
+			j.span.Arg("status", "rejected")
+			j.span.End()
+		}
 		return nil, ctx.Err()
 	}
 }
@@ -243,6 +276,7 @@ func (q *Queue) finishJob(j *Job, out interface{}, st JobStats, err error) {
 	if j.cancel != nil {
 		j.cancel() // release the deadline timer
 	}
+	q.noteLatency(j, st, err) // histograms + span end, before waiters wake
 	j.out, j.stats, j.err = out, st, err
 	close(j.doneCh)
 	q.mu.Lock()
@@ -250,10 +284,13 @@ func (q *Queue) finishJob(j *Job, out interface{}, st JobStats, err error) {
 	switch {
 	case err == nil:
 		q.counts.completed++
+		q.met.completed.Inc()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		q.counts.canceled++
+		q.met.cancelled.Inc()
 	default:
 		q.counts.failed++
+		q.met.failed.Inc()
 	}
 	if q.inFlight == 0 {
 		q.cond.Broadcast()
@@ -285,6 +322,10 @@ func (q *Queue) completeJob(j *Job, out interface{}, st JobStats, err error) {
 	q.mu.Lock()
 	q.counts.retries++
 	q.mu.Unlock()
+	q.met.retries.Inc()
+	if j.span != nil {
+		j.span.Event("retry", "attempt "+itoa(retry)+" failed, re-queuing: "+err.Error())
+	}
 	// Back off on a fresh goroutine — never on the worker, which must keep
 	// draining its channel, and never synchronously into q.pending, which
 	// could deadlock a full queue. The job still counts as in-flight, so
@@ -311,6 +352,7 @@ func (q *Queue) notePanic() {
 	q.mu.Lock()
 	q.counts.panics++
 	q.mu.Unlock()
+	q.met.panics.Inc()
 }
 
 // dispatch is the scheduler loop: it pulls submitted jobs, groups
@@ -395,6 +437,7 @@ func (q *Queue) dispatch() {
 			flush()
 			return
 		}
+		q.met.pending.Set(int64(len(q.pending)))
 		add(j)
 	drain:
 		for buffered < bound {

@@ -74,6 +74,18 @@ type QueueStats struct {
 	// (quarantined devices — mid-replacement — count in neither).
 	HealthyDevices, DeadDevices int
 
+	// Latency quantiles, estimated from the queue's always-on fixed-bucket
+	// histograms (see internal/obs). QueueWaitP* cover Submit → launch
+	// start for jobs that reached a device; LatencyP* cover Submit →
+	// completion for successful jobs, so failures and cancellations cannot
+	// skew the service numbers.
+	QueueWaitP50, QueueWaitP95, QueueWaitP99 time.Duration
+	LatencyP50, LatencyP95, LatencyP99       time.Duration
+
+	// MaxPendingSeen is the high-water mark of the submission-queue depth —
+	// how far behind the pool fell before backpressure caught up.
+	MaxPendingSeen int
+
 	// Elapsed is the host wall-clock since the queue opened.
 	Elapsed time.Duration
 
@@ -88,13 +100,20 @@ func (q *Queue) Stats() QueueStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	s := QueueStats{
-		Submitted: q.counts.submitted,
-		Completed: q.counts.completed,
-		Failed:    q.counts.failed,
-		Cancelled: q.counts.canceled,
-		Retries:   q.counts.retries,
-		Panics:    q.counts.panics,
-		Elapsed:   time.Since(q.opened),
+		Submitted:      q.counts.submitted,
+		Completed:      q.counts.completed,
+		Failed:         q.counts.failed,
+		Cancelled:      q.counts.canceled,
+		Retries:        q.counts.retries,
+		Panics:         q.counts.panics,
+		QueueWaitP50:   q.waitHist.QuantileDuration(0.50),
+		QueueWaitP95:   q.waitHist.QuantileDuration(0.95),
+		QueueWaitP99:   q.waitHist.QuantileDuration(0.99),
+		LatencyP50:     q.e2eHist.QuantileDuration(0.50),
+		LatencyP95:     q.e2eHist.QuantileDuration(0.95),
+		LatencyP99:     q.e2eHist.QuantileDuration(0.99),
+		MaxPendingSeen: int(q.pendingHW.Load()),
+		Elapsed:        time.Since(q.opened),
 	}
 	for _, w := range q.workers {
 		d := w.st
@@ -172,6 +191,12 @@ func (s QueueStats) Report() string {
 		s.Submitted, s.Completed, s.Failed, s.Cancelled, s.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "launches: %d (%d batches carrying %d jobs, occupancy %.2f jobs/launch)\n",
 		s.Launches, s.Batches, s.BatchedJobs, s.Occupancy())
+	if s.Completed > 0 {
+		fmt.Fprintf(&b, "latency: e2e p50 %v / p95 %v / p99 %v, queue-wait p50 %v / p99 %v (max pending seen %d)\n",
+			s.LatencyP50.Round(time.Microsecond), s.LatencyP95.Round(time.Microsecond),
+			s.LatencyP99.Round(time.Microsecond), s.QueueWaitP50.Round(time.Microsecond),
+			s.QueueWaitP99.Round(time.Microsecond), s.MaxPendingSeen)
+	}
 	if s.Faults > 0 || s.Retries > 0 || s.Panics > 0 || s.DeadDevices > 0 {
 		fmt.Fprintf(&b, "faults: %d device faults, %d reopens, %d retries, %d panics; %d/%d devices healthy (%d dead)\n",
 			s.Faults, s.Reopens, s.Retries, s.Panics, s.HealthyDevices, len(s.Devices), s.DeadDevices)
@@ -203,5 +228,8 @@ func (q *Queue) ResetStats() {
 	for _, w := range q.workers {
 		w.st = DeviceStats{Health: w.st.Health}
 	}
+	q.waitHist.Reset()
+	q.e2eHist.Reset()
+	q.pendingHW.Store(0)
 	q.opened = time.Now()
 }

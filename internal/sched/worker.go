@@ -9,6 +9,7 @@ import (
 	"glescompute/internal/codec"
 	"glescompute/internal/core"
 	"glescompute/internal/layout"
+	"glescompute/internal/obs"
 )
 
 // workUnit is what the dispatcher hands a device: one job, or a batch of
@@ -131,6 +132,9 @@ func (w *worker) maybeRecover() {
 	w.st.Faults++
 	reopens := w.st.Reopens
 	w.q.mu.Unlock()
+	w.q.met.faults.Inc()
+	w.q.met.slotHealthy(w.id).Set(0)
+	w.q.tracer.Instant(w.id, "quarantine", "replacing device")
 	w.pool.FreeAll()
 	w.dev.Close()
 	if reopens >= uint64(w.q.maxReopens) {
@@ -156,6 +160,9 @@ func (w *worker) maybeRecover() {
 	w.st.Health = DeviceHealthy
 	w.st.Reopens++
 	w.q.mu.Unlock()
+	w.q.met.reopens.Inc()
+	w.q.met.slotHealthy(w.id).Set(1)
+	w.q.tracer.Instant(w.id, "reopen", "replacement device warmed")
 }
 
 // die marks the slot permanently dead. Its device is already closed; the
@@ -165,6 +172,8 @@ func (w *worker) die() {
 	w.q.mu.Lock()
 	w.st.Health = DeviceDead
 	w.q.mu.Unlock()
+	w.q.met.slotHealthy(w.id).Set(0)
+	w.q.tracer.Instant(w.id, "dead", "replacement budget spent or reopen failed")
 }
 
 // note folds one launch into the per-device statistics.
@@ -178,7 +187,10 @@ func (w *worker) note(jobs int, batched bool, dt core.Timeline, wall time.Durati
 	}
 	w.st.Busy = w.st.Busy.Add(dt)
 	w.st.BusyWall += wall
+	busyUS := w.st.Busy.Total().Microseconds()
 	w.q.mu.Unlock()
+	w.q.met.slotBusy(w.id).Set(busyUS)
+	w.q.met.slotJobs(w.id).Add(uint64(jobs))
 }
 
 // buildKernel compiles (or fetches) a kernel through the device's
@@ -216,6 +228,12 @@ func (w *worker) jobBuffer(elem codec.ElemType, n, matrixN int) (*core.Buffer, e
 // execSolo runs one job as its own launch.
 func (w *worker) execSolo(j *Job) {
 	j.attempts++
+	var sp *obs.Span
+	var spJobs []*Job
+	if w.q.tracer.Enabled() {
+		spJobs = []*Job{j}
+		sp = w.launchSpan(spJobs, launchName(j))
+	}
 	start := time.Now()
 	t0 := w.dev.Timeline()
 	out, rs, err := w.runSoloGuarded(j)
@@ -223,6 +241,7 @@ func (w *worker) execSolo(j *Job) {
 	wall := time.Since(start)
 	w.note(1, false, dt, wall)
 	w.noteLost(err)
+	w.finishLaunchSpan(sp, spJobs, start, dt, err)
 	w.q.completeJob(j, out, JobStats{
 		Device:    w.id,
 		BatchSize: 1,
@@ -242,6 +261,11 @@ func (w *worker) noteLost(err error) {
 	}
 	if w.dev.Lost() || errors.Is(err, core.ErrDeviceLost) {
 		w.lostDevice = true
+		detail := "device context lost"
+		if err != nil {
+			detail = err.Error()
+		}
+		w.q.tracer.Instant(w.id, "fault", detail)
 	}
 }
 
@@ -319,6 +343,7 @@ func (w *worker) execBatch(jobs []*Job) bool {
 	for _, j := range jobs {
 		j.attempts++
 	}
+	sp := w.launchSpan(jobs, launchName(jobs[0]))
 	start := time.Now()
 	t0 := w.dev.Timeline()
 	outs, rs, err := w.runBatchGuarded(jobs, spec, grid, offs)
@@ -326,6 +351,7 @@ func (w *worker) execBatch(jobs []*Job) bool {
 	wall := time.Since(start)
 	w.note(len(jobs), true, dt, wall)
 	w.noteLost(err)
+	w.finishLaunchSpan(sp, jobs, start, dt, err)
 	for i, j := range jobs {
 		st := JobStats{
 			Device:    w.id,

@@ -1,0 +1,68 @@
+// Package obs is the public surface of the compute stack's tracing and
+// metrics layer (implemented in internal/obs): per-job spans exported as
+// Chrome trace-event JSON (loadable in chrome://tracing and Perfetto),
+// lock-cheap counters/gauges and fixed-bucket latency histograms with
+// p50/p95/p99 extraction, and a live HTTP surface combining a
+// Prometheus-text /metrics, a /trace.json snapshot and net/http/pprof.
+//
+// Attach it to a queue through glescompute.QueueConfig:
+//
+//	tracer := obs.NewTracer(seed)
+//	metrics := obs.NewRegistry()
+//	q, _ := glescompute.OpenQueue(glescompute.QueueConfig{
+//		Devices: 4,
+//		Tracer:  tracer,
+//		Metrics: metrics,
+//	})
+//	...
+//	f, _ := os.Create("trace.json")
+//	tracer.WriteChromeTrace(f) // one track per device slot
+//	go http.ListenAndServe(":9100", obs.Handler(metrics, tracer))
+//
+// Everything is nil-safe: a queue with no Tracer/Metrics pays a nil
+// check and nothing else (see internal/obs BenchmarkSpanDisabled).
+package obs
+
+import (
+	"net/http"
+
+	"glescompute/internal/obs"
+)
+
+// Re-exported types; see the internal/obs documentation.
+type (
+	// Tracer records per-job spans and instant events for export.
+	Tracer = obs.Tracer
+	// Span is a named interval on a device track.
+	Span = obs.Span
+	// Registry is a named metric collection with Prometheus-text export.
+	Registry = obs.Registry
+	// Counter is a monotonically increasing metric.
+	Counter = obs.Counter
+	// Gauge is a settable instantaneous value.
+	Gauge = obs.Gauge
+	// Histogram is a fixed-bucket distribution with quantile extraction.
+	Histogram = obs.Histogram
+)
+
+// TrackQueue is the pseudo-track for spans not yet bound to a device.
+const TrackQueue = obs.TrackQueue
+
+// NewTracer creates a tracer branded with seed (see Tracer.TraceID).
+func NewTracer(seed int64) *Tracer { return obs.NewTracer(seed) }
+
+// NewRegistry creates an empty metric registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewHistogram creates a standalone histogram; nil bounds means
+// DurationBuckets.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return obs.NewHistogram(name, help, bounds)
+}
+
+// DurationBuckets is the default µs-scale latency bucket ladder.
+func DurationBuckets() []float64 { return obs.DurationBuckets() }
+
+// Handler serves /metrics (Prometheus text), /trace.json (Chrome trace
+// snapshot) and /debug/pprof/ on one mux. Either argument may be nil.
+func Handler(reg *Registry, t *Tracer) http.Handler { return obs.Handler(reg, t) }
