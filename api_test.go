@@ -406,3 +406,111 @@ func TestPublicAPIPipeline(t *testing.T) {
 		t.Errorf("GPU sum of squares = %g, CPU = %g, rel err %g", got[0], want, rel)
 	}
 }
+
+// TestPublicAPIExecConfig pins the unified execution-config surface: the
+// type aliases, the Toggle constants, the env-var names, and the
+// precedence story — an explicit field beats its environment variable —
+// all reachable through the public package.
+func TestPublicAPIExecConfig(t *testing.T) {
+	// The Toggle constants must keep their tri-state identities.
+	if glescompute.DefaultToggle != 0 || glescompute.Enabled == glescompute.Disabled {
+		t.Fatal("Toggle constants lost their identities")
+	}
+	// The documented env-var names are part of the API: deployments set
+	// them in unit files and CI workflows.
+	for name, want := range map[string]string{
+		glescompute.EnvDisableFusion: "GLESCOMPUTE_NO_FUSION",
+		glescompute.EnvDisableVec4:   "GLESCOMPUTE_NO_VEC4",
+		glescompute.EnvRasterWorkers: "GLESCOMPUTE_RASTER_WORKERS",
+	} {
+		if name != want {
+			t.Errorf("env var constant = %q, want %q", name, want)
+		}
+	}
+
+	// Explicit RasterWorkers wins over the env var, through Open.
+	t.Setenv(glescompute.EnvRasterWorkers, "2")
+	cfg := glescompute.Config{}
+	cfg.Exec = glescompute.ExecConfig{
+		Fusion:        glescompute.Enabled,
+		RasterWorkers: 3,
+	}
+	dev, err := glescompute.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if got := dev.Exec().RasterWorkers; got != 3 {
+		t.Errorf("Device.Exec().RasterWorkers = %d, want the explicit 3", got)
+	}
+
+	// Out-of-domain values must be rejected at Open, not coerced.
+	bad := glescompute.Config{}
+	bad.Exec.Vec4Lanes = 3
+	if _, err := glescompute.Open(bad); err == nil {
+		t.Error("Open accepted Vec4Lanes=3")
+	}
+
+	// The queue takes pool-wide Exec defaults.
+	q, err := glescompute.OpenQueue(glescompute.QueueConfig{
+		Devices: 1,
+		Exec:    glescompute.ExecConfig{RasterWorkers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+}
+
+// TestPublicAPITypedInputs submits a job through the typed JobInput route
+// and the deprecated []interface{} route and requires bit-identical
+// output — the migration contract for existing callers.
+func TestPublicAPITypedInputs(t *testing.T) {
+	q, err := glescompute.OpenQueue(glescompute.QueueConfig{Devices: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	const n = 128
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i) * 0.25
+		ys[i] = float32(n-i) * 0.5
+	}
+	spec := glescompute.KernelSpec{
+		Name: "sum",
+		Inputs: []glescompute.Param{
+			{Name: "a", Type: glescompute.Float32},
+			{Name: "b", Type: glescompute.Float32},
+		},
+		Source: "float gc_kernel(float idx) { return gc_a(idx) + gc_b(idx); }",
+	}
+	run := func(js glescompute.JobSpec) []float32 {
+		t.Helper()
+		job, err := q.Submit(nil, js)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := job.Wait(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := res.Float32()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	legacy := run(glescompute.JobSpec{Kernel: spec, Inputs: []interface{}{xs, ys}})
+	typed := run(glescompute.JobSpec{Kernel: spec, In: []glescompute.JobInput{
+		glescompute.Float32Input(xs),
+		glescompute.Float32Input(ys),
+	}})
+	for i := range legacy {
+		if legacy[i] != typed[i] {
+			t.Fatalf("element %d: typed route %v, legacy route %v", i, typed[i], legacy[i])
+		}
+	}
+}

@@ -2,10 +2,14 @@
 // the current one regresses against the committed baseline — the CI gate
 // of the repo's benchmark trajectory (BENCH_*.json).
 //
-// Only modeled metrics are gated: vc4/armtime model outputs are
+// Modeled metrics are the primary gate: vc4/armtime model outputs are
 // deterministic functions of the executed instruction streams, identical
-// on every host, so the gate needs no noise margin beyond the intended
-// regression budget. Wall-clock figures in the reports are ignored.
+// on every host, so they need no noise margin beyond the intended
+// regression budget. A small enumerated set of wall-clock throughput
+// metrics (currently the tiled-rasterizer wall_frags_per_s figures,
+// which are fastest-of-reps on a warm device) is additionally gated with
+// its own, wider -wall-margin budget; all other wall-clock figures in
+// the reports remain informational.
 //
 // Gated metrics (higher is better) are numeric leaves whose key is one of
 // model_speedup_x, exec_only_speedup_x, speedup_x, model_jobs_per_sec,
@@ -19,7 +23,8 @@
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_BASELINE.json -current BENCH_PR5.json [-max-regress 0.10] [-update]
+//	benchgate -baseline BENCH_BASELINE.json -current BENCH_PR5.json
+//	          [-max-regress 0.10] [-wall-margin 0.25] [-update]
 //
 // Improvements are reported (and counted) alongside regressions. With
 // -update, the baseline file is rewritten from the capture after the
@@ -48,6 +53,18 @@ var gatedKeys = map[string]bool{
 	"occupancy_jobs_per_launch": true,
 	"fusion_speedup_x":          true,
 	"n1_vec4_speedup_x":         true,
+}
+
+// wallGatedKeys are wall-clock throughput metrics (higher is better)
+// gated with the separate, wider -wall-margin budget. Wall metrics are
+// opt-in by enumeration — the opposite of the *_validated suffix rule —
+// because a wall figure is only gateable when its experiment measures it
+// as the fastest of several runs on a warm device; the single-shot wall
+// figures (wall_ms, wall_inf_per_sec, wall_jobs_per_sec, wall_speedup_x)
+// stay informational.
+var wallGatedKeys = map[string]bool{
+	"wall_frags_per_s":     true,
+	"wall_frags_per_s_seq": true,
 }
 
 // lowerGatedKeys are the lower-is-better modeled metrics: the serve-model
@@ -103,7 +120,7 @@ func leafKey(path string) string {
 
 // compare returns failure messages (empty = gate passes) and
 // informational lines.
-func compare(base, cur map[string]interface{}, maxRegress float64) (failures, info []string) {
+func compare(base, cur map[string]interface{}, maxRegress, wallMargin float64) (failures, info []string) {
 	bNums, bBools := map[string]float64{}, map[string]bool{}
 	cNums, cBools := map[string]float64{}, map[string]bool{}
 	walk("", base, bNums, bBools)
@@ -128,13 +145,25 @@ func compare(base, cur map[string]interface{}, maxRegress float64) (failures, in
 	sort.Strings(paths)
 	for _, p := range paths {
 		lower := lowerGatedKeys[leafKey(p)]
-		if !gatedKeys[leafKey(p)] && !lower {
+		wall := wallGatedKeys[leafKey(p)]
+		if !gatedKeys[leafKey(p)] && !lower && !wall {
 			continue
 		}
 		bv := bNums[p]
 		cv, ok := cNums[p]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: present in baseline (%.4g), missing from current report", p, bv))
+			continue
+		}
+		if wall {
+			floor := bv * (1 - wallMargin)
+			switch {
+			case cv < floor:
+				failures = append(failures, fmt.Sprintf("%s: %.4g -> %.4g (%.1f%% regression, wall-clock budget %.0f%%)",
+					p, bv, cv, 100*(1-cv/bv), 100*wallMargin))
+			case cv > bv*1.001:
+				info = append(info, fmt.Sprintf("%s: %.4g -> %.4g (improved %.1f%% — wall clock)", p, bv, cv, 100*(cv/bv-1)))
+			}
 			continue
 		}
 		if lower {
@@ -206,7 +235,8 @@ func readReport(path string) (map[string]interface{}, error) {
 func main() {
 	baseline := flag.String("baseline", "BENCH_BASELINE.json", "committed baseline paperbench -json report")
 	current := flag.String("current", "", "freshly captured paperbench -json report")
-	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional regression per gated metric")
+	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional regression per gated modeled metric")
+	wallMargin := flag.Float64("wall-margin", 0.25, "allowed fractional regression per gated wall-clock metric (noise margin)")
 	update := flag.Bool("update", false, "rewrite the baseline file from the capture after reporting (differences are reported, then accepted)")
 	flag.Parse()
 	if *current == "" {
@@ -223,7 +253,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
 	}
-	failures, info := compare(base, cur, *maxRegress)
+	failures, info := compare(base, cur, *maxRegress, *wallMargin)
 	for _, line := range info {
 		fmt.Println("  " + line)
 	}

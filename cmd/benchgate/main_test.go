@@ -31,7 +31,7 @@ const baseJSON = `{
 
 func TestGatePassesWithinBudget(t *testing.T) {
 	cur := report(t, strings.ReplaceAll(baseJSON, "180.0", "170.0")) // -5.6%: inside 10%
-	failures, _ := compare(report(t, baseJSON), cur, 0.10)
+	failures, _ := compare(report(t, baseJSON), cur, 0.10, 0.25)
 	if len(failures) != 0 {
 		t.Fatalf("unexpected failures: %v", failures)
 	}
@@ -39,7 +39,7 @@ func TestGatePassesWithinBudget(t *testing.T) {
 
 func TestGateCatchesRegression(t *testing.T) {
 	cur := report(t, strings.ReplaceAll(baseJSON, "550.0", "400.0")) // -27%
-	failures, _ := compare(report(t, baseJSON), cur, 0.10)
+	failures, _ := compare(report(t, baseJSON), cur, 0.10, 0.25)
 	if len(failures) != 1 || !strings.Contains(failures[0], "nn.points.1.model_inf_per_sec") {
 		t.Fatalf("failures = %v, want one on nn.points.1.model_inf_per_sec", failures)
 	}
@@ -48,7 +48,7 @@ func TestGateCatchesRegression(t *testing.T) {
 func TestGateIgnoresWallClockAndUngatedKeys(t *testing.T) {
 	cur := report(t, strings.ReplaceAll(strings.ReplaceAll(baseJSON, "\"wall_inf_per_sec\": 3.0", "\"wall_inf_per_sec\": 0.1"),
 		"\"gpu_us\": 100", "\"gpu_us\": 9000"))
-	failures, _ := compare(report(t, baseJSON), cur, 0.10)
+	failures, _ := compare(report(t, baseJSON), cur, 0.10, 0.25)
 	if len(failures) != 0 {
 		t.Fatalf("wall-clock/ungated change tripped the gate: %v", failures)
 	}
@@ -59,7 +59,7 @@ func TestGateCatchesMissingMetricAndFailedValidation(t *testing.T) {
 		"sum-int": {"model_speedup_x": 7.0, "validated": true},
 		"nn": {"model_speedup_x": 3.8, "batch_model_speedup_x": 1.5, "int_validated": false, "points": []}
 	}`)
-	failures, _ := compare(report(t, baseJSON), cur, 0.10)
+	failures, _ := compare(report(t, baseJSON), cur, 0.10, 0.25)
 	joined := strings.Join(failures, "\n")
 	for _, want := range []string{
 		"nn.int_validated: false",
@@ -74,7 +74,7 @@ func TestGateCatchesMissingMetricAndFailedValidation(t *testing.T) {
 
 func TestGateReportsImprovements(t *testing.T) {
 	cur := report(t, strings.ReplaceAll(baseJSON, "\"model_speedup_x\": 7.0", "\"model_speedup_x\": 9.0"))
-	failures, info := compare(report(t, baseJSON), cur, 0.10)
+	failures, info := compare(report(t, baseJSON), cur, 0.10, 0.25)
 	if len(failures) != 0 {
 		t.Fatalf("unexpected failures: %v", failures)
 	}
@@ -86,7 +86,7 @@ func TestGateReportsImprovements(t *testing.T) {
 func TestGateFusionKeys(t *testing.T) {
 	const fusionBase = `{"nn": {"fusion_speedup_x": 1.3, "fusion_validated": true}}`
 	cur := report(t, `{"nn": {"fusion_speedup_x": 1.0, "fusion_validated": false}}`)
-	failures, _ := compare(report(t, fusionBase), cur, 0.10)
+	failures, _ := compare(report(t, fusionBase), cur, 0.10, 0.25)
 	joined := strings.Join(failures, "\n")
 	for _, want := range []string{"nn.fusion_speedup_x: 1.3 -> 1", "nn.fusion_validated: false"} {
 		if !strings.Contains(joined, want) {
@@ -101,13 +101,13 @@ func TestGateChaosValidationBySuffix(t *testing.T) {
 	// when it flips false and when it vanishes from the capture.
 	const chaosBase = `{"chaos": {"chaos_validated": true, "zero_lost": true}}`
 	cur := report(t, `{"chaos": {"chaos_validated": false, "zero_lost": false}}`)
-	failures, _ := compare(report(t, chaosBase), cur, 0.10)
+	failures, _ := compare(report(t, chaosBase), cur, 0.10, 0.25)
 	if len(failures) != 1 || !strings.Contains(failures[0], "chaos.chaos_validated: false") {
 		t.Fatalf("failures = %v, want one on chaos.chaos_validated", failures)
 	}
 
 	gone := report(t, `{"chaos": {"zero_lost": true}}`)
-	failures, _ = compare(report(t, chaosBase), gone, 0.10)
+	failures, _ = compare(report(t, chaosBase), gone, 0.10, 0.25)
 	if len(failures) != 1 || !strings.Contains(failures[0], "chaos.chaos_validated: validated in baseline, missing") {
 		t.Fatalf("failures = %v, want one on missing chaos.chaos_validated", failures)
 	}
@@ -136,6 +136,49 @@ func TestUpdateBaselineRewritesFile(t *testing.T) {
 	}
 }
 
+func TestGateWallMetricsWithMargin(t *testing.T) {
+	const wallBase = `{"raster": {
+		"wall_frags_per_s": 1000.0, "wall_frags_per_s_seq": 400.0,
+		"speedup_vs_seq_x": 2.5, "raster_validated": true,
+		"points": [{"elapsed_ms": 50.0, "frags_per_s": 400.0}]
+	}}`
+	// -20% is inside the 25% wall margin but outside the 10% modeled
+	// budget: the wall-gated key must pass, proving it takes the wall
+	// margin and not -max-regress.
+	cur := report(t, strings.ReplaceAll(wallBase, "\"wall_frags_per_s\": 1000.0", "\"wall_frags_per_s\": 800.0"))
+	failures, _ := compare(report(t, wallBase), cur, 0.10, 0.25)
+	if len(failures) != 0 {
+		t.Fatalf("-20%% wall change tripped the 25%% wall margin: %v", failures)
+	}
+	// -40% is a real wall regression.
+	cur = report(t, strings.ReplaceAll(wallBase, "\"wall_frags_per_s\": 1000.0", "\"wall_frags_per_s\": 600.0"))
+	failures, _ = compare(report(t, wallBase), cur, 0.10, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "raster.wall_frags_per_s") {
+		t.Fatalf("failures = %v, want one on raster.wall_frags_per_s", failures)
+	}
+	// The un-enumerated wall ratio and per-point figures stay ungated
+	// however far they move.
+	cur = report(t, strings.ReplaceAll(strings.ReplaceAll(wallBase,
+		"\"speedup_vs_seq_x\": 2.5", "\"speedup_vs_seq_x\": 0.1"),
+		"\"frags_per_s\": 400.0", "\"frags_per_s\": 1.0"))
+	failures, _ = compare(report(t, wallBase), cur, 0.10, 0.25)
+	if len(failures) != 0 {
+		t.Fatalf("ungated wall keys tripped the gate: %v", failures)
+	}
+	// A wall-gated key vanishing from the capture still fails.
+	cur = report(t, `{"raster": {"wall_frags_per_s": 1000.0, "raster_validated": true}}`)
+	failures, _ = compare(report(t, wallBase), cur, 0.10, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "wall_frags_per_s_seq: present in baseline") {
+		t.Fatalf("failures = %v, want one missing wall metric", failures)
+	}
+	// raster_validated flipping false is a correctness failure.
+	cur = report(t, strings.ReplaceAll(wallBase, "\"raster_validated\": true", "\"raster_validated\": false"))
+	failures, _ = compare(report(t, wallBase), cur, 0.10, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "raster.raster_validated: false") {
+		t.Fatalf("failures = %v, want one on raster.raster_validated", failures)
+	}
+}
+
 const latencyJSON = `{
 	"schema": 1,
 	"serve-model": {"s1_p50_modeled_us": 100.0, "s1_p95_modeled_us": 200.0, "s1_p99_modeled_us": 900.0, "s1_mean_modeled_us": 150.0, "validated": true}
@@ -146,13 +189,13 @@ func TestGateLowerIsBetterKeys(t *testing.T) {
 	cur := report(t, strings.ReplaceAll(strings.ReplaceAll(latencyJSON,
 		"\"s1_p99_modeled_us\": 900.0", "\"s1_p99_modeled_us\": 1350.0"),
 		"\"s1_mean_modeled_us\": 150.0", "\"s1_mean_modeled_us\": 400.0"))
-	failures, _ := compare(report(t, latencyJSON), cur, 0.10)
+	failures, _ := compare(report(t, latencyJSON), cur, 0.10, 0.25)
 	if len(failures) != 1 || !strings.Contains(failures[0], "serve-model.s1_p99_modeled_us") {
 		t.Fatalf("failures = %v, want one on serve-model.s1_p99_modeled_us", failures)
 	}
 	// A drop is an improvement, not a failure.
 	cur = report(t, strings.ReplaceAll(latencyJSON, "\"s1_p99_modeled_us\": 900.0", "\"s1_p99_modeled_us\": 500.0"))
-	failures, info := compare(report(t, latencyJSON), cur, 0.10)
+	failures, info := compare(report(t, latencyJSON), cur, 0.10, 0.25)
 	if len(failures) != 0 {
 		t.Fatalf("latency improvement tripped the gate: %v", failures)
 	}
@@ -167,7 +210,7 @@ func TestGateLowerIsBetterKeys(t *testing.T) {
 	}
 	// Vanishing from the current report still fails.
 	cur = report(t, `{"schema": 1, "serve-model": {"s1_p50_modeled_us": 100.0, "s1_p95_modeled_us": 200.0, "validated": true}}`)
-	failures, _ = compare(report(t, latencyJSON), cur, 0.10)
+	failures, _ = compare(report(t, latencyJSON), cur, 0.10, 0.25)
 	if len(failures) != 1 || !strings.Contains(failures[0], "missing from current report") {
 		t.Fatalf("failures = %v, want one missing-metric failure", failures)
 	}
@@ -179,7 +222,7 @@ func TestGateToleratesAndReportsSchema(t *testing.T) {
 		report(t, `{"schema": 2, "sum-int": {"model_speedup_x": 7.0, "gpu_us": 100, "validated": true},
 			"nn": {"model_speedup_x": 3.8, "batch_model_speedup_x": 1.5, "int_validated": true, "points": [
 				{"model_inf_per_sec": 180.0, "wall_inf_per_sec": 3.0, "validated": true},
-				{"model_inf_per_sec": 550.0, "wall_inf_per_sec": 3.1, "validated": true}]}}`), 0.10)
+				{"model_inf_per_sec": 550.0, "wall_inf_per_sec": 3.1, "validated": true}]}}`), 0.10, 0.25)
 	if len(failures) != 0 {
 		t.Fatalf("schema introduction tripped the gate: %v", failures)
 	}

@@ -9,6 +9,7 @@
 //	           [-sum-n N] [-sum-exec N] [-sgemm-n N] [-pipeline-n N]
 //	           [-serve-jobs N] [-serve-n N] [-nn-requests N] [-nn-batch N]
 //	           [-lanes 1|4] [-chaos-jobs N] [-chaos-seed S] [-chaos-devices N]
+//	           [-raster-n N] [-raster-reps N] [-workers N]
 //	           [-trace FILE] [-metrics] [-json]
 //
 // `-exp list` prints the experiment index; an unknown experiment name
@@ -20,6 +21,12 @@
 // counters/gauges/histograms and a Prometheus-text dump is printed after
 // the run (to stderr under -json, keeping stdout machine-readable).
 // Both attach to the serve capture pass, the nn sweep and the chaos run.
+//
+// -workers N sets the process-default rasterizer worker count by
+// exporting GLESCOMPUTE_RASTER_WORKERS — the env fallback of the
+// ExecConfig chain — so every experiment device inherits it. The raster
+// experiment's per-point ExecConfig.RasterWorkers still wins over it,
+// as explicit configuration always beats the environment.
 //
 // The chaos experiment's fault schedule seed may also be set through the
 // GLESCOMPUTE_FAULT_SEED environment variable (the -chaos-seed flag wins
@@ -40,6 +47,7 @@ import (
 	"strings"
 
 	"glescompute/internal/codec"
+	"glescompute/internal/core"
 	"glescompute/internal/obs"
 	"glescompute/internal/paper"
 )
@@ -98,10 +106,20 @@ func main() {
 	chaosJobs := flag.Int("chaos-jobs", 10000, "chaos: requests in the faulted stream")
 	chaosSeed := flag.Int64("chaos-seed", 20160316, "chaos: fault schedule seed (env GLESCOMPUTE_FAULT_SEED also sets it; the flag wins)")
 	chaosDevices := flag.Int("chaos-devices", 4, "chaos: device pool width")
+	rasterN := flag.Int("raster-n", 1<<18, "raster: fragments per draw in the worker sweep")
+	rasterReps := flag.Int("raster-reps", 3, "raster: timed runs per worker count (fastest kept)")
+	workers := flag.Int("workers", 0, "default rasterizer worker count for every experiment's devices (sets "+core.EnvRasterWorkers+"; 0 keeps env/GOMAXPROCS; explicit ExecConfig.RasterWorkers still wins)")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the experiment queues to this file")
 	metricsOut := flag.Bool("metrics", false, "print a Prometheus-text metrics dump after the run (stderr under -json)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
+
+	if *workers > 0 {
+		// The env route (rather than plumbing a parameter into every
+		// experiment constructor) deliberately exercises the documented
+		// ExecConfig fallback chain: explicit field > env var > GOMAXPROCS.
+		os.Setenv(core.EnvRasterWorkers, strconv.Itoa(*workers))
+	}
 
 	if env := os.Getenv("GLESCOMPUTE_FAULT_SEED"); env != "" {
 		flagSet := false
@@ -159,6 +177,7 @@ func main() {
 		{"nn", "N1 neural-network inference + kernel-fusion on/off"},
 		{"chaos", "R1 fault-tolerant serving under a seeded fault schedule"},
 		{"codec-overhead", "A1 pack/unpack share of kernel cycles"},
+		{"raster", "W1 tiled-rasterizer wall-clock throughput across worker counts"},
 	}
 
 	selected := map[string]bool{}
@@ -548,6 +567,46 @@ func main() {
 		fmt.Printf("  full sum kernel:    %6.1f modeled cycles/element\n", res.FullSumCycles)
 		fmt.Printf("  pack/unpack share:  %6.0f%% (paper: 'the extra burden of packing and unpacking')\n",
 			res.OverheadFraction*100)
+		return nil
+	})
+
+	run("raster", func() error {
+		res, err := paper.RunRaster(*rasterN, *rasterReps)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			report["raster"] = res
+		} else {
+			fmt.Println()
+			fmt.Printf("W1 — tiled-rasterizer wall-clock throughput (%d fragments/draw, fastest of %d runs, %d effective CPUs):\n",
+				res.Fragments, *rasterReps, res.EffectiveCPUs)
+			fmt.Printf("  %-7s | %10s | %14s | %8s | %s\n", "workers", "wall", "wall frags/s", "speedup", "bit-identical")
+			for _, pt := range res.Points {
+				fmt.Printf("  %-7d | %8.1fms | %14.0f | %7.2fx | %v\n",
+					pt.Workers, pt.WallMS, pt.FragsPerSec, pt.SpeedupX, pt.BitIdentical)
+			}
+		}
+		// The wall-clock speedup bar follows the S1 pattern: parallel
+		// rasterization can only beat sequential when the host actually
+		// grants multiple CPUs, and quick smoke runs (small -raster-n) are
+		// noise-dominated, so the bar applies only at full scale.
+		if *rasterN >= 1<<16 {
+			bar := 0.0
+			switch {
+			case res.EffectiveCPUs >= 4:
+				bar = 2.0
+			case res.EffectiveCPUs >= 2:
+				bar = 1.15
+			}
+			if bar > 0 && res.SpeedupX < bar {
+				return fmt.Errorf("tiled rasterizer wall speedup %.2fx at 4 workers, want >= %.2fx (effective CPUs: %d)",
+					res.SpeedupX, bar, res.EffectiveCPUs)
+			}
+			if !*jsonOut && bar == 0 {
+				fmt.Printf("  note: single-CPU execution — wall speedup not asserted\n")
+			}
+		}
 		return nil
 	})
 

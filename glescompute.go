@@ -89,6 +89,15 @@ type (
 	OutputSpec = core.OutputSpec
 	// Config configures a device.
 	Config = core.Config
+	// ExecConfig is the unified execution configuration (fusion, vec4
+	// lane defaults, rasterizer parallelism, interpreter fallback),
+	// embedded in Config as Config.Exec and in QueueConfig as
+	// QueueConfig.Exec. Explicit fields win over the legacy environment
+	// variables; zero fields fall back to them. See the README knob table.
+	ExecConfig = core.ExecConfig
+	// Toggle is the tri-state switch used by ExecConfig fields whose
+	// default comes from a legacy environment variable.
+	Toggle = core.Toggle
 	// RunStats reports one kernel execution.
 	RunStats = core.RunStats
 	// Timeline is the modeled wall-clock breakdown of device work.
@@ -123,6 +132,8 @@ type (
 	Job = sched.Job
 	// JobSpec describes one compute request over host slices.
 	JobSpec = sched.JobSpec
+	// JobInput is one typed input to a job; build with Float32Input &c.
+	JobInput = sched.Input
 	// JobResult is a completed job's output and statistics.
 	JobResult = sched.Result
 	// JobStats reports how one job was executed (device, batching,
@@ -147,6 +158,26 @@ const (
 	DeviceHealthy     = sched.DeviceHealthy
 	DeviceQuarantined = sched.DeviceQuarantined
 	DeviceDead        = sched.DeviceDead
+)
+
+// Toggle states for ExecConfig fields.
+const (
+	// DefaultToggle defers to the feature's legacy environment variable.
+	DefaultToggle = core.DefaultToggle
+	// Enabled forces the feature on regardless of environment.
+	Enabled = core.Enabled
+	// Disabled forces the feature off regardless of environment.
+	Disabled = core.Disabled
+)
+
+// Environment variables consulted by ExecConfig's zero-value fallbacks.
+const (
+	// EnvDisableFusion disables pipeline fusion process-wide when set.
+	EnvDisableFusion = core.EnvDisableFusion
+	// EnvDisableVec4 disables default int8x4 lane packing when set.
+	EnvDisableVec4 = core.EnvDisableVec4
+	// EnvRasterWorkers sets the default rasterizer worker count.
+	EnvRasterWorkers = core.EnvRasterWorkers
 )
 
 // Sentinel errors.
@@ -180,6 +211,22 @@ const (
 	Uint32  = codec.Uint32
 	Int32   = codec.Int32
 	Float32 = codec.Float32
+)
+
+// Typed job input constructors for JobSpec.In.
+var (
+	// Float32Input wraps a []float32 job input.
+	Float32Input = sched.Float32s
+	// Int32Input wraps a []int32 job input.
+	Int32Input = sched.Int32s
+	// Uint32Input wraps a []uint32 job input.
+	Uint32Input = sched.Uint32s
+	// Int8Input wraps an []int8 job input.
+	Int8Input = sched.Int8s
+	// BytesInput wraps a []uint8 job input.
+	BytesInput = sched.Bytes
+	// BufferInput snapshots a device buffer as a job input.
+	BufferInput = sched.FromBuffer
 )
 
 // Open creates a compute device over a fresh simulated OpenGL ES 2.0

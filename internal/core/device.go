@@ -58,13 +58,27 @@ type Config struct {
 	// FloorConversion selects the paper's eq. (2) floor rule for
 	// framebuffer conversion instead of the GL round-to-nearest rule.
 	FloorConversion bool
-	// Workers bounds fragment-stage parallelism (0 = GOMAXPROCS).
-	Workers int
+	// Exec is the unified execution configuration: fusion planning, vec4
+	// lane defaults, rasterizer parallelism, interpreter fallback.
+	// Explicit fields win over the legacy env vars; see ExecConfig.
+	Exec ExecConfig
 	// StrictAppendixA enforces GLSL ES Appendix A loop restrictions.
 	StrictAppendixA bool
+	// TileSize overrides the edge length (pixels) of the framebuffer
+	// tiles the parallel rasterizer shards draws into; 0 means the
+	// built-in default. Output is bit-identical at any size — exposed so
+	// tests can force many ragged tiles onto small render targets.
+	TileSize int
+
+	// Workers bounds fragment-stage parallelism (0 = GOMAXPROCS).
+	//
+	// Deprecated: set Exec.RasterWorkers. When both are set, Exec wins.
+	Workers int
 	// UseInterpreter runs shaders on the reference AST interpreter
-	// instead of the default bytecode VM (same results, slower; used by
-	// the differential test harness).
+	// instead of the default bytecode VM.
+	//
+	// Deprecated: set Exec.UseInterpreter. Either field forces the
+	// interpreter.
 	UseInterpreter bool
 }
 
@@ -109,9 +123,10 @@ func (t Timeline) Add(o Timeline) Timeline {
 
 // Device is a simulated low-end mobile GPU opened for compute.
 type Device struct {
-	ctx *gles.Context
-	gpu *vc4.Model
-	cfg Config
+	ctx  *gles.Context
+	gpu  *vc4.Model
+	cfg  Config
+	exec ExecConfig // resolved merge of cfg.Exec over the legacy fields
 
 	quadPos []byte // interleaved fullscreen-quad vertices (challenge #2)
 	quadUV  []byte
@@ -135,6 +150,10 @@ type Device struct {
 
 // Open creates a compute device over a fresh simulated ES 2.0 context.
 func Open(cfg Config) (*Device, error) {
+	exec := cfg.mergeLegacy()
+	if err := exec.validate(); err != nil {
+		return nil, err
+	}
 	sfu := shader.DefaultSFU
 	if cfg.SFUMantissaBits > 0 {
 		sfu = shader.SFUConfig{MantissaBits: cfg.SFUMantissaBits}
@@ -150,11 +169,12 @@ func Open(cfg Config) (*Device, error) {
 		Height:          4,
 		SFU:             sfu,
 		Conv:            conv,
-		Workers:         cfg.Workers,
+		Workers:         exec.Workers(),
+		TileSize:        cfg.TileSize,
 		StrictAppendixA: cfg.StrictAppendixA,
-		UseInterpreter:  cfg.UseInterpreter,
+		UseInterpreter:  exec.UseInterpreter,
 	})
-	d := &Device{ctx: ctx, gpu: vc4.DefaultModel(), cfg: cfg}
+	d := &Device{ctx: ctx, gpu: vc4.DefaultModel(), cfg: cfg, exec: exec}
 	if d.cfg.MaxGridWidth <= 0 || d.cfg.MaxGridWidth > ctx.Caps().MaxTextureSize {
 		d.cfg.MaxGridWidth = ctx.Caps().MaxTextureSize
 	}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// exec_test.go pins the ExecConfig resolution contract: explicit field >
+// environment variable > built-in default, per field; the deprecated
+// legacy Config knobs keep working and lose to explicit Exec fields; and
+// out-of-domain values are rejected at Open, not silently coerced.
+
+func TestExecFusionPrecedence(t *testing.T) {
+	// Explicit toggles win in both directions regardless of the env var.
+	t.Setenv(EnvDisableFusion, "1")
+	if (ExecConfig{Fusion: Enabled}).FusionEnabled() != true {
+		t.Error("Enabled lost to the env var")
+	}
+	if (ExecConfig{}).FusionEnabled() != false {
+		t.Error("DefaultToggle ignored the env var")
+	}
+	t.Setenv(EnvDisableFusion, "")
+	if (ExecConfig{Fusion: Disabled}).FusionEnabled() != false {
+		t.Error("Disabled needs no env var")
+	}
+	if (ExecConfig{}).FusionEnabled() != true {
+		t.Error("built-in default is fusion on")
+	}
+}
+
+func TestExecLanesPrecedence(t *testing.T) {
+	t.Setenv(EnvDisableVec4, "1")
+	if got := (ExecConfig{Vec4Lanes: 4}).Lanes(); got != 4 {
+		t.Errorf("Lanes() = %d with explicit 4, want 4 (env var must lose)", got)
+	}
+	if got := (ExecConfig{}).Lanes(); got != 1 {
+		t.Errorf("Lanes() = %d with env set, want 1", got)
+	}
+	t.Setenv(EnvDisableVec4, "")
+	if got := (ExecConfig{Vec4Lanes: 1}).Lanes(); got != 1 {
+		t.Errorf("Lanes() = %d with explicit 1, want 1", got)
+	}
+	if got := (ExecConfig{}).Lanes(); got != 4 {
+		t.Errorf("Lanes() = %d, want the built-in default 4", got)
+	}
+}
+
+func TestExecWorkersPrecedence(t *testing.T) {
+	t.Setenv(EnvRasterWorkers, "3")
+	if got := (ExecConfig{RasterWorkers: 7}).Workers(); got != 7 {
+		t.Errorf("Workers() = %d with explicit 7, want 7 (env var must lose)", got)
+	}
+	if got := (ExecConfig{}).Workers(); got != 3 {
+		t.Errorf("Workers() = %d with env=3, want 3", got)
+	}
+	if !(ExecConfig{}).WorkersPinned() {
+		t.Error("WorkersPinned() = false with env set")
+	}
+	// A malformed or non-positive env value is ignored, not an error:
+	// the variable is operational tuning, never a correctness input.
+	t.Setenv(EnvRasterWorkers, "banana")
+	if got := (ExecConfig{}).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers() = %d with garbage env, want GOMAXPROCS", got)
+	}
+	t.Setenv(EnvRasterWorkers, "0")
+	if (ExecConfig{}).WorkersPinned() {
+		t.Error("WorkersPinned() = true for env=0")
+	}
+	t.Setenv(EnvRasterWorkers, "")
+	if got := (ExecConfig{}).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers() = %d with nothing set, want GOMAXPROCS", got)
+	}
+	if (ExecConfig{}).WorkersPinned() {
+		t.Error("WorkersPinned() = true with nothing set")
+	}
+}
+
+func TestExecMergeLegacy(t *testing.T) {
+	// Legacy fields fill gaps.
+	e := Config{Workers: 5, UseInterpreter: true}.mergeLegacy()
+	if e.RasterWorkers != 5 || !e.UseInterpreter {
+		t.Errorf("mergeLegacy = %+v, want legacy fields folded in", e)
+	}
+	// Explicit Exec wins over legacy Workers.
+	c := Config{Workers: 5}
+	c.Exec.RasterWorkers = 2
+	if e := c.mergeLegacy(); e.RasterWorkers != 2 {
+		t.Errorf("mergeLegacy RasterWorkers = %d, want explicit 2", e.RasterWorkers)
+	}
+	// Either interpreter flag forces the interpreter — a legacy caller
+	// and an Exec caller must both be able to force it on.
+	c = Config{}
+	c.Exec.UseInterpreter = true
+	if e := c.mergeLegacy(); !e.UseInterpreter {
+		t.Error("Exec.UseInterpreter lost in merge")
+	}
+}
+
+func TestExecMergePoolDefaults(t *testing.T) {
+	def := ExecConfig{Fusion: Disabled, Vec4Lanes: 1, RasterWorkers: 3, UseInterpreter: true}
+	// Zero dst inherits everything.
+	if got := MergeExec(ExecConfig{}, def); got != def {
+		t.Errorf("MergeExec(zero, def) = %+v, want %+v", got, def)
+	}
+	// Set dst fields always win.
+	dst := ExecConfig{Fusion: Enabled, Vec4Lanes: 4, RasterWorkers: 8}
+	got := MergeExec(dst, def)
+	if got.Fusion != Enabled || got.Vec4Lanes != 4 || got.RasterWorkers != 8 {
+		t.Errorf("MergeExec overrode explicit dst fields: %+v", got)
+	}
+	if !got.UseInterpreter {
+		t.Error("pool-wide UseInterpreter must propagate")
+	}
+}
+
+func TestExecValidateAtOpen(t *testing.T) {
+	cases := []struct {
+		name string
+		exec ExecConfig
+		want string
+	}{
+		{"bad-toggle", ExecConfig{Fusion: 3}, "Fusion"},
+		{"bad-lanes", ExecConfig{Vec4Lanes: 2}, "Vec4Lanes"},
+		{"negative-workers", ExecConfig{RasterWorkers: -1}, "RasterWorkers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Open(Config{Exec: tc.exec})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Open(%+v) error = %v, want mention of %s", tc.exec, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDeviceExecResolved(t *testing.T) {
+	cfg := Config{Workers: 2, UseInterpreter: true}
+	cfg.Exec.Fusion = Disabled
+	dev, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	e := dev.Exec()
+	if e.RasterWorkers != 2 || !e.UseInterpreter || e.Fusion != Disabled {
+		t.Errorf("Device.Exec() = %+v, want legacy knobs merged with explicit Exec", e)
+	}
+}

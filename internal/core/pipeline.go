@@ -67,10 +67,11 @@ type Pipeline struct {
 }
 
 // NewPipeline creates an empty pipeline on the device. Automatic kernel
-// fusion is enabled unless the EnvDisableFusion environment variable is
-// set; SetFusion overrides either default.
+// fusion follows the device's ExecConfig.Fusion toggle (by default: on
+// unless the EnvDisableFusion environment variable is set); SetFusion
+// overrides either default per pipeline.
 func (d *Device) NewPipeline() *Pipeline {
-	return &Pipeline{dev: d, pool: NewBufferPool(d), fusion: !fusionEnvDisabled()}
+	return &Pipeline{dev: d, pool: NewBufferPool(d), fusion: d.exec.FusionEnabled()}
 }
 
 // Err returns the first builder error, if any.

@@ -29,6 +29,11 @@ type Config struct {
 	Conv ConvMode
 	// Workers bounds fragment-stage parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// TileSize overrides the edge length (pixels) of the square
+	// framebuffer tiles the fragment stage shards draws into; 0 means the
+	// built-in default. Exposed for tests that want many tiles on small
+	// framebuffers; output is bit-identical at any size.
+	TileSize int
 	// StrictAppendixA makes the shader compiler enforce GLSL ES Appendix A.
 	StrictAppendixA bool
 	// UseInterpreter forces the reference AST interpreter for shader
@@ -165,7 +170,8 @@ type Context struct {
 	unpackAlign int
 	packAlign   int
 
-	workers int
+	workers  int
+	tileSize int
 
 	// Accumulated instrumentation for the timing models.
 	transfers TransferStats
@@ -216,9 +222,13 @@ func NewContext(cfg Config) *Context {
 		unpackAlign:   4,
 		packAlign:     4,
 		workers:       cfg.Workers,
+		tileSize:      cfg.TileSize,
 	}
 	if c.workers <= 0 {
 		c.workers = runtime.GOMAXPROCS(0)
+	}
+	if c.tileSize <= 0 {
+		c.tileSize = defaultTileSize
 	}
 	c.texUnits = make([]textureUnit, c.caps.MaxCombinedTextureImageUnits)
 	c.attribs = make([]vertexAttrib, c.caps.MaxVertexAttribs)

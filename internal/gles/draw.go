@@ -3,6 +3,7 @@ package gles
 import (
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 
 	"glescompute/internal/glsl"
 	"glescompute/internal/raster"
@@ -194,72 +195,145 @@ func (c *Context) draw(mode uint32, indices []int) {
 
 	frontCCW := c.frontFace == CCW
 
-	// ---- Fragment stage, parallel over row bands ----
+	// Face culling is view-independent: resolve it once here instead of
+	// per tile.
+	if c.cullOn {
+		kept := tris[:0]
+		for _, t := range tris {
+			if !c.cullTriangle(t, frontCCW) {
+				kept = append(kept, t)
+			}
+		}
+		tris = kept
+	}
+
+	// ---- Fragment stage, parallel over framebuffer tiles ----
+	//
+	// The framebuffer is cut into a grid of square tiles claimed by a
+	// fixed pool of workers through an atomic counter. Output is
+	// bit-identical to the sequential path regardless of worker count or
+	// tile size: a pixel belongs to exactly one tile, each tile scans the
+	// draw's primitives in submission order (so depth/blend sequencing per
+	// pixel matches), and the per-worker stats are commutative sums
+	// (DESIGN.md §6h).
 	vp := raster.Viewport{X: c.viewport[0], Y: c.viewport[1], W: c.viewport[2], H: c.viewport[3]}
 	depthData := c.depthTarget(fb)
 
-	bandRows := (fbH + c.workers - 1) / c.workers
-	if bandRows < 1 {
-		bandRows = 1
+	ts := c.tileSize
+	tilesX := (fbW + ts - 1) / ts
+	tilesY := (fbH + ts - 1) / ts
+	nTiles := tilesX * tilesY
+
+	workers := c.workers
+	if workers > nTiles {
+		workers = nTiles
 	}
-	nBands := (fbH + bandRows - 1) / bandRows
-
-	var wg sync.WaitGroup
-	workerStats := make([]DrawStats, nBands)
-	workerErrs := make([]error, nBands)
-
-	for band := 0; band < nBands; band++ {
-		wg.Add(1)
-		go func(band int) {
-			defer wg.Done()
-			y0 := band * bandRows
-			y1 := minInt(y0+bandRows, fbH)
-			fex := c.newExecutor(p.fsProg, p.fsCode)
-			c.pushUniforms(p, fex, p.fsProg)
-			if err := fex.InitGlobals(); err != nil {
-				workerErrs[band] = err
-				return
-			}
-			ws := &workerStats[band]
-			rz := raster.NewRasterizer(vp, p.varyComps)
-			rz.SetDepthRange(c.depthRange[0], c.depthRange[1])
-			rz.SetRowBand(y0, y1)
-
-			emit := func(fr *raster.Fragment) {
-				if workerErrs[band] != nil {
-					return
-				}
-				c.shadeFragment(p, fex, fr, fb, colorData, depthData, fbW, fbH, ws, &workerErrs[band])
-			}
-			for _, t := range tris {
-				if c.cullOn {
-					if skip := c.cullTriangle(t, frontCCW); skip {
-						continue
-					}
-				}
-				rz.Triangle(t[0], t[1], t[2], frontCCW, emit)
-			}
-			for pi, pt := range pts {
-				rz.Point(pt, pointSizes[pi], func(fr *raster.Fragment, pcx, pcy float32) {
-					fex.SetPointCoord(pcx, pcy)
-					emit(fr)
-				})
-			}
-			ws.FragmentStats.AddStats(fex.StatsRef())
-		}(band)
-	}
-	wg.Wait()
-
-	for band := 0; band < nBands; band++ {
-		if workerErrs[band] != nil {
-			c.setErr(INVALID_OPERATION, "draw: fragment shader failed: %v", workerErrs[band])
+	if workers <= 1 {
+		// Sequential reference path: one executor scanning the whole
+		// framebuffer — the baseline the tiled path is validated against.
+		fex := c.newExecutor(p.fsProg, p.fsCode)
+		c.pushUniforms(p, fex, p.fsProg)
+		if err := fex.InitGlobals(); err != nil {
+			c.setErr(INVALID_OPERATION, "draw: fragment shader init failed: %v", err)
 			return
 		}
-		stats.Add(&workerStats[band])
+		var ws DrawStats
+		var ferr error
+		rz := raster.NewRasterizer(vp, p.varyComps)
+		rz.SetDepthRange(c.depthRange[0], c.depthRange[1])
+		c.rasterizeRegion(p, fex, rz, tris, pts, pointSizes, frontCCW, fb,
+			colorData, depthData, fbW, fbH, &ws, &ferr)
+		if ferr != nil {
+			c.setErr(INVALID_OPERATION, "draw: fragment shader failed: %v", ferr)
+			return
+		}
+		ws.FragmentStats.AddStats(fex.StatsRef())
+		stats.Add(&ws)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		workerStats := make([]DrawStats, workers)
+		workerErrs := make([]error, workers)
+
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				fex := c.newExecutor(p.fsProg, p.fsCode)
+				c.pushUniforms(p, fex, p.fsProg)
+				if err := fex.InitGlobals(); err != nil {
+					workerErrs[w] = err
+					return
+				}
+				ws := &workerStats[w]
+				rz := raster.NewRasterizer(vp, p.varyComps)
+				rz.SetDepthRange(c.depthRange[0], c.depthRange[1])
+				for {
+					t := int(next.Add(1)) - 1
+					if t >= nTiles {
+						break
+					}
+					x0 := (t % tilesX) * ts
+					y0 := (t / tilesX) * ts
+					rz.SetTile(x0, y0, minInt(x0+ts, fbW), minInt(y0+ts, fbH))
+					c.rasterizeRegion(p, fex, rz, tris, pts, pointSizes,
+						frontCCW, fb, colorData, depthData, fbW, fbH,
+						ws, &workerErrs[w])
+					if workerErrs[w] != nil {
+						return
+					}
+				}
+				ws.FragmentStats.AddStats(fex.StatsRef())
+			}(w)
+		}
+		wg.Wait()
+
+		// Merge in fixed worker-index order. The tile→worker assignment is
+		// nondeterministic, but every counter is a commutative sum, so the
+		// merged totals (and the framebuffer, whose tiles are disjoint) are
+		// not affected by it.
+		for w := 0; w < workers; w++ {
+			if workerErrs[w] != nil {
+				c.setErr(INVALID_OPERATION, "draw: fragment shader failed: %v", workerErrs[w])
+				return
+			}
+			stats.Add(&workerStats[w])
+		}
 	}
 	stats.FragmentStats.Invocations = stats.FragmentsShaded
 	c.lastDraw = stats
 	c.draws.Add(&stats)
+}
+
+// defaultTileSize is the edge length of the square framebuffer tiles the
+// fragment stage shards draws into. 64 keeps a tile's color/depth
+// footprint (~16 KiB + 16 KiB) cache-resident while leaving enough tiles
+// on paper-sized framebuffers to balance the worker pool.
+const defaultTileSize = 64
+
+// rasterizeRegion scans every primitive of the draw against the
+// rasterizer's current tile (or the whole framebuffer when unrestricted)
+// using one worker's executor, accumulating into its private stats.
+func (c *Context) rasterizeRegion(p *Program, fex shader.Executor, rz *raster.Rasterizer,
+	tris [][3]raster.ShadedVertex, pts []raster.ShadedVertex, pointSizes []float32,
+	frontCCW bool, fb *Framebuffer, colorData []byte, depthData []float32,
+	fbW, fbH int, ws *DrawStats, werr *error) {
+
+	emit := func(fr *raster.Fragment) {
+		if *werr != nil {
+			return
+		}
+		c.shadeFragment(p, fex, fr, fb, colorData, depthData, fbW, fbH, ws, werr)
+	}
+	for _, t := range tris {
+		rz.Triangle(t[0], t[1], t[2], frontCCW, emit)
+	}
+	for pi, pt := range pts {
+		rz.Point(pt, pointSizes[pi], func(fr *raster.Fragment, pcx, pcy float32) {
+			fex.SetPointCoord(pcx, pcy)
+			emit(fr)
+		})
+	}
 }
 
 // cullTriangle decides whether face culling rejects the triangle.

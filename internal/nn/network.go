@@ -63,12 +63,13 @@ type Result struct {
 // Build compiles the model for the device at a fixed batch size. With
 // tapAll every layer's output is marked as a pipeline output (the
 // validation mode N1 uses); otherwise only the final layer is read back.
-// Int8 models default to the 4-wide (vec4-packed) lowering unless
-// core.EnvDisableVec4 is set; float32/int32 models are always scalar.
+// Int8 models default to the device's ExecConfig lane width (4-wide
+// vec4 packing unless ExecConfig.Vec4Lanes or core.EnvDisableVec4 forces
+// 1); float32/int32 models are always scalar.
 func (m *Model) Build(dev *core.Device, batch int, tapAll bool) (*Network, error) {
 	lanes := 1
-	if m.elem == codec.Int8 && !core.Vec4EnvDisabled() {
-		lanes = 4
+	if m.elem == codec.Int8 {
+		lanes = dev.Exec().Lanes()
 	}
 	return m.BuildLanes(dev, batch, tapAll, lanes)
 }

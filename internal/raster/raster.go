@@ -45,9 +45,11 @@ type Rasterizer struct {
 	depthF      float64
 	numVaryings int
 	frag        Fragment
-	// Row band restriction for parallel rasterization: only rows in
-	// [rowMin, rowMax) are produced. Defaults to all rows.
+	// Tile restriction for parallel rasterization: only pixels with
+	// row in [rowMin, rowMax) and column in [colMin, colMax) are
+	// produced. Defaults to the whole framebuffer.
 	rowMin, rowMax int
+	colMin, colMax int
 }
 
 // NewRasterizer returns a rasterizer for the given viewport and varying
@@ -57,6 +59,7 @@ func NewRasterizer(vp Viewport, numVaryings int) *Rasterizer {
 		vp: vp, depthN: 0, depthF: 1,
 		numVaryings: numVaryings,
 		rowMin:      math.MinInt32, rowMax: math.MaxInt32,
+		colMin: math.MinInt32, colMax: math.MaxInt32,
 	}
 	r.frag.Varyings = make([]float32, numVaryings)
 	return r
@@ -71,6 +74,15 @@ func (r *Rasterizer) SetDepthRange(n, f float32) {
 // of parallelism used by the draw-call scheduler.
 func (r *Rasterizer) SetRowBand(min, max int) {
 	r.rowMin, r.rowMax = min, max
+}
+
+// SetTile restricts fragment production to the half-open pixel rectangle
+// [x0, x1) × [y0, y1) — the unit of parallelism of the tiled fragment
+// stage. A triangle's scan loop is clipped to the tile, so fragments a
+// tile never owns cost nothing beyond the bounding-box intersection.
+func (r *Rasterizer) SetTile(x0, y0, x1, y1 int) {
+	r.colMin, r.colMax = x0, x1
+	r.rowMin, r.rowMax = y0, y1
 }
 
 // window maps a clip-space vertex to window coordinates. It reports false
@@ -119,7 +131,7 @@ func (r *Rasterizer) Triangle(v0, v1, v2 ShadedVertex, frontCCW bool, emit func(
 		area = -area
 	}
 
-	// Bounding box clamped to viewport and row band.
+	// Bounding box clamped to viewport and tile.
 	minX := int(math.Floor(min3(w0.x, w1.x, w2.x)))
 	maxX := int(math.Ceil(max3(w0.x, w1.x, w2.x)))
 	minY := int(math.Floor(min3(w0.y, w1.y, w2.y)))
@@ -130,6 +142,8 @@ func (r *Rasterizer) Triangle(v0, v1, v2 ShadedVertex, frontCCW bool, emit func(
 	maxY = minI(maxY, r.vp.Y+r.vp.H)
 	minY = maxI(minY, r.rowMin)
 	maxY = minI(maxY, r.rowMax)
+	minX = maxI(minX, r.colMin)
+	maxX = minI(maxX, r.colMax)
 	if minX >= maxX || minY >= maxY {
 		return
 	}
@@ -220,8 +234,8 @@ func (r *Rasterizer) Point(v ShadedVertex, size float32, emit func(fr *Fragment,
 		size = 1
 	}
 	half := float64(size) / 2
-	minX := maxI(int(math.Floor(w.x-half)), maxI(r.vp.X, 0))
-	maxX := minI(int(math.Ceil(w.x+half)), r.vp.X+r.vp.W)
+	minX := maxI(maxI(int(math.Floor(w.x-half)), maxI(r.vp.X, 0)), r.colMin)
+	maxX := minI(minI(int(math.Ceil(w.x+half)), r.vp.X+r.vp.W), r.colMax)
 	minY := maxI(maxI(int(math.Floor(w.y-half)), r.vp.Y), r.rowMin)
 	maxY := minI(minI(int(math.Ceil(w.y+half)), r.vp.Y+r.vp.H), r.rowMax)
 	nv := r.numVaryings

@@ -1,0 +1,88 @@
+package sched
+
+// Typed job inputs. JobSpec historically carried inputs as a bare
+// []interface{} — every mistake (wrong slice type, wrong count, a stray
+// scalar) surfaced only at Submit as a runtime error. Input moves the
+// element type into the constructor call, so misuse reads wrong at the
+// call site and the zero value is detectably invalid. The []interface{}
+// route keeps working as a deprecated shim; both routes normalize into the
+// same job, bit for bit (TestTypedInputsMatchLegacy).
+
+import (
+	"fmt"
+
+	"glescompute/internal/codec"
+	"glescompute/internal/core"
+)
+
+// Input is one typed host input to a job, built with Float32s, Int32s,
+// Uint32s, Int8s, Bytes or FromBuffer. The zero value is invalid and is
+// rejected at Submit.
+type Input struct {
+	data interface{}
+}
+
+// Float32s wraps a []float32 input.
+func Float32s(v []float32) Input { return Input{data: v} }
+
+// Int32s wraps a []int32 input.
+func Int32s(v []int32) Input { return Input{data: v} }
+
+// Uint32s wraps a []uint32 input.
+func Uint32s(v []uint32) Input { return Input{data: v} }
+
+// Int8s wraps an []int8 input.
+func Int8s(v []int8) Input { return Input{data: v} }
+
+// Bytes wraps a []uint8 input.
+func Bytes(v []uint8) Input { return Input{data: v} }
+
+// FromBuffer snapshots a device buffer's current contents as a job input
+// of the buffer's element type. The snapshot is taken here, on the
+// caller's goroutine — later writes to the buffer do not affect the job.
+func FromBuffer(b *core.Buffer) (Input, error) {
+	var (
+		data interface{}
+		err  error
+	)
+	switch b.Elem() {
+	case codec.Float32:
+		data, err = b.ReadFloat32()
+	case codec.Int32:
+		data, err = b.ReadInt32()
+	case codec.Uint32:
+		data, err = b.ReadUint32()
+	case codec.Int8:
+		data, err = b.ReadInt8()
+	case codec.Uint8:
+		data, err = b.ReadUint8()
+	default:
+		return Input{}, fmt.Errorf("sched: FromBuffer: unsupported element type %s", b.Elem())
+	}
+	if err != nil {
+		return Input{}, fmt.Errorf("sched: FromBuffer: %w", err)
+	}
+	return Input{data: data}, nil
+}
+
+// normalizeInputs folds the typed In route into the legacy Inputs slice,
+// which the rest of the scheduler (validation, batching, launch) consumes
+// unchanged — so both routes produce identical jobs.
+func normalizeInputs(spec *JobSpec) error {
+	if len(spec.In) == 0 {
+		return nil
+	}
+	if len(spec.Inputs) > 0 {
+		return fmt.Errorf("sched: JobSpec sets both In and Inputs; use one input route")
+	}
+	ins := make([]interface{}, len(spec.In))
+	for i, in := range spec.In {
+		if in.data == nil {
+			return fmt.Errorf("sched: In[%d] is a zero Input; use Float32s/Int32s/Uint32s/Int8s/Bytes/FromBuffer", i)
+		}
+		ins[i] = in.data
+	}
+	spec.Inputs = ins
+	spec.In = nil
+	return nil
+}

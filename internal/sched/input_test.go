@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"glescompute/internal/codec"
+	"glescompute/internal/core"
+)
+
+// TestTypedInputsMatchLegacy is the contract input.go's doc comment
+// promises: the typed In route and the legacy []interface{} route
+// normalize into the same job, bit for bit — same outputs, same stats
+// shape — for every element type.
+func TestTypedInputsMatchLegacy(t *testing.T) {
+	q, err := OpenQueue(Config{Devices: 1, DisableBatching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	rng := rand.New(rand.NewSource(9))
+
+	const n = 257
+	af, bf := randFloats(rng, n), randFloats(rng, n)
+	ai := make([]int32, n)
+	bi := make([]int32, n)
+	for i := 0; i < n; i++ {
+		ai[i] = int32(rng.Intn(1<<20) - 1<<19)
+		bi[i] = int32(rng.Intn(1<<20) - 1<<19)
+	}
+
+	runBoth := func(name string, spec core.KernelSpec, legacy []interface{}, typed []Input) {
+		t.Helper()
+		jl, err := q.Submit(nil, JobSpec{Kernel: spec, Inputs: legacy})
+		if err != nil {
+			t.Fatalf("%s legacy submit: %v", name, err)
+		}
+		rl, err := jl.Wait(nil)
+		if err != nil {
+			t.Fatalf("%s legacy wait: %v", name, err)
+		}
+		jt, err := q.Submit(nil, JobSpec{Kernel: spec, In: typed})
+		if err != nil {
+			t.Fatalf("%s typed submit: %v", name, err)
+		}
+		rt, err := jt.Wait(nil)
+		if err != nil {
+			t.Fatalf("%s typed wait: %v", name, err)
+		}
+		wantBitsEqual(t, name, rl.Output, rt.Output)
+		if rl.Stats.BatchSize != rt.Stats.BatchSize || rl.Stats.Batched != rt.Stats.Batched {
+			t.Errorf("%s: execution shape differs: legacy %+v, typed %+v", name, rl.Stats, rt.Stats)
+		}
+	}
+
+	runBoth("float32", sumSpec,
+		[]interface{}{af, bf}, []Input{Float32s(af), Float32s(bf)})
+	runBoth("int32", sumIntSpec,
+		[]interface{}{ai, bi}, []Input{Int32s(ai), Int32s(bi)})
+}
+
+// TestTypedInputFromBuffer checks the device-buffer constructor: the
+// snapshot is taken at construction, so mutating the buffer afterwards
+// must not change the job.
+func TestTypedInputFromBuffer(t *testing.T) {
+	dev, err := core.Open(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	const n = 32
+	buf, err := dev.NewBuffer(codec.Float32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make([]float32, n)
+	for i := range first {
+		first[i] = float32(i) * 0.5
+	}
+	if err := buf.WriteFloat32(first); err != nil {
+		t.Fatal(err)
+	}
+	// The ground truth for the snapshot: what the buffer reads back as
+	// right now (the device float codec is involved either way, so the
+	// comparison below is job-vs-job, not job-vs-host-math).
+	snapshot, err := buf.ReadFloat32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := FromBuffer(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the buffer after the snapshot.
+	second := make([]float32, n)
+	if err := buf.WriteFloat32(second); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := OpenQueue(Config{Devices: 1, DisableBatching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	run := func(in Input) []float32 {
+		j, err := q.Submit(nil, JobSpec{Kernel: scaleSpec, In: []Input{in},
+			Uniforms: map[string]float32{"u_s": 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := j.Wait(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := res.Float32()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	got := run(in)
+	want := run(Float32s(snapshot))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output[%d] = %v, want %v (snapshot must predate the overwrite)", i, got[i], want[i])
+		}
+	}
+	if got[2] == 0 {
+		t.Fatal("snapshot read the overwritten buffer")
+	}
+}
+
+// TestTypedInputValidation pins the misuse errors: both routes at once,
+// and the zero Input value.
+func TestTypedInputValidation(t *testing.T) {
+	q, err := OpenQueue(Config{Devices: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	xs := []float32{1, 2, 3}
+
+	_, err = q.Submit(nil, JobSpec{Kernel: scaleSpec,
+		Inputs: []interface{}{xs}, In: []Input{Float32s(xs)},
+		Uniforms: map[string]float32{"u_s": 1}})
+	if err == nil || !strings.Contains(err.Error(), "both In and Inputs") {
+		t.Errorf("both-routes submit error = %v, want rejection", err)
+	}
+
+	_, err = q.Submit(nil, JobSpec{Kernel: scaleSpec, In: []Input{{}},
+		Uniforms: map[string]float32{"u_s": 1}})
+	if err == nil || !strings.Contains(err.Error(), "zero Input") {
+		t.Errorf("zero-Input submit error = %v, want rejection", err)
+	}
+}

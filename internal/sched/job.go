@@ -22,8 +22,14 @@ type JobSpec struct {
 	// default). Content-identical specs share one compiled program per
 	// device.
 	Kernel core.KernelSpec
+	// In holds one typed Input per kernel input (Float32s, Int32s,
+	// Uint32s, Int8s, Bytes, FromBuffer) — the preferred input route.
+	In []Input
 	// Inputs holds one host slice per kernel input, of the matching
 	// element type ([]float32, []int32, []uint32, []int8, []uint8).
+	//
+	// Deprecated: use In. Both routes produce identical jobs; setting
+	// both is an error.
 	Inputs []interface{}
 	// OutN is the output length. 0 means the length of the first input
 	// (or MatrixN² for matrix jobs).
@@ -242,6 +248,9 @@ func newJob(ctx context.Context, spec JobSpec) (*Job, error) {
 	}
 	if spec.Retry.Max < 0 {
 		return nil, fmt.Errorf("sched: Retry.Max must be >= 0, got %d", spec.Retry.Max)
+	}
+	if err := normalizeInputs(&spec); err != nil {
+		return nil, err
 	}
 	if spec.Deadline < 0 {
 		return nil, fmt.Errorf("sched: Deadline must be >= 0, got %v", spec.Deadline)

@@ -61,10 +61,16 @@ var ErrQueueClosed = fmt.Errorf("sched: queue is closed: %w", core.ErrClosed)
 type Config struct {
 	// Devices is the size of the device pool; 0 means 1.
 	Devices int
-	// Device configures every pooled device. When Device.Workers is 0 and
+	// Device configures every pooled device. When no rasterizer worker
+	// count is pinned anywhere (Device.Exec.RasterWorkers, Exec below,
+	// the deprecated Device.Workers, or GLESCOMPUTE_RASTER_WORKERS) and
 	// Devices > 1, each device's fragment-stage parallelism is capped to
 	// GOMAXPROCS/Devices so the pool does not oversubscribe the host.
 	Device core.Config
+	// Exec is the pool-wide execution-config default: fields left zero in
+	// Device.Exec are filled from it before devices open. A field set in
+	// Device.Exec always wins.
+	Exec core.ExecConfig
 	// MaxPending bounds the submission queue; Submit blocks when it is
 	// full (backpressure). 0 means 1024.
 	MaxPending int
@@ -153,11 +159,12 @@ func OpenQueue(cfg Config) (*Queue, error) {
 		cfg.MaxBatch = 1
 	}
 	dcfg := cfg.Device
-	if dcfg.Workers == 0 && cfg.Devices > 1 {
+	dcfg.Exec = core.MergeExec(dcfg.Exec, cfg.Exec)
+	if !dcfg.Exec.WorkersPinned() && dcfg.Workers == 0 && cfg.Devices > 1 {
 		if w := runtime.GOMAXPROCS(0) / cfg.Devices; w > 1 {
-			dcfg.Workers = w
+			dcfg.Exec.RasterWorkers = w
 		} else {
-			dcfg.Workers = 1
+			dcfg.Exec.RasterWorkers = 1
 		}
 	}
 	maxReopens := cfg.MaxReopens

@@ -232,6 +232,9 @@ func Compile(prog *glsl.Program) (c *Compiled, err error) {
 
 	c.code = cc.code
 	cc.buildMutatedRanges()
+	// Collapse dispatch on the hot paths (direct builtin opcodes,
+	// superinstructions); bit-identical by construction, see specialize.go.
+	specialize(c)
 	return c, nil
 }
 

@@ -1,0 +1,296 @@
+package shader
+
+// Dispatch specialization for the bytecode VM. Compile emits fully generic
+// instructions: every builtin call goes through one opBuiltin dispatch into
+// execBuiltin's table-driven descriptor path, and every arithmetic operation
+// is its own trip around the interpreter loop. For the fused mega-kernels
+// the pipeline planner generates, that dispatch overhead dominates — the
+// codec spine of such a kernel is a long straight line of texture2D /
+// floor / fract / mod arithmetic, executed once per fragment.
+//
+// specialize rewrites the code stream after compilation:
+//
+//  1. Builtin specialization (in place, 1:1): the builtins on the codec
+//     decode→ALU→encode spine (texture2D, floor, fract, mod, min, max,
+//     clamp, step, dot) become direct opcodes executed inline by the VM
+//     loop, skipping the descriptor load, the closure-based argument
+//     fetch, and the 60-way builtin switch.
+//
+//  2. Superinstruction fusion (with code compaction): adjacent
+//     opLoadImm+opMul/opAdd pairs become opMulImm/opAddImm, and
+//     opMul+opAdd chains (a*b+c) become opMulAdd, halving dispatches on
+//     the scale/bias arithmetic the codecs are made of. Fusion removes
+//     instructions, so every jump target, function entry and the
+//     init/main entries are retargeted over the compacted stream.
+//
+// Correctness contract (same as compile.go): the rewritten program must be
+// bit-identical to the generic stream in both outputs and Stats.
+//
+//   - Stats are untouched: the opStats flush tables are compile-time
+//     folded and no opStats instruction is ever fused or moved relative
+//     to its basic block.
+//   - Builtin destination registers never alias their argument registers
+//     (the destination temp is allocated after every argument is
+//     evaluated, and scratch temps grow monotonically within a
+//     statement), so skipping execBuiltin's defensive zero-the-dst
+//     prologue is exact for builtins that write every output component
+//     unconditionally — which all specialized ones do. The specializer
+//     still verifies non-aliasing per site and falls back to the generic
+//     opcode if it ever fails to hold.
+//   - Fused pairs preserve the memory image: opMulImm/opAddImm still
+//     store the immediate to its register, and opMulAdd still stores the
+//     product, because liveness of those temps is not tracked. The
+//     product is rounded to float32 through an explicit conversion so
+//     the Go compiler cannot contract the multiply-add into an FMA.
+//   - A pair is only fused when its second instruction is not a jump
+//     target (including opCall return addresses at pc+1), so control can
+//     never enter the middle of a superinstruction.
+
+import "glescompute/internal/glsl"
+
+// Specialized opcodes, appended after the generic set (compile.go).
+const (
+	opTex2D  opcode = 100 + iota // dst..dst+3 = Sample2D(unit=regs[a], regs[b], regs[b+1])
+	opBFloor                     // regs[dst+i] = floor(regs[a+i])
+	opBFract                     // regs[dst+i] = fract(regs[a+i])
+	opBMod                       // componentwise GLSL mod; aux bit0/bit1 broadcast a/b
+	opBMin                       // componentwise min; aux broadcast bits
+	opBMax                       // componentwise max; aux broadcast bits
+	opBClamp                     // clamp(a, b, c); aux bit0/bit1 broadcast b/c
+	opBStep                      // step(edge=a, x=b); aux broadcast bits
+	opBDot                       // regs[dst] = dot(a, b) over n components
+	opMulImm                     // regs[c] = imm; then opMul dst,a,b
+	opAddImm                     // regs[c] = imm; then opAdd dst,a,b
+	opMulAdd                     // regs[c+i] = a*b; regs[dst+i] = sum with packed operand (see exec)
+)
+
+// specialize rewrites c.code in place after Compile. It never changes
+// observable behaviour; it only collapses dispatch.
+func specialize(c *Compiled) {
+	specializeBuiltins(c)
+	fusePairs(c)
+}
+
+// ---- Pass 1: direct builtin opcodes (1:1, in place) ----
+
+// rangesOverlap reports whether [a, a+an) and [b, b+bn) intersect.
+func rangesOverlap(a, an, b, bn int32) bool {
+	return a < b+bn && b < a+an
+}
+
+// builtinAliases reports whether the destination range of d overlaps any
+// argument range — never true for code Compile emits (see file comment),
+// but checked so specialization degrades instead of miscompiling.
+func builtinAliases(d *builtinDesc, dn int32) bool {
+	for k := int32(0); k < d.nargs; k++ {
+		an := d.nc
+		if d.scalar[k] {
+			an = 1
+		}
+		if d.id == glsl.BDot {
+			an = d.an
+		}
+		if rangesOverlap(d.dst, dn, d.args[k], an) {
+			return true
+		}
+	}
+	return false
+}
+
+func specializeBuiltins(c *Compiled) {
+	for pc := range c.code {
+		in := &c.code[pc]
+		if in.op != opBuiltin {
+			continue
+		}
+		d := &c.builtins[in.aux]
+		var aux int32
+		if d.scalar[1] {
+			aux |= 1
+		}
+		if d.scalar[2] {
+			aux |= 2
+		}
+		switch d.id {
+		case glsl.BTexture2D, glsl.BTexture2DBias, glsl.BTexture2DLod:
+			if builtinAliases(d, 4) {
+				continue
+			}
+			*in = instr{op: opTex2D, dst: d.dst, a: d.args[0], b: d.args[1], aux: in.aux}
+		case glsl.BFloor, glsl.BFract:
+			if builtinAliases(d, d.nc) {
+				continue
+			}
+			op := opBFloor
+			if d.id == glsl.BFract {
+				op = opBFract
+			}
+			*in = instr{op: op, dst: d.dst, a: d.args[0], n: d.nc}
+		case glsl.BMod, glsl.BMin, glsl.BMax, glsl.BStep:
+			if builtinAliases(d, d.nc) {
+				continue
+			}
+			// These read both operands through comp(): scalar broadcast on
+			// either side.
+			var o opcode
+			switch d.id {
+			case glsl.BMod:
+				o = opBMod
+			case glsl.BMin:
+				o = opBMin
+			case glsl.BMax:
+				o = opBMax
+			case glsl.BStep:
+				o = opBStep
+			}
+			a2 := int32(0)
+			if d.scalar[0] {
+				a2 |= 1
+			}
+			if d.scalar[1] {
+				a2 |= 2
+			}
+			*in = instr{op: o, dst: d.dst, a: d.args[0], b: d.args[1], n: d.nc, aux: a2}
+		case glsl.BClamp:
+			if builtinAliases(d, d.nc) {
+				continue
+			}
+			// clamp's first argument is the full-width genType (arg(), not
+			// comp()); only the bounds broadcast.
+			*in = instr{op: opBClamp, dst: d.dst, a: d.args[0], b: d.args[1], c: d.args[2], n: d.nc, aux: aux}
+		case glsl.BDot:
+			if builtinAliases(d, 1) {
+				continue
+			}
+			*in = instr{op: opBDot, dst: d.dst, a: d.args[0], b: d.args[1], n: d.an}
+		}
+	}
+}
+
+// ---- Pass 2: superinstruction fusion with compaction ----
+
+// jumpTargets returns the set of pcs control can land on from anywhere but
+// straight-line fallthrough: jump targets, function entries, the init/main
+// entries, and opCall return addresses.
+func jumpTargets(c *Compiled) map[int32]bool {
+	t := map[int32]bool{c.initEntry: true, c.mainEntry: true}
+	for _, fi := range c.funcs {
+		t[fi.entry] = true
+	}
+	for pc, in := range c.code {
+		switch in.op {
+		case opJmp, opJz, opJnz:
+			t[in.aux] = true
+		case opCall:
+			t[int32(pc)+1] = true
+		}
+	}
+	return t
+}
+
+// fuseAt returns the superinstruction replacing code[pc] and code[pc+1],
+// or ok=false when the pair does not fuse.
+func fuseAt(code []instr, pc int) (instr, bool) {
+	in1, in2 := &code[pc], &code[pc+1]
+	switch {
+	case in1.op == opLoadImm && (in2.op == opMul || in2.op == opAdd):
+		// The immediate's register keeps its store (liveness is unknown),
+		// so the fused op is exactly "regs[c] = imm; <arith>".
+		if in2.a != in1.dst && in2.b != in1.dst {
+			return instr{}, false
+		}
+		out := *in2
+		if in2.op == opMul {
+			out.op = opMulImm
+		} else {
+			out.op = opAddImm
+		}
+		out.c = in1.dst
+		out.imm = in1.imm
+		return out, true
+	case in1.op == opMul && in2.op == opAdd && in1.n == in2.n:
+		// a*b+c / c+a*b. The add must consume the product non-broadcast
+		// (or be width 1, where broadcast is a no-op), and its other
+		// operand must not partially overlap the product range — the fused
+		// loop interleaves the component writes and reads.
+		n := in1.n
+		var other int32
+		var addLeft bool
+		switch {
+		case in2.a == in1.dst && (in2.aux&1 == 0 || n == 1):
+			other, addLeft = in2.b, true
+		case in2.b == in1.dst && (in2.aux&2 == 0 || n == 1):
+			other, addLeft = in2.a, false
+		default:
+			return instr{}, false
+		}
+		otherN := n
+		if addLeft && in2.aux&2 != 0 || !addLeft && in2.aux&1 != 0 {
+			otherN = 1
+		}
+		if other != in1.dst && rangesOverlap(in1.dst, n, other, otherN) {
+			return instr{}, false
+		}
+		// The sum's destination must not overlap the product or the mul
+		// operands: the original stream completes the whole multiply before
+		// the add starts, while the fused loop interleaves them. Compile's
+		// monotonic temp allocation never produces such overlap, but verify.
+		an, bn := n, n
+		if in1.aux&1 != 0 {
+			an = 1
+		}
+		if in1.aux&2 != 0 {
+			bn = 1
+		}
+		if rangesOverlap(in2.dst, n, in1.dst, n) ||
+			rangesOverlap(in2.dst, n, in1.a, an) ||
+			rangesOverlap(in2.dst, n, in1.b, bn) {
+			return instr{}, false
+		}
+		// Operand registers stay below 1<<26 in any real program; packing
+		// them beside the flag bits keeps the instr struct unchanged.
+		if other >= 1<<26 {
+			return instr{}, false
+		}
+		aux := in1.aux&3 | (in2.aux&3)<<2 | other<<5
+		if addLeft {
+			aux |= 1 << 4
+		}
+		return instr{op: opMulAdd, dst: in2.dst, a: in1.a, b: in1.b, c: in1.dst, n: n, aux: aux}, true
+	}
+	return instr{}, false
+}
+
+func fusePairs(c *Compiled) {
+	targets := jumpTargets(c)
+	old := c.code
+	newCode := make([]instr, 0, len(old))
+	oldToNew := make([]int32, len(old)+1)
+	for pc := 0; pc < len(old); pc++ {
+		oldToNew[pc] = int32(len(newCode))
+		if pc+1 < len(old) && !targets[int32(pc+1)] {
+			if fused, ok := fuseAt(old, pc); ok {
+				newCode = append(newCode, fused)
+				pc++
+				oldToNew[pc] = int32(len(newCode) - 1)
+				continue
+			}
+		}
+		newCode = append(newCode, old[pc])
+	}
+	oldToNew[len(old)] = int32(len(newCode))
+
+	// Retarget control flow over the compacted stream.
+	for i := range newCode {
+		switch newCode[i].op {
+		case opJmp, opJz, opJnz:
+			newCode[i].aux = oldToNew[newCode[i].aux]
+		}
+	}
+	c.initEntry = oldToNew[c.initEntry]
+	c.mainEntry = oldToNew[c.mainEntry]
+	for _, fi := range c.funcs {
+		fi.entry = oldToNew[fi.entry]
+	}
+	c.code = newCode
+}

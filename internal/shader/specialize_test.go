@@ -1,0 +1,158 @@
+package shader
+
+// specialize_test.go pins the specialization pass itself: the direct
+// opcodes actually fire on codec-spine shapes (a silent fallback to the
+// generic path would pass every differential while losing the dispatch
+// win), jump retargeting over the compacted stream stays sound, and the
+// rewritten programs remain bit-identical to the reference interpreter.
+
+import (
+	"testing"
+
+	"glescompute/internal/glsl"
+)
+
+func compileFrag(t *testing.T, src string) *Compiled {
+	t.Helper()
+	c, err := Compile(compileSrc(t, src, glsl.StageFragment))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func opCount(c *Compiled, op opcode) int {
+	n := 0
+	for _, in := range c.code {
+		if in.op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSpecializeBuiltinsFire compiles the codec-spine builtin set and
+// asserts each one became its direct opcode rather than a generic
+// opBuiltin dispatch.
+func TestSpecializeBuiltinsFire(t *testing.T) {
+	c := compileFrag(t, `
+precision highp float;
+uniform sampler2D u_t;
+varying vec2 v_uv;
+void main() {
+	vec4 tx = texture2D(u_t, v_uv);
+	vec4 b = floor(tx * 255.0 + vec4(0.5));
+	float m = mod(b.r, 16.0);
+	float lo = min(b.g, 128.0);
+	float hi = max(b.b, 64.0);
+	float cl = clamp(b.a, lo, hi);
+	float st = step(0.5, fract(m * 0.125));
+	float dp = dot(b.rgb, vec3(1.0, 256.0, 65536.0));
+	gl_FragColor = vec4(m, cl, st, dp) / 65536.0;
+}`)
+	for _, tc := range []struct {
+		name string
+		op   opcode
+	}{
+		{"tex2d", opTex2D}, {"floor", opBFloor}, {"fract", opBFract},
+		{"mod", opBMod}, {"min", opBMin}, {"max", opBMax},
+		{"clamp", opBClamp}, {"step", opBStep}, {"dot", opBDot},
+	} {
+		if opCount(c, tc.op) == 0 {
+			t.Errorf("%s: no %v emitted — builtin stayed on the generic dispatch", tc.name, tc.op)
+		}
+	}
+}
+
+// TestSpecializeFusionFires asserts the superinstructions form on the
+// scale/bias arithmetic shape the codecs generate.
+func TestSpecializeFusionFires(t *testing.T) {
+	c := compileFrag(t, `
+precision highp float;
+varying vec2 v_uv;
+void main() {
+	float x = v_uv.x * 255.0;
+	float y = v_uv.y * 0.5 + x;
+	float z = x * y + x;
+	vec2 s = v_uv * 2.0 + vec2(x, y);
+	gl_FragColor = vec4(x, y + z, s);
+}`)
+	if opCount(c, opMulImm) == 0 {
+		t.Error("no opMulImm: loadimm+mul pairs not fused")
+	}
+	if opCount(c, opMulAdd) == 0 {
+		t.Error("no opMulAdd: mul+add chains not fused")
+	}
+}
+
+// TestSpecializeJumpSoundness compiles control-flow-heavy shaders whose
+// bodies are dense with fusible pairs, and checks every jump aux, call
+// entry and the init/main entries land inside the compacted stream on an
+// instruction boundary — then runs the full interpreter/VM differential
+// so a mis-retargeted (but in-bounds) jump is caught by divergence.
+func TestSpecializeJumpSoundness(t *testing.T) {
+	src := `
+precision highp float;
+varying vec2 v_uv;
+uniform float u_k;
+float spin(float x) {
+	float acc = 0.0;
+	for (int i = 0; i < 12; i++) {
+		acc = acc + fract(x * 0.37 + acc * 0.61);
+		if (acc > 4.0) { break; }
+		x = x * 1.1 + 0.01;
+	}
+	return acc;
+}
+void main() {
+	float a = spin(v_uv.x * 3.0);
+	float b = 0.0;
+	for (int j = 0; j < 4; j++) {
+		b += spin(v_uv.y * float(j) + a * 0.25);
+	}
+	gl_FragColor = vec4(a, b * 0.1, fract(a + b), 1.0);
+}`
+	c := compileFrag(t, src)
+	if opCount(c, opMulAdd)+opCount(c, opMulImm)+opCount(c, opAddImm) == 0 {
+		t.Fatal("loop body fused nothing — retargeting is untested")
+	}
+	n := int32(len(c.code))
+	check := func(what string, target int32) {
+		if target < 0 || target >= n {
+			t.Errorf("%s: target %d outside code [0,%d)", what, target, n)
+		}
+	}
+	for pc, in := range c.code {
+		switch in.op {
+		case opJmp, opJz, opJnz:
+			check("jump at pc "+string(rune('0'+pc%10)), in.aux)
+		}
+	}
+	check("initEntry", c.initEntry)
+	check("mainEntry", c.mainEntry)
+	for _, fi := range c.funcs {
+		check("func entry", fi.entry)
+	}
+	runDifferential(t, compileSrc(t, src, glsl.StageFragment), 24)
+}
+
+// TestSpecializeCodecSpineDifferential runs the float-codec shape — the
+// exact decode→ALU→encode spine the specialization targets — through the
+// interpreter/VM differential, which compares outputs AND Stats per
+// invocation.
+func TestSpecializeCodecSpineDifferential(t *testing.T) {
+	runDifferential(t, compileSrc(t, `
+precision highp float;
+uniform sampler2D u_d;
+varying vec2 v_uv;
+void main() {
+	vec4 t = texture2D(u_d, v_uv);
+	vec4 b = floor(t * 255.0 + vec4(0.5));
+	float v = b.r + b.g * 256.0 + b.b * 65536.0;
+	v = v * 0.0001 + 0.5;
+	float f = fract(v);
+	float q = clamp(mod(v, 256.0), 0.0, 255.0);
+	float s = step(128.0, q) * min(f, 0.75) + max(f, 0.25);
+	gl_FragColor = vec4(fract(v * 0.001), f, q / 255.0, s * 0.5);
+}`, glsl.StageFragment), 24)
+}

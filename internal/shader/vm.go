@@ -370,6 +370,87 @@ func (vm *VM) exec(entry int32) (bool, error) {
 			}
 		case opBuiltin:
 			vm.execBuiltin(&vm.c.builtins[in.aux])
+
+		// ---- Specialized dispatch (specialize.go). Each case reproduces
+		// its generic execBuiltin/instruction-pair counterpart exactly;
+		// the zero-dst prologue is skipped only because specialization
+		// proved the destination cannot alias the arguments. ----
+		case opTex2D:
+			unit := int(regs[in.a])
+			rgba := vm.Textures.Sample2D(unit, regs[in.b], regs[in.b+1])
+			regs[in.dst+0], regs[in.dst+1], regs[in.dst+2], regs[in.dst+3] = rgba[0], rgba[1], rgba[2], rgba[3]
+		case opBFloor:
+			for i := int32(0); i < in.n; i++ {
+				regs[in.dst+i] = float32(math.Floor(float64(regs[in.a+i])))
+			}
+		case opBFract:
+			for i := int32(0); i < in.n; i++ {
+				x := float64(regs[in.a+i])
+				regs[in.dst+i] = float32(x - math.Floor(x))
+			}
+		case opBMod:
+			for i := int32(0); i < in.n; i++ {
+				a := bcast(regs, in.a, i, in.aux&1 != 0)
+				b := bcast(regs, in.b, i, in.aux&2 != 0)
+				regs[in.dst+i] = a - b*float32(math.Floor(float64(a/b)))
+			}
+		case opBMin:
+			for i := int32(0); i < in.n; i++ {
+				regs[in.dst+i] = minf(bcast(regs, in.a, i, in.aux&1 != 0), bcast(regs, in.b, i, in.aux&2 != 0))
+			}
+		case opBMax:
+			for i := int32(0); i < in.n; i++ {
+				regs[in.dst+i] = maxf(bcast(regs, in.a, i, in.aux&1 != 0), bcast(regs, in.b, i, in.aux&2 != 0))
+			}
+		case opBClamp:
+			for i := int32(0); i < in.n; i++ {
+				lo := bcast(regs, in.b, i, in.aux&1 != 0)
+				hi := bcast(regs, in.c, i, in.aux&2 != 0)
+				regs[in.dst+i] = minf(maxf(regs[in.a+i], lo), hi)
+			}
+		case opBStep:
+			for i := int32(0); i < in.n; i++ {
+				if bcast(regs, in.b, i, in.aux&2 != 0) < bcast(regs, in.a, i, in.aux&1 != 0) {
+					regs[in.dst+i] = 0
+				} else {
+					regs[in.dst+i] = 1
+				}
+			}
+		case opBDot:
+			var s float32
+			for i := int32(0); i < in.n; i++ {
+				s += regs[in.a+i] * regs[in.b+i]
+			}
+			regs[in.dst] = s
+		case opMulImm:
+			regs[in.c] = in.imm
+			d, x, y := in.dst, in.a, in.b
+			for i := int32(0); i < in.n; i++ {
+				regs[d+i] = bcast(regs, x, i, in.aux&1 != 0) * bcast(regs, y, i, in.aux&2 != 0)
+			}
+		case opAddImm:
+			regs[in.c] = in.imm
+			d, x, y := in.dst, in.a, in.b
+			for i := int32(0); i < in.n; i++ {
+				regs[d+i] = bcast(regs, x, i, in.aux&1 != 0) + bcast(regs, y, i, in.aux&2 != 0)
+			}
+		case opMulAdd:
+			d, x, y, mdst := in.dst, in.a, in.b, in.c
+			maux := in.aux & 3
+			aaux := (in.aux >> 2) & 3
+			addLeft := in.aux&(1<<4) != 0
+			other := in.aux >> 5
+			for i := int32(0); i < in.n; i++ {
+				// Explicit float32 conversion: the stored product must be
+				// rounded, never contracted with the add into an FMA.
+				m := float32(bcast(regs, x, i, maux&1 != 0) * bcast(regs, y, i, maux&2 != 0))
+				regs[mdst+i] = m
+				if addLeft {
+					regs[d+i] = bcast(regs, mdst, i, aaux&1 != 0) + bcast(regs, other, i, aaux&2 != 0)
+				} else {
+					regs[d+i] = bcast(regs, other, i, aaux&1 != 0) + bcast(regs, mdst, i, aaux&2 != 0)
+				}
+			}
 		default:
 			return false, &RuntimeError{Msg: "vm: unknown opcode " + strconv.Itoa(int(in.op))}
 		}
