@@ -11,15 +11,22 @@
 // its own, wider -wall-margin budget; all other wall-clock figures in
 // the reports remain informational.
 //
-// Gated metrics (higher is better) are numeric leaves whose key is one of
-// model_speedup_x, exec_only_speedup_x, speedup_x, model_jobs_per_sec,
-// model_inf_per_sec, batch_model_speedup_x or occupancy_jobs_per_launch.
-// Every gated metric present in the baseline must exist in the current
-// report at ≥ (1 - max-regress) of the baseline value; booleans named
-// *validated must be true in the current report. The serve-model latency
-// quantiles (s1_p50/p95/p99_modeled_us) are gated the other way — lower
-// is better — with the same budget mirrored. A top-level "schema" number
-// is tolerated and reported, never gated.
+// Gated metrics (higher is better) are numeric leaves whose key is in
+// gatedKeys below (model_speedup_x, batch_model_speedup_x,
+// compile_cache_speedup_x, ...). Every gated metric present in the
+// baseline must exist in the current report at ≥ (1 - max-regress) of
+// the baseline value; booleans named *validated must be true in the
+// current report. The serve-model latency quantiles
+// (s1_p50/p95/p99_modeled_us) and the serve-load reference tail
+// (s3_p99_modeled_us) are gated the other way — lower is better — with
+// the same budget mirrored. A top-level "schema" number is tolerated and
+// reported, never gated. A result carrying `"wall_gate_skipped": true`
+// (a single-CPU run, where parallel wall throughput cannot exist) has
+// its wall-gated siblings skipped with a note instead of failed.
+//
+// Before the verdict, a delta table lists every gated metric side by
+// side (baseline → current, % change), so a green gate still shows
+// where the trajectory moved.
 //
 // Usage:
 //
@@ -53,6 +60,7 @@ var gatedKeys = map[string]bool{
 	"occupancy_jobs_per_launch": true,
 	"fusion_speedup_x":          true,
 	"n1_vec4_speedup_x":         true,
+	"compile_cache_speedup_x":   true,
 }
 
 // wallGatedKeys are wall-clock throughput metrics (higher is better)
@@ -74,6 +82,7 @@ var lowerGatedKeys = map[string]bool{
 	"s1_p50_modeled_us": true,
 	"s1_p95_modeled_us": true,
 	"s1_p99_modeled_us": true,
+	"s3_p99_modeled_us": true,
 }
 
 // isValidatedKey matches boolean leaves that must hold in the current
@@ -118,6 +127,89 @@ func leafKey(path string) string {
 	return path
 }
 
+// siblingPath replaces path's leaf with key — the same JSON object's
+// other field.
+func siblingPath(path, key string) string {
+	if i := strings.LastIndexByte(path, '.'); i >= 0 {
+		return path[:i+1] + key
+	}
+	return key
+}
+
+// gateClass names the budget a key falls under, or "" when ungated.
+func gateClass(key string) string {
+	switch {
+	case gatedKeys[key]:
+		return "model"
+	case wallGatedKeys[key]:
+		return "wall"
+	case lowerGatedKeys[key]:
+		return "lower"
+	}
+	return ""
+}
+
+// deltaTable renders every gated metric side by side — baseline →
+// current with the percentage change — including metrics only one
+// report carries. Printed before the verdict, it is the per-metric
+// trajectory a bare pass/fail hides.
+func deltaTable(base, cur map[string]interface{}) []string {
+	bNums, cNums := map[string]float64{}, map[string]float64{}
+	walk("", base, bNums, map[string]bool{})
+	walk("", cur, cNums, map[string]bool{})
+	seen := map[string]bool{}
+	for p := range bNums {
+		seen[p] = true
+	}
+	for p := range cNums {
+		seen[p] = true
+	}
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		if gateClass(leafKey(p)) != "" {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil
+	}
+	rows := [][4]string{{"metric", "baseline", "current", "change"}}
+	for _, p := range paths {
+		bv, bok := bNums[p]
+		cv, cok := cNums[p]
+		row := [4]string{p + " [" + gateClass(leafKey(p)) + "]", "-", "-", ""}
+		if bok {
+			row[1] = fmt.Sprintf("%.4g", bv)
+		}
+		if cok {
+			row[2] = fmt.Sprintf("%.4g", cv)
+		}
+		switch {
+		case bok && cok && bv != 0:
+			row[3] = fmt.Sprintf("%+.1f%%", 100*(cv/bv-1))
+		case cok && !bok:
+			row[3] = "new"
+		case bok && !cok:
+			row[3] = "missing"
+		}
+		rows = append(rows, row)
+	}
+	var w [4]int
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%-*s  %*s  %*s  %*s", w[0], r[0], w[1], r[1], w[2], r[2], w[3], r[3]))
+	}
+	return out
+}
+
 // compare returns failure messages (empty = gate passes) and
 // informational lines.
 func compare(base, cur map[string]interface{}, maxRegress, wallMargin float64) (failures, info []string) {
@@ -150,6 +242,14 @@ func compare(base, cur map[string]interface{}, maxRegress, wallMargin float64) (
 			continue
 		}
 		bv := bNums[p]
+		// A result can declare its wall figures ungateable for this run
+		// (raster sets wall_gate_skipped on single-CPU hosts, where the
+		// parallel points cannot beat sequential): its wall-gated keys are
+		// skipped with a note — even when absent — instead of failed.
+		if wall && cBools[siblingPath(p, "wall_gate_skipped")] {
+			info = append(info, fmt.Sprintf("%s: wall gate skipped — current report flags wall_gate_skipped (single-CPU run)", p))
+			continue
+		}
 		cv, ok := cNums[p]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: present in baseline (%.4g), missing from current report", p, bv))
@@ -252,6 +352,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
+	}
+	if rows := deltaTable(base, cur); len(rows) > 0 {
+		fmt.Println("gated metrics, baseline -> current:")
+		for _, r := range rows {
+			fmt.Println("  " + r)
+		}
+		fmt.Println()
 	}
 	failures, info := compare(base, cur, *maxRegress, *wallMargin)
 	for _, line := range info {

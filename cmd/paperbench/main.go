@@ -10,6 +10,7 @@
 //	           [-serve-jobs N] [-serve-n N] [-nn-requests N] [-nn-batch N]
 //	           [-lanes 1|4] [-chaos-jobs N] [-chaos-seed S] [-chaos-devices N]
 //	           [-raster-n N] [-raster-reps N] [-workers N]
+//	           [-sl-jobs N] [-sl-seed S]
 //	           [-trace FILE] [-metrics] [-json]
 //
 // `-exp list` prints the experiment index; an unknown experiment name
@@ -31,6 +32,8 @@
 // The chaos experiment's fault schedule seed may also be set through the
 // GLESCOMPUTE_FAULT_SEED environment variable (the -chaos-seed flag wins
 // when both are given), so CI can sweep seeds without editing workflows.
+// The serve-load experiment's arrival seed mirrors the pattern through
+// GLESCOMPUTE_LOAD_SEED (the -sl-seed flag wins).
 //
 // With -json, results are emitted as a single machine-readable JSON
 // object on stdout (for capturing benchmark trajectories as BENCH_*.json)
@@ -108,6 +111,8 @@ func main() {
 	chaosDevices := flag.Int("chaos-devices", 4, "chaos: device pool width")
 	rasterN := flag.Int("raster-n", 1<<18, "raster: fragments per draw in the worker sweep")
 	rasterReps := flag.Int("raster-reps", 3, "raster: timed runs per worker count (fastest kept)")
+	slJobs := flag.Int("sl-jobs", 20000, "serve-load: simulated requests per (load, pool) sweep point")
+	slSeed := flag.Int64("sl-seed", 20160316, "serve-load: Poisson arrival seed (env GLESCOMPUTE_LOAD_SEED also sets it; the flag wins)")
 	workers := flag.Int("workers", 0, "default rasterizer worker count for every experiment's devices (sets "+core.EnvRasterWorkers+"; 0 keeps env/GOMAXPROCS; explicit ExecConfig.RasterWorkers still wins)")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the experiment queues to this file")
 	metricsOut := flag.Bool("metrics", false, "print a Prometheus-text metrics dump after the run (stderr under -json)")
@@ -121,21 +126,33 @@ func main() {
 		os.Setenv(core.EnvRasterWorkers, strconv.Itoa(*workers))
 	}
 
-	if env := os.Getenv("GLESCOMPUTE_FAULT_SEED"); env != "" {
+	// Seed env fallbacks (the flag wins when explicitly given).
+	for _, s := range []struct {
+		env, flagName string
+		dst           *int64
+	}{
+		{"GLESCOMPUTE_FAULT_SEED", "chaos-seed", chaosSeed},
+		{"GLESCOMPUTE_LOAD_SEED", "sl-seed", slSeed},
+	} {
+		env := os.Getenv(s.env)
+		if env == "" {
+			continue
+		}
 		flagSet := false
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "chaos-seed" {
+			if f.Name == s.flagName {
 				flagSet = true
 			}
 		})
-		if !flagSet {
-			seed, err := strconv.ParseInt(env, 10, 64)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "paperbench: GLESCOMPUTE_FAULT_SEED=%q: %v\n", env, err)
-				os.Exit(2)
-			}
-			*chaosSeed = seed
+		if flagSet {
+			continue
 		}
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s=%q: %v\n", s.env, env, err)
+			os.Exit(2)
+		}
+		*s.dst = seed
 	}
 
 	// schema versions the -json report layout so downstream consumers
@@ -174,6 +191,7 @@ func main() {
 		{"pipeline", "P3 device-resident pipeline vs host round-trip chaining"},
 		{"serve", "S1 concurrent compute service (queue, batching, devices)"},
 		{"serve-model", "S2 deterministic modeled per-request latency quantiles of the S1 stream"},
+		{"serve-load", "S3 open-loop Poisson load sweep: offered load × pool vs modeled tail latency under SLO admission control"},
 		{"nn", "N1 neural-network inference + kernel-fusion on/off"},
 		{"chaos", "R1 fault-tolerant serving under a seeded fault schedule"},
 		{"codec-overhead", "A1 pack/unpack share of kernel cycles"},
@@ -476,6 +494,32 @@ func main() {
 		return nil
 	})
 
+	run("serve-load", func() error {
+		res, err := paper.RunServeLoad(*slJobs, *serveN, *slSeed, ob)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			report["serve-load"] = res
+			return nil
+		}
+		fmt.Println()
+		fmt.Printf("S3 — open-loop load sweep (%d simulated requests/point, seed %d, mean service %.0fµs, SLO %.0fµs):\n",
+			res.Jobs, res.Seed, res.MeanServiceUS, res.SLOTargetUS)
+		fmt.Printf("  %-5s %-4s | %9s %9s %9s | %11s | %6s %20s | %5s\n",
+			"load", "pool", "p50", "p95", "p99", "p99 interac", "shed", "(batch/norm/interac)", "util")
+		for _, pt := range res.Points {
+			fmt.Printf("  %-5.2f %-4d | %7.0fµs %7.0fµs %7.0fµs | %9.0fµs | %6d %8d/%d/%d %7s | %4.0f%%\n",
+				pt.Load, pt.Pool, pt.P50US, pt.P95US, pt.P99US, pt.P99InteractiveUS,
+				pt.Shed, pt.ShedBatch, pt.ShedNormal, pt.ShedInteractive, "",
+				pt.UtilizationPct)
+		}
+		fmt.Printf("  reference point (load %.2f, pool %d): p99 %.0fµs modeled\n", res.RefLoad, res.RefPool, res.RefP99)
+		fmt.Printf("  live overload pass (%d requests, real queue): %d admitted, %d shed; admitted bit-identical: %v\n",
+			res.LiveRequests, res.LiveAdmitted, res.LiveShed, res.Validated)
+		return nil
+	})
+
 	run("nn", func() error {
 		res, err := paper.RunNN(*nnRequests, *nnBatch, nil, *nnLanes, ob)
 		if err != nil {
@@ -509,8 +553,11 @@ func main() {
 		for _, pt := range res.Points {
 			allIdentical = allIdentical && pt.Validated
 		}
-		fmt.Printf("  batched vs solo at %d devices: %.2fx modeled; all outputs bit-identical to solo: %v\n",
-			res.Points[len(res.Points)-1].Devices, res.BatchModelSpeedupX, allIdentical)
+		fmt.Printf("  sweep outputs bit-identical to solo: %v\n", allIdentical)
+		fmt.Printf("  continuous batching (int8 serving, %d requests, bucket %d): solo %.0fµs vs coalesced %.0fµs in %d launches — %.2fx; bit-identical: %v\n",
+			16, 8, res.CBSoloUS, res.CBBatchedUS, res.CBLaunches, res.BatchModelSpeedupX, res.ContinuousBatchValidated)
+		fmt.Printf("  compile cache (4-device pool, float LeNet): cold %.0fµs vs warm-from-disk %.0fµs — %.0fx (%d hits)\n",
+			res.ColdCompileUS, res.WarmCompileUS, res.CompileCacheSpeedupX, res.CompileCacheHits)
 		fmt.Printf("  kernel fusion (planner %v): %d passes vs %d unfused — net %.0fµs vs %.0fµs, %.2fx; int32 fused bit-identical: %v\n",
 			res.FusionEnabled, res.FusedPasses, res.UnfusedPasses,
 			res.NetGPUUS, res.UnfusedNetGPUUS, res.FusionSpeedupX, res.FusionValidated)

@@ -6,9 +6,18 @@
 // service throughput and the latency quantiles the queue's histograms
 // collected. The run's spans are written as serve_trace.json — load it
 // in Perfetto or chrome://tracing to see each job travel queue → device.
+//
+// The queue is opened with the serving-at-scale levers on: a shared
+// compile cache (the pool compiles the kernel once, every other device
+// restores the program binary), a batching window (coalescible requests
+// arriving within it share a launch), and SLO-aware admission control —
+// after the main burst, a deliberate overload flood shows batch-class
+// requests being shed with ErrShed while the service stays inside its
+// delay budget.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,11 +32,26 @@ import (
 func main() {
 	tracer := obs.NewTracer(0)
 	metrics := obs.NewRegistry()
+	// One compile cache for the whole pool: the second device restores the
+	// kernel as a program binary instead of recompiling. Point it at a
+	// directory (or set GLESCOMPUTE_COMPILE_CACHE) and it also survives
+	// process restarts.
+	ccache, err := glescompute.NewCompileCache("")
+	if err != nil {
+		log.Fatal(err)
+	}
 	q, err := glescompute.OpenQueue(glescompute.QueueConfig{
-		Devices:  2,
-		MaxBatch: 16,
-		Tracer:   tracer,
-		Metrics:  metrics,
+		Devices:     2,
+		MaxBatch:    16,
+		BatchWindow: 200 * time.Microsecond, // hold coalescible jobs briefly to fill batches
+		// Shed work when the estimated modeled queue delay tops 50ms
+		// (25ms for batch-class jobs, 100ms for interactive ones). The
+		// client burst below stays well inside the budget; the overload
+		// flood afterwards does not.
+		Admission: glescompute.AdmissionPolicy{TargetDelay: 50 * time.Millisecond},
+		Device:    glescompute.Config{CompileCache: ccache},
+		Tracer:    tracer,
+		Metrics:   metrics,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -104,8 +128,55 @@ func main() {
 		}(c)
 	}
 	wg.Wait()
-	fmt.Printf("\n%d jobs from %d clients in %v (all results verified)\n\n",
+	fmt.Printf("\n%d jobs from %d clients in %v (all results verified)\n",
 		clients*perClient, clients, time.Since(start).Round(time.Millisecond))
+
+	// ---- Overload: admission control sheds batch-class traffic ----
+	// A few expensive requests teach the admission estimator what this
+	// workload costs (it tracks an EWMA of modeled per-job launch time);
+	// the flood that follows then piles up a backlog whose estimated
+	// delay blows the batch-class budget, and Submit starts rejecting
+	// with ErrShed immediately instead of letting requests rot in queue.
+	const bigN = 1 << 15
+	bigA, bigB := make([]int32, bigN), make([]int32, bigN)
+	for i := range bigA {
+		bigA[i], bigB[i] = int32(i), int32(2*i)
+	}
+	bigSpec := glescompute.JobSpec{
+		Kernel:   sum,
+		Inputs:   []interface{}{bigA, bigB},
+		Priority: glescompute.PriorityBatch, // best effort: first to shed
+	}
+	for i := 0; i < 4; i++ {
+		job, err := q.Submit(nil, bigSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := job.Wait(nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var flood []*glescompute.Job
+	shed := 0
+	for i := 0; i < 64; i++ {
+		job, err := q.Submit(nil, bigSpec)
+		switch {
+		case err == nil:
+			flood = append(flood, job)
+		case errors.Is(err, glescompute.ErrShed):
+			shed++ // over capacity: drop, degrade, or redirect — don't requeue
+		default:
+			log.Fatal(err)
+		}
+	}
+	for _, job := range flood {
+		if _, err := job.Wait(nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("overload flood: %d admitted, %d shed by admission control (batch class)\n\n",
+		len(flood), shed)
+
 	st := q.Stats()
 	fmt.Print(st.Report())
 

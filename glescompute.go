@@ -61,6 +61,18 @@
 // JobSpec.Deadline bounds a job's total time in the service. See
 // DESIGN.md §6e for the fault model and health state machine.
 //
+// For serving at scale the queue adds three more levers: a batching
+// window (QueueConfig.BatchWindow) that holds coalescible submissions
+// briefly so same-group requests land in one launch (continuous
+// batching — nn.Service.SetContinuousBatching rides it for model
+// inference); SLO-aware admission control (QueueConfig.Admission) that
+// sheds work (ErrShed) by priority class (JobSpec.Priority) when the
+// estimated queue delay exceeds its budget; and a persistent compile
+// cache (NewCompileCache, Config.CompileCache, or the
+// GLESCOMPUTE_COMPILE_CACHE environment variable) that lets a cold pool
+// restore compiled kernels as program binaries instead of recompiling.
+// See DESIGN.md §6i–§6j.
+//
 // The glescompute/nn subpackage builds neural-network inference on this
 // stack: conv/pool/dense layers as fragment kernels, whole CNNs compiled
 // into one device-resident pipeline, and inference serving over Queue.
@@ -151,6 +163,24 @@ type (
 	// DeviceHealth is a pooled device's position in the health state
 	// machine: healthy, quarantined (being replaced), or dead.
 	DeviceHealth = sched.DeviceHealth
+	// AdmissionPolicy enables SLO-aware admission control on a queue
+	// (QueueConfig.Admission): Submit sheds jobs whose estimated modeled
+	// queue delay exceeds their priority class's budget, returning
+	// ErrShed immediately instead of letting them time out in the
+	// backlog.
+	AdmissionPolicy = sched.AdmissionPolicy
+	// JobPriority classifies a job (JobSpec.Priority) for admission
+	// control and batch-flush ordering; the zero value is PriorityNormal.
+	JobPriority = sched.Priority
+	// CompileCache is a two-tier (memory + optional disk) program-binary
+	// cache shared across devices via Config.CompileCache /
+	// QueueConfig pools; construct with NewCompileCache. A pool sharing
+	// one cache compiles each kernel once; a disk-backed cache survives
+	// process restarts, warming a cold pool in modeled milliseconds.
+	CompileCache = core.CompileCache
+	// CompileCacheStats counts a cache's traffic (memory hits, disk
+	// hits, misses, stores, rejects).
+	CompileCacheStats = core.CompileCacheStats
 )
 
 // Health states reported in QueueDeviceStats.Health.
@@ -158,6 +188,15 @@ const (
 	DeviceHealthy     = sched.DeviceHealthy
 	DeviceQuarantined = sched.DeviceQuarantined
 	DeviceDead        = sched.DeviceDead
+)
+
+// Priority classes for JobSpec.Priority. Under admission control, batch
+// traffic is shed first (half the SLO budget) and interactive last
+// (twice the budget); buffered batches flush highest class first.
+const (
+	PriorityBatch       = sched.PriorityBatch
+	PriorityNormal      = sched.PriorityNormal
+	PriorityInteractive = sched.PriorityInteractive
 )
 
 // Toggle states for ExecConfig fields.
@@ -195,7 +234,23 @@ var (
 	// ErrOutOfMemory is wrapped by operations that hit a (possibly
 	// transient) GL_OUT_OF_MEMORY. Retryable.
 	ErrOutOfMemory = core.ErrOutOfMemory
+	// ErrShed is wrapped by Queue.Submit rejections under admission
+	// control (QueueConfig.Admission): the estimated queue delay exceeded
+	// the job's class budget. Check with errors.Is; don't retry
+	// immediately — shedding means the service is already over capacity.
+	ErrShed = sched.ErrShed
 )
+
+// NewCompileCache creates a program-binary cache persisted under dir
+// (created if missing; empty dir = memory-only). Share one cache across
+// a pool via Config.CompileCache, or set the GLESCOMPUTE_COMPILE_CACHE
+// environment variable (EnvCompileCache) to give every device without an
+// explicit cache a process-wide default.
+func NewCompileCache(dir string) (*CompileCache, error) { return core.NewCompileCache(dir) }
+
+// EnvCompileCache names the environment variable holding the default
+// persistent compile-cache directory.
+const EnvCompileCache = core.EnvCompileCache
 
 // Built-in reduction operators for Pipeline.Reduce.
 var (

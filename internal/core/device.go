@@ -70,6 +70,15 @@ type Config struct {
 	// tests can force many ragged tiles onto small render targets.
 	TileSize int
 
+	// CompileCache shares compiled program binaries across devices (and,
+	// with a disk-backed cache, across processes): builds hitting the
+	// cache restore through the program-binary path instead of compiling.
+	// nil falls back to the process-wide cache named by the
+	// GLESCOMPUTE_COMPILE_CACHE environment variable, or no cache when
+	// that is unset. Ignored on interpreter devices (binaries carry
+	// bytecode only).
+	CompileCache *CompileCache
+
 	// Workers bounds fragment-stage parallelism (0 = GOMAXPROCS).
 	//
 	// Deprecated: set Exec.RasterWorkers. When both are set, Exec wins.
@@ -143,6 +152,10 @@ type Device struct {
 	// cache. Owned (and closed) by the device.
 	kernelCache map[string]*Kernel
 
+	// ccache is the resolved persistent compile cache (Config.CompileCache
+	// or the environment default); nil when caching is off.
+	ccache *CompileCache
+
 	closed   bool
 	lost     bool // a CONTEXT_LOST error was observed; the device is dead
 	leakHook func(gles.ObjectCounts)
@@ -175,6 +188,11 @@ func Open(cfg Config) (*Device, error) {
 		UseInterpreter:  exec.UseInterpreter,
 	})
 	d := &Device{ctx: ctx, gpu: vc4.DefaultModel(), cfg: cfg, exec: exec}
+	if !exec.UseInterpreter {
+		if d.ccache = cfg.CompileCache; d.ccache == nil {
+			d.ccache = envCompileCache()
+		}
+	}
 	if d.cfg.MaxGridWidth <= 0 || d.cfg.MaxGridWidth > ctx.Caps().MaxTextureSize {
 		d.cfg.MaxGridWidth = ctx.Caps().MaxTextureSize
 	}
@@ -249,6 +267,10 @@ func (d *Device) LiveObjects() gles.ObjectCounts { return d.ctx.ObjectCounts() }
 
 // GL exposes the underlying ES 2.0 context for advanced use and testing.
 func (d *Device) GL() *gles.Context { return d.ctx }
+
+// CompileCache returns the device's resolved persistent compile cache,
+// or nil when caching is off.
+func (d *Device) CompileCache() *CompileCache { return d.ccache }
 
 // GPUModel exposes the timing model.
 func (d *Device) GPUModel() *vc4.Model { return d.gpu }

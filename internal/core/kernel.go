@@ -337,8 +337,33 @@ void main() {
 
 // buildProgram compiles and links a VS/FS pair into a GL program; the
 // shader object ids are returned so owners can delete them on Close.
+//
+// When the device has a compile cache, the program binary path is tried
+// first: a hit restores pre-compiled bytecode (priced at 200 µs under the
+// vc4 model) instead of compiling and linking from source (~10 ms). A
+// restored program has no shader objects — vs and fs come back 0, which
+// DeleteShader ignores. A blob that fails to restore (corruption that
+// passed the disk checksum, a format version skew) is dropped from the
+// cache and the build falls back to a normal source compile.
 func (d *Device) buildProgram(vsSrc, fsSrc string) (prog, vs, fs uint32, err error) {
 	ctx := d.ctx
+	var cacheKey string
+	if d.ccache != nil {
+		cacheKey = programKey(vsSrc, fsSrc)
+		if blob := d.ccache.get(cacheKey); blob != nil {
+			prog = ctx.CreateProgram()
+			ctx.ProgramBinary(prog, blob)
+			if ctx.GetProgramiv(prog, gles.LINK_STATUS) == 1 {
+				return prog, 0, 0, nil
+			}
+			d.ccache.drop(cacheKey)
+			ctx.DeleteProgram(prog)
+			for ctx.GetError() != gles.NO_ERROR {
+				// drain the restore failure so it cannot surface against a
+				// later, innocent call
+			}
+		}
+	}
 	vs = ctx.CreateShader(gles.VERTEX_SHADER)
 	ctx.ShaderSource(vs, vsSrc)
 	ctx.CompileShader(vs)
@@ -366,6 +391,11 @@ func (d *Device) buildProgram(vsSrc, fsSrc string) (prog, vs, fs uint32, err err
 		ctx.DeleteShader(vs)
 		ctx.DeleteShader(fs)
 		return 0, 0, 0, err
+	}
+	if cacheKey != "" {
+		if blob := ctx.GetProgramBinary(prog); blob != nil {
+			d.ccache.put(cacheKey, blob)
+		}
 	}
 	return prog, vs, fs, nil
 }

@@ -86,6 +86,7 @@ type TransferStats struct {
 	BufferDataBytes uint64
 	CompileCount    uint64
 	LinkCount       uint64
+	BinaryLoadCount uint64 // programs restored through ProgramBinary
 }
 
 // DrawStats describes the work done by draw calls since the last reset.

@@ -276,6 +276,25 @@ func (c *Context) LinkProgram(id uint32) {
 	}
 	p.vsProg, p.fsProg = vs.prog, fs.prog
 
+	if !c.linkTables(p, fail) {
+		return
+	}
+
+	// Lower both stages to bytecode once per link; every draw call and
+	// fragment worker reuses the compiled form. Compilation failure is not
+	// a link error — the AST interpreter remains as fallback.
+	p.vsCode, _ = shader.Compile(p.vsProg)
+	p.fsCode, _ = shader.Compile(p.fsProg)
+
+	p.linked = true
+}
+
+// linkTables builds every post-link table from the two stages' interface
+// declarations: varying matching, attribute locations, the uniform leaf
+// table, and the resource-limit checks. It is the shared back half of
+// LinkProgram and ProgramBinary — a program restored from a binary rebuilds
+// identical tables from the interface stubs carried in the blob.
+func (c *Context) linkTables(p *Program, fail func(format string, args ...interface{})) bool {
 	// Varying matching: every varying read by the FS must be written by a
 	// VS varying of identical type.
 	p.varyings = nil
@@ -285,12 +304,12 @@ func (c *Context) LinkProgram(id uint32) {
 		vv := p.vsProg.LookupVarying(fv.Name)
 		if vv == nil {
 			fail("link error: fragment varying %q has no vertex counterpart", fv.Name)
-			return
+			return false
 		}
 		if !vv.DeclType.Equal(fv.DeclType) {
 			fail("link error: varying %q declared as %s in vertex shader but %s in fragment shader",
 				fv.Name, vv.DeclType, fv.DeclType)
-			return
+			return false
 		}
 		comps := flatComps(fv.DeclType)
 		p.varyings = append(p.varyings, varyingLink{
@@ -301,7 +320,7 @@ func (c *Context) LinkProgram(id uint32) {
 	}
 	if varyRows > c.caps.MaxVaryingVectors {
 		fail("link error: %d varying vectors exceed MAX_VARYING_VECTORS=%d", varyRows, c.caps.MaxVaryingVectors)
-		return
+		return false
 	}
 
 	// Attribute locations.
@@ -319,7 +338,7 @@ func (c *Context) LinkProgram(id uint32) {
 			for i := 0; i < span; i++ {
 				if loc+i >= len(used) {
 					fail("link error: attribute %q does not fit at bound location %d", a.Name, loc)
-					return
+					return false
 				}
 				used[loc+i] = true
 			}
@@ -349,7 +368,7 @@ func (c *Context) LinkProgram(id uint32) {
 		}
 		if loc < 0 {
 			fail("link error: too many attributes (MAX_VERTEX_ATTRIBS=%d)", c.caps.MaxVertexAttribs)
-			return
+			return false
 		}
 		for i := 0; i < span; i++ {
 			used[loc+i] = true
@@ -379,31 +398,155 @@ func (c *Context) LinkProgram(id uint32) {
 	}
 	for _, u := range p.vsProg.Uniforms {
 		if !addRoot(u) {
-			return
+			return false
 		}
 	}
 	for _, u := range p.fsProg.Uniforms {
 		if !addRoot(u) {
-			return
+			return false
 		}
 	}
 
 	// Uniform storage limits (in vec4 vectors, per stage).
 	if rows := uniformRowsOf(p.vsProg.Uniforms); rows > c.caps.MaxVertexUniformVectors {
 		fail("link error: vertex uniforms need %d vectors, limit is %d", rows, c.caps.MaxVertexUniformVectors)
-		return
+		return false
 	}
 	if rows := uniformRowsOf(p.fsProg.Uniforms); rows > c.caps.MaxFragmentUniformVectors {
 		fail("link error: fragment uniforms need %d vectors, limit is %d", rows, c.caps.MaxFragmentUniformVectors)
+		return false
+	}
+	return true
+}
+
+// ---- Program binaries (OES_get_program_binary-style) ----
+//
+// GetProgramBinary serializes a linked program's two bytecode stages plus
+// the interface stubs the link tables need; ProgramBinary restores such a
+// blob into a program object without running the GLSL front-end or the
+// bytecode compiler — the expensive half of link. Binary-restored programs
+// carry no AST, so they execute on the VM only; a context configured with
+// UseInterpreter rejects them.
+
+// programBinaryMagic frames the two-stage container around the per-stage
+// shader blobs (which carry their own magic and format version).
+var programBinaryMagic = [4]byte{'G', 'C', 'P', '2'}
+
+// GetProgramBinary mirrors glGetProgramBinaryOES: it returns a blob that
+// ProgramBinary can restore on a compatible context, or nil with a GL
+// error when the program is not linked or has no bytecode lowering.
+func (c *Context) GetProgramBinary(id uint32) []byte {
+	p := c.programs[id]
+	if p == nil {
+		c.setErr(INVALID_VALUE, "GetProgramBinary: no program %d", id)
+		return nil
+	}
+	if !p.linked {
+		c.setErr(INVALID_OPERATION, "GetProgramBinary: program %d is not linked", id)
+		return nil
+	}
+	if p.vsCode == nil || p.fsCode == nil {
+		// A stage the bytecode compiler could not lower runs on the AST
+		// interpreter; there is no binary form of that.
+		c.setErr(INVALID_OPERATION, "GetProgramBinary: program %d has no bytecode lowering", id)
+		return nil
+	}
+	vsBlob, err := p.vsCode.MarshalBinary()
+	if err != nil {
+		c.setErr(INVALID_OPERATION, "GetProgramBinary: %v", err)
+		return nil
+	}
+	fsBlob, err := p.fsCode.MarshalBinary()
+	if err != nil {
+		c.setErr(INVALID_OPERATION, "GetProgramBinary: %v", err)
+		return nil
+	}
+	blob := make([]byte, 0, 12+len(vsBlob)+len(fsBlob))
+	blob = append(blob, programBinaryMagic[:]...)
+	var n [4]byte
+	putU32 := func(v uint32) {
+		n[0], n[1], n[2], n[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		blob = append(blob, n[:]...)
+	}
+	putU32(uint32(len(vsBlob)))
+	blob = append(blob, vsBlob...)
+	putU32(uint32(len(fsBlob)))
+	blob = append(blob, fsBlob...)
+	return blob
+}
+
+// ProgramBinary mirrors glProgramBinaryOES: it populates program id from a
+// GetProgramBinary blob, rebuilding the link tables from the interface
+// stubs and skipping both the GLSL front-end and the bytecode compiler. On
+// any decode failure the program is left unlinked with a GL error and an
+// info log — callers fall back to a source compile+link, mirroring how GL
+// program binaries are invalidated by driver updates.
+func (c *Context) ProgramBinary(id uint32, blob []byte) {
+	p := c.programs[id]
+	if p == nil {
+		c.setErr(INVALID_VALUE, "ProgramBinary: no program %d", id)
 		return
 	}
-
-	// Lower both stages to bytecode once per link; every draw call and
-	// fragment worker reuses the compiled form. Compilation failure is not
-	// a link error — the AST interpreter remains as fallback.
-	p.vsCode, _ = shader.Compile(p.vsProg)
-	p.fsCode, _ = shader.Compile(p.fsProg)
-
+	if c.cfg.UseInterpreter {
+		c.setErr(INVALID_OPERATION, "ProgramBinary: binary programs require the bytecode VM (context is configured with UseInterpreter)")
+		return
+	}
+	p.linked = false
+	p.infoLog = ""
+	fail := func(format string, args ...interface{}) {
+		p.infoLog += fmt.Sprintf(format, args...) + "\n"
+		c.setErr(INVALID_OPERATION, "ProgramBinary: "+format, args...)
+	}
+	rdU32 := func(b []byte) uint32 {
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	}
+	if len(blob) < 8 || blob[0] != programBinaryMagic[0] || blob[1] != programBinaryMagic[1] ||
+		blob[2] != programBinaryMagic[2] || blob[3] != programBinaryMagic[3] {
+		fail("binary error: bad container magic")
+		return
+	}
+	rest := blob[4:]
+	vsLen := int(rdU32(rest))
+	rest = rest[4:]
+	if vsLen < 0 || vsLen > len(rest) {
+		fail("binary error: vertex stage length %d overruns blob", vsLen)
+		return
+	}
+	vsBlob := rest[:vsLen]
+	rest = rest[vsLen:]
+	if len(rest) < 4 {
+		fail("binary error: truncated fragment stage header")
+		return
+	}
+	fsLen := int(rdU32(rest))
+	rest = rest[4:]
+	if fsLen != len(rest) {
+		fail("binary error: fragment stage length %d does not match blob", fsLen)
+		return
+	}
+	vsCode, err := shader.UnmarshalCompiled(vsBlob)
+	if err != nil {
+		fail("binary error: vertex stage: %v", err)
+		return
+	}
+	fsCode, err := shader.UnmarshalCompiled(rest)
+	if err != nil {
+		fail("binary error: fragment stage: %v", err)
+		return
+	}
+	if vsCode.Prog.Stage != glsl.StageVertex || fsCode.Prog.Stage != glsl.StageFragment {
+		fail("binary error: stage order mismatch")
+		return
+	}
+	p.vsProg, p.fsProg = vsCode.Prog, fsCode.Prog
+	p.vsCode, p.fsCode = vsCode, fsCode
+	if !c.linkTables(p, func(format string, args ...interface{}) {
+		p.infoLog += fmt.Sprintf(format, args...) + "\n"
+		c.setErr(INVALID_OPERATION, "ProgramBinary: "+format, args...)
+	}) {
+		return
+	}
+	c.transfers.BinaryLoadCount++
 	p.linked = true
 }
 

@@ -37,10 +37,12 @@ type Service struct {
 	model *Model
 	q     *sched.Queue
 	nets  sync.Map // netKey -> *Network
+	key   string   // coalescing group key (the service's identity)
 
-	mu       sync.Mutex
-	retry    sched.RetryPolicy
-	deadline time.Duration
+	mu        sync.Mutex
+	retry     sched.RetryPolicy
+	deadline  time.Duration
+	maxBucket int // continuous-batching bucket cap; 0 = off
 }
 
 type netKey struct {
@@ -53,7 +55,11 @@ func NewService(m *Model, q *sched.Queue) (*Service, error) {
 	if err := m.Err(); err != nil {
 		return nil, err
 	}
-	return &Service{model: m, q: q}, nil
+	s := &Service{model: m, q: q}
+	// The service's own identity keys coalescing, so two services over the
+	// same queue — even of one model — never share a launch.
+	s.key = fmt.Sprintf("nn:%p", s)
+	return s, nil
 }
 
 // SetRetry opts every subsequent request into the queue's automatic retry
@@ -70,6 +76,34 @@ func (s *Service) SetRetry(p sched.RetryPolicy) {
 func (s *Service) SetDeadline(d time.Duration) {
 	s.mu.Lock()
 	s.deadline = d
+	s.mu.Unlock()
+}
+
+// SetContinuousBatching opts every subsequent request into queue-level
+// request coalescing: same-service requests arriving within the queue's
+// batching window (sched.Config.BatchWindow) are executed as one batched
+// network pass. Coalesced images are packed into power-of-two batch
+// buckets (1, 2, 4, … up to maxBucket), padding the tail bucket with
+// zero images, so the persistent per-bucket networks netFor caches are
+// reused — the pipeline is planned once per bucket size ever seen, never
+// per request. Outputs are bit-identical to solo inference: each image's
+// result depends only on its own rows of the batched tensors, a property
+// the N1 experiment's batched-vs-solo differential asserts.
+//
+// maxBucket is rounded down to a power of two (minimum 1); 0 disables
+// coalescing (requests run as Direct jobs, the pre-existing behaviour).
+// A single request larger than the cap still runs at its exact count,
+// as it always has.
+func (s *Service) SetContinuousBatching(maxBucket int) {
+	cap := 0
+	if maxBucket > 0 {
+		cap = 1
+		for cap*2 <= maxBucket {
+			cap *= 2
+		}
+	}
+	s.mu.Lock()
+	s.maxBucket = cap
 	s.mu.Unlock()
 }
 
@@ -105,6 +139,10 @@ func (s *Service) InferBatch(ctx context.Context, images interface{}, count int)
 		if s.model.elem != codec.Int32 {
 			return nil, fmt.Errorf("nn: InferBatch: []int32 input for %s model", s.model.elem)
 		}
+	case []int8:
+		if s.model.elem != codec.Int8 {
+			return nil, fmt.Errorf("nn: InferBatch: []int8 input for %s model", s.model.elem)
+		}
 	default:
 		return nil, fmt.Errorf("nn: InferBatch: unsupported input type %T", images)
 	}
@@ -112,8 +150,11 @@ func (s *Service) InferBatch(ctx context.Context, images interface{}, count int)
 		return nil, fmt.Errorf("nn: InferBatch: %d elements for %d images, want %d", got, count, want)
 	}
 	s.mu.Lock()
-	retry, deadline := s.retry, s.deadline
+	retry, deadline, bucketCap := s.retry, s.deadline, s.maxBucket
 	s.mu.Unlock()
+	if bucketCap > 0 {
+		return s.submitCoalesced(ctx, images, count, retry, deadline, bucketCap)
+	}
 	// lastStats carries the most recent attempt's pipeline statistics from
 	// the Direct closure to the Trace hook. Both run sequentially on the
 	// executing device's goroutine, so no locking is needed.
@@ -140,6 +181,159 @@ func (s *Service) InferBatch(ctx context.Context, images interface{}, count int)
 			}
 		},
 	})
+}
+
+// inferRequest is one coalescible submission's payload: the caller's
+// images and how many of them there are.
+type inferRequest struct {
+	images interface{}
+	count  int
+}
+
+// submitCoalesced rides the request through the queue's group-coalescing
+// path: the job carries the service's group key, so every same-service
+// request the dispatcher has buffered inside the batching window lands in
+// one GroupSpec.Run invocation, which executes them as one (or a few)
+// batched network passes. The job's output is this request's own slice of
+// the batched result — count·classes elements, exactly what the Direct
+// path would have produced.
+func (s *Service) submitCoalesced(ctx context.Context, images interface{}, count int, retry sched.RetryPolicy, deadline time.Duration, bucketCap int) (*sched.Job, error) {
+	// lastStats mirrors the Direct path's pattern; the scheduler runs only
+	// the first group member's Run and Trace, both on the device goroutine.
+	var lastStats *core.PipelineStats
+	return s.q.Submit(ctx, sched.JobSpec{
+		Retry:    retry,
+		Deadline: deadline,
+		Group: &sched.GroupSpec{
+			Key:     s.key,
+			Label:   "nn-infer",
+			Payload: &inferRequest{images: images, count: count},
+			Run: func(dev *core.Device, payloads []interface{}) ([]interface{}, core.RunStats, error) {
+				lastStats = nil
+				outs, st, rs, err := s.runCoalesced(dev, payloads, bucketCap)
+				lastStats = st
+				return outs, rs, err
+			},
+		},
+		Trace: func(sp *obs.Span) {
+			if lastStats != nil {
+				attachPassSpans(sp, *lastStats)
+			}
+		},
+	})
+}
+
+// runCoalesced executes a window's worth of coalesced requests on one
+// device. Consecutive requests are greedily packed into chunks of at most
+// bucketCap images (a single larger request keeps its exact count, as it
+// would have solo); each chunk runs as one batched pass at the next
+// power-of-two bucket size, with the tail slots zero-padded. Padding is
+// harmless: every image's output depends only on its own rows of the
+// batched tensors, so the real images' results are bit-identical to solo
+// runs and the padded rows are simply never sliced out. Returns one
+// output per request (in payload order), the last chunk's pipeline stats
+// for tracing, and the summed draw counts.
+func (s *Service) runCoalesced(dev *core.Device, payloads []interface{}, bucketCap int) ([]interface{}, *core.PipelineStats, core.RunStats, error) {
+	reqs := make([]*inferRequest, len(payloads))
+	for i, p := range payloads {
+		reqs[i] = p.(*inferRequest)
+	}
+	outs := make([]interface{}, len(reqs))
+	var rs core.RunStats
+	var last *core.PipelineStats
+	for start := 0; start < len(reqs); {
+		end, images := start, 0
+		for end < len(reqs) {
+			n := reqs[end].count
+			if end > start && images+n > bucketCap {
+				break
+			}
+			images += n
+			end++
+			if images >= bucketCap {
+				break
+			}
+		}
+		batch := images
+		if images < bucketCap {
+			batch = nextPow2(images)
+		}
+		net, err := s.netFor(dev, batch)
+		if err != nil {
+			return nil, last, rs, err
+		}
+		res, err := net.Run(s.packInput(reqs[start:end], batch))
+		if err != nil {
+			return nil, last, rs, err
+		}
+		rs.Draw.Add(&res.Stats.Draw)
+		last = &res.Stats
+		perImage := hostLen(res.Output) / batch
+		off := 0
+		for i := start; i < end; i++ {
+			n := reqs[i].count * perImage
+			outs[i] = hostSlice(res.Output, off, n)
+			off += n
+		}
+		start = end
+	}
+	return outs, last, rs, nil
+}
+
+// packInput lays the chunk's images consecutively into one batch-sized
+// host slice of the model's element type; slots beyond the real images
+// stay zero. A lone exact-sized request passes through uncopied.
+func (s *Service) packInput(reqs []*inferRequest, batch int) interface{} {
+	if len(reqs) == 1 && reqs[0].count == batch {
+		return reqs[0].images
+	}
+	inN := s.model.in.N()
+	switch s.model.elem {
+	case codec.Int32:
+		buf := make([]int32, batch*inN)
+		off := 0
+		for _, r := range reqs {
+			off += copy(buf[off:], r.images.([]int32))
+		}
+		return buf
+	case codec.Int8:
+		buf := make([]int8, batch*inN)
+		off := 0
+		for _, r := range reqs {
+			off += copy(buf[off:], r.images.([]int8))
+		}
+		return buf
+	default:
+		buf := make([]float32, batch*inN)
+		off := 0
+		for _, r := range reqs {
+			off += copy(buf[off:], r.images.([]float32))
+		}
+		return buf
+	}
+}
+
+// hostSlice carves [off, off+n) out of a typed host slice, capping
+// capacity so callers cannot scribble into a neighbour's output.
+func hostSlice(v interface{}, off, n int) interface{} {
+	switch s := v.(type) {
+	case []float32:
+		return s[off : off+n : off+n]
+	case []int32:
+		return s[off : off+n : off+n]
+	case []int8:
+		return s[off : off+n : off+n]
+	}
+	return nil
+}
+
+// nextPow2 returns the smallest power of two ≥ n.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
 }
 
 // attachPassSpans records one child span per executed pipeline pass under

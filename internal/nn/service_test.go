@@ -275,3 +275,91 @@ func TestServiceRetryThroughFaults(t *testing.T) {
 	q.Close()
 	svc.Close()
 }
+
+// TestServiceContinuousBatching is the continuous-batching differential:
+// int8 requests of mixed sizes submitted inside one batching window must
+// coalesce into a shared launch — power-of-two buckets, zero-padded
+// tails, an oversized request at its exact count — and every request's
+// output must be bit-identical to a solo batch-1 run of its images.
+func TestServiceContinuousBatching(t *testing.T) {
+	m := DemoLeNetInt8(20160316)
+	counts := []int{1, 2, 1, 1, 3, 1, 6} // chunks under cap 4: [1,2,1] [1,3] [1] [6 exact]
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	xs := DemoInputInt8(5, total)
+	per := DemoShape.N()
+
+	// Ground truth: every image through a plain batch-1 network.
+	dev := openTest(t)
+	net, err := m.Build(dev, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int8, 0, total*DemoClasses)
+	for r := 0; r < total; r++ {
+		res, err := net.Run(xs[r*per : (r+1)*per])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res.Output.([]int8)...)
+	}
+	net.Close()
+	dev.Close()
+
+	q, err := sched.OpenQueue(sched.Config{Devices: 1, Device: core.Config{Workers: 1},
+		MaxBatch: 16, BatchWindow: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	svc, err := NewService(m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	svc.SetContinuousBatching(4)
+
+	if _, err := svc.Infer(nil, make([]float32, per)); err == nil {
+		t.Fatal("float32 input accepted by int8 model")
+	}
+
+	var jobs []*sched.Job
+	off := 0
+	for _, c := range counts {
+		j, err := svc.InferBatch(nil, xs[off*per:(off+c)*per], c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+		off += c
+	}
+	off = 0
+	coalesced := false
+	for ji, j := range jobs {
+		res, err := j.Wait(nil)
+		if err != nil {
+			t.Fatalf("request %d: %v", ji, err)
+		}
+		got := res.Output.([]int8)
+		if len(got) != counts[ji]*DemoClasses {
+			t.Fatalf("request %d: %d outputs, want %d", ji, len(got), counts[ji]*DemoClasses)
+		}
+		for k, v := range got {
+			if w := want[off*DemoClasses+k]; v != w {
+				t.Fatalf("request %d out %d: %d != %d (must be bit-identical)", ji, k, v, w)
+			}
+		}
+		if res.Stats.Batched {
+			coalesced = true
+		}
+		off += counts[ji]
+	}
+	if !coalesced {
+		t.Fatal("no request was coalesced — continuous batching never engaged")
+	}
+	if st := q.Stats(); st.Batches == 0 || st.BatchedJobs < 2 {
+		t.Fatalf("queue saw no coalesced launch: %+v", st)
+	}
+}

@@ -64,6 +64,13 @@ type RasterResult struct {
 	// above are already wall-gated.
 	SpeedupX  float64 `json:"speedup_vs_seq_x"`
 	Validated bool    `json:"raster_validated"`
+	// WallGateSkipped marks a single-CPU run: the parallel points cannot
+	// beat sequential without a second core, so the wall throughputs are
+	// reported but meaningless as a regression signal. benchgate sees the
+	// flag and skips this result's wall-gated keys instead of failing
+	// them (a CI runner downgraded to one core looks like a 4x raster
+	// regression otherwise).
+	WallGateSkipped bool `json:"wall_gate_skipped,omitempty"`
 }
 
 // RunRaster sweeps rasterizer worker counts {1, 2, 4, 8} over one draw of
@@ -80,6 +87,7 @@ func RunRaster(n, reps int) (RasterResult, error) {
 		procs = g
 	}
 	res.EffectiveCPUs = procs
+	res.WallGateSkipped = procs == 1
 
 	input := make([]float32, n)
 	for i := range input {

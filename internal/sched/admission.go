@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Priority classifies a job for admission control and batch-flush
+// ordering. The zero value is PriorityNormal, so existing callers are
+// unaffected. Any positive value is treated as interactive (shed last,
+// flushed first), any negative value as batch (shed first, flushed
+// last) — the three-class scheme serving systems use to keep
+// latency-sensitive traffic inside its SLO by sacrificing best-effort
+// traffic under overload.
+type Priority int
+
+// The priority classes.
+const (
+	// PriorityBatch is best-effort traffic: shed first under overload
+	// (at half the SLO budget) and flushed after other classes.
+	PriorityBatch Priority = -1
+	// PriorityNormal is the default class, shed at exactly the SLO
+	// budget.
+	PriorityNormal Priority = 0
+	// PriorityInteractive is latency-sensitive traffic: it keeps being
+	// admitted up to twice the SLO budget and its buffered batches flush
+	// first.
+	PriorityInteractive Priority = 1
+)
+
+// String names the class.
+func (p Priority) String() string {
+	switch {
+	case p < 0:
+		return "batch"
+	case p > 0:
+		return "interactive"
+	}
+	return "normal"
+}
+
+// shedIdx maps a priority onto the per-class shed counter index.
+func shedIdx(p Priority) int {
+	switch {
+	case p < 0:
+		return 0
+	case p > 0:
+		return 2
+	}
+	return 1
+}
+
+// ErrShed is the sentinel admission control wraps when it rejects a
+// submission: the estimated queue delay exceeds the job's class budget,
+// so accepting it could not meet the SLO anyway. Callers check with
+// errors.Is and either drop the request or degrade gracefully —
+// retrying immediately defeats the point.
+var ErrShed = errors.New("sched: admission control shed the job")
+
+// IsShed reports whether err is an admission-control rejection —
+// shorthand for errors.Is(err, ErrShed) at serving call sites.
+func IsShed(err error) bool { return errors.Is(err, ErrShed) }
+
+// AdmissionPolicy enables SLO-aware admission control on a queue. With
+// TargetDelay set, Submit estimates the queue delay a new job would see
+// — in-flight jobs × the EWMA of modeled per-job launch time ÷ healthy
+// devices, all in the deterministic vc4 currency the repo prices work
+// in — and sheds the job (ErrShed) when the estimate exceeds its
+// class's budget:
+//
+//	PriorityBatch        TargetDelay / 2
+//	PriorityNormal       TargetDelay
+//	PriorityInteractive  TargetDelay × 2
+//
+// Shedding at Submit, before the job buffers, keeps the decision O(1)
+// and the pending queue short: under overload the queue converges to
+// serving interactive traffic at bounded modeled delay while batch
+// traffic is rejected immediately instead of timing out deep in the
+// backlog. The zero value disables admission control entirely.
+type AdmissionPolicy struct {
+	// TargetDelay is the modeled queue-delay SLO the controller
+	// protects; 0 disables admission control.
+	TargetDelay time.Duration
+}
+
+// budget returns the class's shed threshold.
+func (a AdmissionPolicy) budget(p Priority) time.Duration {
+	switch {
+	case p < 0:
+		return a.TargetDelay / 2
+	case p > 0:
+		return a.TargetDelay * 2
+	}
+	return a.TargetDelay
+}
+
+// admitLocked decides whether a new job of the given priority may enter
+// the queue. Called with q.mu held (it reads q.inFlight). The estimator
+// deliberately uses modeled time, not wall time: modeled launch cost is
+// a deterministic function of the executed instruction streams, so the
+// same request flow sheds the same jobs on every host — admission
+// behaviour is testable and reproducible, like every other modeled
+// metric in the repo.
+func (q *Queue) admitLocked(p Priority) error {
+	target := q.cfg.Admission.TargetDelay
+	if target <= 0 || q.inFlight == 0 {
+		return nil
+	}
+	per := time.Duration(q.svcModeledNS.Load())
+	if per <= 0 {
+		return nil // no completed launch yet: nothing to estimate from
+	}
+	healthy := 0
+	for _, w := range q.workers {
+		if !w.dead.Load() {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		healthy = 1 // let the submission fail downstream with device-lost
+	}
+	est := time.Duration(q.inFlight) * per / time.Duration(healthy)
+	if budget := q.cfg.Admission.budget(p); est > budget {
+		q.counts.shed[shedIdx(p)]++
+		q.met.shed.Inc()
+		return fmt.Errorf("sched: estimated queue delay %v exceeds %s-class budget %v (%d in flight): %w",
+			est, p, budget, q.inFlight, ErrShed)
+	}
+	return nil
+}
+
+// noteServiceTime folds one launch's modeled per-job cost into the
+// admission estimator's EWMA (α = ¼; the first sample seeds it).
+func (q *Queue) noteServiceTime(perJob time.Duration) {
+	if perJob <= 0 {
+		return
+	}
+	for {
+		old := q.svcModeledNS.Load()
+		next := int64(perJob)
+		if old > 0 {
+			next = (3*old + int64(perJob)) / 4
+		}
+		if q.svcModeledNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}

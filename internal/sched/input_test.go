@@ -1,12 +1,15 @@
 package sched
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"glescompute/internal/codec"
 	"glescompute/internal/core"
+	"glescompute/internal/fault"
 )
 
 // TestTypedInputsMatchLegacy is the contract input.go's doc comment
@@ -58,6 +61,61 @@ func TestTypedInputsMatchLegacy(t *testing.T) {
 		[]interface{}{af, bf}, []Input{Float32s(af), Float32s(bf)})
 	runBoth("int32", sumIntSpec,
 		[]interface{}{ai, bi}, []Input{Int32s(ai), Int32s(bi)})
+}
+
+// TestLegacyInputsShimRetryBatching drives the deprecated []interface{}
+// input route through the stack's two orthogonal mechanisms at once —
+// request batching (Batchable, coalesced by the continuous-batching
+// window) and automatic retry over injected device faults. The shim must
+// be invisible to both: every job completes with bit-identical output,
+// batches actually form, and retries actually happen.
+func TestLegacyInputsShimRetryBatching(t *testing.T) {
+	plan := fault.NewPlan(41, fault.Options{
+		OpHorizon:          24,
+		FaultyIncarnations: 1,
+	})
+	q := faultQueue(t, plan, Config{Devices: 2, Device: core.Config{Workers: 1},
+		MaxBatch: 8, BatchWindow: time.Millisecond})
+	defer q.Close()
+	const n = 120
+	jobs := make([]*Job, n)
+	for i := range jobs {
+		spec := intJob(i) // legacy Inputs route, Batchable
+		spec.Retry = RetryPolicy{Max: 6, Backoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond}
+		j, err := q.Submit(nil, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	var maxAttempts, batched int
+	for i, j := range jobs {
+		res, err := j.Wait(nil)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		out, _ := res.Int32()
+		wantBitsEqual(t, fmt.Sprintf("job %d", i), wantInt(i), out)
+		if res.Stats.Attempts > maxAttempts {
+			maxAttempts = res.Stats.Attempts
+		}
+		if res.Stats.Batched {
+			batched++
+		}
+	}
+	st := q.Stats()
+	if plan.Stats().Total() == 0 {
+		t.Fatal("no faults fired — the retry half exercised nothing")
+	}
+	if st.Batches == 0 || batched == 0 {
+		t.Fatalf("no batches formed (%d batches, %d batched jobs) — the batching half exercised nothing", st.Batches, batched)
+	}
+	if maxAttempts < 2 {
+		t.Fatal("no job was retried — the retry half exercised nothing")
+	}
+	if st.Failed != 0 {
+		t.Fatalf("lost %d jobs\n%s", st.Failed, st.Report())
+	}
 }
 
 // TestTypedInputFromBuffer checks the device-buffer constructor: the

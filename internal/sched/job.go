@@ -67,6 +67,15 @@ type JobSpec struct {
 	// result is still delivered. Deadline expiry completes the job with an
 	// error wrapping context.DeadlineExceeded and is never retried.
 	Deadline time.Duration
+	// Group, when non-nil, makes the job coalescible with other jobs
+	// submitted against the same logical pipeline — the continuous-batching
+	// route device-resident workloads (internal/nn model serving) use.
+	// Same-Key jobs arriving within the queue's batching window
+	// (Config.BatchWindow) are handed to one GroupSpec.Run invocation on
+	// one device, which executes every member in a single batched pass.
+	// Group is exclusive with Direct; Kernel, Inputs, OutN, MatrixN,
+	// Uniforms and Batchable must be zero.
+	Group *GroupSpec
 	// Trace, when non-nil, is called on the executing device's goroutine
 	// after each execution attempt, with the attempt's launch span — the
 	// hook submitters use to attach workload-specific child spans (the nn
@@ -75,6 +84,13 @@ type JobSpec struct {
 	// Tracer and the launch span was recorded; the span is never nil.
 	// Direct jobs use it to surface structure the scheduler cannot see.
 	Trace func(sp *obs.Span)
+	// Priority classifies the job for admission control and batch-flush
+	// ordering (see Priority): positive values are interactive (shed
+	// last under overload, flushed first), negative values are batch
+	// (shed first, flushed last). The zero value is PriorityNormal.
+	// Without Config.Admission, priority still orders continuous-batching
+	// flushes but nothing is ever shed.
+	Priority Priority
 	// Retry opts the job into automatic resubmission when it fails with a
 	// retryable fault: a lost device (core.ErrDeviceLost — context loss,
 	// detected readback corruption, a panic on the device goroutine) or a
@@ -84,6 +100,37 @@ type JobSpec struct {
 	// (pure functions of their inputs); Direct jobs must be made so by
 	// their author. The zero value never retries.
 	Retry RetryPolicy
+}
+
+// GroupSpec declares a job coalescible with others sharing its Key (see
+// JobSpec.Group).
+type GroupSpec struct {
+	// Key identifies the logical pipeline; only jobs with equal keys
+	// coalesce. Submitters typically derive it from the serving object's
+	// identity so distinct models never share a launch.
+	Key string
+	// Label names the group in spans and reports (Key is often an opaque
+	// identity); empty falls back to "group".
+	Label string
+	// Payload is this request's input, passed to Run in member order.
+	Payload interface{}
+	// Run executes the coalesced launch on the worker's device with the
+	// payloads of every member of the unit (len ≥ 1, in dispatch order)
+	// and returns one output per payload, in the same order. Every member
+	// of a group must carry an equivalent Run closure — the worker invokes
+	// the first member's — and outputs must be bit-identical to running
+	// each member alone (the internal/nn path guarantees this by
+	// batch-invariant lowering). Like Direct closures, Run executes on the
+	// device goroutine and may keep per-device state keyed off dev.
+	Run func(dev *core.Device, payloads []interface{}) ([]interface{}, core.RunStats, error)
+}
+
+// label returns the group's display name.
+func (g *GroupSpec) label() string {
+	if g.Label != "" {
+		return g.Label
+	}
+	return "group"
 }
 
 // RetryPolicy bounds automatic resubmission of a failed job.
@@ -255,16 +302,37 @@ func newJob(ctx context.Context, spec JobSpec) (*Job, error) {
 	if spec.Deadline < 0 {
 		return nil, fmt.Errorf("sched: Deadline must be >= 0, got %v", spec.Deadline)
 	}
-	if spec.Direct != nil {
+	if spec.Direct != nil || spec.Group != nil {
+		kind := "direct"
+		if spec.Group != nil {
+			kind = "group"
+		}
+		if spec.Direct != nil && spec.Group != nil {
+			return nil, fmt.Errorf("sched: Direct and Group are exclusive")
+		}
 		if spec.Batchable {
-			return nil, fmt.Errorf("sched: direct jobs cannot batch")
+			return nil, fmt.Errorf("sched: %s jobs cannot set Batchable (group jobs coalesce through GroupSpec.Key)", kind)
 		}
 		if spec.Kernel.Name != "" || spec.Kernel.Source != "" ||
 			len(spec.Kernel.Inputs) > 0 || len(spec.Kernel.Outputs) > 0 || len(spec.Kernel.Uniforms) > 0 ||
 			len(spec.Inputs) > 0 || spec.OutN != 0 || spec.MatrixN != 0 || len(spec.Uniforms) > 0 {
-			return nil, fmt.Errorf("sched: direct job: Kernel/Inputs/OutN/MatrixN/Uniforms must be unset")
+			return nil, fmt.Errorf("sched: %s job: Kernel/Inputs/OutN/MatrixN/Uniforms must be unset", kind)
 		}
-		return build(spec), nil
+		if spec.Group != nil {
+			if spec.Group.Key == "" {
+				return nil, fmt.Errorf("sched: group job: empty GroupSpec.Key")
+			}
+			if spec.Group.Run == nil {
+				return nil, fmt.Errorf("sched: group job: nil GroupSpec.Run")
+			}
+		}
+		j := build(spec)
+		if spec.Group != nil {
+			// The NUL prefix keeps group keys disjoint from kernel batch
+			// keys (which start with a kernel name).
+			j.key = "\x00g:" + spec.Group.Key
+		}
+		return j, nil
 	}
 	if len(spec.Kernel.Outputs) > 1 {
 		return nil, fmt.Errorf("sched: kernel %q has %d outputs; the queue executes single-output kernels (use Device.BuildKernel for multi-output)",

@@ -16,7 +16,10 @@ import (
 type queueMetrics struct {
 	submitted, completed, failed, cancelled *obs.Counter
 	retries, panics, faults, reopens        *obs.Counter
+	shed, batches, batchedJobs              *obs.Counter
 	pending, pendingMax                     *obs.Gauge
+	batchSize                               *obs.Histogram
+	cacheHits, cacheMisses                  *obs.Gauge
 
 	// Per-device-slot gauges: modeled busy time (the occupancy the vc4
 	// model prices) and health (1 healthy, 0 quarantined/dead).
@@ -48,8 +51,18 @@ func (q *Queue) initObs() {
 	q.met.panics = r.Counter("glescompute_panics_total", "jobs that panicked on a device goroutine (recovered)")
 	q.met.faults = r.Counter("glescompute_device_faults_total", "device deaths observed (context loss, corruption, panic)")
 	q.met.reopens = r.Counter("glescompute_device_reopens_total", "successful device replacements")
+	q.met.shed = r.Counter("glescompute_jobs_shed_total", "submissions rejected by SLO-aware admission control")
+	q.met.batches = r.Counter("glescompute_batches_total", "multi-job launches (coalesced batches)")
+	q.met.batchedJobs = r.Counter("glescompute_batched_jobs_total", "jobs carried by multi-job launches")
 	q.met.pending = r.Gauge("glescompute_queue_pending", "jobs buffered in the submission queue")
 	q.met.pendingMax = r.Gauge("glescompute_queue_pending_max", "high-water mark of the submission queue depth")
+	q.met.batchSize = obs.NewHistogram("glescompute_launch_batch_size",
+		"jobs per launch (1 = solo, higher = coalesced)", []float64{1, 2, 4, 8, 16, 32, 64, 128})
+	r.Register(q.met.batchSize)
+	if q.deviceCfg.CompileCache != nil {
+		q.met.cacheHits = r.Gauge("glescompute_compile_cache_hits", "pool compile-cache hits (program-binary restores)")
+		q.met.cacheMisses = r.Gauge("glescompute_compile_cache_misses", "pool compile-cache misses (full GLSL compiles)")
+	}
 	for i := range q.workers {
 		slot := "glescompute_device" + itoa(i)
 		q.met.devBusyUS = append(q.met.devBusyUS,
@@ -116,6 +129,9 @@ func (q *Queue) notePending() {
 
 // launchName labels a job's work for span names.
 func launchName(j *Job) string {
+	if j.spec.Group != nil {
+		return j.spec.Group.label()
+	}
 	if j.spec.Direct != nil {
 		return "direct"
 	}
@@ -132,6 +148,9 @@ func (q *Queue) startJobSpan(j *Job) {
 	j.span = q.tracer.Start(obs.TrackQueue, "job:"+launchName(j))
 	if j.spec.Batchable {
 		j.span.Arg("batchable", true)
+	}
+	if j.spec.Group != nil {
+		j.span.Arg("group", j.spec.Group.label())
 	}
 }
 
@@ -194,8 +213,10 @@ func (w *worker) launchSpan(jobs []*Job, name string) *obs.Span {
 // finishLaunchSpan closes a launch span with its accounting: modeled vc4
 // phase children (compile/upload/execute/readback laid sequentially from
 // launch start — modeled durations beside the measured wall interval),
-// member count and the modeled total, then the members' Trace hooks.
-func (w *worker) finishLaunchSpan(sp *obs.Span, jobs []*Job, start time.Time, dt core.Timeline, err error) {
+// member count and the modeled total, then the Trace hooks of traceJobs
+// (all members for solo/batch launches; only the first member for group
+// launches, whose pass structure is shared).
+func (w *worker) finishLaunchSpan(sp *obs.Span, jobs, traceJobs []*Job, start time.Time, dt core.Timeline, err error) {
 	if sp == nil {
 		return
 	}
@@ -221,7 +242,7 @@ func (w *worker) finishLaunchSpan(sp *obs.Span, jobs []*Job, start time.Time, dt
 		sp.Arg("error", err.Error())
 	}
 	sp.End()
-	for _, j := range jobs {
+	for _, j := range traceJobs {
 		if j.spec.Trace != nil {
 			j.spec.Trace(sp)
 		}

@@ -43,7 +43,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,8 +78,22 @@ type Config struct {
 	MaxPending int
 	// MaxBatch caps how many jobs coalesce into one launch; 0 means 64.
 	MaxBatch int
+	// BatchWindow enables continuous batching: the dispatcher holds
+	// coalescible jobs (Batchable kernel jobs and Group jobs) for up to
+	// this long after the first one buffers, so same-key requests arriving
+	// within the window share one launch even when the pool is otherwise
+	// idle. It bounds the latency cost of coalescing: a lone request waits
+	// at most one window. 0 keeps the adaptive rule only — jobs coalesce
+	// exactly when same-key work is already waiting, and an idle queue
+	// adds no latency.
+	BatchWindow time.Duration
 	// DisableBatching forces every job to run as its own launch.
 	DisableBatching bool
+	// Admission enables SLO-aware admission control: with a TargetDelay
+	// set, Submit sheds jobs (ErrShed) whose estimated modeled queue
+	// delay exceeds their JobSpec.Priority class's budget. The zero value
+	// admits everything.
+	Admission AdmissionPolicy
 	// OpenDevice, when non-nil, overrides how pooled devices are opened;
 	// slot is the pool index. The queue calls it for the initial pool and
 	// again for each replacement after a device dies, so fault-injection
@@ -123,6 +139,10 @@ type Queue struct {
 	met       queueMetrics
 	pendingHW atomic.Int64 // high-water mark of submission-queue depth
 
+	// svcModeledNS is the admission estimator's EWMA of modeled per-job
+	// launch time, in nanoseconds (see admission.go).
+	svcModeledNS atomic.Int64
+
 	dispatchDone chan struct{}
 
 	mu       sync.Mutex
@@ -132,6 +152,7 @@ type Queue struct {
 	counts   struct {
 		submitted, completed, failed, canceled uint64
 		retries, panics                        uint64
+		shed                                   [3]uint64 // by class: batch, normal, interactive
 	}
 }
 
@@ -160,6 +181,17 @@ func OpenQueue(cfg Config) (*Queue, error) {
 	}
 	dcfg := cfg.Device
 	dcfg.Exec = core.MergeExec(dcfg.Exec, cfg.Exec)
+	if dcfg.CompileCache == nil && os.Getenv(core.EnvCompileCache) == "" {
+		// Pool devices share one in-memory compile cache by default, so a
+		// kernel is compiled once per pool, not once per device — every
+		// other slot (and every replacement device warming after a fault)
+		// restores the cached program binary instead. An explicit
+		// Device.CompileCache or the GLESCOMPUTE_COMPILE_CACHE directory
+		// (which Open picks up per device) takes precedence.
+		if cc, err := core.NewCompileCache(""); err == nil {
+			dcfg.CompileCache = cc
+		}
+	}
 	if !dcfg.Exec.WorkersPinned() && dcfg.Workers == 0 && cfg.Devices > 1 {
 		if w := runtime.GOMAXPROCS(0) / cfg.Devices; w > 1 {
 			dcfg.Exec.RasterWorkers = w
@@ -217,6 +249,13 @@ func (q *Queue) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 	if q.closed {
 		q.mu.Unlock()
 		return nil, ErrQueueClosed
+	}
+	if err := q.admitLocked(spec.Priority); err != nil {
+		q.mu.Unlock()
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return nil, err
 	}
 	q.inFlight++
 	q.counts.submitted++
@@ -377,6 +416,7 @@ func (q *Queue) dispatch() {
 	}()
 	var order []string
 	groups := map[string][]*Job{}
+	prio := map[string]Priority{} // highest member priority per buffered key
 	buffered := 0
 	rr := 0
 	// assign hands a unit to the least-loaded live device. Dead devices
@@ -411,17 +451,23 @@ func (q *Queue) dispatch() {
 			q.finishJob(j, nil, JobStats{Device: -1}, fmt.Errorf("sched: job cancelled while queued: %w", err))
 			return
 		}
-		if !j.spec.Batchable || q.cfg.MaxBatch <= 1 {
+		if (!j.spec.Batchable && j.spec.Group == nil) || q.cfg.MaxBatch <= 1 {
 			assign(&workUnit{jobs: []*Job{j}})
 			return
 		}
 		if _, ok := groups[j.key]; !ok {
 			order = append(order, j.key)
+			prio[j.key] = j.spec.Priority
+		} else if j.spec.Priority > prio[j.key] {
+			prio[j.key] = j.spec.Priority
 		}
 		groups[j.key] = append(groups[j.key], j)
 		buffered++
 	}
 	flush := func() {
+		// Higher-priority keys flush (and so launch) first; within a
+		// class, arrival order is preserved.
+		sort.SliceStable(order, func(a, b int) bool { return prio[order[a]] > prio[order[b]] })
 		for _, key := range order {
 			jobs := groups[key]
 			for len(jobs) > 0 {
@@ -433,14 +479,38 @@ func (q *Queue) dispatch() {
 				jobs = jobs[n:]
 			}
 			delete(groups, key)
+			delete(prio, key)
 		}
 		order = order[:0]
 		buffered = 0
 	}
 	bound := q.cfg.MaxBatch * len(q.workers) * 2
+	// Continuous batching: with a window configured, buffered coalescible
+	// jobs are not flushed as soon as the channel momentarily empties —
+	// they wait out the window (measured from the first job buffered since
+	// the last flush) for same-key arrivals. The safety bound still flushes
+	// a flooded dispatcher early.
+	window := q.cfg.BatchWindow
+	var windowT *time.Timer
+	var windowC <-chan time.Time
+	stopWindow := func() {
+		if windowT != nil {
+			windowT.Stop()
+			windowT, windowC = nil, nil
+		}
+	}
 	for {
-		j, ok := <-q.pending
+		var j *Job
+		var ok bool
+		select {
+		case j, ok = <-q.pending:
+		case <-windowC:
+			windowT, windowC = nil, nil
+			flush()
+			continue
+		}
 		if !ok {
+			stopWindow()
 			flush()
 			return
 		}
@@ -451,6 +521,7 @@ func (q *Queue) dispatch() {
 			select {
 			case j2, ok2 := <-q.pending:
 				if !ok2 {
+					stopWindow()
 					flush()
 					return
 				}
@@ -459,6 +530,12 @@ func (q *Queue) dispatch() {
 				break drain
 			}
 		}
-		flush()
+		if window <= 0 || buffered >= bound {
+			stopWindow()
+			flush()
+		} else if buffered > 0 && windowC == nil {
+			windowT = time.NewTimer(window)
+			windowC = windowT.C
+		}
 	}
 }

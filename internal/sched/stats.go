@@ -74,6 +74,17 @@ type QueueStats struct {
 	// (quarantined devices — mid-replacement — count in neither).
 	HealthyDevices, DeadDevices int
 
+	// Admission-control tallies (zero unless Config.Admission is set):
+	// jobs rejected at Submit because their estimated modeled queue delay
+	// exceeded the class budget, total and per class.
+	Shed                                   uint64
+	ShedBatch, ShedNormal, ShedInteractive uint64
+
+	// CompileCache reports the pool's shared compile cache (hits are
+	// program-binary restores that skipped a GLSL→bytecode compile).
+	// All-zero when the pool has no shared cache.
+	CompileCache core.CompileCacheStats
+
 	// Latency quantiles, estimated from the queue's always-on fixed-bucket
 	// histograms (see internal/obs). QueueWaitP* cover Submit → launch
 	// start for jobs that reached a device; LatencyP* cover Submit →
@@ -100,20 +111,27 @@ func (q *Queue) Stats() QueueStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	s := QueueStats{
-		Submitted:      q.counts.submitted,
-		Completed:      q.counts.completed,
-		Failed:         q.counts.failed,
-		Cancelled:      q.counts.canceled,
-		Retries:        q.counts.retries,
-		Panics:         q.counts.panics,
-		QueueWaitP50:   q.waitHist.QuantileDuration(0.50),
-		QueueWaitP95:   q.waitHist.QuantileDuration(0.95),
-		QueueWaitP99:   q.waitHist.QuantileDuration(0.99),
-		LatencyP50:     q.e2eHist.QuantileDuration(0.50),
-		LatencyP95:     q.e2eHist.QuantileDuration(0.95),
-		LatencyP99:     q.e2eHist.QuantileDuration(0.99),
-		MaxPendingSeen: int(q.pendingHW.Load()),
-		Elapsed:        time.Since(q.opened),
+		Submitted:       q.counts.submitted,
+		Completed:       q.counts.completed,
+		Failed:          q.counts.failed,
+		Cancelled:       q.counts.canceled,
+		Retries:         q.counts.retries,
+		Panics:          q.counts.panics,
+		QueueWaitP50:    q.waitHist.QuantileDuration(0.50),
+		QueueWaitP95:    q.waitHist.QuantileDuration(0.95),
+		QueueWaitP99:    q.waitHist.QuantileDuration(0.99),
+		LatencyP50:      q.e2eHist.QuantileDuration(0.50),
+		LatencyP95:      q.e2eHist.QuantileDuration(0.95),
+		LatencyP99:      q.e2eHist.QuantileDuration(0.99),
+		MaxPendingSeen:  int(q.pendingHW.Load()),
+		Elapsed:         time.Since(q.opened),
+		ShedBatch:       q.counts.shed[0],
+		ShedNormal:      q.counts.shed[1],
+		ShedInteractive: q.counts.shed[2],
+	}
+	s.Shed = s.ShedBatch + s.ShedNormal + s.ShedInteractive
+	if cc := q.deviceCfg.CompileCache; cc != nil {
+		s.CompileCache = cc.Stats()
 	}
 	for _, w := range q.workers {
 		d := w.st
@@ -197,6 +215,10 @@ func (s QueueStats) Report() string {
 			s.LatencyP99.Round(time.Microsecond), s.QueueWaitP50.Round(time.Microsecond),
 			s.QueueWaitP99.Round(time.Microsecond), s.MaxPendingSeen)
 	}
+	if s.Shed > 0 {
+		fmt.Fprintf(&b, "admission: %d shed (%d batch, %d normal, %d interactive)\n",
+			s.Shed, s.ShedBatch, s.ShedNormal, s.ShedInteractive)
+	}
 	if s.Faults > 0 || s.Retries > 0 || s.Panics > 0 || s.DeadDevices > 0 {
 		fmt.Fprintf(&b, "faults: %d device faults, %d reopens, %d retries, %d panics; %d/%d devices healthy (%d dead)\n",
 			s.Faults, s.Reopens, s.Retries, s.Panics, s.HealthyDevices, len(s.Devices), s.DeadDevices)
@@ -225,6 +247,7 @@ func (q *Queue) ResetStats() {
 	defer q.mu.Unlock()
 	q.counts.submitted, q.counts.completed, q.counts.failed, q.counts.canceled = 0, 0, 0, 0
 	q.counts.retries, q.counts.panics = 0, 0
+	q.counts.shed = [3]uint64{}
 	for _, w := range q.workers {
 		w.st = DeviceStats{Health: w.st.Health}
 	}

@@ -94,6 +94,12 @@ func (w *worker) exec(u *workUnit) {
 		}
 		return
 	}
+	if live[0].spec.Group != nil {
+		// A unit is single-key, so one group job means they all are.
+		w.execGroup(live)
+		w.maybeRecover()
+		return
+	}
 	if len(live) > 1 && w.execBatch(live) {
 		w.maybeRecover()
 		return
@@ -191,6 +197,19 @@ func (w *worker) note(jobs int, batched bool, dt core.Timeline, wall time.Durati
 	w.q.mu.Unlock()
 	w.q.met.slotBusy(w.id).Set(busyUS)
 	w.q.met.slotJobs(w.id).Add(uint64(jobs))
+	w.q.met.batchSize.Observe(float64(jobs))
+	if batched {
+		w.q.met.batches.Inc()
+		w.q.met.batchedJobs.Add(uint64(jobs))
+	}
+	if jobs > 0 {
+		w.q.noteServiceTime(dt.Total() / time.Duration(jobs))
+	}
+	if cc := w.q.deviceCfg.CompileCache; cc != nil {
+		ccs := cc.Stats()
+		w.q.met.cacheHits.Set(int64(ccs.Hits()))
+		w.q.met.cacheMisses.Set(int64(ccs.Misses))
+	}
 }
 
 // buildKernel compiles (or fetches) a kernel through the device's
@@ -241,7 +260,7 @@ func (w *worker) execSolo(j *Job) {
 	wall := time.Since(start)
 	w.note(1, false, dt, wall)
 	w.noteLost(err)
-	w.finishLaunchSpan(sp, spJobs, start, dt, err)
+	w.finishLaunchSpan(sp, spJobs, spJobs, start, dt, err)
 	w.q.completeJob(j, out, JobStats{
 		Device:    w.id,
 		BatchSize: 1,
@@ -324,6 +343,65 @@ func (w *worker) runSolo(j *Job) (interface{}, core.RunStats, error) {
 	return out, rs, err
 }
 
+// execGroup runs a unit of coalesced Group jobs as one launch: the first
+// member's GroupSpec.Run receives every member's payload and returns one
+// output per member. Failures (including panics, recovered as
+// device-lost) complete every member with the error.
+func (w *worker) execGroup(jobs []*Job) {
+	for _, j := range jobs {
+		j.attempts++
+	}
+	sp := w.launchSpan(jobs, launchName(jobs[0]))
+	start := time.Now()
+	t0 := w.dev.Timeline()
+	outs, rs, err := w.runGroupGuarded(jobs)
+	if err == nil && len(outs) != len(jobs) {
+		err = fmt.Errorf("sched: group %q returned %d outputs for %d members",
+			jobs[0].spec.Group.label(), len(outs), len(jobs))
+	}
+	dt := w.dev.Timeline().Sub(t0)
+	wall := time.Since(start)
+	w.note(len(jobs), len(jobs) > 1, dt, wall)
+	w.noteLost(err)
+	// Only the first member's Trace hook runs: the launch (and its pass
+	// structure) is shared, so per-member hooks would duplicate children.
+	w.finishLaunchSpan(sp, jobs, jobs[:1], start, dt, err)
+	for i, j := range jobs {
+		st := JobStats{
+			Device:    w.id,
+			Batched:   len(jobs) > 1,
+			BatchSize: len(jobs),
+			Run:       rs,
+			Time:      dt,
+			QueueWait: start.Sub(j.enq),
+			Service:   wall,
+			Attempts:  j.attempts,
+		}
+		if err != nil {
+			w.q.completeJob(j, nil, st, err)
+		} else {
+			w.q.completeJob(j, outs[i], st, nil)
+		}
+	}
+}
+
+// runGroupGuarded invokes the group closure behind the same panic guard
+// as solo and batch execution.
+func (w *worker) runGroupGuarded(jobs []*Job) (outs []interface{}, rs core.RunStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.q.notePanic()
+			outs = nil
+			err = fmt.Errorf("sched: group panicked on device %d: %v: %w", w.id, r, core.ErrDeviceLost)
+		}
+	}()
+	payloads := make([]interface{}, len(jobs))
+	for i, j := range jobs {
+		payloads[i] = j.spec.Group.Payload
+	}
+	return jobs[0].spec.Group.Run(w.dev, payloads)
+}
+
 // execBatch coalesces the jobs into one launch. It returns false when the
 // batch cannot be packed (the caller falls back to solo execution);
 // execution errors complete every member with the error and return true.
@@ -351,7 +429,7 @@ func (w *worker) execBatch(jobs []*Job) bool {
 	wall := time.Since(start)
 	w.note(len(jobs), true, dt, wall)
 	w.noteLost(err)
-	w.finishLaunchSpan(sp, jobs, start, dt, err)
+	w.finishLaunchSpan(sp, jobs, jobs, start, dt, err)
 	for i, j := range jobs {
 		st := JobStats{
 			Device:    w.id,

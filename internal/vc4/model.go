@@ -55,6 +55,12 @@ type Model struct {
 	// Driver costs the paper's wall-clock timings include.
 	CompileTimePerShader time.Duration
 	LinkTimePerProgram   time.Duration
+	// BinaryLoadPerProgram prices restoring a pre-compiled program through
+	// glProgramBinaryOES: a blob read plus relocation/table rebuild, no
+	// front-end and no code generation. Measured loads on VideoCore-class
+	// drivers are a few hundred microseconds against ~10 ms for a two-stage
+	// source compile+link.
+	BinaryLoadPerProgram time.Duration
 	DrawCallOverhead     time.Duration
 }
 
@@ -97,6 +103,7 @@ func DefaultModel() *Model {
 
 		CompileTimePerShader: 4 * time.Millisecond,
 		LinkTimePerProgram:   2 * time.Millisecond,
+		BinaryLoadPerProgram: 200 * time.Microsecond,
 		DrawCallOverhead:     120 * time.Microsecond,
 	}
 }
@@ -150,7 +157,8 @@ func (m *Model) TransferTime(tr *gles.TransferStats) time.Duration {
 // the paper's wall times: "including ... kernel compilations").
 func (m *Model) CompileTime(tr *gles.TransferStats) time.Duration {
 	return time.Duration(tr.CompileCount)*m.CompileTimePerShader +
-		time.Duration(tr.LinkCount)*m.LinkTimePerProgram
+		time.Duration(tr.LinkCount)*m.LinkTimePerProgram +
+		time.Duration(tr.BinaryLoadCount)*m.BinaryLoadPerProgram
 }
 
 // WallTime models a complete GPGPU application run from the context's
